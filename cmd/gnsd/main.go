@@ -1,0 +1,100 @@
+// Command gnsd runs a GriddLeS Name Service over real TCP — the shared
+// configuration database of paper §3.2. Mappings can be pre-loaded from a
+// simple text file and edited at run time by any gns.Client.
+//
+// Mapping file format (one entry per line, # comments allowed):
+//
+//	<machine> <path> local [localPath]
+//	<machine> <path> copy <remoteHost:port> <remotePath> [localPath]
+//	<machine> <path> remote <remoteHost:port> <remotePath>
+//	<machine> <path> buffer <bufferHost:port> <key> [cache]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"strings"
+
+	"griddles/internal/gns"
+	"griddles/internal/simclock"
+)
+
+func main() {
+	listen := flag.String("listen", ":5000", "TCP listen address")
+	mappings := flag.String("mappings", "", "optional mapping file to pre-load")
+	flag.Parse()
+
+	clock := simclock.Real{}
+	store := gns.NewStore(clock)
+	if *mappings != "" {
+		if err := loadMappings(store, *mappings); err != nil {
+			log.Fatalf("gnsd: %v", err)
+		}
+	}
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("gnsd: %v", err)
+	}
+	log.Printf("gnsd: serving on %s (%d mappings pre-loaded)", l.Addr(), len(store.List()))
+	gns.NewServer(store, clock).Serve(l)
+}
+
+func loadMappings(store *gns.Store, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 3 {
+			return fmt.Errorf("%s:%d: want '<machine> <path> <mode> ...'", path, line)
+		}
+		machine, fpath, mode := fields[0], fields[1], fields[2]
+		rest := fields[3:]
+		var m gns.Mapping
+		switch mode {
+		case "local":
+			m.Mode = gns.ModeLocal
+			if len(rest) > 0 {
+				m.LocalPath = rest[0]
+			}
+		case "copy", "remote":
+			if len(rest) < 2 {
+				return fmt.Errorf("%s:%d: %s needs <host:port> <remotePath>", path, line, mode)
+			}
+			m.Mode = gns.ModeCopy
+			if mode == "remote" {
+				m.Mode = gns.ModeRemote
+			}
+			m.RemoteHost, m.RemotePath = rest[0], rest[1]
+			if mode == "copy" && len(rest) > 2 {
+				m.LocalPath = rest[2]
+			}
+		case "buffer":
+			if len(rest) < 2 {
+				return fmt.Errorf("%s:%d: buffer needs <host:port> <key>", path, line)
+			}
+			m.Mode = gns.ModeBuffer
+			m.BufferHost, m.BufferKey = rest[0], rest[1]
+			if len(rest) > 2 && rest[2] == "cache" {
+				m.CacheEnabled = true
+			}
+		default:
+			return fmt.Errorf("%s:%d: unknown mode %q", path, line, mode)
+		}
+		store.Set(machine, fpath, m)
+	}
+	return sc.Err()
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"griddles/internal/gns"
+	"griddles/internal/simclock"
+)
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "maps.txt")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadMappings(t *testing.T) {
+	path := writeTemp(t, `
+# a comment and a blank line above
+jagan  JOB.DAT   local /inputs/JOB.DAT
+jagan  JOB.SF    buffer vpac27:7000 wf/JOB.SF cache
+dione  JOB.O02   copy jagan:6000 /out/JOB.O02 /staged/JOB.O02
+vpac27 INPUT.DAT remote brecca:6000 /data/INPUT.DAT
+`)
+	store := gns.NewStore(simclock.Real{})
+	if err := loadMappings(store, path); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := store.Resolve("jagan", "JOB.DAT")
+	if m.Mode != gns.ModeLocal || m.LocalPath != "/inputs/JOB.DAT" {
+		t.Errorf("local: %+v", m)
+	}
+	m, _ = store.Resolve("jagan", "JOB.SF")
+	if m.Mode != gns.ModeBuffer || m.BufferHost != "vpac27:7000" || m.BufferKey != "wf/JOB.SF" || !m.CacheEnabled {
+		t.Errorf("buffer: %+v", m)
+	}
+	m, _ = store.Resolve("dione", "JOB.O02")
+	if m.Mode != gns.ModeCopy || m.RemoteHost != "jagan:6000" || m.LocalPath != "/staged/JOB.O02" {
+		t.Errorf("copy: %+v", m)
+	}
+	m, _ = store.Resolve("vpac27", "INPUT.DAT")
+	if m.Mode != gns.ModeRemote || m.RemotePath != "/data/INPUT.DAT" {
+		t.Errorf("remote: %+v", m)
+	}
+}
+
+func TestLoadMappingsRejectsBadLines(t *testing.T) {
+	for _, bad := range []string{
+		"jagan JOB.DAT",                // too few fields
+		"jagan JOB.DAT teleport a b",   // unknown mode
+		"jagan JOB.DAT copy onlyhost",  // copy missing remote path
+		"jagan JOB.SF buffer hostonly", // buffer missing key
+	} {
+		store := gns.NewStore(simclock.Real{})
+		if err := loadMappings(store, writeTemp(t, bad)); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestLoadMappingsMissingFile(t *testing.T) {
+	store := gns.NewStore(simclock.Real{})
+	if err := loadMappings(store, "/no/such/file"); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,33 @@
+// Command gridbufferd runs a Grid Buffer service over real TCP: the
+// writer/reader rendezvous of paper §4, with cache files spilled into a
+// local directory so readers can seek backward in live streams.
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"os"
+
+	"griddles/internal/gridbuffer"
+	"griddles/internal/simclock"
+	"griddles/internal/vfs"
+)
+
+func main() {
+	listen := flag.String("listen", ":7000", "TCP listen address")
+	cacheDir := flag.String("cache", os.TempDir(), "directory for buffer cache files")
+	flag.Parse()
+
+	if err := os.MkdirAll(*cacheDir, 0o755); err != nil {
+		log.Fatalf("gridbufferd: %v", err)
+	}
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("gridbufferd: %v", err)
+	}
+	clock := simclock.Real{}
+	reg := gridbuffer.NewRegistry(clock, vfs.NewOSFS(*cacheDir))
+	log.Printf("gridbufferd: serving on %s (cache in %s)", l.Addr(), *cacheDir)
+	gridbuffer.NewServer(reg, clock).Serve(l)
+}

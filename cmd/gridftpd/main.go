@@ -1,0 +1,31 @@
+// Command gridftpd runs the GridFTP-like file service over real TCP,
+// exporting a directory tree for remote block IO, stage-in/stage-out
+// copies and parallel-stream transfers.
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"os"
+
+	"griddles/internal/gridftp"
+	"griddles/internal/simclock"
+	"griddles/internal/vfs"
+)
+
+func main() {
+	listen := flag.String("listen", ":6000", "TCP listen address")
+	root := flag.String("root", ".", "directory to export")
+	flag.Parse()
+
+	if fi, err := os.Stat(*root); err != nil || !fi.IsDir() {
+		log.Fatalf("gridftpd: -root %q is not a directory", *root)
+	}
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("gridftpd: %v", err)
+	}
+	log.Printf("gridftpd: exporting %s on %s", *root, l.Addr())
+	gridftp.NewServer(vfs.NewOSFS(*root), simclock.Real{}).Serve(l)
+}

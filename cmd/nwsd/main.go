@@ -1,0 +1,72 @@
+// Command nwsd runs the Network Weather Service over real TCP: a central
+// forecaster that sensors report observations into and replica selectors
+// query. It can also run an active monitor against a list of sensor
+// addresses.
+//
+// Usage:
+//
+//	nwsd [-listen :8200] [-sensor :8100]
+//	     [-probe src=dst=host:port,...] [-interval 30s]
+//
+// -sensor additionally runs a probe responder on this machine;
+// -probe makes this instance actively measure the named links.
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"strings"
+	"time"
+
+	"griddles/internal/nws"
+	"griddles/internal/simclock"
+)
+
+type tcpDialer struct{}
+
+func (tcpDialer) Dial(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+
+func main() {
+	listen := flag.String("listen", ":8200", "forecast service listen address")
+	sensor := flag.String("sensor", "", "also run a probe responder on this address (optional)")
+	probe := flag.String("probe", "", "comma-separated src=dst=host:port links to monitor (optional)")
+	interval := flag.Duration("interval", 30*time.Second, "probe interval")
+	flag.Parse()
+
+	clock := simclock.Real{}
+	svc := nws.NewService()
+
+	if *sensor != "" {
+		l, err := net.Listen("tcp", *sensor)
+		if err != nil {
+			log.Fatalf("nwsd: sensor: %v", err)
+		}
+		log.Printf("nwsd: sensor on %s", l.Addr())
+		go nws.NewSensor(clock).Serve(l)
+	}
+
+	if *probe != "" {
+		var targets []nws.Target
+		for _, spec := range strings.Split(*probe, ",") {
+			parts := strings.SplitN(spec, "=", 3)
+			if len(parts) != 3 {
+				log.Fatalf("nwsd: bad -probe entry %q (want src=dst=host:port)", spec)
+			}
+			targets = append(targets, nws.Target{
+				Src: parts[0], Dst: parts[1], Addr: parts[2], Dialer: tcpDialer{},
+			})
+		}
+		mon := nws.NewMonitor(clock, svc, *interval, targets)
+		stop := simclock.NewEvent(clock)
+		log.Printf("nwsd: monitoring %d links every %v", len(targets), *interval)
+		go mon.Run(stop)
+	}
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("nwsd: %v", err)
+	}
+	log.Printf("nwsd: forecast service on %s", l.Addr())
+	nws.NewServer(svc, clock).Serve(l)
+}

@@ -1,0 +1,91 @@
+// Quickstart: the paper's headline property in ~100 lines.
+//
+// A producer and a consumer exchange "data.out". The component code below
+// does plain open/write/read/close through the File Multiplexer — it knows
+// nothing about grids. We run the identical code twice on a simulated
+// two-machine grid: once coupled by a staged file copy, once by a direct
+// Grid Buffer stream. Only GNS entries change between runs (the workflow
+// Runner writes them), and the buffer run overlaps the two components.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+
+	"griddles/internal/gns"
+	"griddles/internal/simclock"
+	"griddles/internal/testbed"
+	"griddles/internal/workflow"
+)
+
+func main() {
+	spec := &workflow.Spec{
+		Name: "quickstart",
+		Components: []workflow.Component{
+			{
+				Name: "producer", Machine: "brecca",
+				Outputs: []string{"data.out"},
+				Run: func(ctx *workflow.Ctx) error {
+					w, err := ctx.FM.Create("data.out")
+					if err != nil {
+						return err
+					}
+					for step := 0; step < 60; step++ {
+						ctx.Compute(1)                                            // one second of model time
+						if _, err := w.Write(make([]byte, 256<<10)); err != nil { // 256 KiB per step
+							return err
+						}
+					}
+					return w.Close()
+				},
+			},
+			{
+				Name: "consumer", Machine: "vpac27",
+				Inputs: []string{"data.out"},
+				Run: func(ctx *workflow.Ctx) error {
+					r, err := ctx.FM.Open("data.out")
+					if err != nil {
+						return err
+					}
+					defer r.Close()
+					buf := make([]byte, 256<<10)
+					for {
+						n, err := io.ReadFull(r, buf)
+						if n > 0 {
+							ctx.Compute(0.3) // cheap post-processing per step
+						}
+						if err == io.EOF || err == io.ErrUnexpectedEOF {
+							return nil
+						}
+						if err != nil {
+							return err
+						}
+					}
+				},
+			},
+		},
+	}
+
+	for _, coupling := range []workflow.Coupling{workflow.CouplingSequential, workflow.CouplingBuffers} {
+		clock := simclock.NewVirtualDefault()
+		grid := testbed.DefaultGrid(clock)
+		runner := &workflow.Runner{Grid: grid, GNS: gns.NewStore(clock)}
+		var rep *workflow.Report
+		clock.Run(func() {
+			if err := workflow.StartServices(clock, grid); err != nil {
+				log.Fatal(err)
+			}
+			var err error
+			rep, err = runner.Run(spec, coupling)
+			if err != nil {
+				log.Fatal(err)
+			}
+		})
+		fmt.Print(rep)
+		fmt.Println()
+	}
+	fmt.Println("Same component code both times; only the GNS entries differed.")
+}

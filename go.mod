@@ -1,0 +1,3 @@
+module griddles
+
+go 1.24

@@ -1,0 +1,285 @@
+package climate
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"griddles/internal/vfs"
+	"griddles/internal/workflow"
+)
+
+// The coupling files of the §5.3 workflow.
+const (
+	FileCCAMOut   = "ccam.anl"   // C-CAM -> cc2lam: one global frame per step
+	FileLamBnd    = "lam.bnd"    // cc2lam -> DARLAM: regional boundary frames
+	FileDarlamOut = "darlam.out" // DARLAM diagnostics (terminal output)
+	ioChunk       = 64 * 1024
+)
+
+// Works is the modeled CPU cost of each model in brecca-seconds, calibrated
+// from the paper's Table 3 brecca row (C-CAM 16:34, cc2lam 0:08, DARLAM
+// 7:46, minus modeled IO).
+type Works struct {
+	CCAM, CC2LAM, DARLAM float64
+}
+
+// Params sizes the workflow.
+type Params struct {
+	// G and R are the global and regional grid edges; a frame is G*G (or
+	// R*R) float64s.
+	G, R int
+	// Steps is the number of coupled time steps (frames exchanged).
+	Steps int
+	// SubSteps is DARLAM's internal steps per boundary frame.
+	SubSteps int
+	// Kappa/U are the model coefficients.
+	Kappa, U float64
+	// Window is the regional domain inside the global grid, in [0,1]
+	// fractions: rows [WinR0,WinR1) x cols [WinC0,WinC1).
+	WinR0, WinR1, WinC0, WinC1 float64
+	// ReRead is how many initial boundary frames DARLAM re-reads at the end
+	// (the paper's cache-file path).
+	ReRead int
+	Work   Works
+}
+
+// DefaultParams is the Table 3/4/5 configuration: each coupling stream is
+// ~20.8 MB (240 frames of a 104x104 float64 field), matching the transfer
+// volumes the paper's Table 5 copy times imply.
+func DefaultParams() Params {
+	return Params{
+		G: 104, R: 104, Steps: 240, SubSteps: 4,
+		Kappa: 0.2, U: 0.5,
+		WinR0: 0.55, WinR1: 0.85, WinC0: 0.60, WinC1: 0.90,
+		ReRead: 12,
+		Work:   Works{CCAM: 958, CC2LAM: 5, DARLAM: 450},
+	}
+}
+
+// TinyParams is a fast configuration for tests.
+func TinyParams() Params {
+	return Params{
+		G: 24, R: 16, Steps: 12, SubSteps: 2,
+		Kappa: 0.2, U: 0.5,
+		WinR0: 0.55, WinR1: 0.85, WinC0: 0.60, WinC1: 0.90,
+		ReRead: 3,
+		Work:   Works{CCAM: 6, CC2LAM: 0.2, DARLAM: 3},
+	}
+}
+
+// Assignment places the three models.
+type Assignment struct {
+	CCAM, CC2LAM, DARLAM string
+}
+
+// AllOn assigns all models to one machine (Table 3 and Table 4).
+func AllOn(machine string) Assignment {
+	return Assignment{CCAM: machine, CC2LAM: machine, DARLAM: machine}
+}
+
+// Split places C-CAM and cc2lam on src and DARLAM on dst (Table 5: "whilst
+// cc2lam is run on the same machine as C-CAM").
+func Split(src, dst string) Assignment {
+	return Assignment{CCAM: src, CC2LAM: src, DARLAM: dst}
+}
+
+// WorkflowSpec builds the three-model workflow.
+func WorkflowSpec(p Params, a Assignment) *workflow.Spec {
+	return &workflow.Spec{
+		Name: "atmos",
+		Components: []workflow.Component{
+			{
+				Name: "ccam", Machine: a.CCAM,
+				Outputs:  []string{FileCCAMOut},
+				WorkHint: p.Work.CCAM,
+				Run:      func(ctx *workflow.Ctx) error { return ccam(ctx, p) },
+			},
+			{
+				Name: "cc2lam", Machine: a.CC2LAM,
+				Inputs:   []string{FileCCAMOut},
+				Outputs:  []string{FileLamBnd},
+				WorkHint: p.Work.CC2LAM,
+				Run:      func(ctx *workflow.Ctx) error { return cc2lam(ctx, p) },
+			},
+			{
+				Name: "darlam", Machine: a.DARLAM,
+				Inputs:   []string{FileLamBnd},
+				Outputs:  []string{FileDarlamOut},
+				WorkHint: p.Work.DARLAM,
+				Run:      func(ctx *workflow.Ctx) error { return darlam(ctx, p) },
+			},
+		},
+	}
+}
+
+// CacheFiles reports the buffer cache configuration the workflow needs:
+// DARLAM seeks backward in lam.bnd, so that stream must keep a cache file.
+func CacheFiles() map[string]bool {
+	return map[string]bool{FileLamBnd: true}
+}
+
+// writeFrame emits a field as raw little-endian float64s.
+func writeFrame(w io.Writer, f *Field, buf []byte) ([]byte, error) {
+	need := len(f.Data) * 8
+	if cap(buf) < need {
+		buf = make([]byte, need)
+	}
+	buf = buf[:need]
+	for i, v := range f.Data {
+		binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+	}
+	_, err := w.Write(buf)
+	return buf, err
+}
+
+// readFrame fills a field from raw little-endian float64s.
+func readFrame(r io.Reader, f *Field, buf []byte) ([]byte, error) {
+	need := len(f.Data) * 8
+	if cap(buf) < need {
+		buf = make([]byte, need)
+	}
+	buf = buf[:need]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return buf, err
+	}
+	for i := range f.Data {
+		f.Data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+	}
+	return buf, nil
+}
+
+// ccam is the global model: step, write a frame, repeat — "data is written
+// for each time step, and this is used immediately by a downstream
+// computation" (§3.1).
+func ccam(ctx *workflow.Ctx, p Params) error {
+	m := &Model{F: NewField(p.G), Kappa: p.Kappa, U: p.U}
+	m.InitAnalytic()
+	out, err := ctx.FM.Create(FileCCAMOut)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(out, ioChunk)
+	var buf []byte
+	for s := 0; s < p.Steps; s++ {
+		ctx.Compute(p.Work.CCAM / float64(p.Steps))
+		m.Step()
+		if buf, err = writeFrame(w, m.F, buf); err != nil {
+			return fmt.Errorf("ccam: step %d: %w", s, err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return out.Close()
+}
+
+// cc2lam is the linking model: "simple data manipulation and filtering
+// between the two codes".
+func cc2lam(ctx *workflow.Ctx, p Params) error {
+	in, err := ctx.FM.Open(FileCCAMOut)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	out, err := ctx.FM.Create(FileLamBnd)
+	if err != nil {
+		return err
+	}
+	r := bufio.NewReaderSize(in, ioChunk)
+	w := bufio.NewWriterSize(out, ioChunk)
+	global := NewField(p.G)
+	regional := NewField(p.R)
+	var rbuf, wbuf []byte
+	for s := 0; s < p.Steps; s++ {
+		if rbuf, err = readFrame(r, global, rbuf); err != nil {
+			return fmt.Errorf("cc2lam: frame %d: %w", s, err)
+		}
+		ctx.Compute(p.Work.CC2LAM / float64(p.Steps))
+		if err := Interpolate(global, regional, p.WinR0, p.WinR1, p.WinC0, p.WinC1); err != nil {
+			return err
+		}
+		if wbuf, err = writeFrame(w, regional, wbuf); err != nil {
+			return fmt.Errorf("cc2lam: frame %d: %w", s, err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return out.Close()
+}
+
+// darlam is the regional model: consume each boundary frame, run nested
+// steps nudged toward it, emit diagnostics; then seek back and re-read the
+// first frames to build a boundary climatology — the paper's re-read that
+// is served from the Grid Buffer's cache file.
+func darlam(ctx *workflow.Ctx, p Params) error {
+	in, err := ctx.FM.Open(FileLamBnd)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	// Under sequential (staged-copy) coupling, the open above completed the
+	// cross-machine copy; this mark is the paper's "File Copy" row.
+	ctx.Mark("input-open")
+	out, err := ctx.FM.Create(FileDarlamOut)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(out, ioChunk)
+
+	boundary := NewField(p.R)
+	m := &Model{F: NewField(p.R), Kappa: p.Kappa, U: p.U, Nudge: boundary, NudgeWeight: 0.2}
+	r := bufio.NewReaderSize(in, ioChunk)
+	var buf []byte
+	first := true
+	for s := 0; s < p.Steps; s++ {
+		if buf, err = readFrame(r, boundary, buf); err != nil {
+			return fmt.Errorf("darlam: frame %d: %w", s, err)
+		}
+		if first {
+			copy(m.F.Data, boundary.Data) // spin-up from the first analysis
+			first = false
+		}
+		for k := 0; k < p.SubSteps; k++ {
+			ctx.Compute(p.Work.DARLAM / float64(p.Steps*p.SubSteps))
+			m.Step()
+		}
+		st := FieldStats(m.F)
+		fmt.Fprintf(w, "step %d mean %.6f min %.6f max %.6f\n", s, st.Mean, st.Min, st.Max)
+	}
+
+	// Re-read the first frames for the climatology. Note the raw Seek on
+	// what may be a live Grid Buffer stream: the cache file makes this
+	// legal (paper §3.1 / Figure 3).
+	if p.ReRead > 0 {
+		if _, err := in.Seek(0, io.SeekStart); err != nil {
+			return fmt.Errorf("darlam: seeking back for climatology: %w", err)
+		}
+		r = bufio.NewReaderSize(in, ioChunk)
+		clim := NewField(p.R)
+		for s := 0; s < p.ReRead && s < p.Steps; s++ {
+			if buf, err = readFrame(r, boundary, buf); err != nil {
+				return fmt.Errorf("darlam: re-reading frame %d: %w", s, err)
+			}
+			for i, v := range boundary.Data {
+				clim.Data[i] += v / float64(min(p.ReRead, p.Steps))
+			}
+		}
+		st := FieldStats(clim)
+		fmt.Fprintf(w, "climatology mean %.6f min %.6f max %.6f over %d frames\n",
+			st.Mean, st.Min, st.Max, min(p.ReRead, p.Steps))
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return out.Close()
+}
+
+// ReadDiagnostics returns DARLAM's output from a file system.
+func ReadDiagnostics(fsys vfs.FS) (string, error) {
+	data, err := vfs.ReadFile(fsys, FileDarlamOut)
+	return string(data), err
+}

@@ -1,0 +1,284 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"griddles/internal/gns"
+	"griddles/internal/gridbuffer"
+	"griddles/internal/gridftp"
+	"griddles/internal/replica"
+	"griddles/internal/soap"
+	"griddles/internal/vfs"
+)
+
+// localFile is a mechanism-1/2/5 handle: a real local file, possibly with a
+// stage-out and/or a completion marker on close.
+type localFile struct {
+	vfs.File
+	name       string
+	fm         *Multiplexer
+	stageOut   func() error
+	marker     bool
+	markerPath string
+	closed     bool
+}
+
+func (f *localFile) Name() string { return f.name }
+
+func (f *localFile) Read(p []byte) (int, error) {
+	n, err := f.File.Read(p)
+	f.fm.stats.read(n)
+	return n, err
+}
+
+func (f *localFile) Write(p []byte) (int, error) {
+	n, err := f.File.Write(p)
+	f.fm.stats.wrote(n)
+	return n, err
+}
+
+func (f *localFile) Close() error {
+	if f.closed {
+		return nil
+	}
+	f.closed = true
+	if err := f.File.Close(); err != nil {
+		return err
+	}
+	if f.stageOut != nil {
+		if err := f.stageOut(); err != nil {
+			return err
+		}
+	}
+	if f.marker {
+		if err := vfs.WriteFile(f.fm.cfg.FS, f.markerPath, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// remoteFile is a mechanism-3 handle.
+type remoteFile struct {
+	*gridftp.RemoteFile
+	name       string
+	fm         *Multiplexer
+	marker     bool
+	markerPath string
+	client     *gridftp.Client
+	closed     bool
+}
+
+func (f *remoteFile) Name() string { return f.name }
+
+func (f *remoteFile) Read(p []byte) (int, error) {
+	n, err := f.RemoteFile.Read(p)
+	f.fm.stats.read(n)
+	return n, err
+}
+
+func (f *remoteFile) Write(p []byte) (int, error) {
+	n, err := f.RemoteFile.Write(p)
+	f.fm.stats.wrote(n)
+	return n, err
+}
+
+func (f *remoteFile) Close() error {
+	if f.closed {
+		return nil
+	}
+	f.closed = true
+	if err := f.RemoteFile.Close(); err != nil {
+		return err
+	}
+	if f.marker {
+		if _, err := f.client.Put(f.markerPath, emptyReader{}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// replicaFile is a mechanism-4 handle with dynamic re-binding: every
+// RemapInterval of reading it re-ranks the replicas and, if a different one
+// now wins, reopens there at the same offset. The application never
+// notices — exactly the paper's "change the mapping dynamically during the
+// execution" for read-only files.
+type replicaFile struct {
+	fm      *Multiplexer
+	name    string
+	mapping gns.Mapping
+
+	cur       *gridftp.RemoteFile
+	curLoc    replica.Location
+	pos       int64
+	lastCheck time.Time
+	closed    bool
+}
+
+func (f *replicaFile) Name() string { return f.name }
+
+// Location reports the currently bound replica (for tests and examples).
+func (f *replicaFile) Location() replica.Location { return f.curLoc }
+
+func (f *replicaFile) maybeRemap() {
+	iv := f.fm.cfg.RemapInterval
+	if iv <= 0 {
+		return
+	}
+	now := f.fm.cfg.Clock.Now()
+	if now.Sub(f.lastCheck) < iv {
+		return
+	}
+	f.lastCheck = now
+	loc, err := f.fm.chooseReplica(f.mapping, f.name)
+	if err != nil || loc == f.curLoc {
+		return
+	}
+	nf, err := f.fm.client(loc.Addr).Open(loc.Path, os.O_RDONLY)
+	if err != nil {
+		return // keep the current binding on failure
+	}
+	if _, err := nf.Seek(f.pos, io.SeekStart); err != nil {
+		nf.Close()
+		return
+	}
+	f.cur.Close()
+	f.cur = nf
+	f.curLoc = loc
+	f.fm.stats.remapped()
+}
+
+func (f *replicaFile) Read(p []byte) (int, error) {
+	if f.closed {
+		return 0, fmt.Errorf("core: %s: read after close", f.name)
+	}
+	f.maybeRemap()
+	n, err := f.cur.Read(p)
+	f.pos += int64(n)
+	f.fm.stats.read(n)
+	return n, err
+}
+
+func (f *replicaFile) Write([]byte) (int, error) {
+	return 0, fmt.Errorf("core: %s: replicated files are read-only", f.name)
+}
+
+func (f *replicaFile) Seek(offset int64, whence int) (int64, error) {
+	npos, err := f.cur.Seek(offset, whence)
+	if err == nil {
+		f.pos = npos
+	}
+	return npos, err
+}
+
+func (f *replicaFile) Close() error {
+	if f.closed {
+		return nil
+	}
+	f.closed = true
+	return f.cur.Close()
+}
+
+// bufferWriterFile adapts a Grid Buffer writer to the File interface.
+type bufferWriterFile struct {
+	w    *gridbuffer.Writer
+	name string
+	fm   *Multiplexer
+}
+
+func (f *bufferWriterFile) Name() string { return f.name }
+
+func (f *bufferWriterFile) Read([]byte) (int, error) {
+	return 0, fmt.Errorf("core: %s: buffer opened write-only", f.name)
+}
+
+func (f *bufferWriterFile) Write(p []byte) (int, error) {
+	n, err := f.w.Write(p)
+	f.fm.stats.wrote(n)
+	return n, err
+}
+
+func (f *bufferWriterFile) Seek(int64, int) (int64, error) {
+	return 0, fmt.Errorf("core: %s: buffer writers are sequential", f.name)
+}
+
+func (f *bufferWriterFile) Close() error { return f.w.Close() }
+
+// bufferReaderFile adapts a Grid Buffer reader to the File interface.
+type bufferReaderFile struct {
+	r    *gridbuffer.Reader
+	name string
+	fm   *Multiplexer
+}
+
+func (f *bufferReaderFile) Name() string { return f.name }
+
+func (f *bufferReaderFile) Read(p []byte) (int, error) {
+	n, err := f.r.Read(p)
+	f.fm.stats.read(n)
+	return n, err
+}
+
+func (f *bufferReaderFile) Write([]byte) (int, error) {
+	return 0, fmt.Errorf("core: %s: buffer opened read-only", f.name)
+}
+
+func (f *bufferReaderFile) Seek(offset int64, whence int) (int64, error) {
+	return f.r.Seek(offset, whence)
+}
+
+func (f *bufferReaderFile) Close() error { return f.r.Close() }
+
+// soapWriterFile adapts the SOAP Grid Buffer writer to the File interface.
+type soapWriterFile struct {
+	w    *soap.BufferWriter
+	name string
+	fm   *Multiplexer
+}
+
+func (f *soapWriterFile) Name() string { return f.name }
+
+func (f *soapWriterFile) Read([]byte) (int, error) {
+	return 0, fmt.Errorf("core: %s: buffer opened write-only", f.name)
+}
+
+func (f *soapWriterFile) Write(p []byte) (int, error) {
+	n, err := f.w.Write(p)
+	f.fm.stats.wrote(n)
+	return n, err
+}
+
+func (f *soapWriterFile) Seek(int64, int) (int64, error) {
+	return 0, fmt.Errorf("core: %s: buffer writers are sequential", f.name)
+}
+
+func (f *soapWriterFile) Close() error { return f.w.Close() }
+
+// soapReaderFile adapts the SOAP Grid Buffer reader to the File interface.
+type soapReaderFile struct {
+	r    *soap.BufferReader
+	name string
+	fm   *Multiplexer
+}
+
+func (f *soapReaderFile) Name() string { return f.name }
+
+func (f *soapReaderFile) Read(p []byte) (int, error) {
+	n, err := f.r.Read(p)
+	f.fm.stats.read(n)
+	return n, err
+}
+
+func (f *soapReaderFile) Write([]byte) (int, error) {
+	return 0, fmt.Errorf("core: %s: buffer opened read-only", f.name)
+}
+
+func (f *soapReaderFile) Seek(offset int64, whence int) (int64, error) {
+	return f.r.Seek(offset, whence)
+}
+
+func (f *soapReaderFile) Close() error { return f.r.Close() }

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"griddles/internal/gns"
+	"griddles/internal/nws"
+	"griddles/internal/vfs"
+)
+
+// autoMapping binds "data" on vpac27 to a remote file on brecca in auto
+// mode.
+func autoMapping(frac float64) gns.Mapping {
+	return gns.Mapping{
+		Mode: gns.ModeAuto, RemoteHost: "brecca" + ftpPort, RemotePath: "/d/data",
+		LocalPath: "/staged/data", ReadFraction: frac,
+	}
+}
+
+func autoEnv(t *testing.T, size int, frac float64) (*env, *Multiplexer) {
+	t.Helper()
+	e := newEnv()
+	vfs.WriteFile(e.grid.Machine("brecca").RawFS(), "/d/data", make([]byte, size))
+	e.store.Set("vpac27", "data", autoMapping(frac))
+	return e, e.fm(t, "vpac27", nil)
+}
+
+func TestAutoSmallFractionStaysRemote(t *testing.T) {
+	e, fm := autoEnv(t, 1<<20, 0.05)
+	e.v.Run(func() {
+		e.startServices(t)
+		f, err := fm.Open("data")
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 4096)
+		f.Read(buf)
+		f.Close()
+		ds := fm.Stats().Decisions()
+		if len(ds) != 1 || ds[0].Mode != gns.ModeRemote {
+			t.Fatalf("decisions = %+v, want remote", ds)
+		}
+		// No staged copy appeared.
+		if vfs.Exists(e.grid.Machine("vpac27").RawFS(), "/staged/data") {
+			t.Error("small-fraction read staged a copy")
+		}
+	})
+}
+
+func TestAutoWholeFileReadStages(t *testing.T) {
+	e, fm := autoEnv(t, 1<<20, 1.0)
+	e.v.Run(func() {
+		e.startServices(t)
+		f, err := fm.Open("data")
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, _ := io.Copy(io.Discard, f)
+		f.Close()
+		if n != 1<<20 {
+			t.Fatalf("read %d bytes", n)
+		}
+		ds := fm.Stats().Decisions()
+		if len(ds) != 1 || ds[0].Mode != gns.ModeCopy {
+			t.Fatalf("decisions = %+v, want copy", ds)
+		}
+		if !vfs.Exists(e.grid.Machine("vpac27").RawFS(), "/staged/data") {
+			t.Error("no staged copy")
+		}
+	})
+}
+
+func TestAutoHugeFileNeverStaged(t *testing.T) {
+	e := newEnv()
+	vfs.WriteFile(e.grid.Machine("brecca").RawFS(), "/d/data", make([]byte, 2<<20))
+	e.store.Set("vpac27", "data", autoMapping(1.0))
+	fm := e.fm(t, "vpac27", func(c *Config) {
+		c.Heuristic.MaxCopyBytes = 1 << 20 // anything beyond 1 MiB is "too large"
+	})
+	e.v.Run(func() {
+		e.startServices(t)
+		f, err := fm.Open("data")
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		ds := fm.Stats().Decisions()
+		if len(ds) != 1 || ds[0].Mode != gns.ModeRemote || ds[0].Reason != "file exceeds the staging limit" {
+			t.Fatalf("decisions = %+v", ds)
+		}
+	})
+}
+
+func TestAutoNWSForecastSwaysDecision(t *testing.T) {
+	// Moderate fraction (0.5): with a high-latency forecast, per-block
+	// round trips dominate and staging wins; with a near-zero-latency
+	// forecast, block access wins.
+	now := time.Unix(0, 0)
+	run := func(latency float64) gns.Mode {
+		e := newEnv()
+		vfs.WriteFile(e.grid.Machine("brecca").RawFS(), "/d/data", make([]byte, 1<<20))
+		e.store.Set("vpac27", "data", autoMapping(0.5))
+		e.nws.Record("brecca", "vpac27", nws.MetricLatency, now, latency)
+		e.nws.Record("brecca", "vpac27", nws.MetricBandwidth, now, 1e6)
+		fm := e.fm(t, "vpac27", nil)
+		var mode gns.Mode
+		e.v.Run(func() {
+			e.startServices(t)
+			f, err := fm.Open("data")
+			if err != nil {
+				t.Fatal(err)
+			}
+			f.Close()
+			mode = fm.Stats().Decisions()[0].Mode
+		})
+		return mode
+	}
+	if got := run(0.3); got != gns.ModeCopy {
+		t.Errorf("high-latency decision = %v, want copy ('if a file is small and the latency high, copy')", got)
+	}
+	if got := run(0.00001); got != gns.ModeRemote {
+		t.Errorf("low-latency decision = %v, want remote", got)
+	}
+}
+
+func TestAutoWriteAlwaysStages(t *testing.T) {
+	e, fm := autoEnv(t, 16, 1.0)
+	e.v.Run(func() {
+		e.startServices(t)
+		w, err := fm.Create("data")
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Write([]byte("new content"))
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		got, _ := vfs.ReadFile(e.grid.Machine("brecca").RawFS(), "/d/data")
+		if string(got) != "new content" {
+			t.Errorf("staged-out = %q", got)
+		}
+		ds := fm.Stats().Decisions()
+		if len(ds) != 1 || ds[0].Mode != gns.ModeCopy {
+			t.Fatalf("decisions = %+v", ds)
+		}
+	})
+}
+
+func TestAutoMissingRemoteFails(t *testing.T) {
+	e := newEnv()
+	e.store.Set("vpac27", "data", autoMapping(1.0))
+	fm := e.fm(t, "vpac27", nil)
+	e.v.Run(func() {
+		e.startServices(t)
+		if _, err := fm.Open("data"); err == nil {
+			t.Error("auto open of missing remote file succeeded")
+		}
+	})
+}

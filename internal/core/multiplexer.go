@@ -1,0 +1,462 @@
+// Package core implements the paper's primary contribution: the File
+// Multiplexer (FM).
+//
+// The FM sits between an application and the grid. The application performs
+// ordinary OPEN/READ/WRITE/SEEK/CLOSE calls; on every OPEN the FM consults
+// the GriddLeS Name Service and binds the file — independently of every
+// other file — to one of six IO mechanisms (paper §2):
+//
+//  1. local file IO
+//  2. local IO with stage-in/stage-out copies between machines
+//  3. remote block IO through the GridFTP-like file service
+//  4. remote replicated IO (replica chosen by NWS forecasts)
+//  5. local replicated IO (choose replica, copy, read locally)
+//  6. direct Grid Buffer streaming between writer and reader
+//
+// Because the binding comes from the GNS at run time, the same unmodified
+// application runs with local files, staged copies, or fully pipelined
+// buffer coupling — the paper's two case studies switch among these by
+// editing GNS entries only. For read-only replicated files the FM
+// re-evaluates the replica choice periodically mid-read and re-binds to a
+// better copy when network conditions change (paper §3.1).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"griddles/internal/gns"
+	"griddles/internal/gridbuffer"
+	"griddles/internal/gridftp"
+	"griddles/internal/nws"
+	"griddles/internal/replica"
+	"griddles/internal/simclock"
+	"griddles/internal/soap"
+	"griddles/internal/vfs"
+)
+
+// Dialer opens connections to service addresses.
+type Dialer interface {
+	Dial(addr string) (net.Conn, error)
+}
+
+// File is what the application sees: plain POSIX-shaped file semantics,
+// whatever transport is behind it.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.Closer
+	// Name reports the path passed to the OPEN call.
+	Name() string
+}
+
+// Config wires a Multiplexer to its environment. On a simulated testbed
+// machine, FS/Dialer/Clock come from the machine; in real mode they are the
+// OS file system, TCP, and the wall clock.
+type Config struct {
+	// Machine is this component's machine name, the first half of every GNS
+	// key.
+	Machine string
+	// Clock drives waiting and timing.
+	Clock simclock.Clock
+	// FS is the local file system.
+	FS vfs.FS
+	// Dialer provides this machine's network identity.
+	Dialer Dialer
+	// GNS resolves OPEN calls to mappings.
+	GNS gns.Resolver
+
+	// Replicas resolves logical names for modes 4 and 5 (optional).
+	Replicas replica.Lookuper
+	// NWS ranks replica locations (optional; without it the first replica
+	// wins).
+	NWS *nws.Service
+
+	// PollInterval paces WaitClose polling and defaults to 200ms.
+	PollInterval time.Duration
+	// PollCost, if set, is charged once per poll (the testbed points it at
+	// Machine.Compute to model the CPU cost of polling).
+	PollCost func()
+
+	// WriterWindow / ReaderDepth tune Grid Buffer pipelining (defaults in
+	// package gridbuffer).
+	WriterWindow int
+	ReaderDepth  int
+	// BufferConnPerCall selects the paper's SOAP-era connection-per-call
+	// buffer transport for writers (see gridbuffer.WriterOptions).
+	BufferConnPerCall bool
+	// BufferTransport selects the wire format for Grid Buffer traffic:
+	// "binary" (default, framed messages) or "soap" (the paper's actual
+	// SOAP 1.1/HTTP envelopes; implies connection-per-call). The mapping's
+	// BufferHost must point at the matching service port.
+	BufferTransport string
+	// CopyStreams is the parallel stream count for stage-in/out copies
+	// (default 1).
+	CopyStreams int
+
+	// RemapInterval is how often a read-only replicated file re-evaluates
+	// its replica choice mid-read; 0 disables dynamic re-binding.
+	RemapInterval time.Duration
+
+	// Heuristic tunes ModeAuto's copy-vs-remote decision (§3.1).
+	Heuristic HeuristicConfig
+
+	// Records registers record schemas by open path for §3.3 byte-order
+	// translation; ByteOrder is this machine's order ("le" default, "be").
+	// A read of a file whose GNS mapping declares a different DataOrder is
+	// translated record-by-record in flight.
+	Records   map[string]RecordSpec
+	ByteOrder string
+}
+
+// DoneSuffix marks completion files for WaitClose coordination.
+const DoneSuffix = ".done"
+
+// Multiplexer is one application's FM instance.
+type Multiplexer struct {
+	cfg   Config
+	stats Stats
+
+	mu      sync.Mutex
+	clients map[string]*gridftp.Client // file-service clients by address
+}
+
+// New returns a Multiplexer for cfg. Machine, Clock, FS, Dialer and GNS are
+// required.
+func New(cfg Config) (*Multiplexer, error) {
+	if cfg.Machine == "" || cfg.Clock == nil || cfg.FS == nil || cfg.Dialer == nil || cfg.GNS == nil {
+		return nil, errors.New("core: Config requires Machine, Clock, FS, Dialer and GNS")
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 200 * time.Millisecond
+	}
+	if cfg.CopyStreams <= 0 {
+		cfg.CopyStreams = 1
+	}
+	return &Multiplexer{cfg: cfg, clients: make(map[string]*gridftp.Client)}, nil
+}
+
+// Stats reports cumulative counters for this FM instance.
+func (m *Multiplexer) Stats() *Stats { return &m.stats }
+
+// client returns a pooled file-service client for addr.
+func (m *Multiplexer) client(addr string) *gridftp.Client {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.clients[addr]
+	if !ok {
+		c = gridftp.NewClient(m.cfg.Dialer, addr, m.cfg.Clock)
+		m.clients[addr] = c
+	}
+	return c
+}
+
+// Close releases pooled service connections.
+func (m *Multiplexer) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, c := range m.clients {
+		c.Close()
+	}
+	m.clients = make(map[string]*gridftp.Client)
+	return nil
+}
+
+// Open opens path read-only.
+func (m *Multiplexer) Open(path string) (File, error) {
+	return m.OpenFile(path, os.O_RDONLY, 0)
+}
+
+// Create opens path for writing, creating or truncating it.
+func (m *Multiplexer) Create(path string) (File, error) {
+	return m.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+}
+
+// OpenFile is the intercepted OPEN: it resolves (machine, path) in the GNS
+// and dispatches to the mechanism the mapping selects.
+func (m *Multiplexer) OpenFile(path string, flag int, perm os.FileMode) (File, error) {
+	mapping, err := m.cfg.GNS.Resolve(m.cfg.Machine, path)
+	if err != nil {
+		return nil, fmt.Errorf("core: resolving %s on %s: %w", path, m.cfg.Machine, err)
+	}
+	m.stats.opened(mapping.Mode)
+	writing := flag&(os.O_WRONLY|os.O_RDWR) != 0
+
+	var f File
+	switch mapping.Mode {
+	case gns.ModeLocal:
+		f, err = m.openLocal(path, mapping, flag, perm, writing)
+	case gns.ModeCopy:
+		f, err = m.openCopy(path, mapping, flag, perm, writing)
+	case gns.ModeRemote:
+		f, err = m.openRemote(path, mapping, flag, writing)
+	case gns.ModeReplicaRemote:
+		f, err = m.openReplicaRemote(path, mapping, writing)
+	case gns.ModeReplicaCopy:
+		f, err = m.openReplicaCopy(path, mapping, flag, perm, writing)
+	case gns.ModeBuffer:
+		f, err = m.openBuffer(path, mapping, writing, flag)
+	case gns.ModeAuto:
+		f, err = m.openAuto(path, mapping, flag, perm, writing)
+	default:
+		return nil, fmt.Errorf("core: %s: unknown IO mode %d", path, mapping.Mode)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return m.maybeTranslate(f, path, mapping, writing)
+}
+
+// Stat reports metadata for path under its current mapping (local and
+// staged files stat locally; remote modes stat the service).
+func (m *Multiplexer) Stat(path string) (size int64, exists bool, err error) {
+	mapping, err := m.cfg.GNS.Resolve(m.cfg.Machine, path)
+	if err != nil {
+		return 0, false, err
+	}
+	switch mapping.Mode {
+	case gns.ModeRemote, gns.ModeCopy:
+		return m.client(mapping.RemoteHost).Stat(remotePath(mapping, path))
+	default:
+		fi, err := m.cfg.FS.Stat(localPath(mapping, path))
+		if err != nil {
+			return 0, false, nil
+		}
+		return fi.Size(), true, nil
+	}
+}
+
+func localPath(mapping gns.Mapping, openPath string) string {
+	if mapping.LocalPath != "" {
+		return mapping.LocalPath
+	}
+	return openPath
+}
+
+func remotePath(mapping gns.Mapping, openPath string) string {
+	if mapping.RemotePath != "" {
+		return mapping.RemotePath
+	}
+	return openPath
+}
+
+// waitLocalClose polls the local completion marker (WaitClose coordination).
+func (m *Multiplexer) waitLocalClose(path string) {
+	for !vfs.Exists(m.cfg.FS, path+DoneSuffix) {
+		m.poll()
+	}
+}
+
+// waitRemoteClose polls the remote completion marker through the file
+// service; each poll costs a real round trip.
+func (m *Multiplexer) waitRemoteClose(c *gridftp.Client, path string) error {
+	for {
+		_, exists, err := c.Stat(path + DoneSuffix)
+		if err != nil {
+			return err
+		}
+		if exists {
+			return nil
+		}
+		m.poll()
+	}
+}
+
+func (m *Multiplexer) poll() {
+	m.stats.polled()
+	if m.cfg.PollCost != nil {
+		m.cfg.PollCost()
+	}
+	m.cfg.Clock.Sleep(m.cfg.PollInterval)
+}
+
+// openLocal binds mechanism 1.
+func (m *Multiplexer) openLocal(path string, mapping gns.Mapping, flag int, perm os.FileMode, writing bool) (File, error) {
+	lp := localPath(mapping, path)
+	if mapping.WaitClose && !writing {
+		m.waitLocalClose(lp)
+	}
+	f, err := m.cfg.FS.OpenFile(lp, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &localFile{File: f, name: path, fm: m, marker: mapping.WaitClose && writing, markerPath: lp + DoneSuffix}, nil
+}
+
+// openCopy binds mechanism 2: stage in before the open; stage out written
+// files on close.
+func (m *Multiplexer) openCopy(path string, mapping gns.Mapping, flag int, perm os.FileMode, writing bool) (File, error) {
+	lp := localPath(mapping, path)
+	rp := remotePath(mapping, path)
+	c := m.client(mapping.RemoteHost)
+	if !writing {
+		if mapping.WaitClose {
+			if err := m.waitRemoteClose(c, rp); err != nil {
+				return nil, err
+			}
+		}
+		n, err := c.CopyIn(rp, m.cfg.FS, lp, m.cfg.CopyStreams)
+		if err != nil {
+			return nil, fmt.Errorf("core: staging in %s from %s: %w", rp, mapping.RemoteHost, err)
+		}
+		m.stats.stagedIn(n)
+	}
+	f, err := m.cfg.FS.OpenFile(lp, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	lf := &localFile{File: f, name: path, fm: m}
+	if writing {
+		lf.stageOut = func() error {
+			n, err := c.CopyOut(m.cfg.FS, lp, rp)
+			if err != nil {
+				return fmt.Errorf("core: staging out %s to %s: %w", lp, mapping.RemoteHost, err)
+			}
+			m.stats.stagedOut(n)
+			if mapping.WaitClose {
+				if _, err := c.Put(rp+DoneSuffix, emptyReader{}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+	return lf, nil
+}
+
+// openRemote binds mechanism 3: block-granular proxy access.
+func (m *Multiplexer) openRemote(path string, mapping gns.Mapping, flag int, writing bool) (File, error) {
+	c := m.client(mapping.RemoteHost)
+	rp := remotePath(mapping, path)
+	if mapping.WaitClose && !writing {
+		if err := m.waitRemoteClose(c, rp); err != nil {
+			return nil, err
+		}
+	}
+	rf, err := c.Open(rp, flag)
+	if err != nil {
+		return nil, fmt.Errorf("core: remote open %s on %s: %w", rp, mapping.RemoteHost, err)
+	}
+	return &remoteFile{RemoteFile: rf, name: path, fm: m, marker: mapping.WaitClose && writing, markerPath: rp + DoneSuffix, client: c}, nil
+}
+
+// chooseReplica resolves and ranks the replicas of a mapping.
+func (m *Multiplexer) chooseReplica(mapping gns.Mapping, path string) (replica.Location, error) {
+	if m.cfg.Replicas == nil {
+		return replica.Location{}, fmt.Errorf("core: %s maps to replicated mode but no replica catalogue is configured", path)
+	}
+	logical := mapping.LogicalName
+	if logical == "" {
+		logical = path
+	}
+	locs, err := m.cfg.Replicas.Lookup(logical)
+	if err != nil {
+		return replica.Location{}, err
+	}
+	sel := &replica.Selector{NWS: m.cfg.NWS}
+	loc, err := sel.Choose(m.cfg.Machine, 0, locs)
+	if err != nil {
+		return replica.Location{}, fmt.Errorf("core: %s (logical %q): %w", path, logical, err)
+	}
+	m.stats.replicaChosen(loc.Host)
+	return loc, nil
+}
+
+// openReplicaRemote binds mechanism 4, with optional mid-read re-binding.
+func (m *Multiplexer) openReplicaRemote(path string, mapping gns.Mapping, writing bool) (File, error) {
+	if writing {
+		return nil, fmt.Errorf("core: %s: replicated files are read-only", path)
+	}
+	loc, err := m.chooseReplica(mapping, path)
+	if err != nil {
+		return nil, err
+	}
+	rf, err := m.client(loc.Addr).Open(loc.Path, os.O_RDONLY)
+	if err != nil {
+		return nil, err
+	}
+	return &replicaFile{
+		fm: m, name: path, mapping: mapping,
+		cur: rf, curLoc: loc,
+		lastCheck: m.cfg.Clock.Now(),
+	}, nil
+}
+
+// openReplicaCopy binds mechanism 5: find replica, copy it local, read
+// locally.
+func (m *Multiplexer) openReplicaCopy(path string, mapping gns.Mapping, flag int, perm os.FileMode, writing bool) (File, error) {
+	if writing {
+		return nil, fmt.Errorf("core: %s: replicated files are read-only", path)
+	}
+	lp := localPath(mapping, path)
+	loc, err := m.chooseReplica(mapping, path)
+	if err != nil {
+		return nil, err
+	}
+	n, err := m.client(loc.Addr).CopyIn(loc.Path, m.cfg.FS, lp, m.cfg.CopyStreams)
+	if err != nil {
+		return nil, fmt.Errorf("core: copying replica %s from %s: %w", loc.Path, loc.Host, err)
+	}
+	m.stats.stagedIn(n)
+	f, err := m.cfg.FS.OpenFile(lp, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &localFile{File: f, name: path, fm: m}, nil
+}
+
+// openBuffer binds mechanism 6: direct writer/reader coupling.
+func (m *Multiplexer) openBuffer(path string, mapping gns.Mapping, writing bool, flag int) (File, error) {
+	if flag&os.O_RDWR != 0 {
+		return nil, fmt.Errorf("core: %s: grid buffers are unidirectional (open read-only or write-only)", path)
+	}
+	key := mapping.BufferKey
+	if key == "" {
+		key = path
+	}
+	opts := gridbuffer.Options{
+		BlockSize: mapping.EffectiveBlockSize(),
+		Cache:     mapping.CacheEnabled,
+		CachePath: mapping.CachePath,
+		Readers:   mapping.Readers,
+	}
+	if m.cfg.BufferTransport == "soap" {
+		if writing {
+			w, err := soap.NewBufferWriter(m.cfg.Clock, m.cfg.Dialer, mapping.BufferHost, key, opts)
+			if err != nil {
+				return nil, err
+			}
+			return &soapWriterFile{w: w, name: path, fm: m}, nil
+		}
+		r, err := soap.NewBufferReader(m.cfg.Clock, m.cfg.Dialer, mapping.BufferHost, key, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &soapReaderFile{r: r, name: path, fm: m}, nil
+	}
+	if writing {
+		w, err := gridbuffer.NewWriter(m.cfg.Dialer, mapping.BufferHost, m.cfg.Clock, key, opts,
+			gridbuffer.WriterOptions{Window: m.cfg.WriterWindow, ConnPerCall: m.cfg.BufferConnPerCall})
+		if err != nil {
+			return nil, err
+		}
+		return &bufferWriterFile{w: w, name: path, fm: m}, nil
+	}
+	r, err := gridbuffer.NewReader(m.cfg.Dialer, mapping.BufferHost, m.cfg.Clock, key, opts,
+		gridbuffer.ReaderOptions{Depth: m.cfg.ReaderDepth})
+	if err != nil {
+		return nil, err
+	}
+	return &bufferReaderFile{r: r, name: path, fm: m}, nil
+}
+
+// emptyReader is an immediately-EOF reader for marker uploads.
+type emptyReader struct{}
+
+func (emptyReader) Read([]byte) (int, error) { return 0, io.EOF }

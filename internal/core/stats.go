@@ -1,0 +1,182 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"griddles/internal/gns"
+)
+
+// Stats accumulates per-FM counters; experiments and tests read them to
+// verify which mechanisms a workflow actually exercised.
+type Stats struct {
+	mu            sync.Mutex
+	opens         map[gns.Mode]int
+	bytesRead     int64
+	bytesWritten  int64
+	polls         int64
+	stageInBytes  int64
+	stageOutBytes int64
+	remaps        int64
+	translations  int64
+	replicaHosts  map[string]int
+	decisions     []Decision
+}
+
+func (s *Stats) opened(mode gns.Mode) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.opens == nil {
+		s.opens = make(map[gns.Mode]int)
+	}
+	s.opens[mode]++
+}
+
+func (s *Stats) read(n int) {
+	s.mu.Lock()
+	s.bytesRead += int64(n)
+	s.mu.Unlock()
+}
+
+func (s *Stats) wrote(n int) {
+	s.mu.Lock()
+	s.bytesWritten += int64(n)
+	s.mu.Unlock()
+}
+
+func (s *Stats) polled() {
+	s.mu.Lock()
+	s.polls++
+	s.mu.Unlock()
+}
+
+func (s *Stats) stagedIn(n int64) {
+	s.mu.Lock()
+	s.stageInBytes += n
+	s.mu.Unlock()
+}
+
+func (s *Stats) stagedOut(n int64) {
+	s.mu.Lock()
+	s.stageOutBytes += n
+	s.mu.Unlock()
+}
+
+func (s *Stats) remapped() {
+	s.mu.Lock()
+	s.remaps++
+	s.mu.Unlock()
+}
+
+func (s *Stats) decided(d Decision) {
+	s.mu.Lock()
+	s.decisions = append(s.decisions, d)
+	s.mu.Unlock()
+}
+
+// Decisions reports the ModeAuto choices made so far, in order.
+func (s *Stats) Decisions() []Decision {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Decision, len(s.decisions))
+	copy(out, s.decisions)
+	return out
+}
+
+func (s *Stats) translated() {
+	s.mu.Lock()
+	s.translations++
+	s.mu.Unlock()
+}
+
+// Translations reports how many opens were bound through the byte-order
+// translator.
+func (s *Stats) Translations() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.translations
+}
+
+func (s *Stats) replicaChosen(host string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.replicaHosts == nil {
+		s.replicaHosts = make(map[string]int)
+	}
+	s.replicaHosts[host]++
+}
+
+// Opens reports how many files were opened under each mode.
+func (s *Stats) Opens(mode gns.Mode) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.opens[mode]
+}
+
+// BytesRead reports total bytes delivered to the application.
+func (s *Stats) BytesRead() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytesRead
+}
+
+// BytesWritten reports total bytes accepted from the application.
+func (s *Stats) BytesWritten() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytesWritten
+}
+
+// Polls reports WaitClose poll iterations.
+func (s *Stats) Polls() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.polls
+}
+
+// StagedIn reports stage-in (copy) traffic in bytes.
+func (s *Stats) StagedIn() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stageInBytes
+}
+
+// StagedOut reports stage-out traffic in bytes.
+func (s *Stats) StagedOut() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stageOutBytes
+}
+
+// Remaps reports mid-read replica re-bindings.
+func (s *Stats) Remaps() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.remaps
+}
+
+// ReplicaChoices reports how often each replica host was selected.
+func (s *Stats) ReplicaChoices() map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int, len(s.replicaHosts))
+	for k, v := range s.replicaHosts {
+		out[k] = v
+	}
+	return out
+}
+
+// String implements fmt.Stringer with a compact single-line summary.
+func (s *Stats) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var modes []string
+	for m, n := range s.opens {
+		modes = append(modes, fmt.Sprintf("%s=%d", m, n))
+	}
+	sort.Strings(modes)
+	return fmt.Sprintf("opens{%s} read=%d written=%d polls=%d stagedIn=%d stagedOut=%d remaps=%d",
+		strings.Join(modes, " "), s.bytesRead, s.bytesWritten, s.polls, s.stageInBytes, s.stageOutBytes, s.remaps)
+}

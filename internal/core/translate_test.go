@@ -1,0 +1,284 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math"
+	"testing"
+
+	"griddles/internal/gns"
+	"griddles/internal/xdr"
+)
+
+// climateSchema is a §3.3-style record: a step counter and four readings.
+var climateSchema = xdr.Schema{Fields: []xdr.Field{
+	{Name: "step", Kind: xdr.KindInt32},
+	{Name: "readings", Kind: xdr.KindFloat64, Count: 4},
+}}
+
+// writeBERecords produces n big-endian records, as a big-endian producer
+// (an SGI or Sun of the period) would have written them.
+func writeBERecords(n int) []byte {
+	var buf bytes.Buffer
+	w := xdr.NewWriter(&buf, climateSchema, binary.BigEndian)
+	for i := 0; i < n; i++ {
+		w.WriteRecord(int32(i), []float64{float64(i), math.Pi * float64(i), -1.5, 1e9})
+	}
+	return buf.Bytes()
+}
+
+// transEnv builds an env with a big-endian file on brecca and a schema
+// registered for it on the reading FM.
+func transEnv(t *testing.T, records int) (*env, *Multiplexer) {
+	t.Helper()
+	e := newEnv()
+	if err := writeRaw(e, "brecca", "/data/ocean.bin", writeBERecords(records)); err != nil {
+		t.Fatal(err)
+	}
+	e.store.Set("vpac27", "ocean.bin", gns.Mapping{
+		Mode: gns.ModeRemote, RemoteHost: "brecca" + ftpPort, RemotePath: "/data/ocean.bin",
+		DataOrder: "be",
+	})
+	fm := e.fm(t, "vpac27", func(c *Config) {
+		c.Records = map[string]RecordSpec{"ocean.bin": {Schema: climateSchema}}
+	})
+	return e, fm
+}
+
+func writeRaw(e *env, machine, path string, data []byte) error {
+	f, err := e.grid.Machine(machine).RawFS().OpenFile(path, 0x41|0x200, 0o644) // create|trunc|wronly
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func TestTranslatedRemoteRead(t *testing.T) {
+	e, fm := transEnv(t, 100)
+	e.v.Run(func() {
+		e.startServices(t)
+		f, err := fm.Open("ocean.bin")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		r := xdr.NewReader(f, climateSchema, binary.LittleEndian)
+		for i := 0; i < 100; i++ {
+			vals, err := r.ReadRecord()
+			if err != nil {
+				t.Fatalf("record %d: %v", i, err)
+			}
+			if vals[0] != int32(i) {
+				t.Fatalf("record %d: step = %v", i, vals[0])
+			}
+			rs := vals[1].([]float64)
+			if rs[1] != math.Pi*float64(i) || rs[3] != 1e9 {
+				t.Fatalf("record %d: readings = %v", i, rs)
+			}
+		}
+		if _, err := r.ReadRecord(); err != io.EOF {
+			t.Errorf("after last record: %v", err)
+		}
+		if fm.Stats().Translations() != 1 {
+			t.Errorf("translations = %d", fm.Stats().Translations())
+		}
+	})
+}
+
+func TestTranslatedReadOddChunks(t *testing.T) {
+	// Reads that straddle record boundaries must still see whole translated
+	// records.
+	e, fm := transEnv(t, 50)
+	want := writeBERecords(50)
+	if err := xdr.Translate(want, climateSchema, binary.BigEndian, binary.LittleEndian); err != nil {
+		t.Fatal(err)
+	}
+	e.v.Run(func() {
+		e.startServices(t)
+		f, err := fm.Open("ocean.bin")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		var got []byte
+		buf := make([]byte, 7) // deliberately misaligned
+		for {
+			n, err := f.Read(buf)
+			got = append(got, buf[:n]...)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !bytes.Equal(got, want) {
+			t.Error("translated stream mismatch")
+		}
+	})
+}
+
+func TestTranslatedSeekRecordBoundary(t *testing.T) {
+	e, fm := transEnv(t, 20)
+	rec := int64(climateSchema.Size())
+	e.v.Run(func() {
+		e.startServices(t)
+		f, err := fm.Open("ocean.bin")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if _, err := f.Seek(5*rec, io.SeekStart); err != nil {
+			t.Fatalf("aligned seek: %v", err)
+		}
+		r := xdr.NewReader(f, climateSchema, binary.LittleEndian)
+		vals, err := r.ReadRecord()
+		if err != nil || vals[0] != int32(5) {
+			t.Errorf("after seek: %v %v", vals, err)
+		}
+		if _, err := f.Seek(3, io.SeekStart); err == nil {
+			t.Error("misaligned seek accepted")
+		}
+	})
+}
+
+func TestTranslateSameOrderIsPassthrough(t *testing.T) {
+	e := newEnv()
+	raw := writeBERecords(3)
+	if err := writeRaw(e, "brecca", "/d/f", raw); err != nil {
+		t.Fatal(err)
+	}
+	// DataOrder "le" equals the local order: no schema needed, no wrapping.
+	e.store.Set("vpac27", "f", gns.Mapping{
+		Mode: gns.ModeRemote, RemoteHost: "brecca" + ftpPort, RemotePath: "/d/f", DataOrder: "le",
+	})
+	fm := e.fm(t, "vpac27", nil)
+	e.v.Run(func() {
+		e.startServices(t)
+		f, err := fm.Open("f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := io.ReadAll(f)
+		f.Close()
+		if !bytes.Equal(got, raw) {
+			t.Error("passthrough modified bytes")
+		}
+		if fm.Stats().Translations() != 0 {
+			t.Error("unexpected translation")
+		}
+	})
+}
+
+func TestTranslateMissingSchemaFails(t *testing.T) {
+	e := newEnv()
+	writeRaw(e, "brecca", "/d/f", writeBERecords(1))
+	e.store.Set("vpac27", "f", gns.Mapping{
+		Mode: gns.ModeRemote, RemoteHost: "brecca" + ftpPort, RemotePath: "/d/f", DataOrder: "be",
+	})
+	fm := e.fm(t, "vpac27", nil) // no Records registered
+	e.v.Run(func() {
+		e.startServices(t)
+		if _, err := fm.Open("f"); err == nil {
+			t.Error("foreign-order open without schema succeeded")
+		}
+	})
+}
+
+func TestTranslateBadOrderFails(t *testing.T) {
+	e := newEnv()
+	writeRaw(e, "brecca", "/d/f", writeBERecords(1))
+	e.store.Set("vpac27", "f", gns.Mapping{
+		Mode: gns.ModeRemote, RemoteHost: "brecca" + ftpPort, RemotePath: "/d/f", DataOrder: "pdp11",
+	})
+	fm := e.fm(t, "vpac27", func(c *Config) {
+		c.Records = map[string]RecordSpec{"f": {Schema: climateSchema}}
+	})
+	e.v.Run(func() {
+		e.startServices(t)
+		if _, err := fm.Open("f"); err == nil {
+			t.Error("unknown byte order accepted")
+		}
+	})
+}
+
+func TestTranslateTruncatedFileFails(t *testing.T) {
+	e := newEnv()
+	raw := writeBERecords(4)
+	writeRaw(e, "brecca", "/d/f", raw[:len(raw)-5]) // chop mid-record
+	e.store.Set("vpac27", "f", gns.Mapping{
+		Mode: gns.ModeRemote, RemoteHost: "brecca" + ftpPort, RemotePath: "/d/f", DataOrder: "be",
+	})
+	fm := e.fm(t, "vpac27", func(c *Config) {
+		c.Records = map[string]RecordSpec{"f": {Schema: climateSchema}}
+	})
+	e.v.Run(func() {
+		e.startServices(t)
+		f, err := fm.Open("f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		_, err = io.ReadAll(f)
+		if err == nil {
+			t.Error("truncated record stream read cleanly")
+		}
+	})
+}
+
+func TestTranslatedWriteRejected(t *testing.T) {
+	e := newEnv()
+	e.store.Set("vpac27", "f", gns.Mapping{Mode: gns.ModeLocal, DataOrder: "be"})
+	fm := e.fm(t, "vpac27", func(c *Config) {
+		c.Records = map[string]RecordSpec{"f": {Schema: climateSchema}}
+	})
+	e.v.Run(func() {
+		// Writes bypass translation (native order out); the handle is a
+		// plain local file.
+		w, err := fm.Create("f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.Write([]byte("native")); err != nil {
+			t.Errorf("native write failed: %v", err)
+		}
+		w.Close()
+		if fm.Stats().Translations() != 0 {
+			t.Error("write was translated")
+		}
+	})
+}
+
+func TestBigEndianMachineReadsLittleEndianData(t *testing.T) {
+	// The symmetric case: a (hypothetical) big-endian machine reads
+	// little-endian data.
+	e := newEnv()
+	var buf bytes.Buffer
+	w := xdr.NewWriter(&buf, climateSchema, binary.LittleEndian)
+	w.WriteRecord(int32(7), []float64{1, 2, 3, 4})
+	writeRaw(e, "brecca", "/d/f", buf.Bytes())
+	e.store.Set("vpac27", "f", gns.Mapping{
+		Mode: gns.ModeRemote, RemoteHost: "brecca" + ftpPort, RemotePath: "/d/f", DataOrder: "le",
+	})
+	fm := e.fm(t, "vpac27", func(c *Config) {
+		c.ByteOrder = "be"
+		c.Records = map[string]RecordSpec{"f": {Schema: climateSchema}}
+	})
+	e.v.Run(func() {
+		e.startServices(t)
+		f, err := fm.Open("f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		r := xdr.NewReader(f, climateSchema, binary.BigEndian)
+		vals, err := r.ReadRecord()
+		if err != nil || vals[0] != int32(7) {
+			t.Errorf("BE machine read: %v %v", vals, err)
+		}
+	})
+}

@@ -1,0 +1,196 @@
+package gns
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+
+	"griddles/internal/simclock"
+	"griddles/internal/wire"
+)
+
+// Dialer opens connections to service addresses. simnet.Host implements it
+// for simulated runs; cmd/ binaries use a TCP adapter.
+type Dialer interface {
+	Dial(addr string) (net.Conn, error)
+}
+
+// Client is the GNS client used by the File Multiplexer. It keeps one
+// persistent connection for request/response calls; Watch calls, which can
+// block for a long time, each get a dedicated connection.
+type Client struct {
+	dialer Dialer
+	addr   string
+	clock  simclock.Clock
+
+	mu   *simclock.Mutex // serializes use of the shared connection
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+}
+
+// NewClient returns a Client for the GNS at addr.
+func NewClient(dialer Dialer, addr string, clock simclock.Clock) *Client {
+	return &Client{dialer: dialer, addr: addr, clock: clock, mu: simclock.NewMutex(clock)}
+}
+
+func (c *Client) ensureConnLocked() error {
+	if c.conn != nil {
+		return nil
+	}
+	conn, err := c.dialer.Dial(c.addr)
+	if err != nil {
+		return fmt.Errorf("gns: dial %s: %w", c.addr, err)
+	}
+	c.conn = conn
+	c.br = bufio.NewReader(conn)
+	c.bw = bufio.NewWriter(conn)
+	return nil
+}
+
+func (c *Client) dropConnLocked() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+		c.br, c.bw = nil, nil
+	}
+}
+
+// roundTrip sends one request on the shared connection and reads one reply.
+func (c *Client) roundTrip(reqType uint8, payload []byte) (uint8, []byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.ensureConnLocked(); err != nil {
+		return 0, nil, err
+	}
+	if err := wire.WriteFrame(c.bw, reqType, payload); err != nil {
+		c.dropConnLocked()
+		return 0, nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		c.dropConnLocked()
+		return 0, nil, err
+	}
+	typ, resp, err := wire.ReadFrame(c.br)
+	if err != nil {
+		c.dropConnLocked()
+		return 0, nil, err
+	}
+	if typ == msgError {
+		return 0, nil, errors.New("gns: " + wire.NewDecoder(resp).String())
+	}
+	return typ, resp, nil
+}
+
+// Resolve implements Resolver over the network.
+func (c *Client) Resolve(machine, path string) (Mapping, error) {
+	e := wire.NewEncoder()
+	e.String(machine).String(path)
+	typ, resp, err := c.roundTrip(msgResolve, e.Bytes())
+	if err != nil {
+		return Mapping{}, err
+	}
+	if typ != msgResolveResp {
+		return Mapping{}, fmt.Errorf("gns: unexpected reply type %d", typ)
+	}
+	d := wire.NewDecoder(resp)
+	m := decodeMapping(d)
+	return m, d.Err()
+}
+
+// Set installs a mapping and returns the new store version.
+func (c *Client) Set(machine, path string, m Mapping) (uint64, error) {
+	e := wire.NewEncoder()
+	e.String(machine).String(path)
+	m.encode(e)
+	typ, resp, err := c.roundTrip(msgSet, e.Bytes())
+	if err != nil {
+		return 0, err
+	}
+	if typ != msgSetResp {
+		return 0, fmt.Errorf("gns: unexpected reply type %d", typ)
+	}
+	d := wire.NewDecoder(resp)
+	v := d.U64()
+	return v, d.Err()
+}
+
+// Delete removes a mapping.
+func (c *Client) Delete(machine, path string) error {
+	e := wire.NewEncoder()
+	e.String(machine).String(path)
+	typ, _, err := c.roundTrip(msgDelete, e.Bytes())
+	if err != nil {
+		return err
+	}
+	if typ != msgDeleteResp {
+		return fmt.Errorf("gns: unexpected reply type %d", typ)
+	}
+	return nil
+}
+
+// List reports all mappings in the store.
+func (c *Client) List() ([]Entry, error) {
+	typ, resp, err := c.roundTrip(msgList, nil)
+	if err != nil {
+		return nil, err
+	}
+	if typ != msgListResp {
+		return nil, fmt.Errorf("gns: unexpected reply type %d", typ)
+	}
+	d := wire.NewDecoder(resp)
+	n := d.U32()
+	entries := make([]Entry, 0, n)
+	for i := uint32(0); i < n; i++ {
+		var ent Entry
+		ent.Key.Machine = d.String()
+		ent.Key.Path = d.String()
+		ent.Mapping = decodeMapping(d)
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		entries = append(entries, ent)
+	}
+	return entries, nil
+}
+
+// Watch implements Resolver over the network. Each call uses its own
+// connection so long waits do not block other requests.
+func (c *Client) Watch(machine, path string, since uint64, timeoutMS int64) (Mapping, bool, error) {
+	conn, err := c.dialer.Dial(c.addr)
+	if err != nil {
+		return Mapping{}, false, fmt.Errorf("gns: dial %s: %w", c.addr, err)
+	}
+	defer conn.Close()
+	e := wire.NewEncoder()
+	e.String(machine).String(path).U64(since).I64(timeoutMS)
+	if err := wire.WriteFrame(conn, msgWatch, e.Bytes()); err != nil {
+		return Mapping{}, false, err
+	}
+	typ, resp, err := wire.ReadFrame(bufio.NewReader(conn))
+	if err != nil {
+		return Mapping{}, false, err
+	}
+	if typ == msgError {
+		return Mapping{}, false, errors.New("gns: " + wire.NewDecoder(resp).String())
+	}
+	if typ != msgWatchResp {
+		return Mapping{}, false, fmt.Errorf("gns: unexpected reply type %d", typ)
+	}
+	d := wire.NewDecoder(resp)
+	changed := d.Bool()
+	m := decodeMapping(d)
+	return m, changed, d.Err()
+}
+
+// Close releases the shared connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.dropConnLocked()
+	return nil
+}
+
+var _ Resolver = (*Client)(nil)
+var _ Resolver = (*Store)(nil)

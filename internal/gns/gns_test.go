@@ -1,0 +1,313 @@
+package gns
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"griddles/internal/simclock"
+	"griddles/internal/simnet"
+	"griddles/internal/wire"
+)
+
+func TestStoreResolveDefaultsToLocal(t *testing.T) {
+	s := NewStore(simclock.Real{})
+	m, err := s.Resolve("jagan", "/work/JOB.DAT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Mode != ModeLocal || m.LocalPath != "/work/JOB.DAT" {
+		t.Errorf("unmapped resolve = %+v, want local passthrough", m)
+	}
+	if m.Version != 0 {
+		t.Errorf("unmapped version %d, want 0", m.Version)
+	}
+}
+
+func TestStoreSetResolve(t *testing.T) {
+	s := NewStore(simclock.Real{})
+	want := Mapping{Mode: ModeBuffer, BufferHost: "dione:7000", BufferKey: "flow1/JOB.SF"}
+	v := s.Set("jagan", "JOB.SF", want)
+	if v == 0 {
+		t.Error("Set returned version 0")
+	}
+	got, _ := s.Resolve("jagan", "JOB.SF")
+	if got.Mode != ModeBuffer || got.BufferKey != want.BufferKey || got.Version != v {
+		t.Errorf("resolve = %+v", got)
+	}
+	// Other machines are unaffected.
+	other, _ := s.Resolve("dione", "JOB.SF")
+	if other.Mode != ModeLocal {
+		t.Errorf("other machine mode = %v", other.Mode)
+	}
+}
+
+func TestStoreWildcardMachine(t *testing.T) {
+	s := NewStore(simclock.Real{})
+	s.Set("*", "INPUT.DAT", Mapping{Mode: ModeRemote, RemoteHost: "brecca:6000", RemotePath: "/d/INPUT.DAT"})
+	m, _ := s.Resolve("anybox", "INPUT.DAT")
+	if m.Mode != ModeRemote || m.RemoteHost != "brecca:6000" {
+		t.Errorf("wildcard resolve = %+v", m)
+	}
+	// Exact match beats wildcard.
+	s.Set("special", "INPUT.DAT", Mapping{Mode: ModeLocal, LocalPath: "/local/INPUT.DAT"})
+	m, _ = s.Resolve("special", "INPUT.DAT")
+	if m.Mode != ModeLocal {
+		t.Errorf("exact-over-wildcard resolve = %+v", m)
+	}
+}
+
+func TestStoreDelete(t *testing.T) {
+	s := NewStore(simclock.Real{})
+	s.Set("m", "f", Mapping{Mode: ModeBuffer, BufferKey: "k"})
+	s.Delete("m", "f")
+	m, _ := s.Resolve("m", "f")
+	if m.Mode != ModeLocal {
+		t.Errorf("after delete mode = %v", m.Mode)
+	}
+	v := s.Version()
+	s.Delete("m", "f") // deleting a missing key does not bump the version
+	if s.Version() != v {
+		t.Error("delete of missing key bumped version")
+	}
+}
+
+func TestStoreList(t *testing.T) {
+	s := NewStore(simclock.Real{})
+	s.Set("a", "f1", Mapping{Mode: ModeLocal})
+	s.Set("b", "f2", Mapping{Mode: ModeCopy, RemoteHost: "x:1"})
+	entries := s.List()
+	if len(entries) != 2 {
+		t.Fatalf("len=%d", len(entries))
+	}
+}
+
+func TestStoreWatchFiresOnChange(t *testing.T) {
+	v := simclock.NewVirtualDefault()
+	s := NewStore(v)
+	v.Run(func() {
+		s.Set("m", "f", Mapping{Mode: ModeLocal, LocalPath: "f"})
+		start, _ := s.Resolve("m", "f")
+		v.Go("updater", func() {
+			v.Sleep(5 * time.Second)
+			s.Set("m", "f", Mapping{Mode: ModeRemote, RemoteHost: "new:1", RemotePath: "f"})
+		})
+		m, changed, err := s.Watch("m", "f", start.Version, 0)
+		if err != nil || !changed {
+			t.Fatalf("watch: changed=%v err=%v", changed, err)
+		}
+		if m.Mode != ModeRemote || m.RemoteHost != "new:1" {
+			t.Errorf("watch mapping = %+v", m)
+		}
+		if v.Elapsed() != 5*time.Second {
+			t.Errorf("watch returned at %v, want 5s", v.Elapsed())
+		}
+	})
+}
+
+func TestStoreWatchTimeout(t *testing.T) {
+	v := simclock.NewVirtualDefault()
+	s := NewStore(v)
+	v.Run(func() {
+		_, changed, err := s.Watch("m", "f", 0, 2000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if changed {
+			t.Error("watch reported change on untouched store")
+		}
+		if v.Elapsed() != 2*time.Second {
+			t.Errorf("timeout at %v, want 2s", v.Elapsed())
+		}
+	})
+}
+
+func TestStoreWatchUnrelatedChangeDoesNotFire(t *testing.T) {
+	v := simclock.NewVirtualDefault()
+	s := NewStore(v)
+	v.Run(func() {
+		v.Go("noise", func() {
+			for i := 0; i < 5; i++ {
+				v.Sleep(time.Second)
+				s.Set("other", "g", Mapping{Mode: ModeLocal})
+			}
+		})
+		_, changed, _ := s.Watch("m", "f", 0, 10_000)
+		if changed {
+			t.Error("watch fired on unrelated key")
+		}
+	})
+}
+
+// startServer brings up a GNS server on a simnet host and returns a
+// connected client.
+func startServer(t *testing.T, v *simclock.Virtual, n *simnet.Network) (*Client, *Store) {
+	t.Helper()
+	store := NewStore(v)
+	srv := NewServer(store, v)
+	l, err := n.Host("gns").Listen("gns:5000")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	v.Go("gns-serve", func() { srv.Serve(l) })
+	return NewClient(n.Host("app"), "gns:5000", v), store
+}
+
+func TestClientServerResolveSetDelete(t *testing.T) {
+	v := simclock.NewVirtualDefault()
+	n := simnet.New(v)
+	n.SetLinkBoth("app", "gns", simnet.LinkSpec{Latency: 5 * time.Millisecond})
+	v.Run(func() {
+		c, _ := startServer(t, v, n)
+		defer c.Close()
+
+		// Unmapped resolve over the wire.
+		m, err := c.Resolve("jagan", "RESULT.DAT")
+		if err != nil {
+			t.Fatalf("resolve: %v", err)
+		}
+		if m.Mode != ModeLocal || m.LocalPath != "RESULT.DAT" {
+			t.Errorf("resolve = %+v", m)
+		}
+
+		want := Mapping{
+			Mode: ModeBuffer, BufferHost: "vpac27:7000", BufferKey: "wf/JOB.KL",
+			CacheEnabled: true, CachePath: "/tmp/JOB.KL.cache", BlockSize: 8192,
+		}
+		ver, err := c.Set("jagan", "JOB.KL", want)
+		if err != nil || ver == 0 {
+			t.Fatalf("set: v=%d err=%v", ver, err)
+		}
+		got, err := c.Resolve("jagan", "JOB.KL")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Mode != want.Mode || got.BufferHost != want.BufferHost ||
+			got.BufferKey != want.BufferKey || !got.CacheEnabled ||
+			got.CachePath != want.CachePath || got.BlockSize != 8192 {
+			t.Errorf("resolve after set = %+v", got)
+		}
+
+		entries, err := c.List()
+		if err != nil || len(entries) != 1 {
+			t.Fatalf("list: %v %v", entries, err)
+		}
+
+		if err := c.Delete("jagan", "JOB.KL"); err != nil {
+			t.Fatal(err)
+		}
+		got, _ = c.Resolve("jagan", "JOB.KL")
+		if got.Mode != ModeLocal {
+			t.Errorf("after delete = %+v", got)
+		}
+	})
+}
+
+func TestClientWatchOverNetwork(t *testing.T) {
+	v := simclock.NewVirtualDefault()
+	n := simnet.New(v)
+	v.Run(func() {
+		c, store := startServer(t, v, n)
+		defer c.Close()
+		v.Go("updater", func() {
+			v.Sleep(3 * time.Second)
+			store.Set("m", "f", Mapping{Mode: ModeCopy, RemoteHost: "h:1", RemotePath: "f"})
+		})
+		m, changed, err := c.Watch("m", "f", 0, 0)
+		if err != nil || !changed {
+			t.Fatalf("watch: %v %v", changed, err)
+		}
+		if m.Mode != ModeCopy {
+			t.Errorf("mode = %v", m.Mode)
+		}
+	})
+}
+
+func TestClientWatchTimeoutOverNetwork(t *testing.T) {
+	v := simclock.NewVirtualDefault()
+	n := simnet.New(v)
+	v.Run(func() {
+		c, _ := startServer(t, v, n)
+		defer c.Close()
+		_, changed, err := c.Watch("m", "f", 0, 1500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if changed {
+			t.Error("unexpected change")
+		}
+	})
+}
+
+func TestClientConcurrentRequests(t *testing.T) {
+	v := simclock.NewVirtualDefault()
+	n := simnet.New(v)
+	v.Run(func() {
+		c, _ := startServer(t, v, n)
+		defer c.Close()
+		wg := simclock.NewWaitGroup(v)
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			v.Go("req", func() {
+				defer wg.Done()
+				if _, err := c.Resolve("m", "f"); err != nil {
+					t.Errorf("resolve: %v", err)
+				}
+			})
+		}
+		wg.Wait()
+	})
+}
+
+func TestClientDialFailure(t *testing.T) {
+	v := simclock.NewVirtualDefault()
+	n := simnet.New(v)
+	v.Run(func() {
+		c := NewClient(n.Host("app"), "nowhere:1", v)
+		if _, err := c.Resolve("m", "f"); err == nil {
+			t.Error("resolve against missing server succeeded")
+		}
+	})
+}
+
+// Property: mappings survive the wire encoding round trip.
+func TestMappingCodecProperty(t *testing.T) {
+	f := func(mode uint8, lp, rh, rp, ln, bh, bk, cp, do string, cache, wc bool, bs, rd uint16, ver uint64) bool {
+		in := Mapping{
+			Mode: Mode(mode % 7), LocalPath: lp, RemoteHost: rh, RemotePath: rp,
+			LogicalName: ln, BufferHost: bh, BufferKey: bk, CacheEnabled: cache,
+			Readers: int(rd), CachePath: cp, BlockSize: int(bs), DataOrder: do,
+			WaitClose: wc, Version: ver,
+		}
+		e := wire.NewEncoder()
+		in.encode(e)
+		d := wire.NewDecoder(e.Bytes())
+		out := decodeMapping(d)
+		return d.Err() == nil && out == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	names := map[Mode]string{
+		ModeLocal: "local", ModeCopy: "copy", ModeRemote: "remote",
+		ModeReplicaRemote: "replica-remote", ModeReplicaCopy: "replica-copy",
+		ModeBuffer: "buffer", ModeAuto: "auto", Mode(99): "mode(99)",
+	}
+	for m, want := range names {
+		if m.String() != want {
+			t.Errorf("%d.String() = %q want %q", m, m.String(), want)
+		}
+	}
+}
+
+func TestEffectiveBlockSize(t *testing.T) {
+	if (Mapping{}).EffectiveBlockSize() != DefaultBlockSize {
+		t.Error("default block size not applied")
+	}
+	if (Mapping{BlockSize: 512}).EffectiveBlockSize() != 512 {
+		t.Error("explicit block size ignored")
+	}
+}

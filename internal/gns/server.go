@@ -1,0 +1,139 @@
+package gns
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"net"
+
+	"griddles/internal/simclock"
+	"griddles/internal/wire"
+)
+
+// Protocol message types.
+const (
+	msgResolve     = 1
+	msgResolveResp = 2
+	msgSet         = 3
+	msgSetResp     = 4
+	msgDelete      = 5
+	msgDeleteResp  = 6
+	msgList        = 7
+	msgListResp    = 8
+	msgWatch       = 9
+	msgWatchResp   = 10
+	msgError       = 255
+)
+
+// Server exposes a Store over the framed binary protocol.
+type Server struct {
+	store *Store
+	clock simclock.Clock
+}
+
+// NewServer returns a Server for store.
+func NewServer(store *Store, clock simclock.Clock) *Server {
+	return &Server{store: store, clock: clock}
+}
+
+// Store returns the served store (for embedding administration).
+func (s *Server) Store() *Store { return s.store }
+
+// Serve accepts connections on l until it is closed. Each connection is
+// handled on its own registered goroutine.
+func (s *Server) Serve(l net.Listener) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		s.clock.Go("gns-conn", func() { s.handle(conn) })
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	for {
+		typ, payload, err := wire.ReadFrame(br)
+		if err != nil {
+			return
+		}
+		if err := s.dispatch(bw, typ, payload); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(w io.Writer, typ uint8, payload []byte) error {
+	d := wire.NewDecoder(payload)
+	switch typ {
+	case msgResolve:
+		machine, path := d.String(), d.String()
+		if err := d.Err(); err != nil {
+			return writeError(w, err)
+		}
+		m, err := s.store.Resolve(machine, path)
+		if err != nil {
+			return writeError(w, err)
+		}
+		e := wire.NewEncoder()
+		m.encode(e)
+		return wire.WriteFrame(w, msgResolveResp, e.Bytes())
+
+	case msgSet:
+		machine, path := d.String(), d.String()
+		m := decodeMapping(d)
+		if err := d.Err(); err != nil {
+			return writeError(w, err)
+		}
+		v := s.store.Set(machine, path, m)
+		return wire.WriteFrame(w, msgSetResp, wire.NewEncoder().U64(v).Bytes())
+
+	case msgDelete:
+		machine, path := d.String(), d.String()
+		if err := d.Err(); err != nil {
+			return writeError(w, err)
+		}
+		s.store.Delete(machine, path)
+		return wire.WriteFrame(w, msgDeleteResp, nil)
+
+	case msgList:
+		entries := s.store.List()
+		e := wire.NewEncoder()
+		e.U32(uint32(len(entries)))
+		for _, ent := range entries {
+			e.String(ent.Key.Machine)
+			e.String(ent.Key.Path)
+			ent.Mapping.encode(e)
+		}
+		return wire.WriteFrame(w, msgListResp, e.Bytes())
+
+	case msgWatch:
+		machine, path := d.String(), d.String()
+		since := d.U64()
+		timeoutMS := d.I64()
+		if err := d.Err(); err != nil {
+			return writeError(w, err)
+		}
+		m, changed, err := s.store.Watch(machine, path, since, timeoutMS)
+		if err != nil {
+			return writeError(w, err)
+		}
+		e := wire.NewEncoder()
+		e.Bool(changed)
+		m.encode(e)
+		return wire.WriteFrame(w, msgWatchResp, e.Bytes())
+
+	default:
+		return writeError(w, errors.New("gns: unknown message type"))
+	}
+}
+
+func writeError(w io.Writer, err error) error {
+	return wire.WriteFrame(w, msgError, wire.NewEncoder().String(err.Error()).Bytes())
+}

@@ -1,0 +1,120 @@
+package gns
+
+import (
+	"sync"
+	"time"
+
+	"griddles/internal/simclock"
+)
+
+// Store is the in-memory, versioned mapping database. It is safe for
+// concurrent use and implements Resolver, so a single-process workflow can
+// embed it directly ("each workflow may have its own GNS", §3.2).
+type Store struct {
+	clock simclock.Clock
+
+	mu      sync.Mutex
+	cond    simclock.Cond
+	entries map[Key]Mapping
+	version uint64
+}
+
+// NewStore returns an empty Store bound to clock (used for Watch timeouts).
+func NewStore(clock simclock.Clock) *Store {
+	s := &Store{clock: clock, entries: make(map[Key]Mapping)}
+	s.cond = clock.NewCond(&s.mu)
+	return s
+}
+
+// Resolve implements Resolver.
+func (s *Store) Resolve(machine, path string) (Mapping, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.resolveLocked(machine, path), nil
+}
+
+func (s *Store) resolveLocked(machine, path string) Mapping {
+	if m, ok := s.entries[Key{machine, path}]; ok {
+		return m
+	}
+	// Wildcard machine entry: lets one rule cover a file regardless of
+	// where the component was scheduled.
+	if m, ok := s.entries[Key{"*", path}]; ok {
+		return m
+	}
+	// Unmapped: behave exactly like the legacy application. Version 0 so a
+	// Watch(since=0) on an unmapped key fires only when the key is Set.
+	return Mapping{Mode: ModeLocal, LocalPath: path}
+}
+
+// Set installs or replaces the mapping for (machine, path) and returns the
+// new store version. Watchers of that key are woken.
+func (s *Store) Set(machine, path string, m Mapping) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.version++
+	m.Version = s.version
+	s.entries[Key{machine, path}] = m
+	s.cond.Broadcast()
+	return s.version
+}
+
+// Delete removes the mapping for (machine, path); subsequent resolves fall
+// back to local IO.
+func (s *Store) Delete(machine, path string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.entries[Key{machine, path}]; !ok {
+		return
+	}
+	s.version++
+	delete(s.entries, Key{machine, path})
+	s.cond.Broadcast()
+}
+
+// List reports all entries (order unspecified).
+func (s *Store) List() []Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Entry, 0, len(s.entries))
+	for k, m := range s.entries {
+		out = append(out, Entry{Key: k, Mapping: m})
+	}
+	return out
+}
+
+// Version reports the current store version.
+func (s *Store) Version() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.version
+}
+
+// Watch implements Resolver. It blocks until the mapping resolved for
+// (machine, path) carries a version greater than since, or the timeout
+// elapses.
+func (s *Store) Watch(machine, path string, since uint64, timeoutMS int64) (Mapping, bool, error) {
+	deadline := time.Time{}
+	if timeoutMS > 0 {
+		deadline = s.clock.Now().Add(time.Duration(timeoutMS) * time.Millisecond)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if m := s.resolveLocked(machine, path); m.Version > since {
+			return m, true, nil
+		}
+		if timeoutMS <= 0 {
+			s.cond.Wait()
+			continue
+		}
+		remain := deadline.Sub(s.clock.Now())
+		if remain <= 0 || !s.cond.WaitTimeout(remain) {
+			// Timed out (or a wake raced the deadline: re-check once).
+			if m := s.resolveLocked(machine, path); m.Version > since {
+				return m, true, nil
+			}
+			return Mapping{}, false, nil
+		}
+	}
+}

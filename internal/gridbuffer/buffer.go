@@ -1,0 +1,345 @@
+// Package gridbuffer implements the paper's Grid Buffer service (§3.1, §4):
+// the direct writer-to-reader coupling behind IO mechanism 6.
+//
+// A buffer is a hash table of fixed-size blocks (the paper stores data "in a
+// hash table rather than a sequential buffer" to allow random operations).
+// Writers Put blocks; readers Get blocks and block until the data has been
+// written — this is what turns a file-coupled pipeline into an overlapped
+// one. Consumed blocks are deleted from the table; if the cache file is
+// enabled, they are spilled to it first, so a reader can seek backward and
+// re-read an already-consumed stream (the paper's DARLAM re-read,
+// Figure 3). A bounded table capacity gives reader-paced backpressure: a
+// slow downstream model drags its upstream writer, the effect visible in the
+// paper's Table 5 high-latency rows.
+//
+// Broadcast mode (one writer, several readers) keeps a block until every
+// expected reader has consumed it.
+package gridbuffer
+
+import (
+	"errors"
+	"fmt"
+
+	"griddles/internal/simclock"
+	"griddles/internal/vfs"
+)
+
+// DefaultCapacity is the default bound on resident blocks: 8192 blocks =
+// 32 MiB at the paper's 4096-byte blocks — enough to hold a whole coupling
+// stream in memory, as the paper's in-memory hash table evidently did (its
+// Table 5 shows C-CAM finishing unimpeded while cc2lam drags behind a slow
+// WAN reader).
+const DefaultCapacity = 8192
+
+// DefaultBlockSize matches the paper's typical write size.
+const DefaultBlockSize = 4096
+
+// Options configures one named buffer. Writer and readers must agree on
+// BlockSize (the GNS mapping carries it to both sides).
+type Options struct {
+	// BlockSize in bytes; 0 selects DefaultBlockSize.
+	BlockSize int
+	// Capacity is the maximum number of resident blocks; 0 selects
+	// DefaultCapacity. Writers stall when the table is full of unconsumed
+	// blocks.
+	Capacity int
+	// Cache spills consumed blocks to a cache file so readers can seek
+	// backward and re-read (requires CacheFS).
+	Cache     bool
+	CacheFS   vfs.FS
+	CachePath string
+	// Readers is the number of readers expected to consume each block
+	// (broadcast); 0 means 1.
+	Readers int
+}
+
+func (o Options) blockSize() int {
+	if o.BlockSize <= 0 {
+		return DefaultBlockSize
+	}
+	return o.BlockSize
+}
+
+func (o Options) capacity() int {
+	if o.Capacity <= 0 {
+		return DefaultCapacity
+	}
+	return o.Capacity
+}
+
+func (o Options) readers() int {
+	if o.Readers <= 0 {
+		return 1
+	}
+	return o.Readers
+}
+
+// ErrStopped is returned by blocked operations when the buffer is dropped.
+var ErrStopped = errors.New("gridbuffer: buffer dropped")
+
+// Buffer is one named writer/reader rendezvous.
+type Buffer struct {
+	clock simclock.Clock
+	opts  Options
+	key   string
+
+	// mu is clock-aware because it is held across simulated disk IO when a
+	// consumed block spills to the cache file.
+	mu    *simclock.Mutex
+	rcond simclock.Cond // readers wait for blocks / EOF
+	wcond simclock.Cond // writers wait for capacity
+
+	blocks   map[int64][]byte
+	consumed map[int64]map[int]bool // blockIdx -> readerIDs that have read it
+	written  int64                  // highest contiguous sequential watermark (for diagnostics)
+	eof      bool
+	total    int64 // total byte length, valid once eof
+
+	nextReader int
+	attached   map[int]bool
+
+	cacheFile vfs.File
+	inCache   map[int64]bool
+	stopped   bool
+}
+
+// NewBuffer returns an empty buffer with the given key and options.
+func NewBuffer(clock simclock.Clock, key string, opts Options) *Buffer {
+	b := &Buffer{
+		clock:    clock,
+		opts:     opts,
+		key:      key,
+		blocks:   make(map[int64][]byte),
+		consumed: make(map[int64]map[int]bool),
+		attached: make(map[int]bool),
+		inCache:  make(map[int64]bool),
+	}
+	b.mu = simclock.NewMutex(clock)
+	b.rcond = clock.NewCond(b.mu)
+	b.wcond = clock.NewCond(b.mu)
+	return b
+}
+
+// Key reports the buffer's global name.
+func (b *Buffer) Key() string { return b.key }
+
+// BlockSize reports the negotiated block size.
+func (b *Buffer) BlockSize() int { return b.opts.blockSize() }
+
+// Attach registers a reader and returns its ID.
+func (b *Buffer) Attach() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	id := b.nextReader
+	b.nextReader++
+	b.attached[id] = true
+	return id
+}
+
+// Detach unregisters a reader. Blocks it had not consumed become consumable
+// by the remaining expectation (they are treated as consumed by id).
+func (b *Buffer) Detach(id int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.attached[id] {
+		return
+	}
+	delete(b.attached, id)
+	for idx := range b.blocks {
+		b.markConsumedLocked(idx, id)
+	}
+	b.wcond.Broadcast()
+}
+
+// Put stores data as block idx, stalling while the table is at capacity
+// with unconsumed blocks. Overwriting a resident block never stalls.
+func (b *Buffer) Put(idx int64, data []byte) error {
+	if idx < 0 {
+		return fmt.Errorf("gridbuffer: negative block index %d", idx)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		if b.stopped {
+			return ErrStopped
+		}
+		if b.eof {
+			return errors.New("gridbuffer: put after close-write")
+		}
+		if _, resident := b.blocks[idx]; resident || len(b.blocks) < b.opts.capacity() {
+			break
+		}
+		b.wcond.Wait()
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	b.blocks[idx] = cp
+	if idx >= b.written {
+		b.written = idx + 1
+	}
+	b.rcond.Broadcast()
+	return nil
+}
+
+// CloseWrite marks end-of-stream with the total byte length.
+func (b *Buffer) CloseWrite(totalBytes int64) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.eof {
+		return errors.New("gridbuffer: duplicate close-write")
+	}
+	b.eof = true
+	b.total = totalBytes
+	b.rcond.Broadcast()
+	return nil
+}
+
+// EOF reports whether the writer has closed, and the total length if so.
+func (b *Buffer) EOF() (bool, int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.eof, b.total
+}
+
+// blockLen reports the valid length of block idx once total is known.
+func (b *Buffer) blockLenLocked(idx int64) int {
+	bs := int64(b.opts.blockSize())
+	if !b.eof {
+		return int(bs)
+	}
+	start := idx * bs
+	if start >= b.total {
+		return 0
+	}
+	if start+bs > b.total {
+		return int(b.total - start)
+	}
+	return int(bs)
+}
+
+// Get returns the contents of block idx for reader id, blocking until the
+// block has been written. It returns (nil, true, nil) when idx is at or past
+// end-of-stream. Reading a block the reader already consumed is served from
+// the resident table or the cache file.
+func (b *Buffer) Get(id int, idx int64) (data []byte, eof bool, err error) {
+	if idx < 0 {
+		return nil, false, fmt.Errorf("gridbuffer: negative block index %d", idx)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		if b.stopped {
+			return nil, false, ErrStopped
+		}
+		if data, ok := b.blocks[idx]; ok {
+			out := data
+			if n := b.blockLenLocked(idx); n < len(out) {
+				out = out[:n]
+			}
+			cp := make([]byte, len(out))
+			copy(cp, out)
+			b.markConsumedLocked(idx, id)
+			return cp, false, nil
+		}
+		if b.inCache[idx] {
+			return b.readCacheLocked(idx)
+		}
+		if b.eof {
+			bs := int64(b.opts.blockSize())
+			if idx*bs >= b.total {
+				return nil, true, nil
+			}
+			// The block existed but was dropped without a cache: the reader
+			// attached too late or sought backward without cache enabled.
+			return nil, false, fmt.Errorf("gridbuffer: block %d of %q no longer available (enable the cache file for re-reads)", idx, b.key)
+		}
+		b.rcond.Wait()
+	}
+}
+
+// markConsumedLocked records that id has read idx and drops the block once
+// every expected reader has it (spilling to the cache file first).
+func (b *Buffer) markConsumedLocked(idx int64, id int) {
+	set := b.consumed[idx]
+	if set == nil {
+		set = make(map[int]bool)
+		b.consumed[idx] = set
+	}
+	if set[id] {
+		return
+	}
+	set[id] = true
+	if len(set) < b.opts.readers() {
+		return
+	}
+	data, ok := b.blocks[idx]
+	if !ok {
+		return
+	}
+	if b.opts.Cache {
+		b.spillLocked(idx, data)
+	}
+	delete(b.blocks, idx)
+	delete(b.consumed, idx)
+	b.wcond.Broadcast()
+}
+
+func (b *Buffer) cachePath() string {
+	if b.opts.CachePath != "" {
+		return b.opts.CachePath
+	}
+	return ".gridbuffer-cache/" + b.key
+}
+
+func (b *Buffer) spillLocked(idx int64, data []byte) {
+	if b.opts.CacheFS == nil {
+		return
+	}
+	if b.cacheFile == nil {
+		f, err := b.opts.CacheFS.OpenFile(b.cachePath(), vfs.ReadWriteFlag, 0o644)
+		if err != nil {
+			return // cache is best-effort; re-reads will fail loudly instead
+		}
+		b.cacheFile = f
+	}
+	if _, err := b.cacheFile.WriteAt(data, idx*int64(b.opts.blockSize())); err == nil {
+		b.inCache[idx] = true
+	}
+}
+
+func (b *Buffer) readCacheLocked(idx int64) ([]byte, bool, error) {
+	if b.cacheFile == nil {
+		return nil, false, fmt.Errorf("gridbuffer: cache file missing for %q", b.key)
+	}
+	n := b.blockLenLocked(idx)
+	buf := make([]byte, n)
+	got, err := b.cacheFile.ReadAt(buf, idx*int64(b.opts.blockSize()))
+	if err != nil && got < n {
+		return nil, false, fmt.Errorf("gridbuffer: cache read of block %d: %w", idx, err)
+	}
+	return buf[:got], false, nil
+}
+
+// Resident reports the number of blocks currently in the hash table.
+func (b *Buffer) Resident() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.blocks)
+}
+
+// Drop aborts the buffer: all blocked operations return ErrStopped and the
+// cache file is closed.
+func (b *Buffer) Drop() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.stopped {
+		return
+	}
+	b.stopped = true
+	if b.cacheFile != nil {
+		b.cacheFile.Close()
+		b.cacheFile = nil
+	}
+	b.rcond.Broadcast()
+	b.wcond.Broadcast()
+}

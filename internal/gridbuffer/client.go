@@ -1,0 +1,562 @@
+package gridbuffer
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"griddles/internal/simclock"
+	"griddles/internal/wire"
+)
+
+// Dialer opens connections to service addresses.
+type Dialer interface {
+	Dial(addr string) (net.Conn, error)
+}
+
+// DefaultWriterWindow bounds the writer's in-flight unacknowledged Puts in
+// persistent-connection mode. The paper's Grid Buffer is a Web-Services
+// request/response per block, so effective pipelining is shallow — this is
+// the knob behind its observed latency sensitivity (Table 5) and is
+// deliberately small by default. `go test -bench=AblationTransport` sweeps
+// it against the connection-per-call discipline.
+const DefaultWriterWindow = 2
+
+// DefaultReaderDepth is the reader's prefetch pipeline depth.
+const DefaultReaderDepth = 2
+
+// Writer streams an application's sequential writes into a remote Grid
+// Buffer as fixed-size blocks. It implements io.WriteCloser.
+type Writer struct {
+	clock     simclock.Clock
+	conn      net.Conn
+	bw        *bufio.Writer
+	key       string
+	blockSize int
+
+	// connection-per-call (SOAP-style) state
+	connPerCall bool
+	dialer      Dialer
+	addr        string
+	opts        Options
+
+	window  *simclock.Semaphore
+	winSize int64
+	done    *simclock.Event
+
+	mu     sync.Mutex // guards err
+	err    error
+	closed bool
+
+	partial []byte
+	nextIdx int64
+	total   int64
+}
+
+// WriterOptions tunes a Writer beyond the buffer Options.
+type WriterOptions struct {
+	// Window is the number of unacknowledged in-flight Puts (0 selects
+	// DefaultWriterWindow).
+	Window int
+	// ConnPerCall reproduces the paper's Web-Services transport behaviour:
+	// every block is delivered on a fresh, politely closed connection (TCP
+	// handshake + request round trip + serialized teardown, ~3 RTTs per
+	// block), as 2004 connection-per-call SOAP stacks did. This is
+	// dramatically latency-sensitive — the very effect the paper observes
+	// on its trans-continental Table 5 rows — and is the default in the
+	// experiment harness. Window is ignored in this mode.
+	ConnPerCall bool
+}
+
+// attach dials addr and performs one Attach handshake, returning the open
+// connection and the negotiated parameters.
+func attach(dialer Dialer, addr string, key string, role uint8, opts Options) (net.Conn, *bufio.Reader, *bufio.Writer, int, int, error) {
+	conn, err := dialer.Dial(addr)
+	if err != nil {
+		return nil, nil, nil, 0, 0, fmt.Errorf("gridbuffer: dial %s: %w", addr, err)
+	}
+	bw := bufio.NewWriter(conn)
+	e := wire.NewEncoder()
+	e.String(key).U8(role)
+	encodeOptions(e, opts)
+	if err := wire.WriteFrame(bw, msgAttach, e.Bytes()); err != nil {
+		conn.Close()
+		return nil, nil, nil, 0, 0, err
+	}
+	if err := bw.Flush(); err != nil {
+		conn.Close()
+		return nil, nil, nil, 0, 0, err
+	}
+	br := bufio.NewReader(conn)
+	typ, resp, err := wire.ReadFrame(br)
+	if err != nil {
+		conn.Close()
+		return nil, nil, nil, 0, 0, err
+	}
+	if typ == msgError {
+		conn.Close()
+		return nil, nil, nil, 0, 0, errors.New("gridbuffer: " + wire.NewDecoder(resp).String())
+	}
+	d := wire.NewDecoder(resp)
+	readerID := int(d.I64())
+	blockSize := int(d.U32())
+	if err := d.Err(); err != nil {
+		conn.Close()
+		return nil, nil, nil, 0, 0, err
+	}
+	return conn, br, bw, readerID, blockSize, nil
+}
+
+// NewWriter attaches to (or creates) the buffer key on the service at addr
+// and returns a Writer.
+func NewWriter(dialer Dialer, addr string, clock simclock.Clock, key string, opts Options, wopts WriterOptions) (*Writer, error) {
+	conn, br, bw, _, blockSize, err := attach(dialer, addr, key, roleWriter, opts)
+	if err != nil {
+		return nil, err
+	}
+	win := wopts.Window
+	if win <= 0 {
+		win = DefaultWriterWindow
+	}
+	w := &Writer{
+		clock:       clock,
+		conn:        conn,
+		bw:          bw,
+		key:         key,
+		blockSize:   blockSize,
+		connPerCall: wopts.ConnPerCall,
+		dialer:      dialer,
+		addr:        addr,
+		opts:        opts,
+		window:      simclock.NewSemaphore(clock, int64(win)),
+		winSize:     int64(win),
+		done:        simclock.NewEvent(clock),
+	}
+	if w.connPerCall {
+		// The construction connection only created the buffer; each block
+		// travels on its own connection, so close it now.
+		conn.Close()
+		w.conn, w.bw = nil, nil
+		return w, nil
+	}
+	clock.Go("gridbuffer-writer-acks", func() { w.ackLoop(br) })
+	return w, nil
+}
+
+// oneCall opens a fresh connection, performs a single request/response,
+// closes it and waits out the teardown — the 2004 connection-per-call SOAP
+// discipline. Per call that is a TCP handshake, one request round trip,
+// and a FIN handshake before the stack reuses the port (2004 SOAP clients
+// closed politely and serially), i.e. ~3 round trips per block. The
+// teardown is charged as the measured connection-setup time, so it scales
+// with the actual link rather than a constant.
+func (w *Writer) oneCall(reqType uint8, payload []byte) error {
+	t0 := w.clock.Now()
+	conn, err := w.dialer.Dial(w.addr)
+	if err != nil {
+		return fmt.Errorf("gridbuffer: dial %s: %w", w.addr, err)
+	}
+	setup := w.clock.Now().Sub(t0)
+	defer func() {
+		conn.Close()
+		w.clock.Sleep(setup)
+	}()
+	if err := wire.WriteFrame(conn, reqType, payload); err != nil {
+		return err
+	}
+	typ, resp, err := wire.ReadFrame(bufio.NewReader(conn))
+	if err != nil {
+		return err
+	}
+	if typ == msgError {
+		return errors.New("gridbuffer: " + wire.NewDecoder(resp).String())
+	}
+	return nil
+}
+
+// ackLoop consumes Put acknowledgements, releasing window permits.
+func (w *Writer) ackLoop(br *bufio.Reader) {
+	for {
+		typ, payload, err := wire.ReadFrame(br)
+		if err != nil {
+			w.fail(err)
+			return
+		}
+		switch typ {
+		case msgPutResp:
+			w.window.Release(1)
+		case msgCloseWriteResp:
+			w.done.Set()
+			return
+		case msgError:
+			w.fail(errors.New("gridbuffer: " + wire.NewDecoder(payload).String()))
+			return
+		default:
+			w.fail(fmt.Errorf("gridbuffer: unexpected writer frame %d", typ))
+			return
+		}
+	}
+}
+
+// fail records the first error and unblocks anything waiting.
+func (w *Writer) fail(err error) {
+	w.mu.Lock()
+	if w.err == nil {
+		w.err = err
+	}
+	w.mu.Unlock()
+	w.window.Release(w.winSize) // unblock senders
+	w.done.Set()
+}
+
+// Err reports the first transport error, if any.
+func (w *Writer) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// BlockSize reports the negotiated block size.
+func (w *Writer) BlockSize() int { return w.blockSize }
+
+// Write implements io.Writer: bytes accumulate into blocks; each full block
+// is sent as soon as the in-flight window permits.
+func (w *Writer) Write(p []byte) (int, error) {
+	if w.closed {
+		return 0, errors.New("gridbuffer: write after close")
+	}
+	if err := w.Err(); err != nil {
+		return 0, err
+	}
+	total := 0
+	for len(p) > 0 {
+		space := w.blockSize - len(w.partial)
+		n := len(p)
+		if n > space {
+			n = space
+		}
+		w.partial = append(w.partial, p[:n]...)
+		p = p[n:]
+		total += n
+		if len(w.partial) == w.blockSize {
+			if err := w.sendBlock(); err != nil {
+				return total, err
+			}
+		}
+	}
+	w.total += int64(total)
+	return total, nil
+}
+
+func (w *Writer) sendBlock() error {
+	if w.connPerCall {
+		e := wire.NewEncoder()
+		e.String(w.key).I64(w.nextIdx).Bytes32(w.partial)
+		w.nextIdx++
+		w.partial = w.partial[:0]
+		if err := w.oneCall(msgPut, e.Bytes()); err != nil {
+			w.fail(err)
+			return err
+		}
+		return nil
+	}
+	w.window.Acquire(1)
+	if err := w.Err(); err != nil {
+		return err
+	}
+	e := wire.NewEncoder()
+	e.String(w.key).I64(w.nextIdx).Bytes32(w.partial)
+	w.nextIdx++
+	w.partial = w.partial[:0]
+	if err := wire.WriteFrame(w.bw, msgPut, e.Bytes()); err != nil {
+		w.fail(err)
+		return err
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.fail(err)
+		return err
+	}
+	return nil
+}
+
+// Close flushes the tail block, waits for all acknowledgements, marks
+// end-of-stream and releases the connection.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if len(w.partial) > 0 {
+		if err := w.sendBlock(); err != nil {
+			return err
+		}
+	}
+	if w.connPerCall {
+		e := wire.NewEncoder()
+		e.String(w.key).I64(w.total)
+		if err := w.oneCall(msgCloseWrite, e.Bytes()); err != nil {
+			return err
+		}
+		return w.Err()
+	}
+	defer w.conn.Close()
+	// Wait for every outstanding Put to be acknowledged.
+	w.window.Acquire(w.winSize)
+	if err := w.Err(); err != nil {
+		return err
+	}
+	e := wire.NewEncoder()
+	e.String(w.key).I64(w.total)
+	if err := wire.WriteFrame(w.bw, msgCloseWrite, e.Bytes()); err != nil {
+		return err
+	}
+	if err := w.bw.Flush(); err != nil {
+		return err
+	}
+	w.done.Wait()
+	return w.Err()
+}
+
+// Reader streams a Grid Buffer to an application, prefetching blocks ahead
+// of the read position. It implements io.ReadSeekCloser. Reads of blocks
+// the writer has not produced yet stall (in simulated or real time) until
+// the data arrives — the paper's blocking-read semantics.
+type Reader struct {
+	clock     simclock.Clock
+	conn      net.Conn
+	br        *bufio.Reader
+	bw        *bufio.Writer
+	key       string
+	blockSize int
+	readerID  int
+	depth     int
+
+	inflight []int64 // block indices with pending responses, in order
+	nextReq  int64
+
+	pos    int64
+	cur    []byte // remainder of the current block at pos
+	total  int64  // stream length, or best upper bound so far (-1 unknown)
+	closed bool
+}
+
+// ReaderOptions tunes a Reader beyond the buffer Options.
+type ReaderOptions struct {
+	// Depth is the prefetch pipeline depth (0 selects DefaultReaderDepth).
+	Depth int
+}
+
+// NewReader attaches to (or creates) the buffer key on the service at addr.
+func NewReader(dialer Dialer, addr string, clock simclock.Clock, key string, opts Options, ropts ReaderOptions) (*Reader, error) {
+	conn, err := dialer.Dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("gridbuffer: dial %s: %w", addr, err)
+	}
+	bw := bufio.NewWriter(conn)
+	e := wire.NewEncoder()
+	e.String(key).U8(roleReader)
+	encodeOptions(e, opts)
+	if err := wire.WriteFrame(bw, msgAttach, e.Bytes()); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := bw.Flush(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	br := bufio.NewReader(conn)
+	typ, resp, err := wire.ReadFrame(br)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if typ == msgError {
+		conn.Close()
+		return nil, errors.New("gridbuffer: " + wire.NewDecoder(resp).String())
+	}
+	d := wire.NewDecoder(resp)
+	readerID := int(d.I64())
+	blockSize := int(d.U32())
+	if err := d.Err(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	depth := ropts.Depth
+	if depth <= 0 {
+		depth = DefaultReaderDepth
+	}
+	return &Reader{
+		clock: clock, conn: conn, br: br, bw: bw,
+		key: key, blockSize: blockSize, readerID: readerID,
+		depth: depth, total: -1,
+	}, nil
+}
+
+// noteTotal tightens the known stream length. EOF responses give upper
+// bounds (idx*blockSize); a short block gives the exact length. min() of
+// all observations converges on the true total.
+func (r *Reader) noteTotal(v int64) {
+	if r.total < 0 || v < r.total {
+		r.total = v
+	}
+}
+
+// BlockSize reports the negotiated block size.
+func (r *Reader) BlockSize() int { return r.blockSize }
+
+// sendGet queues a Get for block idx.
+func (r *Reader) sendGet(idx int64) error {
+	e := wire.NewEncoder()
+	e.String(r.key).I64(int64(r.readerID)).I64(idx)
+	if err := wire.WriteFrame(r.bw, msgGet, e.Bytes()); err != nil {
+		return err
+	}
+	if err := r.bw.Flush(); err != nil {
+		return err
+	}
+	r.inflight = append(r.inflight, idx)
+	return nil
+}
+
+// recvOne consumes the response for inflight[0].
+func (r *Reader) recvOne() (idx int64, data []byte, eof bool, err error) {
+	if len(r.inflight) == 0 {
+		return 0, nil, false, errors.New("gridbuffer: no in-flight request")
+	}
+	idx = r.inflight[0]
+	typ, payload, err := wire.ReadFrame(r.br)
+	if err != nil {
+		return idx, nil, false, err
+	}
+	r.inflight = r.inflight[1:]
+	switch typ {
+	case msgGetResp:
+		d := wire.NewDecoder(payload)
+		eof = d.Bool()
+		data = append([]byte(nil), d.Bytes32()...)
+		return idx, data, eof, d.Err()
+	case msgError:
+		return idx, nil, false, errors.New("gridbuffer: " + wire.NewDecoder(payload).String())
+	default:
+		return idx, nil, false, fmt.Errorf("gridbuffer: unexpected reader frame %d", typ)
+	}
+}
+
+// drain consumes every outstanding response (used before repositioning),
+// keeping whatever stream-length information they carry.
+func (r *Reader) drain() error {
+	for len(r.inflight) > 0 {
+		gotIdx, data, eof, err := r.recvOne()
+		if err != nil {
+			return err
+		}
+		if eof {
+			r.noteTotal(gotIdx * int64(r.blockSize))
+		} else if len(data) < r.blockSize {
+			r.noteTotal(gotIdx*int64(r.blockSize) + int64(len(data)))
+		}
+	}
+	return nil
+}
+
+// Read implements io.Reader.
+func (r *Reader) Read(p []byte) (int, error) {
+	if r.closed {
+		return 0, errors.New("gridbuffer: read after close")
+	}
+	bs := int64(r.blockSize)
+	for len(r.cur) == 0 {
+		if r.total >= 0 && r.pos >= r.total {
+			return 0, io.EOF
+		}
+		idx := r.pos / bs
+		// Keep the pipeline aligned with the read position.
+		if len(r.inflight) > 0 && r.inflight[0] != idx {
+			if err := r.drain(); err != nil {
+				return 0, err
+			}
+		}
+		if len(r.inflight) == 0 {
+			r.nextReq = idx
+		}
+		for len(r.inflight) < r.depth {
+			if r.total >= 0 && r.nextReq*bs >= r.total {
+				break
+			}
+			if err := r.sendGet(r.nextReq); err != nil {
+				return 0, err
+			}
+			r.nextReq++
+		}
+		if len(r.inflight) == 0 {
+			// Nothing requestable below the known end: the position must be
+			// at or past it.
+			return 0, io.EOF
+		}
+		gotIdx, data, eof, err := r.recvOne()
+		if err != nil {
+			return 0, err
+		}
+		if eof {
+			r.noteTotal(gotIdx * bs) // upper bound; loop re-checks pos
+			continue
+		}
+		if len(data) < r.blockSize {
+			// A short block is the tail: its end is the exact total.
+			r.noteTotal(gotIdx*bs + int64(len(data)))
+		}
+		off := r.pos - gotIdx*bs
+		if off < 0 || off >= int64(len(data)) {
+			continue // stale block for an old position; re-check
+		}
+		r.cur = data[off:]
+	}
+	n := copy(p, r.cur)
+	r.cur = r.cur[n:]
+	r.pos += int64(n)
+	return n, nil
+}
+
+// Seek implements io.Seeker. Seeking relative to the end requires the
+// stream end to be known (the reader has already observed EOF).
+func (r *Reader) Seek(offset int64, whence int) (int64, error) {
+	if r.closed {
+		return 0, errors.New("gridbuffer: seek after close")
+	}
+	var base int64
+	switch whence {
+	case io.SeekStart:
+		base = 0
+	case io.SeekCurrent:
+		base = r.pos
+	case io.SeekEnd:
+		return 0, errors.New("gridbuffer: seek from end of a stream is not supported")
+	default:
+		return 0, fmt.Errorf("gridbuffer: bad whence %d", whence)
+	}
+	npos := base + offset
+	if npos < 0 {
+		return 0, errors.New("gridbuffer: negative seek")
+	}
+	if npos != r.pos {
+		r.cur = nil
+		r.pos = npos
+	}
+	return npos, nil
+}
+
+// Close detaches the reader (best effort) and releases the connection.
+func (r *Reader) Close() error {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	e := wire.NewEncoder()
+	e.String(r.key).I64(int64(r.readerID))
+	wire.WriteFrame(r.bw, msgDetach, e.Bytes())
+	r.bw.Flush()
+	return r.conn.Close()
+}

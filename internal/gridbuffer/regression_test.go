@@ -1,0 +1,57 @@
+package gridbuffer
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"griddles/internal/simclock"
+	"griddles/internal/simnet"
+	"griddles/internal/vfs"
+)
+
+// TestRepeatedPersistentStreamNoDeadlock re-runs the persistent pipelined
+// stream many times to flush out scheduler-order-dependent deadlocks.
+func TestRepeatedPersistentStreamNoDeadlock(t *testing.T) {
+	for iter := 0; iter < 40; iter++ {
+		v := simclock.NewVirtualDefault()
+		n := simnet.New(v)
+		n.SetLinkBoth("w", "buf", simnet.LinkSpec{Latency: 150 * time.Millisecond, Bandwidth: 1 << 20})
+		n.SetWindow(8 * 1024)
+		reg := NewRegistry(v, vfs.NewMemFS())
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("iter %d: %v", iter, r)
+				}
+			}()
+			v.Run(func() {
+				l, err := n.Host("buf").Listen("buf:7000")
+				if err != nil {
+					t.Fatal(err)
+				}
+				v.Go("serve", func() { NewServer(reg, v).Serve(l) })
+				opts := Options{BlockSize: 4096, Capacity: 1 << 20}
+				done := simclock.NewWaitGroup(v)
+				done.Add(1)
+				v.Go("reader", func() {
+					defer done.Done()
+					r, err := NewReader(n.Host("buf"), "buf:7000", v, "k", opts, ReaderOptions{Depth: 8})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					defer r.Close()
+					io.Copy(io.Discard, r)
+				})
+				w, err := NewWriter(n.Host("w"), "buf:7000", v, "k", opts, WriterOptions{Window: 2})
+				if err != nil {
+					t.Fatal(err)
+				}
+				w.Write(make([]byte, 1<<20))
+				w.Close()
+				done.Wait()
+			})
+		}()
+	}
+}

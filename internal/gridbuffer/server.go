@@ -1,0 +1,254 @@
+package gridbuffer
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"griddles/internal/simclock"
+	"griddles/internal/vfs"
+	"griddles/internal/wire"
+)
+
+// Protocol message types (binary transport; internal/soap carries the same
+// operations in SOAP envelopes).
+const (
+	msgAttach         = 1
+	msgAttachResp     = 2
+	msgPut            = 3
+	msgPutResp        = 4
+	msgGet            = 5
+	msgGetResp        = 6
+	msgCloseWrite     = 7
+	msgCloseWriteResp = 8
+	msgDetach         = 9
+	msgDetachResp     = 10
+	msgDrop           = 11
+	msgDropResp       = 12
+	msgError          = 255
+)
+
+// Roles in an Attach request.
+const (
+	roleWriter = 0
+	roleReader = 1
+)
+
+// Registry owns the named buffers of one Grid Buffer service instance.
+type Registry struct {
+	clock   simclock.Clock
+	cacheFS vfs.FS
+
+	mu      sync.Mutex
+	buffers map[string]*Buffer
+}
+
+// NewRegistry returns an empty Registry. cacheFS (may be nil) hosts cache
+// files for buffers that enable them — on a testbed machine this is the
+// machine's disk-cost-accounted file system.
+func NewRegistry(clock simclock.Clock, cacheFS vfs.FS) *Registry {
+	return &Registry{clock: clock, cacheFS: cacheFS, buffers: make(map[string]*Buffer)}
+}
+
+// GetOrCreate returns the buffer named key, creating it with opts on first
+// use. Options of later attachers are ignored: the first attach wins, which
+// is safe because writer and readers receive the same GNS mapping.
+func (r *Registry) GetOrCreate(key string, opts Options) *Buffer {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if b, ok := r.buffers[key]; ok {
+		return b
+	}
+	if opts.Cache && opts.CacheFS == nil {
+		opts.CacheFS = r.cacheFS
+	}
+	b := NewBuffer(r.clock, key, opts)
+	r.buffers[key] = b
+	return b
+}
+
+// Lookup returns the buffer named key, if present.
+func (r *Registry) Lookup(key string) (*Buffer, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b, ok := r.buffers[key]
+	return b, ok
+}
+
+// Drop removes and aborts the buffer named key.
+func (r *Registry) Drop(key string) {
+	r.mu.Lock()
+	b, ok := r.buffers[key]
+	delete(r.buffers, key)
+	r.mu.Unlock()
+	if ok {
+		b.Drop()
+	}
+}
+
+// Len reports the number of live buffers.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.buffers)
+}
+
+// Server exposes a Registry over the framed binary protocol.
+type Server struct {
+	reg   *Registry
+	clock simclock.Clock
+}
+
+// NewServer returns a Server for reg.
+func NewServer(reg *Registry, clock simclock.Clock) *Server {
+	return &Server{reg: reg, clock: clock}
+}
+
+// Registry returns the served registry.
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Serve accepts connections until l is closed.
+func (s *Server) Serve(l net.Listener) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		s.clock.Go("gridbuffer-conn", func() { s.handle(conn) })
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	for {
+		typ, payload, err := wire.ReadFrame(br)
+		if err != nil {
+			return
+		}
+		if err := s.dispatch(bw, typ, payload); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func decodeOptions(d *wire.Decoder) Options {
+	var o Options
+	o.BlockSize = int(d.U32())
+	o.Capacity = int(d.U32())
+	o.Cache = d.Bool()
+	o.CachePath = d.String()
+	o.Readers = int(d.U32())
+	return o
+}
+
+func encodeOptions(e *wire.Encoder, o Options) {
+	e.U32(uint32(o.BlockSize))
+	e.U32(uint32(o.Capacity))
+	e.Bool(o.Cache)
+	e.String(o.CachePath)
+	e.U32(uint32(o.Readers))
+}
+
+func (s *Server) dispatch(w io.Writer, typ uint8, payload []byte) error {
+	d := wire.NewDecoder(payload)
+	switch typ {
+	case msgAttach:
+		key := d.String()
+		role := d.U8()
+		opts := decodeOptions(d)
+		if err := d.Err(); err != nil {
+			return writeError(w, err)
+		}
+		b := s.reg.GetOrCreate(key, opts)
+		readerID := -1
+		if role == roleReader {
+			readerID = b.Attach()
+		}
+		e := wire.NewEncoder()
+		e.I64(int64(readerID)).U32(uint32(b.BlockSize()))
+		return wire.WriteFrame(w, msgAttachResp, e.Bytes())
+
+	case msgPut:
+		key := d.String()
+		idx := d.I64()
+		data := d.Bytes32()
+		if err := d.Err(); err != nil {
+			return writeError(w, err)
+		}
+		b, ok := s.reg.Lookup(key)
+		if !ok {
+			return writeError(w, fmt.Errorf("gridbuffer: no buffer %q", key))
+		}
+		if err := b.Put(idx, data); err != nil {
+			return writeError(w, err)
+		}
+		return wire.WriteFrame(w, msgPutResp, nil)
+
+	case msgGet:
+		key := d.String()
+		readerID := int(d.I64())
+		idx := d.I64()
+		if err := d.Err(); err != nil {
+			return writeError(w, err)
+		}
+		b, ok := s.reg.Lookup(key)
+		if !ok {
+			return writeError(w, fmt.Errorf("gridbuffer: no buffer %q", key))
+		}
+		data, eof, err := b.Get(readerID, idx)
+		if err != nil {
+			return writeError(w, err)
+		}
+		e := wire.NewEncoder()
+		e.Bool(eof).Bytes32(data)
+		return wire.WriteFrame(w, msgGetResp, e.Bytes())
+
+	case msgCloseWrite:
+		key := d.String()
+		total := d.I64()
+		if err := d.Err(); err != nil {
+			return writeError(w, err)
+		}
+		b, ok := s.reg.Lookup(key)
+		if !ok {
+			return writeError(w, fmt.Errorf("gridbuffer: no buffer %q", key))
+		}
+		if err := b.CloseWrite(total); err != nil {
+			return writeError(w, err)
+		}
+		return wire.WriteFrame(w, msgCloseWriteResp, nil)
+
+	case msgDetach:
+		key := d.String()
+		readerID := int(d.I64())
+		if err := d.Err(); err != nil {
+			return writeError(w, err)
+		}
+		if b, ok := s.reg.Lookup(key); ok {
+			b.Detach(readerID)
+		}
+		return wire.WriteFrame(w, msgDetachResp, nil)
+
+	case msgDrop:
+		key := d.String()
+		if err := d.Err(); err != nil {
+			return writeError(w, err)
+		}
+		s.reg.Drop(key)
+		return wire.WriteFrame(w, msgDropResp, nil)
+
+	default:
+		return writeError(w, fmt.Errorf("gridbuffer: unknown message type %d", typ))
+	}
+}
+
+func writeError(w io.Writer, err error) error {
+	return wire.WriteFrame(w, msgError, wire.NewEncoder().String(err.Error()).Bytes())
+}

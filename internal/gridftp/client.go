@@ -1,0 +1,480 @@
+package gridftp
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+
+	"griddles/internal/simclock"
+	"griddles/internal/vfs"
+	"griddles/internal/wire"
+)
+
+// Dialer opens connections to service addresses.
+type Dialer interface {
+	Dial(addr string) (net.Conn, error)
+}
+
+// Client talks to one remote file server. Request/response operations share
+// one persistent connection; bulk Fetch/Put transfers use dedicated
+// connections so they can stream without blocking block IO.
+type Client struct {
+	dialer Dialer
+	addr   string
+	clock  simclock.Clock
+
+	mu   *simclock.Mutex
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+}
+
+// NewClient returns a Client for the file service at addr.
+func NewClient(dialer Dialer, addr string, clock simclock.Clock) *Client {
+	return &Client{dialer: dialer, addr: addr, clock: clock, mu: simclock.NewMutex(clock)}
+}
+
+// Addr reports the server address.
+func (c *Client) Addr() string { return c.addr }
+
+func (c *Client) ensureConnLocked() error {
+	if c.conn != nil {
+		return nil
+	}
+	conn, err := c.dialer.Dial(c.addr)
+	if err != nil {
+		return fmt.Errorf("gridftp: dial %s: %w", c.addr, err)
+	}
+	c.conn = conn
+	c.br = bufio.NewReader(conn)
+	c.bw = bufio.NewWriter(conn)
+	return nil
+}
+
+func (c *Client) dropConnLocked() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn, c.br, c.bw = nil, nil, nil
+	}
+}
+
+// Close releases the shared connection (open remote handles die with it).
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.dropConnLocked()
+	return nil
+}
+
+func (c *Client) roundTrip(reqType uint8, payload []byte) (uint8, []byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.ensureConnLocked(); err != nil {
+		return 0, nil, err
+	}
+	if err := wire.WriteFrame(c.bw, reqType, payload); err != nil {
+		c.dropConnLocked()
+		return 0, nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		c.dropConnLocked()
+		return 0, nil, err
+	}
+	typ, resp, err := wire.ReadFrame(c.br)
+	if err != nil {
+		c.dropConnLocked()
+		return 0, nil, err
+	}
+	if typ == msgError {
+		return 0, nil, errors.New("gridftp: " + wire.NewDecoder(resp).String())
+	}
+	return typ, resp, nil
+}
+
+// Stat reports whether path exists on the server and its size.
+func (c *Client) Stat(path string) (size int64, exists bool, err error) {
+	typ, resp, err := c.roundTrip(msgStat, wire.NewEncoder().String(path).Bytes())
+	if err != nil {
+		return 0, false, err
+	}
+	if typ != msgStatResp {
+		return 0, false, fmt.Errorf("gridftp: unexpected reply %d", typ)
+	}
+	d := wire.NewDecoder(resp)
+	exists = d.Bool()
+	size = d.I64()
+	return size, exists, d.Err()
+}
+
+// Open opens path on the server with os-style flags and returns a handle
+// supporting block-granular remote IO — the paper's "proxy file server"
+// access mode.
+func (c *Client) Open(path string, flag int) (*RemoteFile, error) {
+	e := wire.NewEncoder().String(path).U32(uint32(flag))
+	typ, resp, err := c.roundTrip(msgOpen, e.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	if typ != msgOpenResp {
+		return nil, fmt.Errorf("gridftp: unexpected reply %d", typ)
+	}
+	d := wire.NewDecoder(resp)
+	h := d.U64()
+	size := d.I64()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return &RemoteFile{c: c, handle: h, name: path, size: size, ReadAhead: streamChunk}, nil
+}
+
+// Fetch streams [off, off+length) of path into w over a dedicated
+// connection; length < 0 means the rest of the file. It returns the byte
+// count transferred.
+func (c *Client) Fetch(path string, off, length int64, w io.Writer) (int64, error) {
+	conn, err := c.dialer.Dial(c.addr)
+	if err != nil {
+		return 0, fmt.Errorf("gridftp: dial %s: %w", c.addr, err)
+	}
+	defer conn.Close()
+	e := wire.NewEncoder().String(path).I64(off).I64(length)
+	if err := wire.WriteFrame(conn, msgFetch, e.Bytes()); err != nil {
+		return 0, err
+	}
+	br := bufio.NewReader(conn)
+	typ, resp, err := wire.ReadFrame(br)
+	if err != nil {
+		return 0, err
+	}
+	if typ == msgError {
+		return 0, errors.New("gridftp: " + wire.NewDecoder(resp).String())
+	}
+	if typ != msgFetchHdr {
+		return 0, fmt.Errorf("gridftp: unexpected reply %d", typ)
+	}
+	want := wire.NewDecoder(resp).I64()
+	var total int64
+	for {
+		typ, payload, err := wire.ReadFrame(br)
+		if err != nil {
+			return total, err
+		}
+		switch typ {
+		case msgFetchData:
+			n, werr := w.Write(payload)
+			total += int64(n)
+			if werr != nil {
+				return total, werr
+			}
+		case msgFetchEnd:
+			if total != want {
+				return total, fmt.Errorf("gridftp: fetch got %d bytes, header said %d", total, want)
+			}
+			return total, nil
+		case msgError:
+			return total, errors.New("gridftp: " + wire.NewDecoder(payload).String())
+		default:
+			return total, fmt.Errorf("gridftp: unexpected frame %d during fetch", typ)
+		}
+	}
+}
+
+// Put streams r to path on the server over a dedicated connection,
+// creating or truncating it. It returns the byte count transferred.
+func (c *Client) Put(path string, r io.Reader) (int64, error) {
+	conn, err := c.dialer.Dial(c.addr)
+	if err != nil {
+		return 0, fmt.Errorf("gridftp: dial %s: %w", c.addr, err)
+	}
+	defer conn.Close()
+	bw := bufio.NewWriter(conn)
+	if err := wire.WriteFrame(bw, msgPut, wire.NewEncoder().String(path).Bytes()); err != nil {
+		return 0, err
+	}
+	buf := make([]byte, streamChunk)
+	for {
+		n, rerr := r.Read(buf)
+		if n > 0 {
+			if err := wire.WriteFrame(bw, msgPutData, buf[:n]); err != nil {
+				return 0, err
+			}
+		}
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			return 0, rerr
+		}
+	}
+	if err := wire.WriteFrame(bw, msgPutEnd, nil); err != nil {
+		return 0, err
+	}
+	if err := bw.Flush(); err != nil {
+		return 0, err
+	}
+	typ, resp, err := wire.ReadFrame(bufio.NewReader(conn))
+	if err != nil {
+		return 0, err
+	}
+	if typ == msgError {
+		return 0, errors.New("gridftp: " + wire.NewDecoder(resp).String())
+	}
+	if typ != msgPutResp {
+		return 0, fmt.Errorf("gridftp: unexpected reply %d", typ)
+	}
+	d := wire.NewDecoder(resp)
+	total := d.I64()
+	return total, d.Err()
+}
+
+// RemoteFile is an open handle on the server, with sequential read-ahead.
+type RemoteFile struct {
+	c      *Client
+	handle uint64
+	name   string
+	size   int64
+	pos    int64
+
+	// ReadAhead is how many bytes a sequential Read requests per round
+	// trip. Larger values hide latency (the paper's GridFTP observation);
+	// the default is 64 KiB.
+	ReadAhead int
+
+	buf    []byte // read-ahead buffer
+	bufOff int64  // file offset of buf[0]
+	eof    bool   // server reported EOF at the end of buf
+	closed bool
+}
+
+// Name reports the remote path.
+func (f *RemoteFile) Name() string { return f.name }
+
+// Size reports the file size observed at Open.
+func (f *RemoteFile) Size() int64 { return f.size }
+
+// ReadAt implements io.ReaderAt with one round trip per call.
+func (f *RemoteFile) ReadAt(p []byte, off int64) (int, error) {
+	if f.closed {
+		return 0, errors.New("gridftp: file closed")
+	}
+	e := wire.NewEncoder().U64(f.handle).I64(off).U32(uint32(len(p)))
+	typ, resp, err := f.c.roundTrip(msgRead, e.Bytes())
+	if err != nil {
+		return 0, err
+	}
+	if typ != msgReadResp {
+		return 0, fmt.Errorf("gridftp: unexpected reply %d", typ)
+	}
+	d := wire.NewDecoder(resp)
+	eof := d.Bool()
+	data := d.Bytes32()
+	if err := d.Err(); err != nil {
+		return 0, err
+	}
+	n := copy(p, data)
+	if eof && n < len(p) {
+		return n, io.EOF
+	}
+	if n == 0 && eof {
+		return 0, io.EOF
+	}
+	return n, nil
+}
+
+// Read implements io.Reader with read-ahead: each wire round trip fetches up
+// to ReadAhead bytes even when the caller asks for less.
+func (f *RemoteFile) Read(p []byte) (int, error) {
+	if f.closed {
+		return 0, errors.New("gridftp: file closed")
+	}
+	// Serve from the read-ahead buffer when the position lands inside it.
+	if f.pos >= f.bufOff && f.pos < f.bufOff+int64(len(f.buf)) {
+		n := copy(p, f.buf[f.pos-f.bufOff:])
+		f.pos += int64(n)
+		return n, nil
+	}
+	// Past the end of a buffer the server already flagged as final.
+	if f.eof && f.pos >= f.bufOff+int64(len(f.buf)) {
+		return 0, io.EOF
+	}
+	want := f.ReadAhead
+	if want < len(p) {
+		want = len(p)
+	}
+	if want <= 0 {
+		want = streamChunk
+	}
+	buf := make([]byte, want)
+	n, err := f.ReadAt(buf, f.pos)
+	f.buf = buf[:n]
+	f.bufOff = f.pos
+	f.eof = errors.Is(err, io.EOF)
+	if n == 0 {
+		if err != nil {
+			return 0, err
+		}
+		return 0, io.EOF
+	}
+	c := copy(p, f.buf)
+	f.pos += int64(c)
+	return c, nil
+}
+
+// WriteAt implements io.WriterAt with one round trip per call.
+func (f *RemoteFile) WriteAt(p []byte, off int64) (int, error) {
+	if f.closed {
+		return 0, errors.New("gridftp: file closed")
+	}
+	e := wire.NewEncoder().U64(f.handle).I64(off)
+	e.Bytes32(p)
+	typ, resp, err := f.c.roundTrip(msgWrite, e.Bytes())
+	if err != nil {
+		return 0, err
+	}
+	if typ != msgWriteResp {
+		return 0, fmt.Errorf("gridftp: unexpected reply %d", typ)
+	}
+	d := wire.NewDecoder(resp)
+	n := int(d.U32())
+	if err := d.Err(); err != nil {
+		return 0, err
+	}
+	if end := off + int64(n); end > f.size {
+		f.size = end
+	}
+	f.invalidate()
+	return n, nil
+}
+
+// Write implements io.Writer at the sequential position.
+func (f *RemoteFile) Write(p []byte) (int, error) {
+	n, err := f.WriteAt(p, f.pos)
+	f.pos += int64(n)
+	return n, err
+}
+
+// Seek implements io.Seeker against the size observed at Open (or grown by
+// writes through this handle).
+func (f *RemoteFile) Seek(offset int64, whence int) (int64, error) {
+	var base int64
+	switch whence {
+	case io.SeekStart:
+		base = 0
+	case io.SeekCurrent:
+		base = f.pos
+	case io.SeekEnd:
+		base = f.size
+	default:
+		return 0, fmt.Errorf("gridftp: bad whence %d", whence)
+	}
+	npos := base + offset
+	if npos < 0 {
+		return 0, errors.New("gridftp: negative seek")
+	}
+	f.pos = npos
+	return npos, nil
+}
+
+// invalidate discards the read-ahead buffer (after writes).
+func (f *RemoteFile) invalidate() {
+	f.buf = nil
+	f.bufOff = 0
+	f.eof = false
+}
+
+// Close releases the server-side handle.
+func (f *RemoteFile) Close() error {
+	if f.closed {
+		return nil
+	}
+	f.closed = true
+	typ, _, err := f.c.roundTrip(msgClose, wire.NewEncoder().U64(f.handle).Bytes())
+	if err != nil {
+		return err
+	}
+	if typ != msgCloseResp {
+		return fmt.Errorf("gridftp: unexpected reply %d", typ)
+	}
+	return nil
+}
+
+// CopyIn pulls remotePath from the server into localPath on fsys using the
+// given number of parallel stripe streams (1 = plain single-stream copy).
+// It returns the number of bytes copied.
+func (c *Client) CopyIn(remotePath string, fsys vfs.FS, localPath string, streams int) (int64, error) {
+	if streams < 1 {
+		streams = 1
+	}
+	size, exists, err := c.Stat(remotePath)
+	if err != nil {
+		return 0, err
+	}
+	if !exists {
+		return 0, fmt.Errorf("gridftp: %s: no such remote file", remotePath)
+	}
+	dst, err := fsys.OpenFile(localPath, vfs.CreateTruncFlag, 0o644)
+	if err != nil {
+		return 0, err
+	}
+	defer dst.Close()
+	if size == 0 {
+		return 0, nil
+	}
+	if streams == 1 || size < int64(streams)*streamChunk {
+		return c.Fetch(remotePath, 0, -1, &sectionWriter{f: dst, off: 0})
+	}
+
+	stripe := (size + int64(streams) - 1) / int64(streams)
+	wg := simclock.NewWaitGroup(c.clock)
+	errs := make([]error, streams)
+	var total int64
+	totals := make([]int64, streams)
+	for i := 0; i < streams; i++ {
+		i := i
+		off := int64(i) * stripe
+		length := stripe
+		if off+length > size {
+			length = size - off
+		}
+		if length <= 0 {
+			continue
+		}
+		wg.Add(1)
+		c.clock.Go("gridftp-stripe", func() {
+			defer wg.Done()
+			n, err := c.Fetch(remotePath, off, length, &sectionWriter{f: dst, off: off})
+			totals[i], errs[i] = n, err
+		})
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return 0, fmt.Errorf("gridftp: stripe %d: %w", i, err)
+		}
+		total += totals[i]
+	}
+	return total, nil
+}
+
+// CopyOut pushes localPath from fsys to remotePath on the server.
+func (c *Client) CopyOut(fsys vfs.FS, localPath, remotePath string) (int64, error) {
+	src, err := fsys.OpenFile(localPath, vfs.ReadOnlyFlag, 0)
+	if err != nil {
+		return 0, err
+	}
+	defer src.Close()
+	return c.Put(remotePath, src)
+}
+
+// sectionWriter adapts WriteAt to io.Writer at a running offset.
+type sectionWriter struct {
+	f   io.WriterAt
+	off int64
+}
+
+func (s *sectionWriter) Write(p []byte) (int, error) {
+	n, err := s.f.WriteAt(p, s.off)
+	s.off += int64(n)
+	return n, err
+}

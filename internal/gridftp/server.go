@@ -1,0 +1,323 @@
+// Package gridftp implements the remote file service GriddLeS leans on for
+// IO mechanisms 2-5: block-granular remote reads and writes (the paper's
+// "proxy file server", as in Condor), whole-file stage-in/stage-out copies,
+// and optional parallel-stream transfers (the paper's nod to GridFTP's
+// latency hiding).
+//
+// In the paper this role is played by a stock Globus GridFTP server; here it
+// is a framed binary protocol over any net.Conn, so the same code runs on
+// simnet in experiments and TCP in cmd/gridftpd.
+package gridftp
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+
+	"griddles/internal/simclock"
+	"griddles/internal/vfs"
+	"griddles/internal/wire"
+)
+
+// Protocol message types.
+const (
+	msgOpen      = 1
+	msgOpenResp  = 2
+	msgRead      = 3
+	msgReadResp  = 4
+	msgWrite     = 5
+	msgWriteResp = 6
+	msgClose     = 7
+	msgCloseResp = 8
+	msgStat      = 9
+	msgStatResp  = 10
+	msgFetch     = 11
+	msgFetchHdr  = 12
+	msgFetchData = 13
+	msgFetchEnd  = 14
+	msgPut       = 15
+	msgPutData   = 16
+	msgPutEnd    = 17
+	msgPutResp   = 18
+	msgError     = 255
+)
+
+// streamChunk is the frame size used by Fetch/Put bulk streaming.
+const streamChunk = 64 * 1024
+
+// Server serves one machine's file system to remote File Multiplexers.
+type Server struct {
+	fs    vfs.FS
+	clock simclock.Clock
+}
+
+// NewServer returns a Server exporting fsys.
+func NewServer(fsys vfs.FS, clock simclock.Clock) *Server {
+	return &Server{fs: fsys, clock: clock}
+}
+
+// Serve accepts connections until l is closed.
+func (s *Server) Serve(l net.Listener) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		s.clock.Go("gridftp-conn", func() { s.handle(conn) })
+	}
+}
+
+// session is the per-connection handle table.
+type session struct {
+	srv     *Server
+	mu      sync.Mutex
+	next    uint64
+	handles map[uint64]vfs.File
+}
+
+func (s *Server) handle(conn net.Conn) {
+	sess := &session{srv: s, next: 1, handles: make(map[uint64]vfs.File)}
+	defer func() {
+		conn.Close()
+		sess.mu.Lock()
+		for _, f := range sess.handles {
+			f.Close()
+		}
+		sess.mu.Unlock()
+	}()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	for {
+		typ, payload, err := wire.ReadFrame(br)
+		if err != nil {
+			return
+		}
+		if err := sess.dispatch(bw, br, typ, payload); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func (sess *session) file(h uint64) (vfs.File, error) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	f, ok := sess.handles[h]
+	if !ok {
+		return nil, fmt.Errorf("gridftp: unknown handle %d", h)
+	}
+	return f, nil
+}
+
+func (sess *session) dispatch(w io.Writer, r *bufio.Reader, typ uint8, payload []byte) error {
+	d := wire.NewDecoder(payload)
+	switch typ {
+	case msgOpen:
+		path := d.String()
+		flag := int(d.U32())
+		if err := d.Err(); err != nil {
+			return writeError(w, err)
+		}
+		f, err := sess.srv.fs.OpenFile(path, flag, 0o644)
+		if err != nil {
+			return writeError(w, err)
+		}
+		fi, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return writeError(w, err)
+		}
+		sess.mu.Lock()
+		h := sess.next
+		sess.next++
+		sess.handles[h] = f
+		sess.mu.Unlock()
+		return wire.WriteFrame(w, msgOpenResp, wire.NewEncoder().U64(h).I64(fi.Size()).Bytes())
+
+	case msgRead:
+		h, off, n := d.U64(), d.I64(), d.U32()
+		if err := d.Err(); err != nil {
+			return writeError(w, err)
+		}
+		if n > wire.MaxFrame/2 {
+			return writeError(w, errors.New("gridftp: read too large"))
+		}
+		f, err := sess.file(h)
+		if err != nil {
+			return writeError(w, err)
+		}
+		buf := make([]byte, n)
+		got, rerr := f.ReadAt(buf, off)
+		eof := false
+		if rerr == io.EOF {
+			eof = true
+		} else if rerr != nil {
+			return writeError(w, rerr)
+		}
+		e := wire.NewEncoder()
+		e.Bool(eof).Bytes32(buf[:got])
+		return wire.WriteFrame(w, msgReadResp, e.Bytes())
+
+	case msgWrite:
+		h, off := d.U64(), d.I64()
+		data := d.Bytes32()
+		if err := d.Err(); err != nil {
+			return writeError(w, err)
+		}
+		f, err := sess.file(h)
+		if err != nil {
+			return writeError(w, err)
+		}
+		n, werr := f.WriteAt(data, off)
+		if werr != nil {
+			return writeError(w, werr)
+		}
+		return wire.WriteFrame(w, msgWriteResp, wire.NewEncoder().U32(uint32(n)).Bytes())
+
+	case msgClose:
+		h := d.U64()
+		if err := d.Err(); err != nil {
+			return writeError(w, err)
+		}
+		sess.mu.Lock()
+		f, ok := sess.handles[h]
+		delete(sess.handles, h)
+		sess.mu.Unlock()
+		if !ok {
+			return writeError(w, fmt.Errorf("gridftp: unknown handle %d", h))
+		}
+		if err := f.Close(); err != nil {
+			return writeError(w, err)
+		}
+		return wire.WriteFrame(w, msgCloseResp, nil)
+
+	case msgStat:
+		path := d.String()
+		if err := d.Err(); err != nil {
+			return writeError(w, err)
+		}
+		fi, err := sess.srv.fs.Stat(path)
+		e := wire.NewEncoder()
+		if err != nil {
+			e.Bool(false).I64(0)
+		} else {
+			e.Bool(true).I64(fi.Size())
+		}
+		return wire.WriteFrame(w, msgStatResp, e.Bytes())
+
+	case msgFetch:
+		path := d.String()
+		off, length := d.I64(), d.I64()
+		if err := d.Err(); err != nil {
+			return writeError(w, err)
+		}
+		return sess.fetch(w, path, off, length)
+
+	case msgPut:
+		path := d.String()
+		if err := d.Err(); err != nil {
+			return writeError(w, err)
+		}
+		return sess.put(w, r, path)
+
+	default:
+		return writeError(w, fmt.Errorf("gridftp: unknown message type %d", typ))
+	}
+}
+
+// fetch streams [off, off+length) of path; length < 0 means "to EOF".
+func (sess *session) fetch(w io.Writer, path string, off, length int64) error {
+	f, err := sess.srv.fs.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return writeError(w, err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return writeError(w, err)
+	}
+	if off < 0 {
+		off = 0
+	}
+	end := fi.Size()
+	if length >= 0 && off+length < end {
+		end = off + length
+	}
+	if off > end {
+		off = end
+	}
+	if err := wire.WriteFrame(w, msgFetchHdr, wire.NewEncoder().I64(end-off).Bytes()); err != nil {
+		return err
+	}
+	buf := make([]byte, streamChunk)
+	for off < end {
+		n := int64(len(buf))
+		if end-off < n {
+			n = end - off
+		}
+		got, rerr := f.ReadAt(buf[:n], off)
+		if got > 0 {
+			if err := wire.WriteFrame(w, msgFetchData, buf[:got]); err != nil {
+				return err
+			}
+			off += int64(got)
+		}
+		if rerr != nil && rerr != io.EOF {
+			return writeError(w, rerr)
+		}
+		if got == 0 {
+			break
+		}
+	}
+	return wire.WriteFrame(w, msgFetchEnd, nil)
+}
+
+// put receives streamed data frames and writes them to path.
+func (sess *session) put(w io.Writer, r *bufio.Reader, path string) error {
+	f, err := sess.srv.fs.OpenFile(path, vfs.CreateTruncFlag, 0o644)
+	if err != nil {
+		// Drain the incoming stream so the connection stays usable.
+		for {
+			typ, _, rerr := wire.ReadFrame(r)
+			if rerr != nil || typ == msgPutEnd {
+				break
+			}
+		}
+		return writeError(w, err)
+	}
+	var total int64
+	for {
+		typ, payload, rerr := wire.ReadFrame(r)
+		if rerr != nil {
+			f.Close()
+			return rerr
+		}
+		switch typ {
+		case msgPutData:
+			n, werr := f.Write(payload)
+			total += int64(n)
+			if werr != nil {
+				f.Close()
+				return writeError(w, werr)
+			}
+		case msgPutEnd:
+			if err := f.Close(); err != nil {
+				return writeError(w, err)
+			}
+			return wire.WriteFrame(w, msgPutResp, wire.NewEncoder().I64(total).Bytes())
+		default:
+			f.Close()
+			return writeError(w, fmt.Errorf("gridftp: unexpected frame %d during put", typ))
+		}
+	}
+}
+
+func writeError(w io.Writer, err error) error {
+	return wire.WriteFrame(w, msgError, wire.NewEncoder().String(err.Error()).Bytes())
+}

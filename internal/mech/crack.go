@@ -1,0 +1,98 @@
+package mech
+
+import (
+	"fmt"
+	"math"
+)
+
+// Material carries the Paris-law constants FAST uses (the paper's JOB.KL
+// material file), in consistent units: da/dN = C * (ΔK)^M with
+// ΔK = Δσ · F · sqrt(π a).
+type Material struct {
+	C  float64 // Paris coefficient
+	M  float64 // Paris exponent
+	F  float64 // geometry factor (Jones' notch correction folds in here)
+	A0 float64 // initial crack length
+	AF float64 // final (critical) crack length
+}
+
+// DefaultMaterial is a 7075-T6-flavoured aluminium parameter set.
+func DefaultMaterial() Material {
+	return Material{C: 5e-11, M: 3.0, F: 1.12, A0: 0.001, AF: 0.025}
+}
+
+// Validate reports whether the material constants are usable.
+func (m Material) Validate() error {
+	if m.C <= 0 || m.M <= 0 || m.F <= 0 {
+		return fmt.Errorf("mech: non-positive Paris constants C=%g M=%g F=%g", m.C, m.M, m.F)
+	}
+	if m.A0 <= 0 || m.AF <= m.A0 {
+		return fmt.Errorf("mech: bad crack lengths a0=%g af=%g", m.A0, m.AF)
+	}
+	return nil
+}
+
+// CyclesToFailure integrates the Paris law in closed form: the number of
+// load cycles for a crack to grow from A0 to AF under stress range dsigma.
+// Non-tensile ranges never fail and report +Inf.
+func (m Material) CyclesToFailure(dsigma float64) float64 {
+	if dsigma <= 0 {
+		return math.Inf(1)
+	}
+	k := m.C * math.Pow(m.F*dsigma*math.Sqrt(math.Pi), m.M)
+	if m.M == 2 {
+		return math.Log(m.AF/m.A0) / k
+	}
+	e := 1 - m.M/2
+	return (math.Pow(m.AF, e) - math.Pow(m.A0, e)) / (k * e)
+}
+
+// GrowthPoint is one record of a crack-growth history.
+type GrowthPoint struct {
+	N float64 // cumulative cycles
+	A float64 // crack length
+}
+
+// GrowthHistory integrates the Paris law numerically with a fixed number of
+// log-spaced crack-length steps, returning the a-vs-N curve FAST writes to
+// JOB.GROWTH. The final N agrees with CyclesToFailure in the fine-step
+// limit.
+func (m Material) GrowthHistory(dsigma float64, steps int) []GrowthPoint {
+	if steps < 2 {
+		steps = 2
+	}
+	out := make([]GrowthPoint, 0, steps+1)
+	if dsigma <= 0 {
+		return append(out, GrowthPoint{N: math.Inf(1), A: m.A0})
+	}
+	out = append(out, GrowthPoint{N: 0, A: m.A0})
+	logA0, logAF := math.Log(m.A0), math.Log(m.AF)
+	n := 0.0
+	prevA := m.A0
+	for i := 1; i <= steps; i++ {
+		a := math.Exp(logA0 + (logAF-logA0)*float64(i)/float64(steps))
+		// Trapezoidal rule on dN = da / (C ΔK^M).
+		rate := func(a float64) float64 {
+			dk := m.F * dsigma * math.Sqrt(math.Pi*a)
+			return m.C * math.Pow(dk, m.M)
+		}
+		dn := (a - prevA) * (1/rate(prevA) + 1/rate(a)) / 2
+		n += dn
+		out = append(out, GrowthPoint{N: n, A: a})
+		prevA = a
+	}
+	return out
+}
+
+// Life is the design's figure of merit: the minimum cycles-to-failure over
+// all crack sites, with the index of the critical site.
+func Life(cycles []float64) (min float64, site int) {
+	min = math.Inf(1)
+	site = -1
+	for i, c := range cycles {
+		if c < min {
+			min, site = c, i
+		}
+	}
+	return min, site
+}

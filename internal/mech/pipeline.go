@@ -1,0 +1,605 @@
+package mech
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"griddles/internal/vfs"
+	"griddles/internal/workflow"
+)
+
+// The durability pipeline's file products (paper Figure 5).
+const (
+	FileJobDat    = "JOB.DAT"           // CHAMMY input: shape formula and parameters
+	FileProfile   = "PROFILE_COORD.DAT" // CHAMMY -> PAFEC: hole boundary points
+	FileO02       = "JOB.O02"           // PAFEC -> MAKE_SF_FILES: stress tensor field
+	FileO04       = "JOB.O04"           // PAFEC -> MAKE_SF_FILES: displacement field
+	FileO07       = "JOB.O07"           // PAFEC -> MAKE_SF_FILES: boundary hoop stress
+	FileSF        = "JOB.SF"            // MAKE_SF_FILES -> FAST: per-site stress spectra
+	File2DISP     = "JOB.2DISP"         // MAKE_SF_FILES -> FAST: equivalent-stress field
+	FileTH        = "JOB.TH"            // MAKE_SF_FILES -> FAST: stress histogram
+	FileKL        = "JOB.KL"            // static FAST input: material constants
+	FileLife      = "JOB.LIFE"          // FAST -> OBJECTIVE: cycles per crack site
+	FileGrowth    = "JOB.GROWTH"        // FAST -> OBJECTIVE: growth histories
+	FileProp      = "JOB.PROP"          // FAST -> OBJECTIVE: run properties
+	FileResult    = "RESULT.DAT"        // OBJECTIVE output: the design's life
+	ioChunk       = 64 * 1024           // write granularity for bulk files
+	tensorBytes   = 4 * 8               // srr, stt, srt, vonMises as float64
+	displacoBytes = 2 * 8               // ux, uy as float64
+)
+
+// Works is the modeled CPU cost of each stage in brecca-seconds (testbed
+// work units), calibrated so the all-on-jagan run lands near the paper's
+// Table 2 experiment 1.
+type Works struct {
+	Chammy, Pafec, MakeSF, Fast, Objective float64
+}
+
+// Params sizes the pipeline's numerics and data products.
+type Params struct {
+	Shape          HoleShape
+	Tension        float64 // remote stress range (MPa-ish)
+	BoundaryN      int     // CHAMMY boundary samples = FAST crack sites
+	FieldRows      int     // PAFEC grid
+	FieldCols      int
+	Extent         float64 // half-width of the field domain
+	SpectrumLevels int     // load-spectrum levels per site in JOB.SF
+	GrowthSites    int     // sites given a full numeric growth history
+	GrowthSteps    int
+	Material       Material
+	Work           Works
+}
+
+// DefaultParams is the Table-2-calibrated configuration: data volumes give
+// ~580 MB of intermediate disk traffic and the works sum to ~475 units.
+func DefaultParams() Params {
+	return Params{
+		Shape:          HoleShape{A: 1.4, B: 1.0, P: 2.4},
+		Tension:        100,
+		BoundaryN:      10800,
+		FieldRows:      2048,
+		FieldCols:      2048,
+		Extent:         6,
+		SpectrumLevels: 512,
+		GrowthSites:    2700,
+		GrowthSteps:    128,
+		Material:       DefaultMaterial(),
+		Work:           Works{Chammy: 10, Pafec: 280, MakeSF: 20, Fast: 155, Objective: 10},
+	}
+}
+
+// TinyParams is a fast configuration for tests and the quickstart example.
+func TinyParams() Params {
+	return Params{
+		Shape:          HoleShape{A: 1.4, B: 1.0, P: 2.4},
+		Tension:        100,
+		BoundaryN:      180,
+		FieldRows:      48,
+		FieldCols:      48,
+		Extent:         6,
+		SpectrumLevels: 16,
+		GrowthSites:    30,
+		GrowthSteps:    16,
+		Material:       DefaultMaterial(),
+		Work:           Works{Chammy: 0.2, Pafec: 3, MakeSF: 0.3, Fast: 2, Objective: 0.2},
+	}
+}
+
+// Assignment places each stage on a machine.
+type Assignment struct {
+	Chammy, Pafec, MakeSF, Fast, Objective string
+}
+
+// AllOn assigns every stage to one machine (Table 2 experiments 1 and 2).
+func AllOn(machine string) Assignment {
+	return Assignment{Chammy: machine, Pafec: machine, MakeSF: machine, Fast: machine, Objective: machine}
+}
+
+// Experiment3 is the paper's distributed placement for Table 2 row 3.
+func Experiment3() Assignment {
+	return Assignment{Chammy: "koume00", Pafec: "jagan", MakeSF: "dione", Fast: "vpac27", Objective: "freak"}
+}
+
+// Setup pre-places the static input files: JOB.DAT on CHAMMY's machine and
+// JOB.KL on FAST's.
+func Setup(fsFor func(machine string) vfs.FS, a Assignment, p Params) error {
+	job := fmt.Sprintf("%g %g %g %d %g\n", p.Shape.A, p.Shape.B, p.Shape.P, p.BoundaryN, p.Tension)
+	if err := vfs.WriteFile(fsFor(a.Chammy), FileJobDat, []byte(job)); err != nil {
+		return err
+	}
+	m := p.Material
+	kl := fmt.Sprintf("%g %g %g %g %g\n", m.C, m.M, m.F, m.A0, m.AF)
+	return vfs.WriteFile(fsFor(a.Fast), FileKL, []byte(kl))
+}
+
+// PipelineSpec builds the five-component workflow of Figure 5.
+func PipelineSpec(p Params, a Assignment) *workflow.Spec {
+	return &workflow.Spec{
+		Name: "durability",
+		Components: []workflow.Component{
+			{
+				Name: "chammy", Machine: a.Chammy,
+				Inputs:   []string{FileJobDat},
+				Outputs:  []string{FileProfile},
+				WorkHint: p.Work.Chammy,
+				Run:      func(ctx *workflow.Ctx) error { return chammy(ctx, p) },
+			},
+			{
+				Name: "pafec", Machine: a.Pafec,
+				Inputs:   []string{FileProfile},
+				Outputs:  []string{FileO02, FileO04, FileO07},
+				WorkHint: p.Work.Pafec,
+				Run:      func(ctx *workflow.Ctx) error { return pafec(ctx, p) },
+			},
+			{
+				Name: "make_sf_files", Machine: a.MakeSF,
+				Inputs:   []string{FileO02, FileO04, FileO07},
+				Outputs:  []string{FileSF, File2DISP, FileTH},
+				WorkHint: p.Work.MakeSF,
+				Run:      func(ctx *workflow.Ctx) error { return makeSFFiles(ctx, p) },
+			},
+			{
+				Name: "fast", Machine: a.Fast,
+				Inputs:   []string{FileSF, File2DISP, FileTH, FileKL},
+				Outputs:  []string{FileLife, FileGrowth, FileProp},
+				WorkHint: p.Work.Fast,
+				Run:      func(ctx *workflow.Ctx) error { return fast(ctx, p) },
+			},
+			{
+				Name: "objective", Machine: a.Objective,
+				Inputs:   []string{FileLife, FileGrowth, FileProp},
+				Outputs:  []string{FileResult},
+				WorkHint: p.Work.Objective,
+				Run:      func(ctx *workflow.Ctx) error { return objective(ctx, p) },
+			},
+		},
+	}
+}
+
+// chammy generates the hole boundary: Figure 5's first stage.
+func chammy(ctx *workflow.Ctx, p Params) error {
+	in, err := ctx.FM.Open(FileJobDat)
+	if err != nil {
+		return err
+	}
+	var shape HoleShape
+	var n int
+	var tension float64
+	_, err = fmt.Fscan(in, &shape.A, &shape.B, &shape.P, &n, &tension)
+	in.Close()
+	if err != nil {
+		return fmt.Errorf("chammy: parsing %s: %w", FileJobDat, err)
+	}
+	if err := shape.Validate(); err != nil {
+		return err
+	}
+	ctx.Compute(p.Work.Chammy)
+	pts := shape.Boundary(n)
+	out, err := ctx.FM.Create(FileProfile)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(out, ioChunk)
+	fmt.Fprintf(w, "%d %g %g %g %g\n", len(pts), shape.A, shape.B, shape.P, tension)
+	for i, pt := range pts {
+		fmt.Fprintf(w, "%d %.9g %.9g %.9g %.9g\n", i, pt.Theta, pt.X, pt.Y, pt.Curvature)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return out.Close()
+}
+
+// readProfile parses CHAMMY's output.
+func readProfile(r io.Reader) (HoleShape, float64, []BoundaryPoint, error) {
+	br := bufio.NewReaderSize(r, ioChunk)
+	var n int
+	var shape HoleShape
+	var tension float64
+	if _, err := fmt.Fscan(br, &n, &shape.A, &shape.B, &shape.P, &tension); err != nil {
+		return shape, 0, nil, fmt.Errorf("profile header: %w", err)
+	}
+	pts := make([]BoundaryPoint, n)
+	for i := 0; i < n; i++ {
+		var idx int
+		if _, err := fmt.Fscan(br, &idx, &pts[i].Theta, &pts[i].X, &pts[i].Y, &pts[i].Curvature); err != nil {
+			return shape, 0, nil, fmt.Errorf("profile point %d: %w", i, err)
+		}
+	}
+	return shape, tension, pts, nil
+}
+
+// pafec computes the stress field row by row, streaming the tensors to
+// JOB.O02, displacements to JOB.O04 and the boundary hoop stresses to
+// JOB.O07.
+func pafec(ctx *workflow.Ctx, p Params) error {
+	in, err := ctx.FM.Open(FileProfile)
+	if err != nil {
+		return err
+	}
+	shape, tension, pts, err := readProfile(in)
+	in.Close()
+	if err != nil {
+		return err
+	}
+
+	// Boundary hoop stresses (the crack driving forces) go out first: they
+	// depend only on the profile, and emitting them before the bulk field
+	// lets MAKE_SF_FILES and FAST start their site work immediately — the
+	// overlap the paper's distributed experiment 3 exploits.
+	hoop := BoundaryStress(tension, shape, pts)
+	o07, err := ctx.FM.Create(FileO07)
+	if err != nil {
+		return err
+	}
+	w07 := bufio.NewWriterSize(o07, ioChunk)
+	fmt.Fprintf(w07, "%d\n", len(hoop))
+	for i, h := range hoop {
+		fmt.Fprintf(w07, "%d %.9g\n", i, h)
+	}
+	if err := w07.Flush(); err != nil {
+		return err
+	}
+	if err := o07.Close(); err != nil {
+		return err
+	}
+
+	o02, err := ctx.FM.Create(FileO02)
+	if err != nil {
+		return err
+	}
+	o04, err := ctx.FM.Create(FileO04)
+	if err != nil {
+		return err
+	}
+	w02 := bufio.NewWriterSize(o02, ioChunk)
+	w04 := bufio.NewWriterSize(o04, ioChunk)
+
+	rowBuf := make([]Tensor, p.FieldCols)
+	rec02 := make([]byte, p.FieldCols*tensorBytes)
+	rec04 := make([]byte, p.FieldCols*displacoBytes)
+	const youngE = 70e3
+	for row := 0; row < p.FieldRows; row++ {
+		ctx.Compute(p.Work.Pafec / float64(p.FieldRows))
+		rowBuf = StressRow(tension, shape, p.FieldRows, p.FieldCols, row, p.Extent, rowBuf)
+		for j, t := range rowBuf {
+			off := j * tensorBytes
+			binary.LittleEndian.PutUint64(rec02[off:], math.Float64bits(t.Srr))
+			binary.LittleEndian.PutUint64(rec02[off+8:], math.Float64bits(t.Stt))
+			binary.LittleEndian.PutUint64(rec02[off+16:], math.Float64bits(t.Srt))
+			binary.LittleEndian.PutUint64(rec02[off+24:], math.Float64bits(t.VonMises()))
+			doff := j * displacoBytes
+			binary.LittleEndian.PutUint64(rec04[doff:], math.Float64bits(t.Srr/youngE))
+			binary.LittleEndian.PutUint64(rec04[doff+8:], math.Float64bits(t.Stt/youngE))
+		}
+		if _, err := w02.Write(rec02); err != nil {
+			return err
+		}
+		if _, err := w04.Write(rec04); err != nil {
+			return err
+		}
+	}
+	if err := w02.Flush(); err != nil {
+		return err
+	}
+	if err := o02.Close(); err != nil {
+		return err
+	}
+	if err := w04.Flush(); err != nil {
+		return err
+	}
+	return o04.Close()
+}
+
+// makeSFFiles turns PAFEC's raw fields into FAST's inputs: per-site load
+// spectra (JOB.SF), the equivalent-stress field (JOB.2DISP) and a stress
+// histogram (JOB.TH).
+func makeSFFiles(ctx *workflow.Ctx, p Params) error {
+	// Boundary stresses drive the spectra.
+	o07, err := ctx.FM.Open(FileO07)
+	if err != nil {
+		return err
+	}
+	br := bufio.NewReaderSize(o07, ioChunk)
+	var nSites int
+	if _, err := fmt.Fscan(br, &nSites); err != nil {
+		return fmt.Errorf("make_sf_files: %s header: %w", FileO07, err)
+	}
+	hoop := make([]float64, nSites)
+	for i := 0; i < nSites; i++ {
+		var idx int
+		if _, err := fmt.Fscan(br, &idx, &hoop[i]); err != nil {
+			return fmt.Errorf("make_sf_files: %s site %d: %w", FileO07, i, err)
+		}
+	}
+	o07.Close()
+
+	// JOB.SF first: the spectra depend only on the boundary stresses, so
+	// FAST can start consuming sites while the bulk field still streams.
+	sf, err := ctx.FM.Create(FileSF)
+	if err != nil {
+		return err
+	}
+	wsf := bufio.NewWriterSize(sf, ioChunk)
+	hdr := make([]byte, 16)
+	binary.LittleEndian.PutUint64(hdr, uint64(nSites))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(p.SpectrumLevels))
+	if _, err := wsf.Write(hdr); err != nil {
+		return err
+	}
+	level := make([]byte, p.SpectrumLevels*8)
+	for i := 0; i < nSites; i++ {
+		for l := 0; l < p.SpectrumLevels; l++ {
+			// A deterministic gust-spectrum shape on top of the site stress.
+			frac := 0.6 + 0.4*math.Sin(float64(l)*math.Pi/float64(p.SpectrumLevels))
+			binary.LittleEndian.PutUint64(level[l*8:], math.Float64bits(hoop[i]*frac))
+		}
+		if _, err := wsf.Write(level); err != nil {
+			return err
+		}
+	}
+	if err := wsf.Flush(); err != nil {
+		return err
+	}
+	if err := sf.Close(); err != nil {
+		return err
+	}
+
+	// Stream O02 through: fold the tensor field into the equivalent-stress
+	// field (2DISP) and a histogram (TH); O04 is validated and drained.
+	o02, err := ctx.FM.Open(FileO02)
+	if err != nil {
+		return err
+	}
+	d2, err := ctx.FM.Create(File2DISP)
+	if err != nil {
+		return err
+	}
+	w2 := bufio.NewWriterSize(d2, ioChunk)
+	const bins = 64
+	hist := make([]int64, bins)
+	maxVM := 3.2 * p.Tension
+	rec := make([]byte, p.FieldCols*tensorBytes)
+	out := make([]byte, p.FieldCols*8)
+	r02 := bufio.NewReaderSize(o02, ioChunk)
+	for row := 0; row < p.FieldRows; row++ {
+		ctx.Compute(p.Work.MakeSF / float64(p.FieldRows))
+		if _, err := io.ReadFull(r02, rec); err != nil {
+			return fmt.Errorf("make_sf_files: %s row %d: %w", FileO02, row, err)
+		}
+		for j := 0; j < p.FieldCols; j++ {
+			vm := math.Float64frombits(binary.LittleEndian.Uint64(rec[j*tensorBytes+24:]))
+			binary.LittleEndian.PutUint64(out[j*8:], math.Float64bits(vm))
+			b := int(vm / maxVM * bins)
+			if b >= bins {
+				b = bins - 1
+			}
+			if b < 0 {
+				b = 0
+			}
+			hist[b]++
+		}
+		if _, err := w2.Write(out); err != nil {
+			return err
+		}
+	}
+	o02.Close()
+	if err := w2.Flush(); err != nil {
+		return err
+	}
+	if err := d2.Close(); err != nil {
+		return err
+	}
+
+	// Drain O04 (consumed for completeness; its volume matters to the IO
+	// experiments even though the spectra don't need displacements).
+	o04, err := ctx.FM.Open(FileO04)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(io.Discard, bufio.NewReaderSize(o04, ioChunk)); err != nil {
+		return err
+	}
+	o04.Close()
+
+	// JOB.TH: the histogram, ASCII.
+	th, err := ctx.FM.Create(FileTH)
+	if err != nil {
+		return err
+	}
+	wth := bufio.NewWriterSize(th, ioChunk)
+	fmt.Fprintf(wth, "%d %g\n", bins, maxVM)
+	for b, c := range hist {
+		fmt.Fprintf(wth, "%d %d\n", b, c)
+	}
+	if err := wth.Flush(); err != nil {
+		return err
+	}
+	return th.Close()
+}
+
+// fast integrates crack growth at every boundary site.
+func fast(ctx *workflow.Ctx, p Params) error {
+	klf, err := ctx.FM.Open(FileKL)
+	if err != nil {
+		return err
+	}
+	var mat Material
+	if _, err := fmt.Fscan(klf, &mat.C, &mat.M, &mat.F, &mat.A0, &mat.AF); err != nil {
+		return fmt.Errorf("fast: parsing %s: %w", FileKL, err)
+	}
+	klf.Close()
+	if err := mat.Validate(); err != nil {
+		return err
+	}
+
+	sf, err := ctx.FM.Open(FileSF)
+	if err != nil {
+		return err
+	}
+	rsf := bufio.NewReaderSize(sf, ioChunk)
+	hdr := make([]byte, 16)
+	if _, err := io.ReadFull(rsf, hdr); err != nil {
+		return fmt.Errorf("fast: %s header: %w", FileSF, err)
+	}
+	nSites := int(binary.LittleEndian.Uint64(hdr))
+	levels := int(binary.LittleEndian.Uint64(hdr[8:]))
+
+	growth, err := ctx.FM.Create(FileGrowth)
+	if err != nil {
+		return err
+	}
+	wg := bufio.NewWriterSize(growth, ioChunk)
+	lifef, err := ctx.FM.Create(FileLife)
+	if err != nil {
+		return err
+	}
+	wl := bufio.NewWriterSize(lifef, ioChunk)
+
+	fmt.Fprintf(wl, "%d\n", nSites)
+	level := make([]byte, levels*8)
+	minLife := math.Inf(1)
+	growthEvery := 1
+	if p.GrowthSites > 0 && nSites > p.GrowthSites {
+		growthEvery = nSites / p.GrowthSites
+	}
+	ghdr := make([]byte, 16)
+	for i := 0; i < nSites; i++ {
+		ctx.Compute(p.Work.Fast / float64(nSites))
+		if _, err := io.ReadFull(rsf, level); err != nil {
+			return fmt.Errorf("fast: %s site %d: %w", FileSF, i, err)
+		}
+		// Equivalent stress range: RMS of the tensile part of the spectrum.
+		var sumsq float64
+		cnt := 0
+		for l := 0; l < levels; l++ {
+			v := math.Float64frombits(binary.LittleEndian.Uint64(level[l*8:]))
+			if v > 0 {
+				sumsq += v * v
+				cnt++
+			}
+		}
+		dsigma := 0.0
+		if cnt > 0 {
+			dsigma = math.Sqrt(sumsq / float64(cnt))
+		}
+		cycles := mat.CyclesToFailure(dsigma)
+		if cycles < minLife {
+			minLife = cycles
+		}
+		fmt.Fprintf(wl, "%d %.9g\n", i, cycles)
+		if i%growthEvery == 0 {
+			hist := mat.GrowthHistory(dsigma, p.GrowthSteps)
+			binary.LittleEndian.PutUint64(ghdr, uint64(i))
+			binary.LittleEndian.PutUint64(ghdr[8:], uint64(len(hist)))
+			if _, err := wg.Write(ghdr); err != nil {
+				return err
+			}
+			rec := make([]byte, 16)
+			for _, gp := range hist {
+				binary.LittleEndian.PutUint64(rec, math.Float64bits(gp.N))
+				binary.LittleEndian.PutUint64(rec[8:], math.Float64bits(gp.A))
+				if _, err := wg.Write(rec); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	sf.Close()
+	if err := wl.Flush(); err != nil {
+		return err
+	}
+	if err := lifef.Close(); err != nil {
+		return err
+	}
+	if err := wg.Flush(); err != nil {
+		return err
+	}
+	if err := growth.Close(); err != nil {
+		return err
+	}
+
+	// Drain the remaining inputs (2DISP dominates the traffic) and write
+	// the run summary.
+	for _, name := range []string{File2DISP, FileTH} {
+		f, err := ctx.FM.Open(name)
+		if err != nil {
+			return err
+		}
+		if _, err := io.Copy(io.Discard, bufio.NewReaderSize(f, ioChunk)); err != nil {
+			return err
+		}
+		f.Close()
+	}
+	prop, err := ctx.FM.Create(FileProp)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(prop, "sites %d levels %d minLife %.9g\n", nSites, levels, minLife)
+	return prop.Close()
+}
+
+// objective reduces FAST's outputs to the design's life (RESULT.DAT).
+func objective(ctx *workflow.Ctx, p Params) error {
+	lf, err := ctx.FM.Open(FileLife)
+	if err != nil {
+		return err
+	}
+	rl := bufio.NewReaderSize(lf, ioChunk)
+	var nSites int
+	if _, err := fmt.Fscan(rl, &nSites); err != nil {
+		return fmt.Errorf("objective: %s header: %w", FileLife, err)
+	}
+	lives := make([]float64, nSites)
+	for i := 0; i < nSites; i++ {
+		var idx int
+		if _, err := fmt.Fscan(rl, &idx, &lives[i]); err != nil {
+			return fmt.Errorf("objective: %s site %d: %w", FileLife, i, err)
+		}
+	}
+	lf.Close()
+	ctx.Compute(p.Work.Objective)
+
+	// Drain the growth histories and summary.
+	for _, name := range []string{FileGrowth, FileProp} {
+		f, err := ctx.FM.Open(name)
+		if err != nil {
+			return err
+		}
+		if _, err := io.Copy(io.Discard, bufio.NewReaderSize(f, ioChunk)); err != nil {
+			return err
+		}
+		f.Close()
+	}
+
+	life, site := Life(lives)
+	out, err := ctx.FM.Create(FileResult)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "LIFE %.9g CYCLES AT SITE %d OF %d\n", life, site, nSites)
+	return out.Close()
+}
+
+// Result is the parsed RESULT.DAT.
+type Result struct {
+	Life  float64
+	Site  int
+	Sites int
+}
+
+// ReadResult parses RESULT.DAT from a file system.
+func ReadResult(fsys vfs.FS) (Result, error) {
+	data, err := vfs.ReadFile(fsys, FileResult)
+	if err != nil {
+		return Result{}, err
+	}
+	var r Result
+	if _, err := fmt.Sscanf(string(data), "LIFE %g CYCLES AT SITE %d OF %d", &r.Life, &r.Site, &r.Sites); err != nil {
+		return Result{}, fmt.Errorf("mech: parsing %s: %w", FileResult, err)
+	}
+	return r, nil
+}

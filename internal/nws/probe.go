@@ -1,0 +1,182 @@
+package nws
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"time"
+
+	"griddles/internal/simclock"
+	"griddles/internal/wire"
+)
+
+// Sensor protocol message types.
+const (
+	msgPing     = 1
+	msgPong     = 2
+	msgBurst    = 3
+	msgBurstAck = 4
+)
+
+// DefaultBurst is the transfer size used for bandwidth probes.
+const DefaultBurst = 256 * 1024
+
+// Sensor is the probe responder run on every testbed machine (the NWS
+// "sensor" process).
+type Sensor struct {
+	clock simclock.Clock
+}
+
+// NewSensor returns a Sensor.
+func NewSensor(clock simclock.Clock) *Sensor { return &Sensor{clock: clock} }
+
+// Serve accepts probe connections until l is closed.
+func (s *Sensor) Serve(l net.Listener) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		s.clock.Go("nws-sensor-conn", func() { s.handle(conn) })
+	}
+}
+
+func (s *Sensor) handle(conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	for {
+		typ, payload, err := wire.ReadFrame(br)
+		if err != nil {
+			return
+		}
+		switch typ {
+		case msgPing:
+			if err := wire.WriteFrame(bw, msgPong, payload); err != nil {
+				return
+			}
+		case msgBurst:
+			ack := wire.NewEncoder().U32(uint32(len(payload))).Bytes()
+			if err := wire.WriteFrame(bw, msgBurstAck, ack); err != nil {
+				return
+			}
+		default:
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// Dialer opens connections to sensor addresses.
+type Dialer interface {
+	Dial(addr string) (net.Conn, error)
+}
+
+// Prober issues active measurements from one host to sensors on others.
+type Prober struct {
+	clock  simclock.Clock
+	dialer Dialer
+	// Burst is the bandwidth probe size in bytes (0 selects DefaultBurst).
+	Burst int
+}
+
+// NewProber returns a Prober dialing through dialer.
+func NewProber(clock simclock.Clock, dialer Dialer) *Prober {
+	return &Prober{clock: clock, dialer: dialer}
+}
+
+// Probe measures the link to the sensor at addr and returns the estimated
+// one-way latency and bandwidth (bytes/sec).
+func (p *Prober) Probe(addr string) (latency time.Duration, bandwidth float64, err error) {
+	conn, err := p.dialer.Dial(addr)
+	if err != nil {
+		return 0, 0, fmt.Errorf("nws: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+
+	// Round trip of a tiny frame estimates 2x one-way latency.
+	t0 := p.clock.Now()
+	if err := wire.WriteFrame(conn, msgPing, []byte{1}); err != nil {
+		return 0, 0, err
+	}
+	typ, _, err := wire.ReadFrame(br)
+	if err != nil || typ != msgPong {
+		return 0, 0, fmt.Errorf("nws: ping failed: type=%d err=%v", typ, err)
+	}
+	rtt := p.clock.Now().Sub(t0)
+	latency = rtt / 2
+
+	// A burst transfer estimates bandwidth once the RTT is paid off.
+	burst := p.Burst
+	if burst <= 0 {
+		burst = DefaultBurst
+	}
+	t1 := p.clock.Now()
+	if err := wire.WriteFrame(conn, msgBurst, make([]byte, burst)); err != nil {
+		return 0, 0, err
+	}
+	typ, _, err = wire.ReadFrame(br)
+	if err != nil || typ != msgBurstAck {
+		return 0, 0, fmt.Errorf("nws: burst failed: type=%d err=%v", typ, err)
+	}
+	elapsed := p.clock.Now().Sub(t1) - rtt
+	if elapsed <= 0 {
+		elapsed = time.Microsecond
+	}
+	bandwidth = float64(burst) / elapsed.Seconds()
+	return latency, bandwidth, nil
+}
+
+// Target is one link a Monitor measures.
+type Target struct {
+	// Src names the measuring host, Dst the sensor's host; Addr is the
+	// sensor's address.
+	Src, Dst, Addr string
+	// Dialer dials from Src's network identity.
+	Dialer Dialer
+}
+
+// Monitor periodically probes a set of links and records the results in a
+// Service.
+type Monitor struct {
+	clock    simclock.Clock
+	svc      *Service
+	interval time.Duration
+	targets  []Target
+}
+
+// NewMonitor returns a Monitor probing targets every interval.
+func NewMonitor(clock simclock.Clock, svc *Service, interval time.Duration, targets []Target) *Monitor {
+	if interval <= 0 {
+		interval = 30 * time.Second
+	}
+	return &Monitor{clock: clock, svc: svc, interval: interval, targets: targets}
+}
+
+// Run probes all targets once per interval until stop fires. Probe failures
+// are skipped (a dead link simply stops producing samples, as in NWS).
+func (m *Monitor) Run(stop *simclock.Event) {
+	for {
+		m.ProbeOnce()
+		if stop.WaitTimeout(m.interval) {
+			return
+		}
+	}
+}
+
+// ProbeOnce measures every target a single time.
+func (m *Monitor) ProbeOnce() {
+	for _, t := range m.targets {
+		p := NewProber(m.clock, t.Dialer)
+		lat, bw, err := p.Probe(t.Addr)
+		if err != nil {
+			continue
+		}
+		now := m.clock.Now()
+		m.svc.Record(t.Src, t.Dst, MetricLatency, now, lat.Seconds())
+		m.svc.Record(t.Src, t.Dst, MetricBandwidth, now, bw)
+	}
+}

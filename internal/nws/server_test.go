@@ -1,0 +1,119 @@
+package nws
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"griddles/internal/simclock"
+	"griddles/internal/simnet"
+)
+
+func startNWSServer(t *testing.T, v *simclock.Virtual, n *simnet.Network) (*Client, *Service) {
+	t.Helper()
+	svc := NewService()
+	l, err := n.Host("nws").Listen("nws:8200")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.Go("nws-serve", func() { NewServer(svc, v).Serve(l) })
+	return NewClient(n.Host("app"), "nws:8200", v), svc
+}
+
+func TestClientRecordAndForecast(t *testing.T) {
+	v := simclock.NewVirtualDefault()
+	n := simnet.New(v)
+	v.Run(func() {
+		c, _ := startNWSServer(t, v, n)
+		defer c.Close()
+		for i := 0; i < 5; i++ {
+			if err := c.Record("a", "b", MetricLatency, 0.05); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, ok, err := c.Forecast("a", "b", MetricLatency)
+		if err != nil || !ok {
+			t.Fatalf("forecast: ok=%v err=%v", ok, err)
+		}
+		if math.Abs(got-0.05) > 1e-9 {
+			t.Errorf("forecast = %v", got)
+		}
+		// Unknown link reports !ok, not an error.
+		_, ok, err = c.Forecast("x", "y", MetricLatency)
+		if err != nil || ok {
+			t.Errorf("unknown link: ok=%v err=%v", ok, err)
+		}
+	})
+}
+
+func TestClientEstimateTransfer(t *testing.T) {
+	v := simclock.NewVirtualDefault()
+	n := simnet.New(v)
+	v.Run(func() {
+		c, _ := startNWSServer(t, v, n)
+		defer c.Close()
+		c.Record("a", "b", MetricLatency, 0.1)
+		c.Record("a", "b", MetricBandwidth, 1e6)
+		d, ok, err := c.EstimateTransfer("a", "b", 1_000_000)
+		if err != nil || !ok {
+			t.Fatalf("estimate: %v %v", ok, err)
+		}
+		want := 1100 * time.Millisecond
+		if d < want-time.Millisecond || d > want+time.Millisecond {
+			t.Errorf("estimate = %v, want ~%v", d, want)
+		}
+		_, ok, _ = c.EstimateTransfer("x", "y", 1)
+		if ok {
+			t.Error("estimate on unknown link ok")
+		}
+	})
+}
+
+func TestRemoteSensorReportsThroughClient(t *testing.T) {
+	// A monitor probes a link and pushes samples to the central server over
+	// the network, as the paper's distributed NWS deployment would.
+	v := simclock.NewVirtualDefault()
+	n := simnet.New(v)
+	n.SetLinkBoth("app", "far", simnet.LinkSpec{Latency: 30 * time.Millisecond})
+	v.Run(func() {
+		c, svc := startNWSServer(t, v, n)
+		defer c.Close()
+		lf, err := n.Host("far").Listen("far:8100")
+		if err != nil {
+			t.Fatal(err)
+		}
+		v.Go("sensor", func() { NewSensor(v).Serve(lf) })
+		p := NewProber(v, n.Host("app"))
+		lat, bw, err := p.Probe("far:8100")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Record("app", "far", MetricLatency, lat.Seconds()); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Record("app", "far", MetricBandwidth, bw); err != nil {
+			t.Fatal(err)
+		}
+		if got := svc.SeriesFor("app", "far", MetricLatency).Len(); got != 1 {
+			t.Errorf("server samples = %d", got)
+		}
+		got, ok, _ := c.Forecast("app", "far", MetricLatency)
+		if !ok || got < 0.025 || got > 0.05 {
+			t.Errorf("round-tripped forecast = %v ok=%v", got, ok)
+		}
+	})
+}
+
+func TestClientDialFailure(t *testing.T) {
+	v := simclock.NewVirtualDefault()
+	n := simnet.New(v)
+	v.Run(func() {
+		c := NewClient(n.Host("app"), "none:1", v)
+		if err := c.Record("a", "b", MetricLatency, 1); err == nil {
+			t.Error("record against dead server succeeded")
+		}
+		if _, _, err := c.Forecast("a", "b", MetricLatency); err == nil {
+			t.Error("forecast against dead server succeeded")
+		}
+	})
+}

@@ -1,0 +1,156 @@
+// Package simclock provides the time substrate for GriddLeS-Go.
+//
+// Every component in this repository — the File Multiplexer, the GNS, the
+// Grid Buffer service, the GridFTP-like file service and the synthetic
+// applications — is written against the Clock interface rather than the
+// time package. Binding a component to Real runs it in wall-clock time on
+// real sockets (the cmd/ daemons do this); binding it to Virtual runs it in
+// deterministic discrete-event time, which is how the paper's multi-hour,
+// four-country experiments are regenerated in well under a second.
+//
+// The Virtual clock advances only when every registered goroutine is parked
+// in a clock-aware wait (Sleep, Cond.Wait, or one of the sync primitives
+// built on them). Code running under a Virtual clock must therefore follow
+// two rules: spawn all concurrent work through Clock.Go, and never block on
+// a bare channel or sync primitive across simulated time — use the
+// clock-aware Cond, Mutex, WaitGroup and Semaphore instead. Short critical
+// sections under a real sync.Mutex are fine as long as the holder never
+// sleeps while holding it.
+package simclock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts time, goroutine spawning and condition waiting so the same
+// component code runs in wall-clock or simulated time.
+type Clock interface {
+	// Now reports the current time on this clock.
+	Now() time.Time
+	// Sleep pauses the calling goroutine for d. Non-positive d returns
+	// immediately.
+	Sleep(d time.Duration)
+	// Go runs fn on a new goroutine registered with the clock. Under a
+	// Virtual clock, unregistered goroutines must never call Sleep or wait
+	// on a clock Cond. The name is used in deadlock diagnostics.
+	Go(name string, fn func())
+	// NewCond returns a condition variable bound to this clock. l is the
+	// locker held around Wait, exactly as with sync.Cond.
+	NewCond(l sync.Locker) Cond
+}
+
+// Cond is a clock-aware condition variable. Under a Virtual clock a waiting
+// goroutine counts as parked, allowing simulated time to advance.
+type Cond interface {
+	// Wait atomically unlocks the associated locker and suspends the caller
+	// until Signal or Broadcast; it relocks before returning. As with
+	// sync.Cond, callers must re-check their predicate in a loop.
+	Wait()
+	// WaitTimeout is Wait with a deadline d from now. It reports true if the
+	// caller was woken by Signal/Broadcast and false on timeout. A negative
+	// d means no timeout (identical to Wait, returning true).
+	WaitTimeout(d time.Duration) bool
+	// Signal wakes one waiter, if any.
+	Signal()
+	// Broadcast wakes all waiters.
+	Broadcast()
+}
+
+// Real is the wall-clock implementation of Clock. Its zero value is ready to
+// use.
+type Real struct{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (Real) Sleep(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// Go implements Clock.
+func (Real) Go(_ string, fn func()) { go fn() }
+
+// NewCond implements Clock.
+func (Real) NewCond(l sync.Locker) Cond { return &realCond{l: l} }
+
+// realCond implements Cond over channels so that WaitTimeout is possible
+// (sync.Cond has no timed wait).
+type realCond struct {
+	l  sync.Locker
+	mu sync.Mutex
+	ws []chan struct{}
+}
+
+func (c *realCond) enqueue() chan struct{} {
+	ch := make(chan struct{})
+	c.mu.Lock()
+	c.ws = append(c.ws, ch)
+	c.mu.Unlock()
+	return ch
+}
+
+// remove drops ch from the waiter list; it reports false if ch had already
+// been taken by Signal/Broadcast (meaning a wake was consumed).
+func (c *realCond) remove(ch chan struct{}) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, w := range c.ws {
+		if w == ch {
+			c.ws = append(c.ws[:i], c.ws[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+func (c *realCond) Wait() {
+	ch := c.enqueue()
+	c.l.Unlock()
+	<-ch
+	c.l.Lock()
+}
+
+func (c *realCond) WaitTimeout(d time.Duration) bool {
+	if d < 0 {
+		c.Wait()
+		return true
+	}
+	ch := c.enqueue()
+	c.l.Unlock()
+	defer c.l.Lock()
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ch:
+		return true
+	case <-t.C:
+		if c.remove(ch) {
+			return false
+		}
+		// A wake raced the timeout and already dequeued us; honor it.
+		<-ch
+		return true
+	}
+}
+
+func (c *realCond) Signal() {
+	c.mu.Lock()
+	if len(c.ws) > 0 {
+		close(c.ws[0])
+		c.ws = c.ws[1:]
+	}
+	c.mu.Unlock()
+}
+
+func (c *realCond) Broadcast() {
+	c.mu.Lock()
+	for _, w := range c.ws {
+		close(w)
+	}
+	c.ws = nil
+	c.mu.Unlock()
+}

@@ -1,0 +1,188 @@
+package simclock
+
+import (
+	"sync"
+	"time"
+)
+
+// Mutex is a clock-aware mutual-exclusion lock. Unlike sync.Mutex, a
+// goroutine blocked in Lock counts as parked under a Virtual clock, so it is
+// safe — and often the point — to hold a Mutex across simulated time (for
+// example, to serialize a machine's disk). Waiters are woken in FIFO order.
+type Mutex struct {
+	mu     sync.Mutex
+	cond   Cond
+	locked bool
+}
+
+// NewMutex returns a Mutex bound to c.
+func NewMutex(c Clock) *Mutex {
+	m := &Mutex{}
+	m.cond = c.NewCond(&m.mu)
+	return m
+}
+
+// Lock acquires the mutex, parking the caller until it is available.
+func (m *Mutex) Lock() {
+	m.mu.Lock()
+	for m.locked {
+		m.cond.Wait()
+	}
+	m.locked = true
+	m.mu.Unlock()
+}
+
+// Unlock releases the mutex. It panics if the mutex is not locked.
+func (m *Mutex) Unlock() {
+	m.mu.Lock()
+	if !m.locked {
+		m.mu.Unlock()
+		panic("simclock: Unlock of unlocked Mutex")
+	}
+	m.locked = false
+	m.cond.Signal()
+	m.mu.Unlock()
+}
+
+// WaitGroup is a clock-aware sync.WaitGroup replacement.
+type WaitGroup struct {
+	mu    sync.Mutex
+	cond  Cond
+	count int
+}
+
+// NewWaitGroup returns a WaitGroup bound to c.
+func NewWaitGroup(c Clock) *WaitGroup {
+	w := &WaitGroup{}
+	w.cond = c.NewCond(&w.mu)
+	return w
+}
+
+// Add adds delta to the counter. It panics if the counter goes negative.
+func (w *WaitGroup) Add(delta int) {
+	w.mu.Lock()
+	w.count += delta
+	if w.count < 0 {
+		w.mu.Unlock()
+		panic("simclock: negative WaitGroup counter")
+	}
+	if w.count == 0 {
+		w.cond.Broadcast()
+	}
+	w.mu.Unlock()
+}
+
+// Done decrements the counter by one.
+func (w *WaitGroup) Done() { w.Add(-1) }
+
+// Wait parks the caller until the counter reaches zero.
+func (w *WaitGroup) Wait() {
+	w.mu.Lock()
+	for w.count != 0 {
+		w.cond.Wait()
+	}
+	w.mu.Unlock()
+}
+
+// Semaphore is a counting semaphore bound to a clock. It is used for
+// bounded in-flight windows (e.g. the Grid Buffer writer's backpressure).
+type Semaphore struct {
+	mu    sync.Mutex
+	cond  Cond
+	avail int64
+}
+
+// NewSemaphore returns a Semaphore with n initial permits.
+func NewSemaphore(c Clock, n int64) *Semaphore {
+	s := &Semaphore{avail: n}
+	s.cond = c.NewCond(&s.mu)
+	return s
+}
+
+// Acquire takes n permits, parking until they are available.
+func (s *Semaphore) Acquire(n int64) {
+	s.mu.Lock()
+	for s.avail < n {
+		s.cond.Wait()
+	}
+	s.avail -= n
+	s.mu.Unlock()
+}
+
+// TryAcquire takes n permits if immediately available and reports success.
+func (s *Semaphore) TryAcquire(n int64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.avail < n {
+		return false
+	}
+	s.avail -= n
+	return true
+}
+
+// Release returns n permits.
+func (s *Semaphore) Release(n int64) {
+	s.mu.Lock()
+	s.avail += n
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Available reports the current number of permits (for tests/metrics).
+func (s *Semaphore) Available() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.avail
+}
+
+// Event is a one-shot latch: Wait parks until Set is called; further Waits
+// return immediately.
+type Event struct {
+	mu   sync.Mutex
+	cond Cond
+	set  bool
+}
+
+// NewEvent returns an Event bound to c.
+func NewEvent(c Clock) *Event {
+	e := &Event{}
+	e.cond = c.NewCond(&e.mu)
+	return e
+}
+
+// Set fires the event, waking all current and future waiters.
+func (e *Event) Set() {
+	e.mu.Lock()
+	e.set = true
+	e.cond.Broadcast()
+	e.mu.Unlock()
+}
+
+// IsSet reports whether the event has fired.
+func (e *Event) IsSet() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.set
+}
+
+// Wait parks the caller until the event fires.
+func (e *Event) Wait() {
+	e.mu.Lock()
+	for !e.set {
+		e.cond.Wait()
+	}
+	e.mu.Unlock()
+}
+
+// WaitTimeout waits up to d for the event; it reports whether the event had
+// fired by the time it returns.
+func (e *Event) WaitTimeout(d time.Duration) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for !e.set {
+		if !e.cond.WaitTimeout(d) {
+			return e.set
+		}
+	}
+	return true
+}

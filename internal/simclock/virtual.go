@@ -1,0 +1,354 @@
+package simclock
+
+import (
+	"container/heap"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Virtual is a deterministic discrete-event implementation of Clock.
+//
+// Goroutines participating in simulated time must be spawned with Go (or be
+// the root function passed to Run). The clock advances to the earliest
+// pending timer whenever every registered goroutine is parked in Sleep or in
+// a Cond wait. If all registered goroutines are parked in untimed Cond waits
+// and no timer is pending while the root is still alive, the simulation can
+// never progress; Virtual panics with a full goroutine dump so the lost wake
+// is findable.
+//
+// Determinism: timer fires are ordered by (deadline, registration sequence),
+// so runs are reproducible whenever goroutines woken at the same instant do
+// not race on shared state outside the clock-aware primitives.
+type Virtual struct {
+	mu         sync.Mutex
+	base       time.Time
+	now        time.Duration
+	seq        uint64
+	runnable   int
+	condWait   int // goroutines parked in untimed Cond waits
+	timers     timerHeap
+	rootExited bool
+
+	// Failure propagation: a panic on any registered goroutine (including
+	// the synthetic deadlock panic) aborts the simulation and is re-panicked
+	// on the goroutine that called Run, so tests can recover it.
+	fatal   any
+	fatalCh chan struct{}
+	aborted bool
+}
+
+// NewVirtual returns a Virtual clock whose epoch is base.
+func NewVirtual(base time.Time) *Virtual {
+	return &Virtual{base: base, fatalCh: make(chan struct{})}
+}
+
+// DefaultBase is the epoch used by NewVirtualDefault: the month the paper's
+// venue (IPPS 2004, Santa Fe) took place. Any fixed instant would do; a
+// fixed one keeps experiment logs stable.
+var DefaultBase = time.Date(2004, time.April, 26, 0, 0, 0, 0, time.UTC)
+
+// NewVirtualDefault returns a Virtual clock with the DefaultBase epoch.
+func NewVirtualDefault() *Virtual { return NewVirtual(DefaultBase) }
+
+// Now implements Clock.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.base.Add(v.now)
+}
+
+// Elapsed reports simulated time since the epoch.
+func (v *Virtual) Elapsed() time.Duration {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// Sleep implements Clock. It must be called from a registered goroutine.
+func (v *Virtual) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	ch := make(chan struct{})
+	v.mu.Lock()
+	v.addTimerLocked(v.now+d, func() {
+		v.runnable++
+		close(ch)
+	})
+	v.park()
+	v.mu.Unlock()
+	<-ch
+}
+
+// Go implements Clock.
+func (v *Virtual) Go(name string, fn func()) {
+	v.mu.Lock()
+	v.runnable++
+	v.mu.Unlock()
+	go func() {
+		defer func() {
+			r := recover()
+			v.mu.Lock()
+			if r != nil {
+				v.failLocked(fmt.Sprintf("simclock: goroutine %q panicked: %v", name, r))
+			}
+			v.park()
+			v.mu.Unlock()
+		}()
+		fn()
+	}()
+}
+
+// Run executes root as a registered goroutine and blocks the (unregistered)
+// caller until it returns. Daemon goroutines left parked in Cond waits after
+// root exits (e.g. server accept loops) do not trigger the deadlock panic.
+// A panic on any registered goroutine — or a detected deadlock — aborts the
+// simulation and re-panics here, on the caller's goroutine.
+func (v *Virtual) Run(root func()) {
+	v.mu.Lock()
+	v.rootExited = false
+	v.mu.Unlock()
+	done := make(chan struct{})
+	v.Go("root", func() {
+		defer close(done)
+		defer func() {
+			v.mu.Lock()
+			v.rootExited = true
+			v.mu.Unlock()
+		}()
+		root()
+	})
+	select {
+	case <-done:
+	case <-v.fatalCh:
+	}
+	v.mu.Lock()
+	f := v.fatal
+	v.mu.Unlock()
+	if f != nil {
+		panic(f)
+	}
+}
+
+// failLocked records the first fatal error, aborts further time advance and
+// wakes Run. Later failures are dropped. Callers hold v.mu.
+func (v *Virtual) failLocked(msg any) {
+	if v.aborted {
+		return
+	}
+	v.aborted = true
+	v.fatal = msg
+	close(v.fatalCh)
+}
+
+// park marks the calling registered goroutine as no longer runnable and
+// advances the clock if it was the last one. Callers hold v.mu.
+func (v *Virtual) park() {
+	v.runnable--
+	v.advanceLocked()
+}
+
+// NewCond implements Clock.
+func (v *Virtual) NewCond(l sync.Locker) Cond { return &vcond{v: v, l: l} }
+
+// timer is a pending virtual-time event. fire is invoked with v.mu held and
+// must not block; it typically marks one goroutine runnable and closes its
+// wake channel.
+type timer struct {
+	at      time.Duration
+	seq     uint64
+	fire    func()
+	stopped bool
+	idx     int
+}
+
+func (v *Virtual) addTimerLocked(at time.Duration, fire func()) *timer {
+	t := &timer{at: at, seq: v.seq, fire: fire}
+	v.seq++
+	heap.Push(&v.timers, t)
+	return t
+}
+
+func (v *Virtual) stopTimerLocked(t *timer) { t.stopped = true }
+
+// advanceLocked advances simulated time while no registered goroutine is
+// runnable, firing due timers in deterministic order.
+func (v *Virtual) advanceLocked() {
+	for v.runnable == 0 && !v.aborted {
+		for len(v.timers) > 0 && v.timers[0].stopped {
+			heap.Pop(&v.timers)
+		}
+		if len(v.timers) == 0 {
+			if v.condWait > 0 && !v.rootExited {
+				v.deadlockLocked()
+			}
+			return
+		}
+		t0 := v.timers[0].at
+		if t0 > v.now {
+			v.now = t0
+		}
+		for len(v.timers) > 0 && (v.timers[0].stopped || v.timers[0].at == t0) {
+			t := heap.Pop(&v.timers).(*timer)
+			if !t.stopped {
+				t.fire()
+			}
+		}
+	}
+}
+
+func (v *Virtual) deadlockLocked() {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	v.failLocked(fmt.Sprintf(
+		"simclock: deadlock at virtual t=%v: %d goroutines in untimed Cond waits, no pending timers\n%s",
+		v.now, v.condWait, buf[:n]))
+}
+
+// vcond is the Virtual implementation of Cond.
+type vcond struct {
+	v       *Virtual
+	l       sync.Locker
+	waiters []*vwaiter
+}
+
+const (
+	wPending = iota
+	wSignaled
+	wTimedOut
+)
+
+type vwaiter struct {
+	ch     chan struct{}
+	state  int
+	timer  *timer
+	parked bool // the waiter has decremented runnable
+	timed  bool // registered with a timeout (not counted in condWait)
+}
+
+// wait implements Wait/WaitTimeout in three phases:
+//
+//  1. register the waiter (still runnable) so a Signal between the
+//     associated-lock release and the park cannot be lost;
+//  2. release the caller's lock — crucially while still counted runnable,
+//     because releasing a clock-aware Mutex can wake other goroutines and
+//     the quiescence detector must not see a moment where this goroutine is
+//     "parked" yet still has that work to do;
+//  3. park (leave the runnable count) and block, unless a wake already
+//     arrived during phase 2.
+func (c *vcond) wait(d time.Duration) bool {
+	v := c.v
+	w := &vwaiter{ch: make(chan struct{}), timed: d >= 0}
+
+	v.mu.Lock()
+	c.waiters = append(c.waiters, w)
+	if d >= 0 {
+		w.timer = v.addTimerLocked(v.now+d, func() {
+			if w.state == wPending {
+				w.state = wTimedOut
+				if w.parked {
+					v.runnable++
+				}
+				close(w.ch)
+			}
+		})
+	}
+	v.mu.Unlock()
+
+	c.l.Unlock()
+
+	v.mu.Lock()
+	if w.state == wPending {
+		w.parked = true
+		if !w.timed {
+			v.condWait++
+		}
+		v.park()
+		v.mu.Unlock()
+		<-w.ch
+	} else {
+		// Signaled (or timed out) before we parked; ch is already closed.
+		v.mu.Unlock()
+	}
+
+	c.l.Lock()
+	return w.state == wSignaled
+}
+
+func (c *vcond) Wait() { c.wait(-1) }
+
+func (c *vcond) WaitTimeout(d time.Duration) bool {
+	if d < 0 {
+		c.Wait()
+		return true
+	}
+	return c.wait(d)
+}
+
+// wakeLocked transfers one pending waiter to runnable. It reports whether a
+// waiter was woken.
+func (c *vcond) wakeLocked() bool {
+	for len(c.waiters) > 0 {
+		w := c.waiters[0]
+		c.waiters = c.waiters[1:]
+		if w.state != wPending {
+			continue // already timed out; skip the stale entry
+		}
+		w.state = wSignaled
+		if w.timer != nil {
+			c.v.stopTimerLocked(w.timer)
+		}
+		if w.parked {
+			if !w.timed {
+				c.v.condWait--
+			}
+			c.v.runnable++
+		}
+		close(w.ch)
+		return true
+	}
+	return false
+}
+
+func (c *vcond) Signal() {
+	c.v.mu.Lock()
+	c.wakeLocked()
+	c.v.mu.Unlock()
+}
+
+func (c *vcond) Broadcast() {
+	c.v.mu.Lock()
+	for c.wakeLocked() {
+	}
+	c.v.mu.Unlock()
+}
+
+// timerHeap orders timers by (deadline, sequence).
+type timerHeap []*timer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx, h[j].idx = i, j
+}
+func (h *timerHeap) Push(x any) {
+	t := x.(*timer)
+	t.idx = len(*h)
+	*h = append(*h, t)
+}
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return t
+}

@@ -1,0 +1,254 @@
+package simnet
+
+import (
+	"io"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"griddles/internal/simclock"
+)
+
+// Conn is one endpoint of a simulated connection. It implements net.Conn.
+type Conn struct {
+	clock  simclock.Clock
+	local  Addr
+	remote Addr
+	r      *stream // data flowing toward this endpoint
+	w      *stream // data flowing away from this endpoint
+
+	mu           sync.Mutex
+	closed       bool
+	readDeadline time.Time
+}
+
+// Read implements net.Conn. It blocks (in simulated time) until data that
+// has propagated across the link is available, EOF, or the read deadline.
+func (c *Conn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return 0, net.ErrClosed
+	}
+	dl := c.readDeadline
+	c.mu.Unlock()
+	return c.r.read(p, dl)
+}
+
+// Write implements net.Conn. Writes larger than the link chunk size are
+// split; each chunk consumes window space, pays link serialization time and
+// becomes readable one propagation delay later.
+func (c *Conn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return 0, net.ErrClosed
+	}
+	c.mu.Unlock()
+	return c.w.write(p)
+}
+
+// Close implements net.Conn. The peer reads any already-sent data and then
+// EOF.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.w.closeWrite(nil)
+	c.r.closeRead()
+	return nil
+}
+
+// CloseWrite half-closes the connection: the peer sees EOF after draining,
+// but this endpoint can keep reading.
+func (c *Conn) CloseWrite() error {
+	c.w.closeWrite(nil)
+	return nil
+}
+
+// LocalAddr implements net.Conn.
+func (c *Conn) LocalAddr() net.Addr { return c.local }
+
+// RemoteAddr implements net.Conn.
+func (c *Conn) RemoteAddr() net.Addr { return c.remote }
+
+// SetDeadline implements net.Conn (read side only; writes in this model
+// cannot stall indefinitely unless the peer stops reading).
+func (c *Conn) SetDeadline(t time.Time) error { return c.SetReadDeadline(t) }
+
+// SetReadDeadline implements net.Conn.
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.readDeadline = t
+	c.mu.Unlock()
+	return nil
+}
+
+// SetWriteDeadline implements net.Conn as a no-op.
+func (c *Conn) SetWriteDeadline(time.Time) error { return nil }
+
+// segment is a chunk of bytes that becomes readable at ready.
+type segment struct {
+	data  []byte
+	ready time.Time
+}
+
+// stream is one direction of a connection: a bounded FIFO of segments with
+// propagation delay. The window counts bytes written but not yet consumed by
+// the reader, which is what gives request/response protocols their latency
+// sensitivity and bulk transfers their backpressure.
+type stream struct {
+	clock simclock.Clock
+	link  *link
+
+	mu       sync.Mutex
+	rcond    simclock.Cond // readers wait for data
+	wcond    simclock.Cond // writers wait for window space
+	segs     []segment
+	buffered int
+	window   int
+	wclosed  bool
+	rclosed  bool
+	err      error
+}
+
+func newStream(clock simclock.Clock, l *link, window int) *stream {
+	s := &stream{clock: clock, link: l, window: window}
+	s.rcond = clock.NewCond(&s.mu)
+	s.wcond = clock.NewCond(&s.mu)
+	return s
+}
+
+func (s *stream) write(p []byte) (int, error) {
+	total := 0
+	for len(p) > 0 {
+		chunk := len(p)
+		if chunk > maxChunk {
+			chunk = maxChunk
+		}
+		if chunk > s.window {
+			chunk = s.window
+		}
+
+		// Reserve window space.
+		s.mu.Lock()
+		for s.buffered+chunk > s.window && !s.wclosed && !s.rclosed {
+			s.wcond.Wait()
+		}
+		if s.wclosed {
+			s.mu.Unlock()
+			return total, net.ErrClosed
+		}
+		if s.rclosed {
+			s.mu.Unlock()
+			return total, io.ErrClosedPipe
+		}
+		s.buffered += chunk
+		s.mu.Unlock()
+
+		// Pay serialization on the shared link, outside the stream lock.
+		if bw := s.link.spec.Bandwidth; bw > 0 {
+			s.link.xmit.Lock()
+			s.clock.Sleep(time.Duration(int64(chunk) * int64(time.Second) / bw))
+			s.link.xmit.Unlock()
+		}
+
+		// Deliver after propagation delay.
+		data := make([]byte, chunk)
+		copy(data, p[:chunk])
+		s.mu.Lock()
+		s.segs = append(s.segs, segment{data: data, ready: s.clock.Now().Add(s.link.spec.Latency)})
+		s.rcond.Broadcast()
+		s.mu.Unlock()
+
+		p = p[chunk:]
+		total += chunk
+	}
+	return total, nil
+}
+
+func (s *stream) read(p []byte, deadline time.Time) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.rclosed {
+			return 0, net.ErrClosed
+		}
+		if len(s.segs) > 0 {
+			wait := s.segs[0].ready.Sub(s.clock.Now())
+			if wait <= 0 {
+				break
+			}
+			if !deadline.IsZero() {
+				if dwait := deadline.Sub(s.clock.Now()); dwait < wait {
+					if dwait <= 0 || !s.rcond.WaitTimeout(dwait) {
+						return 0, os.ErrDeadlineExceeded
+					}
+					continue
+				}
+			}
+			s.rcond.WaitTimeout(wait)
+			continue
+		}
+		if s.wclosed {
+			if s.err != nil {
+				return 0, s.err
+			}
+			return 0, io.EOF
+		}
+		if !deadline.IsZero() {
+			dwait := deadline.Sub(s.clock.Now())
+			if dwait <= 0 || !s.rcond.WaitTimeout(dwait) {
+				return 0, os.ErrDeadlineExceeded
+			}
+			continue
+		}
+		s.rcond.Wait()
+	}
+
+	// Drain as much ready data as fits.
+	n := 0
+	now := s.clock.Now()
+	for n < len(p) && len(s.segs) > 0 && !s.segs[0].ready.After(now) {
+		seg := &s.segs[0]
+		c := copy(p[n:], seg.data)
+		n += c
+		if c == len(seg.data) {
+			s.segs = s.segs[1:]
+		} else {
+			seg.data = seg.data[c:]
+		}
+	}
+	s.buffered -= n
+	s.wcond.Broadcast()
+	return n, nil
+}
+
+// closeWrite marks the writer side done; readers drain then see EOF (or err
+// if non-nil).
+func (s *stream) closeWrite(err error) {
+	s.mu.Lock()
+	if !s.wclosed {
+		s.wclosed = true
+		s.err = err
+		s.rcond.Broadcast()
+		s.wcond.Broadcast()
+	}
+	s.mu.Unlock()
+}
+
+// closeRead aborts the reader side; pending and future writes fail.
+func (s *stream) closeRead() {
+	s.mu.Lock()
+	if !s.rclosed {
+		s.rclosed = true
+		s.rcond.Broadcast()
+		s.wcond.Broadcast()
+	}
+	s.mu.Unlock()
+}

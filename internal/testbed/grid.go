@@ -1,0 +1,145 @@
+package testbed
+
+import (
+	"sort"
+	"time"
+
+	"griddles/internal/simclock"
+	"griddles/internal/simnet"
+)
+
+// The paper's Table 1 machines. Descriptive fields are transcribed from the
+// table; SpeedFactor is calibrated from Table 3 (C-CAM seconds per machine,
+// brecca = 1.0), with jagan and koume00 — which do not appear in Table 3 —
+// scaled from vpac27 by clock rate (all three are Pentium IIIs). DiskMBps
+// and MultiprogPenalty are fitted to the Table 4 crossovers (see
+// EXPERIMENTS.md).
+var Table1 = []MachineSpec{
+	{
+		Name: "dione", Address: "dione.csse.monash.edu.au",
+		CPU: "Pentium 4", MHz: 1500, MemMB: 256, OS: "Redhat Linux 7.3", Country: "AU",
+		SpeedFactor: 0.584, DiskMBps: 1.2, MultiprogPenalty: 0.40,
+	},
+	{
+		Name: "freak", Address: "freak.ucsd.edu",
+		CPU: "Athlon", MHz: 700, MemMB: 256, OS: "Debian", Country: "US",
+		SpeedFactor: 0.543, DiskMBps: 1.2, MultiprogPenalty: 0.02,
+	},
+	{
+		Name: "vpac27", Address: "vpac27.vpac.org",
+		CPU: "Pentium 3", MHz: 997, MemMB: 256, OS: "Red Hat Linux 7.3", Country: "AU",
+		SpeedFactor: 0.253, DiskMBps: 0.8, MultiprogPenalty: 0.55,
+	},
+	{
+		Name: "brecca", Address: "brecca-2.vpac.org",
+		CPU: "Intel Xeon", MHz: 2800, MemMB: 2048, OS: "Redhat Linux 7.3", Country: "AU",
+		SpeedFactor: 1.0, DiskMBps: 1.8, MultiprogPenalty: 0.03,
+	},
+	{
+		Name: "bouscat", Address: "bouscat.cs.cf.ac.uk",
+		CPU: "Pentium 3", MHz: 1000, MemMB: 1544, OS: "Red Hat Linux 7.2", Country: "UK",
+		SpeedFactor: 0.245, DiskMBps: 0.8, MultiprogPenalty: 0.01,
+	},
+	{
+		Name: "jagan", Address: "jagan.csse.monash.edu.au",
+		CPU: "Pentium 3", MHz: 350, MemMB: 128, OS: "Redhat Linux 7.3", Country: "AU",
+		SpeedFactor: 0.089, DiskMBps: 0.8, MultiprogPenalty: 0.05,
+	},
+	{
+		Name: "koume00", Address: "koume00.hpcc.jp",
+		CPU: "Pentium 3", MHz: 1400, MemMB: 1024, OS: "Red Hat Linux 7.3", Country: "JP",
+		SpeedFactor: 0.355, DiskMBps: 2.0, MultiprogPenalty: 0.05,
+	},
+}
+
+// site groups machines that share a campus network.
+var sites = map[string]string{
+	"dione":   "monash",
+	"jagan":   "monash",
+	"brecca":  "vpac",
+	"vpac27":  "vpac",
+	"freak":   "ucsd",
+	"bouscat": "cardiff",
+	"koume00": "hpcc-jp",
+}
+
+// siteLink is the shaping between two sites (one-way latency, bytes/sec).
+// Values are representative 2004 academic-network numbers, cross-checked
+// against the paper's Table 5 file-copy durations: brecca->bouscat copies
+// the ~20 MB coupling file in ~450 s (~45 KB/s — the window over a 300 ms
+// RTT), brecca->freak in ~215 s (~95 KB/s over a 160 ms RTT), and the
+// intra-Melbourne pairs are bandwidth-bound at the rates below.
+type siteLink struct {
+	latency   time.Duration
+	bandwidth int64
+}
+
+// WindowBytes is the per-connection in-flight window used on the default
+// grid. 8 KiB over a 300 ms AU-UK round trip gives the ~45 KB/s single
+// stream the paper's Table 5 file-copy rows imply.
+const WindowBytes = 8 * 1024
+
+var sameSite = siteLink{latency: 300 * time.Microsecond, bandwidth: 1400 << 10}
+
+// Keys are lexically sorted site pairs.
+var siteLinks = map[[2]string]siteLink{
+	{"monash", "vpac"}:     {2 * time.Millisecond, 460 << 10},
+	{"monash", "ucsd"}:     {80 * time.Millisecond, 1 << 20},
+	{"cardiff", "monash"}:  {150 * time.Millisecond, 1 << 20},
+	{"hpcc-jp", "monash"}:  {60 * time.Millisecond, 1 << 20},
+	{"ucsd", "vpac"}:       {80 * time.Millisecond, 1 << 20},
+	{"cardiff", "vpac"}:    {150 * time.Millisecond, 1 << 20},
+	{"hpcc-jp", "vpac"}:    {60 * time.Millisecond, 1 << 20},
+	{"cardiff", "ucsd"}:    {70 * time.Millisecond, 1 << 20},
+	{"hpcc-jp", "ucsd"}:    {60 * time.Millisecond, 1 << 20},
+	{"cardiff", "hpcc-jp"}: {120 * time.Millisecond, 1 << 20},
+}
+
+// LinkBetween reports the shaping used between two machines of the default
+// grid (exported for NWS cross-checks in tests).
+func LinkBetween(a, b string) (latency time.Duration, bandwidth int64) {
+	sa, sb := sites[a], sites[b]
+	if sa == sb {
+		if a == b {
+			return 0, 0 // loopback, effectively free
+		}
+		return sameSite.latency, sameSite.bandwidth
+	}
+	key := [2]string{sa, sb}
+	if key[0] > key[1] {
+		key[0], key[1] = key[1], key[0]
+	}
+	l := siteLinks[key]
+	return l.latency, l.bandwidth
+}
+
+// DefaultGrid builds the full Table 1 testbed with its WAN links.
+func DefaultGrid(clock simclock.Clock) *Grid {
+	g := NewGrid(clock)
+	for _, spec := range Table1 {
+		g.AddMachine(spec)
+	}
+	names := make([]string, 0, len(Table1))
+	for _, s := range Table1 {
+		names = append(names, s.Name)
+	}
+	sort.Strings(names)
+	for i, a := range names {
+		for _, b := range names[i+1:] {
+			lat, bw := LinkBetween(a, b)
+			g.Network().SetLinkBoth(a, b, simnet.LinkSpec{Latency: lat, Bandwidth: bw})
+		}
+	}
+	g.Network().SetWindow(WindowBytes)
+	return g
+}
+
+// SpecByName reports the Table 1 spec for a machine name.
+func SpecByName(name string) (MachineSpec, bool) {
+	for _, s := range Table1 {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return MachineSpec{}, false
+}

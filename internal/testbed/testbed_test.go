@@ -1,0 +1,308 @@
+package testbed
+
+import (
+	"io"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"griddles/internal/simclock"
+	"griddles/internal/vfs"
+)
+
+func soloGrid(spec MachineSpec) (*simclock.Virtual, *Machine) {
+	v := simclock.NewVirtualDefault()
+	g := NewGrid(v)
+	return v, g.AddMachine(spec)
+}
+
+func TestComputeSoloMatchesSpeed(t *testing.T) {
+	v, m := soloGrid(MachineSpec{Name: "m", SpeedFactor: 0.5})
+	v.Run(func() {
+		release := m.Attach()
+		defer release()
+		m.Compute(10) // 10 brecca-seconds at half speed = 20s
+	})
+	if got := v.Elapsed(); got != 20*time.Second {
+		t.Errorf("compute took %v, want 20s", got)
+	}
+}
+
+func TestComputeFairShare(t *testing.T) {
+	v, m := soloGrid(MachineSpec{Name: "m", SpeedFactor: 1})
+	v.Run(func() {
+		wg := simclock.NewWaitGroup(v)
+		for i := 0; i < 2; i++ {
+			wg.Add(1)
+			v.Go("task", func() {
+				defer wg.Done()
+				m.Compute(30)
+			})
+		}
+		wg.Wait()
+	})
+	// Two 30s tasks on one CPU: 60s total.
+	got := v.Elapsed()
+	if got < 59*time.Second || got > 61*time.Second {
+		t.Errorf("two shared tasks took %v, want ~60s", got)
+	}
+}
+
+func TestComputeWorkConservation(t *testing.T) {
+	// A task arriving midway shares the CPU from then on; total CPU time is
+	// conserved: 30 + 10 = 40s.
+	v, m := soloGrid(MachineSpec{Name: "m", SpeedFactor: 1})
+	v.Run(func() {
+		wg := simclock.NewWaitGroup(v)
+		wg.Add(2)
+		v.Go("long", func() { defer wg.Done(); m.Compute(30) })
+		v.Go("late", func() {
+			defer wg.Done()
+			v.Sleep(10 * time.Second)
+			m.Compute(10)
+		})
+		wg.Wait()
+	})
+	got := v.Elapsed()
+	if got < 39*time.Second || got > 41*time.Second {
+		t.Errorf("elapsed %v, want ~40s", got)
+	}
+}
+
+func TestMultiprogrammingPenalty(t *testing.T) {
+	// With penalty 0.5, two concurrent tasks run at 1/(2*1.5) speed each:
+	// 15 + 15 units take 45s instead of 30s.
+	v, m := soloGrid(MachineSpec{Name: "m", SpeedFactor: 1, MultiprogPenalty: 0.5})
+	v.Run(func() {
+		wg := simclock.NewWaitGroup(v)
+		for i := 0; i < 2; i++ {
+			wg.Add(1)
+			v.Go("task", func() { defer wg.Done(); m.Compute(15) })
+		}
+		wg.Wait()
+	})
+	got := v.Elapsed()
+	want := 45 * time.Second
+	if got < want-time.Second || got > want+time.Second {
+		t.Errorf("penalized compute took %v, want ~%v", got, want)
+	}
+}
+
+func TestIdleResidentsDoNotSlowCompute(t *testing.T) {
+	v, m := soloGrid(MachineSpec{Name: "m", SpeedFactor: 1, MultiprogPenalty: 0.9})
+	v.Run(func() {
+		r1, r2 := m.Attach(), m.Attach()
+		defer r1()
+		defer r2()
+		if m.Residents() != 2 {
+			t.Errorf("residents = %d", m.Residents())
+		}
+		m.Compute(10) // alone on the CPU: no penalty applies
+	})
+	if got := v.Elapsed(); got != 10*time.Second {
+		t.Errorf("compute with idle residents took %v, want 10s", got)
+	}
+}
+
+func TestAttachReleaseIdempotent(t *testing.T) {
+	v, m := soloGrid(MachineSpec{Name: "m", SpeedFactor: 1, MultiprogPenalty: 1})
+	v.Run(func() {
+		release := m.Attach()
+		release()
+		release() // double release must not go negative
+		r := m.Attach()
+		defer r()
+		if m.Residents() != 1 {
+			t.Errorf("residents = %d, want 1", m.Residents())
+		}
+		m.Compute(5)
+	})
+	if got := v.Elapsed(); got != 5*time.Second {
+		t.Errorf("compute took %v, want 5s", got)
+	}
+}
+
+func TestDiskTiming(t *testing.T) {
+	v, m := soloGrid(MachineSpec{Name: "m", SpeedFactor: 1, DiskMBps: 1})
+	v.Run(func() {
+		// 2 MB write through the FS at 1 MB/s.
+		f, err := m.FS().OpenFile("data", vfs.CreateTruncFlag, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Write(make([]byte, 2_000_000))
+		f.Close()
+	})
+	got := v.Elapsed()
+	if got < 1900*time.Millisecond || got > 2100*time.Millisecond {
+		t.Errorf("2MB at 1MB/s took %v, want ~2s", got)
+	}
+}
+
+func TestDiskContentionSerializes(t *testing.T) {
+	v, m := soloGrid(MachineSpec{Name: "m", SpeedFactor: 1, DiskMBps: 1})
+	v.Run(func() {
+		wg := simclock.NewWaitGroup(v)
+		for i := 0; i < 2; i++ {
+			i := i
+			wg.Add(1)
+			v.Go("writer", func() {
+				defer wg.Done()
+				vfs.WriteFile(m.FS(), string(rune('a'+i)), make([]byte, 1_000_000))
+			})
+		}
+		wg.Wait()
+	})
+	got := v.Elapsed()
+	if got < 1900*time.Millisecond || got > 2200*time.Millisecond {
+		t.Errorf("two contending 1MB writes took %v, want ~2s", got)
+	}
+}
+
+func TestRawFSBypassesDisk(t *testing.T) {
+	v, m := soloGrid(MachineSpec{Name: "m", SpeedFactor: 1, DiskMBps: 1})
+	v.Run(func() {
+		vfs.WriteFile(m.RawFS(), "instant", make([]byte, 10_000_000))
+	})
+	if v.Elapsed() != 0 {
+		t.Errorf("raw write consumed %v", v.Elapsed())
+	}
+}
+
+func TestDiskReadTiming(t *testing.T) {
+	v, m := soloGrid(MachineSpec{Name: "m", SpeedFactor: 1, DiskMBps: 1})
+	vfs.WriteFile(m.RawFS(), "data", make([]byte, 1_000_000))
+	v.Run(func() {
+		f, err := m.FS().OpenFile("data", vfs.ReadOnlyFlag, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, f)
+		f.Close()
+	})
+	got := v.Elapsed()
+	if got < 900*time.Millisecond || got > 1100*time.Millisecond {
+		t.Errorf("1MB read took %v, want ~1s", got)
+	}
+}
+
+func TestDefaultGridComplete(t *testing.T) {
+	v := simclock.NewVirtualDefault()
+	g := DefaultGrid(v)
+	if len(g.Machines()) != 7 {
+		t.Fatalf("machines = %d, want 7 (Table 1)", len(g.Machines()))
+	}
+	for _, name := range []string{"dione", "freak", "vpac27", "brecca", "bouscat", "jagan", "koume00"} {
+		m := g.Machine(name)
+		if m.Spec().SpeedFactor <= 0 {
+			t.Errorf("%s has no speed factor", name)
+		}
+		if m.Spec().Country == "" {
+			t.Errorf("%s has no country", name)
+		}
+	}
+	// brecca is the Table 3 reference machine.
+	if g.Machine("brecca").Spec().SpeedFactor != 1.0 {
+		t.Error("brecca speed factor is not 1.0")
+	}
+	// Table 3 ordering: brecca > dione > freak > vpac27 ~ bouscat.
+	sf := func(n string) float64 { return g.Machine(n).Spec().SpeedFactor }
+	if !(sf("brecca") > sf("dione") && sf("dione") > sf("freak") && sf("freak") > sf("vpac27")) {
+		t.Error("speed factors do not reproduce the Table 3 ordering")
+	}
+}
+
+func TestUnknownMachinePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	DefaultGrid(simclock.NewVirtualDefault()).Machine("hal9000")
+}
+
+func TestLinkBetween(t *testing.T) {
+	// Same site: sub-millisecond, above 1 MB/s.
+	lat, bw := LinkBetween("brecca", "vpac27")
+	if lat >= time.Millisecond || bw < 1<<20 {
+		t.Errorf("same-site link = %v %d", lat, bw)
+	}
+	// AU-UK: high latency.
+	lat, _ = LinkBetween("brecca", "bouscat")
+	if lat < 100*time.Millisecond {
+		t.Errorf("AU-UK latency = %v, want >= 100ms", lat)
+	}
+	// Symmetric.
+	l1, b1 := LinkBetween("dione", "freak")
+	l2, b2 := LinkBetween("freak", "dione")
+	if l1 != l2 || b1 != b2 {
+		t.Error("link not symmetric")
+	}
+}
+
+func TestGridWANTransferTime(t *testing.T) {
+	// A 1 MB transfer brecca->bouscat should be roughly window-over-RTT
+	// bound: 8 KiB per 150 ms one-way latency => ~53 KB/s => ~19s. This is
+	// the rate the paper's own brecca->bouscat copy time implies.
+	v := simclock.NewVirtualDefault()
+	g := DefaultGrid(v)
+	var elapsed time.Duration
+	v.Run(func() {
+		l, err := g.Machine("bouscat").Listen(":9")
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := simclock.NewWaitGroup(v)
+		done.Add(1)
+		v.Go("sink", func() {
+			defer done.Done()
+			c, _ := l.Accept()
+			io.Copy(io.Discard, c)
+		})
+		c, err := g.Machine("brecca").Dial("bouscat:9")
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := v.Now()
+		c.Write(make([]byte, 1<<20))
+		c.Close()
+		done.Wait()
+		elapsed = v.Now().Sub(start)
+	})
+	if elapsed < 15*time.Second || elapsed > 25*time.Second {
+		t.Errorf("1MB AU->UK took %v, want ~19s (window-bound)", elapsed)
+	}
+}
+
+// Property: compute work is conserved under fair sharing — N concurrent
+// tasks with random works finish in sum(works)/speed (within quantum
+// granularity).
+func TestFairShareConservationProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 6 {
+			raw = raw[:6]
+		}
+		var sum float64
+		v, m := soloGrid(MachineSpec{Name: "m", SpeedFactor: 1})
+		v.Run(func() {
+			wg := simclock.NewWaitGroup(v)
+			for _, r := range raw {
+				w := float64(r%40) + 1
+				sum += w
+				wg.Add(1)
+				v.Go("task", func() { defer wg.Done(); m.Compute(w) })
+			}
+			wg.Wait()
+		})
+		want := sum
+		got := v.Elapsed().Seconds()
+		return math.Abs(got-want) < 0.5+0.02*want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

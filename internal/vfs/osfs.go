@@ -1,0 +1,97 @@
+package vfs
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// OSFS is an FS rooted at a real directory, used by the cmd/ daemons.
+// All names are resolved inside Root; attempts to escape it fail.
+type OSFS struct {
+	Root string
+}
+
+// NewOSFS returns an OSFS rooted at dir.
+func NewOSFS(dir string) *OSFS { return &OSFS{Root: dir} }
+
+func (o *OSFS) resolve(name string) (string, error) {
+	clean := filepath.Clean("/" + name) // force absolute-style cleaning
+	full := filepath.Join(o.Root, clean)
+	if !strings.HasPrefix(full, filepath.Clean(o.Root)+string(filepath.Separator)) &&
+		full != filepath.Clean(o.Root) {
+		return "", &fs.PathError{Op: "resolve", Path: name, Err: fs.ErrPermission}
+	}
+	return full, nil
+}
+
+// OpenFile implements FS.
+func (o *OSFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	full, err := o.resolve(name)
+	if err != nil {
+		return nil, err
+	}
+	if flag&os.O_CREATE != 0 {
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			return nil, err
+		}
+	}
+	f, err := os.OpenFile(full, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &osFile{File: f, logical: name}, nil
+}
+
+// Stat implements FS.
+func (o *OSFS) Stat(name string) (fs.FileInfo, error) {
+	full, err := o.resolve(name)
+	if err != nil {
+		return nil, err
+	}
+	return os.Stat(full)
+}
+
+// Remove implements FS.
+func (o *OSFS) Remove(name string) error {
+	full, err := o.resolve(name)
+	if err != nil {
+		return err
+	}
+	return os.Remove(full)
+}
+
+// List implements FS.
+func (o *OSFS) List(prefix string) ([]string, error) {
+	var names []string
+	root := filepath.Clean(o.Root)
+	err := filepath.Walk(root, func(path string, info fs.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		rel, rerr := filepath.Rel(root, path)
+		if rerr != nil {
+			return rerr
+		}
+		logical := "/" + filepath.ToSlash(rel)
+		if strings.HasPrefix(logical, prefix) || strings.HasPrefix(strings.TrimPrefix(logical, "/"), prefix) {
+			names = append(names, logical)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// osFile adapts *os.File so Name reports the logical (un-rooted) path.
+type osFile struct {
+	*os.File
+	logical string
+}
+
+func (f *osFile) Name() string { return f.logical }

@@ -1,0 +1,89 @@
+// Package vfs abstracts the file system under GriddLeS components.
+//
+// Each simulated testbed machine gets its own MemFS, so "local file IO" on
+// machine A and machine B are genuinely disjoint namespaces, exactly as in
+// the paper's distributed experiments. The cmd/ daemons use OSFS over a real
+// directory. Disk timing is not modelled here; the testbed package wraps an
+// FS with a disk-cost decorator.
+package vfs
+
+import (
+	"io"
+	"io/fs"
+	"time"
+)
+
+// File is an open file handle. It is a superset of *os.File's methods that
+// GriddLeS needs: sequential IO, seeking, random access and truncation.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.Closer
+	io.ReaderAt
+	io.WriterAt
+	// Name reports the path the file was opened with.
+	Name() string
+	// Truncate changes the file size.
+	Truncate(size int64) error
+	// Stat reports file metadata.
+	Stat() (fs.FileInfo, error)
+	// Sync flushes the file (a no-op for MemFS).
+	Sync() error
+}
+
+// FS is a file-system namespace.
+type FS interface {
+	// OpenFile opens name with os-style flags (os.O_RDONLY, os.O_CREATE...).
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	// Stat reports metadata for name.
+	Stat(name string) (fs.FileInfo, error)
+	// Remove deletes name.
+	Remove(name string) error
+	// List reports the names of all files whose path begins with prefix, in
+	// lexical order.
+	List(prefix string) ([]string, error)
+}
+
+// fileInfo is the common FileInfo implementation.
+type fileInfo struct {
+	name  string
+	size  int64
+	mtime time.Time
+}
+
+func (fi fileInfo) Name() string       { return fi.name }
+func (fi fileInfo) Size() int64        { return fi.size }
+func (fi fileInfo) Mode() fs.FileMode  { return 0o644 }
+func (fi fileInfo) ModTime() time.Time { return fi.mtime }
+func (fi fileInfo) IsDir() bool        { return false }
+func (fi fileInfo) Sys() any           { return nil }
+
+// ReadFile reads the whole of name from fsys.
+func ReadFile(fsys FS, name string) ([]byte, error) {
+	f, err := fsys.OpenFile(name, ReadOnlyFlag, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+// WriteFile writes data to name on fsys, creating or truncating it.
+func WriteFile(fsys FS, name string, data []byte) error {
+	f, err := fsys.OpenFile(name, CreateTruncFlag, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Exists reports whether name exists on fsys.
+func Exists(fsys FS, name string) bool {
+	_, err := fsys.Stat(name)
+	return err == nil
+}

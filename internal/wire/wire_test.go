@@ -1,0 +1,192 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("payload bytes")
+	if err := WriteFrame(&buf, 7, payload); err != nil {
+		t.Fatal(err)
+	}
+	typ, got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != 7 || !bytes.Equal(got, payload) {
+		t.Errorf("got type %d payload %q", typ, got)
+	}
+}
+
+func TestEmptyFrame(t *testing.T) {
+	var buf bytes.Buffer
+	WriteFrame(&buf, 1, nil)
+	typ, payload, err := ReadFrame(&buf)
+	if err != nil || typ != 1 || len(payload) != 0 {
+		t.Errorf("typ=%d payload=%v err=%v", typ, payload, err)
+	}
+}
+
+func TestMultipleFramesSequential(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 5; i++ {
+		WriteFrame(&buf, uint8(i), []byte{byte(i), byte(i)})
+	}
+	for i := 0; i < 5; i++ {
+		typ, p, err := ReadFrame(&buf)
+		if err != nil || typ != uint8(i) || len(p) != 2 || p[0] != byte(i) {
+			t.Fatalf("frame %d: typ=%d p=%v err=%v", i, typ, p, err)
+		}
+	}
+	if _, _, err := ReadFrame(&buf); err != io.EOF {
+		t.Errorf("after last frame err=%v, want EOF", err)
+	}
+}
+
+func TestOversizeFrameRejected(t *testing.T) {
+	if err := WriteFrame(io.Discard, 0, make([]byte, MaxFrame+1)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("write err = %v", err)
+	}
+	// A corrupt length prefix is rejected before allocation.
+	hdr := []byte{0xFF, 0xFF, 0xFF, 0xFF, 0}
+	if _, _, err := ReadFrame(bytes.NewReader(hdr)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("read err = %v", err)
+	}
+}
+
+func TestShortFrameBody(t *testing.T) {
+	var buf bytes.Buffer
+	WriteFrame(&buf, 3, []byte("complete"))
+	truncated := buf.Bytes()[:buf.Len()-3]
+	if _, _, err := ReadFrame(bytes.NewReader(truncated)); err == nil {
+		t.Error("truncated frame read succeeded")
+	}
+}
+
+func TestEncoderDecoderAllTypes(t *testing.T) {
+	e := NewEncoder()
+	e.U8(42).Bool(true).Bool(false).U32(1 << 30).U64(1 << 60).I64(-12345)
+	e.String("griddles").Bytes32([]byte{1, 2, 3}).StringSlice([]string{"a", "bb", ""})
+
+	d := NewDecoder(e.Bytes())
+	if got := d.U8(); got != 42 {
+		t.Errorf("u8=%d", got)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Error("bools wrong")
+	}
+	if got := d.U32(); got != 1<<30 {
+		t.Errorf("u32=%d", got)
+	}
+	if got := d.U64(); got != 1<<60 {
+		t.Errorf("u64=%d", got)
+	}
+	if got := d.I64(); got != -12345 {
+		t.Errorf("i64=%d", got)
+	}
+	if got := d.String(); got != "griddles" {
+		t.Errorf("string=%q", got)
+	}
+	if got := d.Bytes32(); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Errorf("bytes=%v", got)
+	}
+	if got := d.StringSlice(); !reflect.DeepEqual(got, []string{"a", "bb", ""}) {
+		t.Errorf("slice=%v", got)
+	}
+	if d.Err() != nil {
+		t.Errorf("err=%v", d.Err())
+	}
+	if d.Remaining() != 0 {
+		t.Errorf("remaining=%d", d.Remaining())
+	}
+}
+
+func TestDecoderStickyError(t *testing.T) {
+	d := NewDecoder([]byte{1, 2})
+	d.U32() // truncated
+	if d.Err() == nil {
+		t.Fatal("no error on truncated u32")
+	}
+	first := d.Err()
+	if d.U64() != 0 || d.String() != "" || d.Bytes32() != nil {
+		t.Error("reads after error returned non-zero values")
+	}
+	if d.Err() != first {
+		t.Error("sticky error was replaced")
+	}
+}
+
+func TestDecoderOversizedLengths(t *testing.T) {
+	e := NewEncoder().U32(0xFFFFFFF0)
+	d := NewDecoder(e.Bytes())
+	if d.Bytes32() != nil || d.Err() == nil {
+		t.Error("oversized Bytes32 not rejected")
+	}
+	d2 := NewDecoder(NewEncoder().U32(0xFFFFFFF0).Bytes())
+	if d2.StringSlice() != nil || d2.Err() == nil {
+		t.Error("oversized StringSlice not rejected")
+	}
+}
+
+func TestEncoderReset(t *testing.T) {
+	e := NewEncoder()
+	e.String("first")
+	e.Reset()
+	e.U8(9)
+	if len(e.Bytes()) != 1 || e.Bytes()[0] != 9 {
+		t.Errorf("after reset: %v", e.Bytes())
+	}
+}
+
+// Property: any (type, payload) round-trips through a frame.
+func TestFrameRoundTripProperty(t *testing.T) {
+	f := func(typ uint8, payload []byte) bool {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, typ, payload); err != nil {
+			return false
+		}
+		gtyp, gp, err := ReadFrame(&buf)
+		return err == nil && gtyp == typ && bytes.Equal(gp, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a random mix of fields round-trips through Encoder/Decoder.
+func TestCodecRoundTripProperty(t *testing.T) {
+	f := func(a uint8, b bool, c uint32, d uint64, i int64, s string, raw []byte, ss []string) bool {
+		e := NewEncoder()
+		e.U8(a).Bool(b).U32(c).U64(d).I64(i).String(s).Bytes32(raw).StringSlice(ss)
+		dec := NewDecoder(e.Bytes())
+		ga, gb, gc, gd, gi := dec.U8(), dec.Bool(), dec.U32(), dec.U64(), dec.I64()
+		gs, graw, gss := dec.String(), dec.Bytes32(), dec.StringSlice()
+		if dec.Err() != nil || dec.Remaining() != 0 {
+			return false
+		}
+		if ga != a || gb != b || gc != c || gd != d || gi != i || gs != s {
+			return false
+		}
+		if !bytes.Equal(graw, raw) && !(len(graw) == 0 && len(raw) == 0) {
+			return false
+		}
+		if len(gss) != len(ss) {
+			return false
+		}
+		for k := range ss {
+			if gss[k] != ss[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

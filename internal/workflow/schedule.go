@@ -1,0 +1,153 @@
+package workflow
+
+import (
+	"fmt"
+	"sort"
+
+	"griddles/internal/testbed"
+)
+
+// AutoAssign fills in the Machine field of components that have none,
+// honouring the scheduling constraint the paper's conclusion calls out:
+// "if file copies are performed the computations need to be run
+// sequentially. On the other hand, if buffers are used then they need to
+// run at the same time."
+//
+//   - Under CouplingSequential, stages never overlap, so every unassigned
+//     component goes to the fastest machine (spreading them would only add
+//     copies).
+//   - Under CouplingFiles/CouplingBuffers, components are co-scheduled:
+//     they are spread across machines by longest-processing-time-first
+//     greedy balancing of WorkHint/speed, so the slowest machine does the
+//     least work.
+//
+// Components with an explicit Machine are left alone (pinned stages, e.g.
+// one tied to a local dataset).
+func AutoAssign(spec *Spec, grid *testbed.Grid, coupling Coupling) error {
+	type mach struct {
+		name  string
+		speed float64
+		load  float64 // assigned work / speed
+	}
+	var machines []*mach
+	for name, m := range grid.Machines() {
+		machines = append(machines, &mach{name: name, speed: m.Spec().SpeedFactor})
+	}
+	if len(machines) == 0 {
+		return fmt.Errorf("workflow: no machines to assign onto")
+	}
+	sort.Slice(machines, func(i, j int) bool {
+		if machines[i].speed != machines[j].speed {
+			return machines[i].speed > machines[j].speed
+		}
+		return machines[i].name < machines[j].name
+	})
+
+	// Pinned components pre-load their machines.
+	byName := make(map[string]*mach, len(machines))
+	for _, m := range machines {
+		byName[m.name] = m
+	}
+	var unassigned []int
+	for i, c := range spec.Components {
+		if c.Machine != "" {
+			if m, ok := byName[c.Machine]; ok {
+				m.load += workHint(c) / m.speed
+			} else {
+				return fmt.Errorf("workflow: component %s pinned to unknown machine %q", c.Name, c.Machine)
+			}
+			continue
+		}
+		unassigned = append(unassigned, i)
+	}
+
+	if coupling == CouplingSequential {
+		fastest := machines[0].name
+		for _, i := range unassigned {
+			spec.Components[i].Machine = fastest
+		}
+		return nil
+	}
+
+	// Split the components into heavy stages (LPT-balanced across machines)
+	// and light glue stages (co-located with their heaviest dataflow
+	// neighbour so the coupling streams stay off the WAN — the pattern the
+	// paper's own experiment-3 placement follows, where the tiny
+	// transform/reduce stages ride next to the big solvers).
+	maxHint := 0.0
+	for _, i := range unassigned {
+		if w := workHint(spec.Components[i]); w > maxHint {
+			maxHint = w
+		}
+	}
+	var heavy, light []int
+	for _, i := range unassigned {
+		if workHint(spec.Components[i]) >= 0.1*maxHint {
+			heavy = append(heavy, i)
+		} else {
+			light = append(light, i)
+		}
+	}
+
+	// LPT greedy: biggest work first onto the machine that would finish it
+	// earliest.
+	sort.SliceStable(heavy, func(a, b int) bool {
+		return workHint(spec.Components[heavy[a]]) > workHint(spec.Components[heavy[b]])
+	})
+	for _, i := range heavy {
+		w := workHint(spec.Components[i])
+		best := machines[0]
+		bestFinish := best.load + w/best.speed
+		for _, m := range machines[1:] {
+			if finish := m.load + w/m.speed; finish < bestFinish {
+				best, bestFinish = m, finish
+			}
+		}
+		best.load = bestFinish
+		spec.Components[i].Machine = best.name
+	}
+
+	// Light stages follow their data.
+	prod, err := spec.producers()
+	if err != nil {
+		return err
+	}
+	cons := spec.consumers()
+	for _, i := range light {
+		c := spec.Components[i]
+		bestHint, bestMachine := -1.0, ""
+		consider := func(j int) {
+			n := spec.Components[j]
+			if n.Machine == "" {
+				return
+			}
+			if h := workHint(n); h > bestHint {
+				bestHint, bestMachine = h, n.Machine
+			}
+		}
+		for _, in := range c.Inputs {
+			if p, ok := prod[in]; ok {
+				consider(p)
+			}
+		}
+		for _, out := range c.Outputs {
+			for _, ci := range cons[out] {
+				consider(ci)
+			}
+		}
+		if bestMachine == "" {
+			bestMachine = machines[0].name // no placed neighbours: fastest box
+		}
+		spec.Components[i].Machine = bestMachine
+		m := byName[bestMachine]
+		m.load += workHint(c) / m.speed
+	}
+	return nil
+}
+
+func workHint(c Component) float64 {
+	if c.WorkHint > 0 {
+		return c.WorkHint
+	}
+	return 1
+}

@@ -1,0 +1,103 @@
+package workflow
+
+import (
+	"testing"
+
+	"griddles/internal/simclock"
+	"griddles/internal/testbed"
+)
+
+func schedSpec() *Spec {
+	return &Spec{Name: "sched", Components: []Component{
+		{Name: "light1", WorkHint: 10},
+		{Name: "heavy", WorkHint: 300},
+		{Name: "light2", WorkHint: 10},
+		{Name: "medium", WorkHint: 150},
+	}}
+}
+
+func TestAutoAssignSequentialUsesFastest(t *testing.T) {
+	grid := testbed.DefaultGrid(simclock.NewVirtualDefault())
+	spec := schedSpec()
+	if err := AutoAssign(spec, grid, CouplingSequential); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range spec.Components {
+		if c.Machine != "brecca" {
+			t.Errorf("%s assigned to %s, want brecca (fastest, no copies)", c.Name, c.Machine)
+		}
+	}
+}
+
+func TestAutoAssignBuffersSpreads(t *testing.T) {
+	grid := testbed.DefaultGrid(simclock.NewVirtualDefault())
+	spec := schedSpec()
+	if err := AutoAssign(spec, grid, CouplingBuffers); err != nil {
+		t.Fatal(err)
+	}
+	// The heaviest stage lands on the fastest machine.
+	for _, c := range spec.Components {
+		if c.Name == "heavy" && c.Machine != "brecca" {
+			t.Errorf("heavy on %s, want brecca", c.Machine)
+		}
+	}
+	// Co-scheduled stages do not all pile onto one machine.
+	machines := map[string]bool{}
+	for _, c := range spec.Components {
+		machines[c.Machine] = true
+	}
+	if len(machines) < 2 {
+		t.Errorf("all stages on one machine: %v", machines)
+	}
+}
+
+func TestAutoAssignRespectsPins(t *testing.T) {
+	grid := testbed.DefaultGrid(simclock.NewVirtualDefault())
+	spec := schedSpec()
+	spec.Components[1].Machine = "jagan" // heavy pinned to the slowest box
+	if err := AutoAssign(spec, grid, CouplingBuffers); err != nil {
+		t.Fatal(err)
+	}
+	if spec.Components[1].Machine != "jagan" {
+		t.Error("pin overridden")
+	}
+	for _, c := range spec.Components {
+		if c.Machine == "" {
+			t.Errorf("%s unassigned", c.Name)
+		}
+	}
+}
+
+func TestAutoAssignUnknownPinFails(t *testing.T) {
+	grid := testbed.DefaultGrid(simclock.NewVirtualDefault())
+	spec := &Spec{Components: []Component{{Name: "x", Machine: "hal9000"}}}
+	if err := AutoAssign(spec, grid, CouplingBuffers); err == nil {
+		t.Error("unknown pinned machine accepted")
+	}
+}
+
+func TestAutoAssignBalancedLoad(t *testing.T) {
+	// Eight equal stages over the grid: no machine should get more than a
+	// fair share of the normalized load.
+	grid := testbed.DefaultGrid(simclock.NewVirtualDefault())
+	spec := &Spec{Name: "even"}
+	for i := 0; i < 8; i++ {
+		spec.Components = append(spec.Components, Component{Name: string(rune('a' + i)), WorkHint: 100})
+	}
+	if err := AutoAssign(spec, grid, CouplingBuffers); err != nil {
+		t.Fatal(err)
+	}
+	count := map[string]int{}
+	for _, c := range spec.Components {
+		count[c.Machine]++
+	}
+	for m, n := range count {
+		if n > 3 {
+			t.Errorf("machine %s got %d of 8 equal stages", m, n)
+		}
+	}
+	// The slowest machines should not be preferred over brecca.
+	if count["brecca"] == 0 {
+		t.Error("fastest machine unused")
+	}
+}

@@ -1,0 +1,502 @@
+// Package workflow turns a declarative description of a grid workflow — a
+// set of legacy components and the files they exchange — into a running,
+// timed execution on the testbed.
+//
+// The key design point mirrors the paper: a workflow's *coupling* (local
+// files, staged copies between machines, or direct Grid Buffer streams) is
+// not part of the components. The Runner writes the appropriate GNS entries
+// for the chosen coupling and the unmodified component code does the rest.
+// It also applies the matching scheduling constraint the paper's conclusion
+// calls out: file-copied workflows run their stages sequentially (DAGman
+// style), buffer-coupled workflows co-schedule everything.
+package workflow
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"griddles/internal/core"
+	"griddles/internal/gns"
+	"griddles/internal/gridbuffer"
+	"griddles/internal/gridftp"
+	"griddles/internal/simclock"
+	"griddles/internal/soap"
+	"griddles/internal/testbed"
+)
+
+// Well-known service ports on every testbed machine.
+const (
+	FileServicePort       = ":6000"
+	BufferServicePort     = ":7000"
+	SOAPBufferServicePort = ":7001"
+)
+
+// Ctx is what a component body receives: a File Multiplexer plus the
+// machine it runs on. Component code must do all IO through FM and all
+// computation through Compute.
+type Ctx struct {
+	// Name is the component's name.
+	Name string
+	// FM is the component's File Multiplexer.
+	FM *core.Multiplexer
+	// Machine is the testbed machine the component is scheduled on.
+	Machine *testbed.Machine
+	// Clock is the simulation or wall clock.
+	Clock simclock.Clock
+
+	mark func(name string)
+}
+
+// Compute burns CPU work (brecca-seconds) on the component's machine.
+func (c *Ctx) Compute(units float64) { c.Machine.Compute(units) }
+
+// Mark records a named timestamp ("component/name") in the run report —
+// e.g. when a staged input copy finished.
+func (c *Ctx) Mark(name string) {
+	if c.mark != nil {
+		c.mark(name)
+	}
+}
+
+// Component is one program in the pipeline.
+type Component struct {
+	// Name identifies the component in reports and DOT output.
+	Name string
+	// Machine names the testbed machine the component runs on.
+	Machine string
+	// Inputs and Outputs are the file names the component opens; they
+	// define the dataflow edges.
+	Inputs  []string
+	Outputs []string
+	// WorkHint is the component's approximate compute cost in work units,
+	// used by AutoAssign; 0 means unknown (treated as 1).
+	WorkHint float64
+	// Run is the component body.
+	Run func(*Ctx) error
+}
+
+// Spec is a whole workflow.
+type Spec struct {
+	Name       string
+	Components []Component
+}
+
+// Coupling selects how intermediate files move between components.
+type Coupling int
+
+const (
+	// CouplingSequential runs components in topological order with local
+	// files, staging copies between machines (the paper's experiment-1 /
+	// Table-3 / Table-5 "Files" configuration).
+	CouplingSequential Coupling = iota
+	// CouplingFiles starts all components concurrently; readers poll for
+	// writer completion markers (the paper's Table-4 "With Files" runs).
+	CouplingFiles
+	// CouplingBuffers couples writers to readers with Grid Buffers and
+	// co-schedules everything (the paper's "GridFiles"/"Buffers" runs).
+	CouplingBuffers
+)
+
+// String implements fmt.Stringer.
+func (c Coupling) String() string {
+	switch c {
+	case CouplingSequential:
+		return "sequential-files"
+	case CouplingFiles:
+		return "concurrent-files"
+	case CouplingBuffers:
+		return "buffers"
+	default:
+		return fmt.Sprintf("coupling(%d)", int(c))
+	}
+}
+
+// producers maps each file to the index of the component producing it.
+func (s *Spec) producers() (map[string]int, error) {
+	p := make(map[string]int)
+	for i, c := range s.Components {
+		for _, out := range c.Outputs {
+			if prev, dup := p[out]; dup {
+				return nil, fmt.Errorf("workflow: file %q produced by both %s and %s",
+					out, s.Components[prev].Name, c.Name)
+			}
+			p[out] = i
+		}
+	}
+	return p, nil
+}
+
+// consumers maps each file to the indices of components reading it.
+func (s *Spec) consumers() map[string][]int {
+	c := make(map[string][]int)
+	for i, comp := range s.Components {
+		for _, in := range comp.Inputs {
+			c[in] = append(c[in], i)
+		}
+	}
+	return c
+}
+
+// TopoOrder returns component indices in dependency order.
+func (s *Spec) TopoOrder() ([]int, error) {
+	prod, err := s.producers()
+	if err != nil {
+		return nil, err
+	}
+	n := len(s.Components)
+	adj := make([][]int, n)
+	indeg := make([]int, n)
+	for i, c := range s.Components {
+		for _, in := range c.Inputs {
+			if p, ok := prod[in]; ok && p != i {
+				adj[p] = append(adj[p], i)
+				indeg[i]++
+			}
+		}
+	}
+	queue := []int{}
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	var order []int
+	for len(queue) > 0 {
+		sort.Ints(queue)
+		i := queue[0]
+		queue = queue[1:]
+		order = append(order, i)
+		for _, j := range adj[i] {
+			indeg[j]--
+			if indeg[j] == 0 {
+				queue = append(queue, j)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("workflow: %s has a dependency cycle", s.Name)
+	}
+	return order, nil
+}
+
+// DOT renders the workflow's dataflow graph in Graphviz format (used to
+// regenerate the paper's Figure 1 and Figure 5 diagrams).
+func (s *Spec) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n", s.Name)
+	fmt.Fprintf(&b, "  node [shape=box, style=rounded];\n")
+	prod, _ := s.producers()
+	cons := s.consumers()
+	files := make(map[string]bool)
+	for _, c := range s.Components {
+		label := c.Name
+		if c.Machine != "" {
+			label += "\\n(" + c.Machine + ")"
+		}
+		fmt.Fprintf(&b, "  %q [label=%q];\n", c.Name, label)
+		for _, f := range append(append([]string{}, c.Inputs...), c.Outputs...) {
+			files[f] = true
+		}
+	}
+	var names []string
+	for f := range files {
+		names = append(names, f)
+	}
+	sort.Strings(names)
+	for _, f := range names {
+		fmt.Fprintf(&b, "  %q [shape=note, fontsize=10];\n", "file:"+f)
+		if p, ok := prod[f]; ok {
+			fmt.Fprintf(&b, "  %q -> %q;\n", s.Components[p].Name, "file:"+f)
+		}
+		for _, ci := range cons[f] {
+			fmt.Fprintf(&b, "  %q -> %q;\n", "file:"+f, s.Components[ci].Name)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Timing is one component's observed schedule, as offsets from run start.
+type Timing struct {
+	Name    string
+	Machine string
+	Start   time.Duration
+	Finish  time.Duration
+}
+
+// Report is the result of one workflow run; Finish offsets are directly
+// comparable to the paper's cumulative tables.
+type Report struct {
+	Workflow string
+	Coupling Coupling
+	Total    time.Duration
+	Timings  []Timing
+	// Marks are component-recorded timestamps keyed "component/mark".
+	Marks map[string]time.Duration
+}
+
+// Mark reports a recorded timestamp.
+func (r *Report) Mark(key string) (time.Duration, bool) {
+	d, ok := r.Marks[key]
+	return d, ok
+}
+
+// Timing reports the named component's entry.
+func (r *Report) Timing(name string) (Timing, bool) {
+	for _, t := range r.Timings {
+		if t.Name == name {
+			return t, true
+		}
+	}
+	return Timing{}, false
+}
+
+// String renders the report as an aligned table.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "workflow %s [%s] total %s\n", r.Workflow, r.Coupling, fmtDur(r.Total))
+	for _, t := range r.Timings {
+		fmt.Fprintf(&b, "  %-14s %-9s start %9s finish %9s\n", t.Name, t.Machine, fmtDur(t.Start), fmtDur(t.Finish))
+	}
+	return b.String()
+}
+
+// fmtDur formats like the paper's tables (hh:mm:ss).
+func fmtDur(d time.Duration) string {
+	d = d.Round(time.Second)
+	h := d / time.Hour
+	m := (d % time.Hour) / time.Minute
+	s := (d % time.Minute) / time.Second
+	return fmt.Sprintf("%02d:%02d:%02d", h, m, s)
+}
+
+// FormatDuration exposes the table format used in reports.
+func FormatDuration(d time.Duration) string { return fmtDur(d) }
+
+// StartServices brings up a file service and a Grid Buffer service on every
+// machine of the grid. Call inside the clock's Run.
+func StartServices(clock simclock.Clock, grid *testbed.Grid) error {
+	for name, m := range grid.Machines() {
+		m := m
+		lf, err := m.Listen(FileServicePort)
+		if err != nil {
+			return fmt.Errorf("workflow: %s file service: %w", name, err)
+		}
+		clock.Go(name+"-gridftp", func() { gridftp.NewServer(m.FS(), clock).Serve(lf) })
+		lb, err := m.Listen(BufferServicePort)
+		if err != nil {
+			return fmt.Errorf("workflow: %s buffer service: %w", name, err)
+		}
+		reg := gridbuffer.NewRegistry(clock, m.FS())
+		clock.Go(name+"-gridbuffer", func() { gridbuffer.NewServer(reg, clock).Serve(lb) })
+		// The same registry behind the paper's SOAP endpoint.
+		ls, err := m.Listen(SOAPBufferServicePort)
+		if err != nil {
+			return fmt.Errorf("workflow: %s soap buffer service: %w", name, err)
+		}
+		clock.Go(name+"-soapbuffer", func() { soap.ServeBuffer(clock, reg).Serve(ls) })
+	}
+	return nil
+}
+
+// Runner executes workflows on a grid.
+type Runner struct {
+	Grid *testbed.Grid
+	GNS  *gns.Store
+
+	// PollInterval paces WaitClose polling (default 200ms).
+	PollInterval time.Duration
+	// PollWork is the CPU time in seconds each WaitClose poll burns on the
+	// polling machine (default 0.004). It is charged as constant *time*
+	// rather than constant work: the poll path (stat + name-service check)
+	// cost roughly the same milliseconds on every 2004 box.
+	PollWork float64
+	// WriterWindow / ReaderDepth tune buffer pipelining (defaults in
+	// package gridbuffer).
+	WriterWindow int
+	ReaderDepth  int
+	// ConnPerCall selects the SOAP-style connection-per-call buffer
+	// transport (the paper's implementation; see gridbuffer.WriterOptions).
+	ConnPerCall bool
+	// SOAP routes buffer traffic through the actual SOAP/HTTP endpoint
+	// instead of the binary protocol (a heavier, fully faithful mode).
+	SOAP bool
+	// BlockSize overrides the Grid Buffer block size for all coupled files
+	// (0 keeps the paper's 4096-byte default).
+	BlockSize int
+	// CopyStreams is the parallel-stream count for staging copies.
+	CopyStreams int
+	// BufferAt overrides Grid Buffer placement per file; the default is the
+	// first consumer's machine (the paper's reader-end placement).
+	BufferAt map[string]string
+	// CacheFiles enables the buffer cache file per file name; files listed
+	// here support reader seek/re-read (the DARLAM pattern).
+	CacheFiles map[string]bool
+}
+
+// Configure writes the GNS entries that implement the requested coupling
+// for spec. It is exposed separately from Run so examples can show the
+// "reconfigure by editing the GNS only" property.
+func (r *Runner) Configure(spec *Spec, coupling Coupling) error {
+	prod, err := spec.producers()
+	if err != nil {
+		return err
+	}
+	cons := spec.consumers()
+	for file, pi := range prod {
+		producer := spec.Components[pi]
+		consumers := cons[file]
+		switch coupling {
+		case CouplingSequential, CouplingFiles:
+			wait := coupling == CouplingFiles
+			r.GNS.Set(producer.Machine, file, gns.Mapping{Mode: gns.ModeLocal, WaitClose: wait})
+			for _, ci := range consumers {
+				consumer := spec.Components[ci]
+				if consumer.Machine == producer.Machine {
+					r.GNS.Set(consumer.Machine, file, gns.Mapping{Mode: gns.ModeLocal, WaitClose: wait})
+				} else {
+					r.GNS.Set(consumer.Machine, file, gns.Mapping{
+						Mode:       gns.ModeCopy,
+						RemoteHost: producer.Machine + FileServicePort,
+						RemotePath: file,
+						WaitClose:  wait,
+					})
+				}
+			}
+		case CouplingBuffers:
+			if len(consumers) == 0 {
+				// Terminal outputs stay plain local files.
+				r.GNS.Set(producer.Machine, file, gns.Mapping{Mode: gns.ModeLocal})
+				continue
+			}
+			bufferMachine := spec.Components[consumers[0]].Machine
+			if m, ok := r.BufferAt[file]; ok {
+				bufferMachine = m
+			}
+			bufferPort := BufferServicePort
+			if r.SOAP {
+				bufferPort = SOAPBufferServicePort
+			}
+			mapping := gns.Mapping{
+				Mode:         gns.ModeBuffer,
+				BufferHost:   bufferMachine + bufferPort,
+				BufferKey:    spec.Name + "/" + file,
+				CacheEnabled: r.CacheFiles[file],
+				Readers:      len(consumers),
+				BlockSize:    r.BlockSize,
+			}
+			r.GNS.Set(producer.Machine, file, mapping)
+			for _, ci := range consumers {
+				r.GNS.Set(spec.Components[ci].Machine, file, mapping)
+			}
+		default:
+			return fmt.Errorf("workflow: unknown coupling %d", coupling)
+		}
+	}
+	return nil
+}
+
+// Run configures the GNS for the coupling, executes the workflow and
+// returns per-component timings. Services must already be running
+// (StartServices) and the caller must be inside the clock's Run.
+func (r *Runner) Run(spec *Spec, coupling Coupling) (*Report, error) {
+	if err := r.Configure(spec, coupling); err != nil {
+		return nil, err
+	}
+	clock := r.Grid.Clock()
+	start := clock.Now()
+	report := &Report{
+		Workflow: spec.Name, Coupling: coupling,
+		Timings: make([]Timing, len(spec.Components)),
+		Marks:   make(map[string]time.Duration),
+	}
+	var markMu sync.Mutex
+
+	runOne := func(i int) error {
+		comp := spec.Components[i]
+		machine := r.Grid.Machine(comp.Machine)
+		release := machine.Attach()
+		defer release()
+		fm, err := core.New(core.Config{
+			Machine:           comp.Machine,
+			Clock:             clock,
+			FS:                machine.FS(),
+			Dialer:            machine,
+			GNS:               r.GNS,
+			PollInterval:      r.PollInterval,
+			PollCost:          func() { machine.Compute(r.pollWork() * machine.Spec().SpeedFactor) },
+			WriterWindow:      r.WriterWindow,
+			ReaderDepth:       r.ReaderDepth,
+			BufferConnPerCall: r.ConnPerCall,
+			BufferTransport:   bufferTransport(r.SOAP),
+			CopyStreams:       r.CopyStreams,
+		})
+		if err != nil {
+			return err
+		}
+		defer fm.Close()
+		report.Timings[i] = Timing{Name: comp.Name, Machine: comp.Machine, Start: clock.Now().Sub(start)}
+		ctx := &Ctx{Name: comp.Name, FM: fm, Machine: machine, Clock: clock,
+			mark: func(name string) {
+				markMu.Lock()
+				report.Marks[comp.Name+"/"+name] = clock.Now().Sub(start)
+				markMu.Unlock()
+			}}
+		if err := comp.Run(ctx); err != nil {
+			return fmt.Errorf("workflow: component %s: %w", comp.Name, err)
+		}
+		report.Timings[i].Finish = clock.Now().Sub(start)
+		return nil
+	}
+
+	switch coupling {
+	case CouplingSequential:
+		order, err := spec.TopoOrder()
+		if err != nil {
+			return nil, err
+		}
+		for _, i := range order {
+			if err := runOne(i); err != nil {
+				return nil, err
+			}
+		}
+	case CouplingFiles, CouplingBuffers:
+		errs := make([]error, len(spec.Components))
+		wg := simclock.NewWaitGroup(clock)
+		for i := range spec.Components {
+			i := i
+			wg.Add(1)
+			clock.Go(spec.Components[i].Name, func() {
+				defer wg.Done()
+				errs[i] = runOne(i)
+			})
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	default:
+		return nil, fmt.Errorf("workflow: unknown coupling %d", coupling)
+	}
+	report.Total = clock.Now().Sub(start)
+	return report, nil
+}
+
+func bufferTransport(soapMode bool) string {
+	if soapMode {
+		return "soap"
+	}
+	return ""
+}
+
+func (r *Runner) pollWork() float64 {
+	if r.PollWork > 0 {
+		return r.PollWork
+	}
+	return 0.004
+}

@@ -1,0 +1,421 @@
+// Package xdr implements the paper's heterogeneity scheme (§3.3): a
+// description of a binary record's structure precise enough that the File
+// Multiplexer can reorder bytes in flight between machines of different
+// endianness, mapping data through a neutral big-endian form as XDR
+// (RFC 1014) does.
+//
+// The paper's prototype handled formatted ASCII and same-endian binary only
+// and was "experimenting with a scheme for describing the record structure";
+// this package is that scheme, implemented: fixed-layout record schemas, a
+// typed record writer/reader, and an in-place stream translator that needs
+// only the schema — not the values — to convert byte order.
+package xdr
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Kind is a field's primitive type.
+type Kind uint8
+
+// Field kinds. All multi-byte kinds are byte-order sensitive; KindBytes is
+// an opaque fixed-length blob left untouched by translation.
+const (
+	KindInt32 Kind = iota
+	KindUint32
+	KindInt64
+	KindUint64
+	KindFloat32
+	KindFloat64
+	KindBytes
+)
+
+// width reports the encoded byte width of one element.
+func (k Kind) width() int {
+	switch k {
+	case KindInt32, KindUint32, KindFloat32:
+		return 4
+	case KindInt64, KindUint64, KindFloat64:
+		return 8
+	case KindBytes:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindInt32:
+		return "int32"
+	case KindUint32:
+		return "uint32"
+	case KindInt64:
+		return "int64"
+	case KindUint64:
+		return "uint64"
+	case KindFloat32:
+		return "float32"
+	case KindFloat64:
+		return "float64"
+	case KindBytes:
+		return "bytes"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Field is one record member; Count > 1 declares a fixed-length array (and
+// for KindBytes, the blob length).
+type Field struct {
+	Name  string
+	Kind  Kind
+	Count int
+}
+
+func (f Field) count() int {
+	if f.Count <= 0 {
+		return 1
+	}
+	return f.Count
+}
+
+// size reports the encoded byte size of the field.
+func (f Field) size() int { return f.Kind.width() * f.count() }
+
+// Schema is a fixed-layout record description.
+type Schema struct {
+	Fields []Field
+}
+
+// Size reports the encoded byte size of one record.
+func (s Schema) Size() int {
+	n := 0
+	for _, f := range s.Fields {
+		n += f.size()
+	}
+	return n
+}
+
+// Validate reports whether the schema is well formed.
+func (s Schema) Validate() error {
+	if len(s.Fields) == 0 {
+		return fmt.Errorf("xdr: empty schema")
+	}
+	for i, f := range s.Fields {
+		if f.Kind.width() == 0 {
+			return fmt.Errorf("xdr: field %d (%s): unknown kind %d", i, f.Name, f.Kind)
+		}
+		if f.Count < 0 {
+			return fmt.Errorf("xdr: field %d (%s): negative count", i, f.Name)
+		}
+	}
+	return nil
+}
+
+// Translate converts a stream of records between byte orders in place.
+// data's length must be a whole number of records. This is the FM's
+// in-flight reordering: no values are interpreted, only widths.
+func Translate(data []byte, s Schema, from, to binary.ByteOrder) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	if from.String() == to.String() {
+		return nil
+	}
+	rec := s.Size()
+	if rec == 0 || len(data)%rec != 0 {
+		return fmt.Errorf("xdr: %d bytes is not a whole number of %d-byte records", len(data), rec)
+	}
+	for base := 0; base < len(data); base += rec {
+		off := base
+		for _, f := range s.Fields {
+			w := f.Kind.width()
+			if f.Kind == KindBytes {
+				off += f.size()
+				continue
+			}
+			for i := 0; i < f.count(); i++ {
+				reverse(data[off : off+w])
+				off += w
+			}
+		}
+	}
+	return nil
+}
+
+// ToNeutral converts records from the given order to the XDR-neutral
+// big-endian form.
+func ToNeutral(data []byte, s Schema, from binary.ByteOrder) error {
+	return Translate(data, s, from, binary.BigEndian)
+}
+
+// FromNeutral converts big-endian neutral records to the given order.
+func FromNeutral(data []byte, s Schema, to binary.ByteOrder) error {
+	return Translate(data, s, binary.BigEndian, to)
+}
+
+func reverse(b []byte) {
+	for i, j := 0, len(b)-1; i < j; i, j = i+1, j-1 {
+		b[i], b[j] = b[j], b[i]
+	}
+}
+
+// Writer emits typed records in a fixed byte order.
+type Writer struct {
+	w      io.Writer
+	schema Schema
+	order  binary.ByteOrder
+	buf    []byte
+}
+
+// NewWriter returns a Writer emitting schema records to w in order.
+func NewWriter(w io.Writer, schema Schema, order binary.ByteOrder) *Writer {
+	return &Writer{w: w, schema: schema, order: order, buf: make([]byte, schema.Size())}
+}
+
+// WriteRecord encodes one record. vals must match the schema: one value per
+// field, arrays as slices ([]int32, []float64, ...), KindBytes as []byte of
+// exactly the declared length.
+func (w *Writer) WriteRecord(vals ...any) error {
+	if len(vals) != len(w.schema.Fields) {
+		return fmt.Errorf("xdr: %d values for %d fields", len(vals), len(w.schema.Fields))
+	}
+	off := 0
+	for i, f := range w.schema.Fields {
+		n, err := encodeField(w.buf[off:], f, vals[i], w.order)
+		if err != nil {
+			return fmt.Errorf("xdr: field %s: %w", f.Name, err)
+		}
+		off += n
+	}
+	_, err := w.w.Write(w.buf[:off])
+	return err
+}
+
+func encodeField(dst []byte, f Field, val any, order binary.ByteOrder) (int, error) {
+	w := f.Kind.width()
+	cnt := f.count()
+	put32 := func(i int, v uint32) { order.PutUint32(dst[i*w:], v) }
+	put64 := func(i int, v uint64) { order.PutUint64(dst[i*w:], v) }
+	switch f.Kind {
+	case KindInt32:
+		if cnt == 1 {
+			v, ok := val.(int32)
+			if !ok {
+				return 0, fmt.Errorf("want int32, got %T", val)
+			}
+			put32(0, uint32(v))
+		} else {
+			vs, ok := val.([]int32)
+			if !ok || len(vs) != cnt {
+				return 0, fmt.Errorf("want []int32 of %d, got %T", cnt, val)
+			}
+			for i, v := range vs {
+				put32(i, uint32(v))
+			}
+		}
+	case KindUint32:
+		if cnt == 1 {
+			v, ok := val.(uint32)
+			if !ok {
+				return 0, fmt.Errorf("want uint32, got %T", val)
+			}
+			put32(0, v)
+		} else {
+			vs, ok := val.([]uint32)
+			if !ok || len(vs) != cnt {
+				return 0, fmt.Errorf("want []uint32 of %d, got %T", cnt, val)
+			}
+			for i, v := range vs {
+				put32(i, v)
+			}
+		}
+	case KindInt64:
+		if cnt == 1 {
+			v, ok := val.(int64)
+			if !ok {
+				return 0, fmt.Errorf("want int64, got %T", val)
+			}
+			put64(0, uint64(v))
+		} else {
+			vs, ok := val.([]int64)
+			if !ok || len(vs) != cnt {
+				return 0, fmt.Errorf("want []int64 of %d, got %T", cnt, val)
+			}
+			for i, v := range vs {
+				put64(i, uint64(v))
+			}
+		}
+	case KindUint64:
+		if cnt == 1 {
+			v, ok := val.(uint64)
+			if !ok {
+				return 0, fmt.Errorf("want uint64, got %T", val)
+			}
+			put64(0, v)
+		} else {
+			vs, ok := val.([]uint64)
+			if !ok || len(vs) != cnt {
+				return 0, fmt.Errorf("want []uint64 of %d, got %T", cnt, val)
+			}
+			for i, v := range vs {
+				put64(i, v)
+			}
+		}
+	case KindFloat32:
+		if cnt == 1 {
+			v, ok := val.(float32)
+			if !ok {
+				return 0, fmt.Errorf("want float32, got %T", val)
+			}
+			put32(0, math.Float32bits(v))
+		} else {
+			vs, ok := val.([]float32)
+			if !ok || len(vs) != cnt {
+				return 0, fmt.Errorf("want []float32 of %d, got %T", cnt, val)
+			}
+			for i, v := range vs {
+				put32(i, math.Float32bits(v))
+			}
+		}
+	case KindFloat64:
+		if cnt == 1 {
+			v, ok := val.(float64)
+			if !ok {
+				return 0, fmt.Errorf("want float64, got %T", val)
+			}
+			put64(0, math.Float64bits(v))
+		} else {
+			vs, ok := val.([]float64)
+			if !ok || len(vs) != cnt {
+				return 0, fmt.Errorf("want []float64 of %d, got %T", cnt, val)
+			}
+			for i, v := range vs {
+				put64(i, math.Float64bits(v))
+			}
+		}
+	case KindBytes:
+		vs, ok := val.([]byte)
+		if !ok || len(vs) != cnt {
+			return 0, fmt.Errorf("want []byte of %d, got %T(len %d)", cnt, val, lenOf(val))
+		}
+		copy(dst, vs)
+	default:
+		return 0, fmt.Errorf("unknown kind %d", f.Kind)
+	}
+	return f.size(), nil
+}
+
+func lenOf(v any) int {
+	if b, ok := v.([]byte); ok {
+		return len(b)
+	}
+	return -1
+}
+
+// Reader decodes typed records in a fixed byte order.
+type Reader struct {
+	r      io.Reader
+	schema Schema
+	order  binary.ByteOrder
+	buf    []byte
+}
+
+// NewReader returns a Reader consuming schema records from r in order.
+func NewReader(r io.Reader, schema Schema, order binary.ByteOrder) *Reader {
+	return &Reader{r: r, schema: schema, order: order, buf: make([]byte, schema.Size())}
+}
+
+// ReadRecord decodes one record into a value slice parallel to the schema
+// fields (scalars for Count 1, slices otherwise). It returns io.EOF cleanly
+// at end of stream.
+func (r *Reader) ReadRecord() ([]any, error) {
+	if _, err := io.ReadFull(r.r, r.buf); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("xdr: truncated record: %w", err)
+		}
+		return nil, err
+	}
+	vals := make([]any, len(r.schema.Fields))
+	off := 0
+	for i, f := range r.schema.Fields {
+		v, n := decodeField(r.buf[off:], f, r.order)
+		vals[i] = v
+		off += n
+	}
+	return vals, nil
+}
+
+func decodeField(src []byte, f Field, order binary.ByteOrder) (any, int) {
+	w := f.Kind.width()
+	cnt := f.count()
+	get32 := func(i int) uint32 { return order.Uint32(src[i*w:]) }
+	get64 := func(i int) uint64 { return order.Uint64(src[i*w:]) }
+	switch f.Kind {
+	case KindInt32:
+		if cnt == 1 {
+			return int32(get32(0)), f.size()
+		}
+		vs := make([]int32, cnt)
+		for i := range vs {
+			vs[i] = int32(get32(i))
+		}
+		return vs, f.size()
+	case KindUint32:
+		if cnt == 1 {
+			return get32(0), f.size()
+		}
+		vs := make([]uint32, cnt)
+		for i := range vs {
+			vs[i] = get32(i)
+		}
+		return vs, f.size()
+	case KindInt64:
+		if cnt == 1 {
+			return int64(get64(0)), f.size()
+		}
+		vs := make([]int64, cnt)
+		for i := range vs {
+			vs[i] = int64(get64(i))
+		}
+		return vs, f.size()
+	case KindUint64:
+		if cnt == 1 {
+			return get64(0), f.size()
+		}
+		vs := make([]uint64, cnt)
+		for i := range vs {
+			vs[i] = get64(i)
+		}
+		return vs, f.size()
+	case KindFloat32:
+		if cnt == 1 {
+			return math.Float32frombits(get32(0)), f.size()
+		}
+		vs := make([]float32, cnt)
+		for i := range vs {
+			vs[i] = math.Float32frombits(get32(i))
+		}
+		return vs, f.size()
+	case KindFloat64:
+		if cnt == 1 {
+			return math.Float64frombits(get64(0)), f.size()
+		}
+		vs := make([]float64, cnt)
+		for i := range vs {
+			vs[i] = math.Float64frombits(get64(i))
+		}
+		return vs, f.size()
+	case KindBytes:
+		vs := make([]byte, cnt)
+		copy(vs, src)
+		return vs, f.size()
+	default:
+		return nil, 0
+	}
+}

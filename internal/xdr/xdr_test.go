@@ -1,0 +1,320 @@
+package xdr
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+var climateRecord = Schema{Fields: []Field{
+	{Name: "step", Kind: KindInt32},
+	{Name: "lat", Kind: KindFloat64},
+	{Name: "lon", Kind: KindFloat64},
+	{Name: "temps", Kind: KindFloat32, Count: 4},
+	{Name: "tag", Kind: KindBytes, Count: 3},
+}}
+
+func TestSchemaSize(t *testing.T) {
+	// 4 + 8 + 8 + 4*4 + 3 = 39
+	if got := climateRecord.Size(); got != 39 {
+		t.Errorf("size = %d, want 39", got)
+	}
+}
+
+func TestSchemaValidate(t *testing.T) {
+	if err := climateRecord.Validate(); err != nil {
+		t.Errorf("valid schema rejected: %v", err)
+	}
+	if err := (Schema{}).Validate(); err == nil {
+		t.Error("empty schema accepted")
+	}
+	bad := Schema{Fields: []Field{{Name: "x", Kind: Kind(99)}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	neg := Schema{Fields: []Field{{Name: "x", Kind: KindInt32, Count: -1}}}
+	if err := neg.Validate(); err == nil {
+		t.Error("negative count accepted")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, climateRecord, binary.LittleEndian)
+	want := []any{
+		int32(7), 37.81, 144.96,
+		[]float32{11.5, 12.25, 13, -40},
+		[]byte{'c', 'c', 'm'},
+	}
+	if err := w.WriteRecord(want...); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf, climateRecord, binary.LittleEndian)
+	got, err := r.ReadRecord()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v want %v", got, want)
+	}
+	if _, err := r.ReadRecord(); err != io.EOF {
+		t.Errorf("after last record err = %v, want EOF", err)
+	}
+}
+
+func TestWriteRecordTypeChecks(t *testing.T) {
+	w := NewWriter(io.Discard, climateRecord, binary.BigEndian)
+	if err := w.WriteRecord(int32(1)); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	if err := w.WriteRecord("x", 1.0, 2.0, []float32{1, 2, 3, 4}, []byte{1, 2, 3}); err == nil {
+		t.Error("wrong scalar type accepted")
+	}
+	if err := w.WriteRecord(int32(1), 1.0, 2.0, []float32{1}, []byte{1, 2, 3}); err == nil {
+		t.Error("wrong array length accepted")
+	}
+	if err := w.WriteRecord(int32(1), 1.0, 2.0, []float32{1, 2, 3, 4}, []byte{1}); err == nil {
+		t.Error("wrong blob length accepted")
+	}
+}
+
+func TestTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, climateRecord, binary.BigEndian)
+	w.WriteRecord(int32(1), 1.0, 2.0, []float32{1, 2, 3, 4}, []byte{1, 2, 3})
+	trunc := buf.Bytes()[:buf.Len()-5]
+	r := NewReader(bytes.NewReader(trunc), climateRecord, binary.BigEndian)
+	if _, err := r.ReadRecord(); err == nil || err == io.EOF {
+		t.Errorf("truncated record err = %v, want explicit error", err)
+	}
+}
+
+func TestTranslateCrossEndian(t *testing.T) {
+	// Encode little-endian, translate to big-endian, decode big-endian.
+	var buf bytes.Buffer
+	w := NewWriter(&buf, climateRecord, binary.LittleEndian)
+	want := []any{
+		int32(-3), math.Pi, -math.E,
+		[]float32{1, 2, 3, 4},
+		[]byte("xyz"),
+	}
+	w.WriteRecord(want...)
+	w.WriteRecord(want...) // two records: translation must handle streams
+	data := buf.Bytes()
+	if err := Translate(data, climateRecord, binary.LittleEndian, binary.BigEndian); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(bytes.NewReader(data), climateRecord, binary.BigEndian)
+	for i := 0; i < 2; i++ {
+		got, err := r.ReadRecord()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("record %d: got %v want %v", i, got, want)
+		}
+	}
+}
+
+func TestTranslateSameOrderNoOp(t *testing.T) {
+	data := []byte{1, 2, 3, 4}
+	s := Schema{Fields: []Field{{Name: "x", Kind: KindInt32}}}
+	cp := append([]byte(nil), data...)
+	if err := Translate(data, s, binary.BigEndian, binary.BigEndian); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, cp) {
+		t.Error("same-order translate modified data")
+	}
+}
+
+func TestTranslatePartialRecordRejected(t *testing.T) {
+	s := Schema{Fields: []Field{{Name: "x", Kind: KindInt64}}}
+	if err := Translate(make([]byte, 12), s, binary.LittleEndian, binary.BigEndian); err == nil {
+		t.Error("partial record accepted")
+	}
+}
+
+func TestToFromNeutral(t *testing.T) {
+	s := Schema{Fields: []Field{{Name: "v", Kind: KindUint32}}}
+	data := make([]byte, 4)
+	binary.LittleEndian.PutUint32(data, 0xDEADBEEF)
+	if err := ToNeutral(data, s, binary.LittleEndian); err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.BigEndian.Uint32(data); got != 0xDEADBEEF {
+		t.Errorf("neutral form = %x", got)
+	}
+	if err := FromNeutral(data, s, binary.LittleEndian); err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.LittleEndian.Uint32(data); got != 0xDEADBEEF {
+		t.Errorf("round trip = %x", got)
+	}
+}
+
+func TestBytesFieldUntouched(t *testing.T) {
+	s := Schema{Fields: []Field{
+		{Name: "blob", Kind: KindBytes, Count: 5},
+		{Name: "v", Kind: KindUint32},
+	}}
+	data := []byte{'h', 'e', 'l', 'l', 'o', 0, 0, 0, 1}
+	Translate(data, s, binary.BigEndian, binary.LittleEndian)
+	if string(data[:5]) != "hello" {
+		t.Errorf("blob changed: %q", data[:5])
+	}
+	if binary.LittleEndian.Uint32(data[5:]) != 1 {
+		t.Error("int not swapped")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	kinds := []Kind{KindInt32, KindUint32, KindInt64, KindUint64, KindFloat32, KindFloat64, KindBytes, Kind(42)}
+	for _, k := range kinds {
+		if k.String() == "" {
+			t.Errorf("kind %d has empty name", k)
+		}
+	}
+}
+
+// Property: translating to the other order and back is the identity, for
+// random record contents.
+func TestTranslateInvolutionProperty(t *testing.T) {
+	s := Schema{Fields: []Field{
+		{Name: "a", Kind: KindInt32},
+		{Name: "b", Kind: KindFloat64, Count: 3},
+		{Name: "c", Kind: KindBytes, Count: 2},
+		{Name: "d", Kind: KindUint64},
+	}}
+	rec := s.Size()
+	f := func(raw []byte, nRecs uint8) bool {
+		n := int(nRecs)%5 + 1
+		data := make([]byte, rec*n)
+		copy(data, raw)
+		orig := append([]byte(nil), data...)
+		if err := Translate(data, s, binary.LittleEndian, binary.BigEndian); err != nil {
+			return false
+		}
+		if err := Translate(data, s, binary.BigEndian, binary.LittleEndian); err != nil {
+			return false
+		}
+		return bytes.Equal(data, orig)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Write/Read round-trips scalar records across both orders.
+func TestWriterReaderProperty(t *testing.T) {
+	s := Schema{Fields: []Field{
+		{Name: "i", Kind: KindInt64},
+		{Name: "f", Kind: KindFloat64},
+		{Name: "u", Kind: KindUint32},
+	}}
+	f := func(i int64, fl float64, u uint32, big bool) bool {
+		if math.IsNaN(fl) {
+			return true // NaN payloads don't compare equal
+		}
+		order := binary.ByteOrder(binary.LittleEndian)
+		if big {
+			order = binary.BigEndian
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf, s, order)
+		if err := w.WriteRecord(i, fl, u); err != nil {
+			return false
+		}
+		got, err := NewReader(&buf, s, order).ReadRecord()
+		if err != nil {
+			return false
+		}
+		return got[0] == i && got[1] == fl && got[2] == u
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// allKinds exercises every kind in scalar and array form.
+var allKinds = Schema{Fields: []Field{
+	{Name: "i32", Kind: KindInt32},
+	{Name: "i32s", Kind: KindInt32, Count: 2},
+	{Name: "u32", Kind: KindUint32},
+	{Name: "u32s", Kind: KindUint32, Count: 2},
+	{Name: "i64", Kind: KindInt64},
+	{Name: "i64s", Kind: KindInt64, Count: 2},
+	{Name: "u64", Kind: KindUint64},
+	{Name: "u64s", Kind: KindUint64, Count: 2},
+	{Name: "f32", Kind: KindFloat32},
+	{Name: "f32s", Kind: KindFloat32, Count: 2},
+	{Name: "f64", Kind: KindFloat64},
+	{Name: "f64s", Kind: KindFloat64, Count: 2},
+	{Name: "blob", Kind: KindBytes, Count: 4},
+}}
+
+func TestAllKindsRoundTripBothOrders(t *testing.T) {
+	vals := []any{
+		int32(-5), []int32{1, -2},
+		uint32(7), []uint32{8, 9},
+		int64(-10), []int64{11, -12},
+		uint64(13), []uint64{14, 15},
+		float32(1.5), []float32{2.5, -3.5},
+		4.5, []float64{5.5, -6.5},
+		[]byte{0xDE, 0xAD, 0xBE, 0xEF},
+	}
+	for _, order := range []binary.ByteOrder{binary.LittleEndian, binary.BigEndian} {
+		var buf bytes.Buffer
+		w := NewWriter(&buf, allKinds, order)
+		if err := w.WriteRecord(vals...); err != nil {
+			t.Fatalf("%v: %v", order, err)
+		}
+		got, err := NewReader(&buf, allKinds, order).ReadRecord()
+		if err != nil {
+			t.Fatalf("%v: %v", order, err)
+		}
+		if !reflect.DeepEqual(got, vals) {
+			t.Errorf("%v: got %v want %v", order, got, vals)
+		}
+	}
+}
+
+func TestAllKindsTranslateRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, allKinds, binary.BigEndian)
+	w.WriteRecord(
+		int32(-5), []int32{1, -2}, uint32(7), []uint32{8, 9},
+		int64(-10), []int64{11, -12}, uint64(13), []uint64{14, 15},
+		float32(1.5), []float32{2.5, -3.5}, 4.5, []float64{5.5, -6.5},
+		[]byte("blob"),
+	)
+	data := buf.Bytes()
+	if err := Translate(data, allKinds, binary.BigEndian, binary.LittleEndian); err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewReader(bytes.NewReader(data), allKinds, binary.LittleEndian).ReadRecord()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != int32(-5) || !reflect.DeepEqual(got[11], []float64{5.5, -6.5}) || string(got[12].([]byte)) != "blob" {
+		t.Errorf("translated record = %v", got)
+	}
+}
+
+func TestWriteArrayTypeChecks(t *testing.T) {
+	w := NewWriter(io.Discard, allKinds, binary.BigEndian)
+	// Wrong types for every array slot fail cleanly.
+	bad := []any{
+		int32(0), "wrong", uint32(0), []uint32{1, 2},
+		int64(0), []int64{1, 2}, uint64(0), []uint64{1, 2},
+		float32(0), []float32{1, 2}, 0.0, []float64{1, 2},
+		[]byte{1, 2, 3, 4},
+	}
+	if err := w.WriteRecord(bad...); err == nil {
+		t.Error("wrong array type accepted")
+	}
+}
