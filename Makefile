@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: check fmt vet test race build
+
+## check: gofmt + vet + race-detector tests for the concurrency-heavy packages
+check: fmt vet race
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./internal/obs/... ./internal/core/...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...

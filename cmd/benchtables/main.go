@@ -5,12 +5,13 @@
 // Usage:
 //
 //	benchtables [-table all|1|2|3|4|5] [-figure none|all|1|3|4|5|6]
-//	            [-scale N] [-out DIR]
+//	            [-scale N] [-out DIR] [-trace FILE]
 //
 // -scale divides the workload (steps and work units) for quick runs; the
 // default 1 is the paper-calibrated full scale (a few minutes of wall time
 // for everything). Figure artefacts (DOT files, the Figure 6 PGM) are
-// written to -out.
+// written to -out. -trace streams the JSONL event log of every experiment
+// environment (see OBSERVABILITY.md) to FILE.
 package main
 
 import (
@@ -30,10 +31,26 @@ func main() {
 	figure := flag.String("figure", "none", "figure to regenerate: none, all, 1, 3, 4, 5 or 6")
 	scale := flag.Int("scale", 1, "workload divisor (1 = paper scale)")
 	out := flag.String("out", ".", "directory for figure artefacts")
+	trace := flag.String("trace", "", "stream the experiments' JSONL event log to this file")
 	flag.Parse()
 	if *scale < 1 {
 		fmt.Fprintln(os.Stderr, "benchtables: -scale must be >= 1")
 		os.Exit(2)
+	}
+	if *trace != "" {
+		tf, err := os.Create(*trace)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtables: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := tf.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "benchtables: closing trace: %v\n", err)
+			} else {
+				fmt.Printf("wrote trace %s\n", *trace)
+			}
+		}()
+		experiments.SetTraceSink(tf)
 	}
 
 	cp := climate.DefaultParams()

@@ -7,10 +7,11 @@
 //
 // Usage:
 //
-//	flowrun [-mode local|copy|remote|buffer] [-mb 8] [-dir DIR]
+//	flowrun [-mode local|copy|remote|buffer] [-mb 8] [-dir DIR] [-trace FILE]
 //
 // All services (GNS, file service, Grid Buffer) are started in-process on
-// loopback TCP ports.
+// loopback TCP ports. -trace streams the run's JSONL event log (see
+// OBSERVABILITY.md) to FILE.
 package main
 
 import (
@@ -28,6 +29,7 @@ import (
 	"griddles/internal/gns"
 	"griddles/internal/gridbuffer"
 	"griddles/internal/gridftp"
+	"griddles/internal/obs"
 	"griddles/internal/simclock"
 	"griddles/internal/vfs"
 )
@@ -41,6 +43,7 @@ func main() {
 	mode := flag.String("mode", "buffer", "IO mechanism: local, copy, remote or buffer")
 	mb := flag.Int("mb", 8, "stream size in MiB")
 	dir := flag.String("dir", "", "working directory (default: a temp dir)")
+	trace := flag.String("trace", "", "stream the JSONL event log to this file")
 	flag.Parse()
 
 	work := *dir
@@ -59,8 +62,22 @@ func main() {
 	}
 	clock := simclock.Real{}
 
+	// Optional observability: one Observer shared by both FMs and the GNS.
+	var observer *obs.Observer
+	if *trace != "" {
+		tf, err := os.Create(*trace)
+		if err != nil {
+			log.Fatalf("flowrun: %v", err)
+		}
+		defer tf.Close()
+		observer = obs.NewWith(clock, obs.Config{Sink: tf})
+	}
+
 	// Bring up the three services on loopback.
 	gnsStore := gns.NewStore(clock)
+	if observer != nil {
+		gnsStore.SetObserver(observer)
+	}
 	gnsAddr := serve(func(l net.Listener) { gns.NewServer(gnsStore, clock).Serve(l) })
 	ftpAddr := serve(func(l net.Listener) {
 		gridftp.NewServer(vfs.NewOSFS(work+"/producer"), clock).Serve(l)
@@ -104,6 +121,7 @@ func main() {
 			FS:      vfs.NewOSFS(fsDir),
 			Dialer:  tcpDialer{},
 			GNS:     gns.NewClient(tcpDialer{}, gnsAddr, clock),
+			Obs:     observer,
 			// Real-network runs poll faster than the 2004 simulation.
 			PollInterval: 20 * time.Millisecond,
 		})
@@ -179,6 +197,12 @@ func main() {
 		*mode, r.n, producedAt.Round(time.Millisecond), time.Since(start).Round(time.Millisecond))
 	fmt.Printf("producer FM: %s\n", producerFM.Stats())
 	fmt.Printf("consumer FM: %s\n", consumerFM.Stats())
+	if observer != nil {
+		fmt.Printf("trace: %d events -> %s\n", observer.Trace().Total(), *trace)
+		if err := observer.Trace().SinkErr(); err != nil {
+			log.Fatalf("flowrun: trace sink: %v", err)
+		}
+	}
 }
 
 // serve starts fn on a fresh loopback listener and returns its address.

@@ -9,6 +9,7 @@ import (
 	"griddles/internal/gns"
 	"griddles/internal/gridbuffer"
 	"griddles/internal/gridftp"
+	"griddles/internal/obs"
 	"griddles/internal/replica"
 	"griddles/internal/soap"
 	"griddles/internal/vfs"
@@ -147,9 +148,13 @@ func (f *replicaFile) maybeRemap() {
 		return
 	}
 	f.cur.Close()
+	prev := f.curLoc
 	f.cur = nf
 	f.curLoc = loc
 	f.fm.stats.remapped()
+	f.fm.obs.Emit("fm.remap", f.fm.cfg.Machine,
+		obs.KV("path", f.name), obs.KV("from", prev.Host), obs.KV("to", loc.Host),
+		obs.KV("offset", f.pos))
 }
 
 func (f *replicaFile) Read(p []byte) (int, error) {

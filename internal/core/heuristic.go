@@ -45,13 +45,27 @@ func (h HeuristicConfig) smallFraction() float64 {
 	return 0.25
 }
 
-// Decision records an auto-mode choice (exposed for tests and stats).
+// Decision records an auto-mode choice (exposed for tests and stats). It is
+// the FM's §3.1 decision record: the heuristic's inputs next to its output,
+// also emitted on the obs trace as an "fm.decision" event.
 type Decision struct {
 	Mode     gns.Mode // ModeCopy or ModeRemote
 	Size     int64
 	CopyCost time.Duration // estimated; zero when no NWS data
 	ReadCost time.Duration
 	Reason   string
+
+	// Path is the open path the decision was made for.
+	Path string
+	// ReadFraction is the mapping's read-share hint after defaulting (1
+	// means "whole file").
+	ReadFraction float64
+	// ForecastKnown reports whether the NWS had data for the link; when
+	// true, LatencySec and BandwidthBps are the forecasts the cost model
+	// used.
+	ForecastKnown bool
+	LatencySec    float64
+	BandwidthBps  float64
 }
 
 // decideAuto resolves a ModeAuto mapping into ModeCopy or ModeRemote.
@@ -70,7 +84,7 @@ func (m *Multiplexer) decideAuto(path string, mapping gns.Mapping) (Decision, er
 		frac = 1
 	}
 
-	d := Decision{Size: size}
+	d := Decision{Size: size, Path: path, ReadFraction: frac}
 	switch {
 	case size > h.maxCopy():
 		// Too large to stage at all.
@@ -93,6 +107,11 @@ func (m *Multiplexer) decideAuto(path string, mapping gns.Mapping) (Decision, er
 			lat, okL := m.cfg.NWS.Forecast(host, m.cfg.Machine, nws.MetricLatency)
 			if okC && okL {
 				d.CopyCost = copyCost
+				d.ForecastKnown = true
+				d.LatencySec = lat
+				if bw, okB := m.cfg.NWS.Forecast(host, m.cfg.Machine, nws.MetricBandwidth); okB {
+					d.BandwidthBps = bw
+				}
 				// Each remote block costs a round trip plus its share of the
 				// bandwidth-bound transfer.
 				perBlock := 2 * time.Duration(lat*float64(time.Second))
@@ -127,7 +146,7 @@ func (m *Multiplexer) openAuto(path string, mapping gns.Mapping, flag int, perm 
 		// Writers stage out through the copy path; remote block writes over
 		// WAN would be pathological.
 		mapping.Mode = gns.ModeCopy
-		m.stats.decided(Decision{Mode: gns.ModeCopy, Reason: "write binding always stages"})
+		m.stats.decided(Decision{Mode: gns.ModeCopy, Reason: "write binding always stages", Path: path})
 		return m.openCopy(path, mapping, flag, perm, writing)
 	}
 	d, err := m.decideAuto(path, mapping)

@@ -34,6 +34,7 @@ import (
 	"griddles/internal/gridbuffer"
 	"griddles/internal/gridftp"
 	"griddles/internal/nws"
+	"griddles/internal/obs"
 	"griddles/internal/replica"
 	"griddles/internal/simclock"
 	"griddles/internal/soap"
@@ -113,6 +114,12 @@ type Config struct {
 	// translated record-by-record in flight.
 	Records   map[string]RecordSpec
 	ByteOrder string
+
+	// Obs receives this FM's metrics and event trace. Leave nil for a
+	// private per-FM observer (Stats still works); share one observer across
+	// components — as the workflow Runner does — to collect a whole run in
+	// one place.
+	Obs *obs.Observer
 }
 
 // DoneSuffix marks completion files for WaitClose coordination.
@@ -121,6 +128,7 @@ const DoneSuffix = ".done"
 // Multiplexer is one application's FM instance.
 type Multiplexer struct {
 	cfg   Config
+	obs   *obs.Observer
 	stats Stats
 
 	mu      sync.Mutex
@@ -139,11 +147,19 @@ func New(cfg Config) (*Multiplexer, error) {
 	if cfg.CopyStreams <= 0 {
 		cfg.CopyStreams = 1
 	}
-	return &Multiplexer{cfg: cfg, clients: make(map[string]*gridftp.Client)}, nil
+	if cfg.Obs == nil {
+		cfg.Obs = obs.New(cfg.Clock)
+	}
+	m := &Multiplexer{cfg: cfg, obs: cfg.Obs, clients: make(map[string]*gridftp.Client)}
+	m.stats.init(m.obs, cfg.Machine)
+	return m, nil
 }
 
 // Stats reports cumulative counters for this FM instance.
 func (m *Multiplexer) Stats() *Stats { return &m.stats }
+
+// Obs reports the observer this FM writes metrics and events to.
+func (m *Multiplexer) Obs() *obs.Observer { return m.obs }
 
 // client returns a pooled file-service client for addr.
 func (m *Multiplexer) client(addr string) *gridftp.Client {
@@ -152,6 +168,7 @@ func (m *Multiplexer) client(addr string) *gridftp.Client {
 	c, ok := m.clients[addr]
 	if !ok {
 		c = gridftp.NewClient(m.cfg.Dialer, addr, m.cfg.Clock)
+		c.SetObserver(m.obs)
 		m.clients[addr] = c
 	}
 	return c
@@ -187,6 +204,8 @@ func (m *Multiplexer) OpenFile(path string, flag int, perm os.FileMode) (File, e
 	}
 	m.stats.opened(mapping.Mode)
 	writing := flag&(os.O_WRONLY|os.O_RDWR) != 0
+	m.obs.Emit("fm.open", m.cfg.Machine,
+		obs.KV("path", path), obs.KV("mode", mapping.Mode.String()), obs.KV("writing", writing))
 
 	var f File
 	switch mapping.Mode {
@@ -359,7 +378,7 @@ func (m *Multiplexer) chooseReplica(mapping gns.Mapping, path string) (replica.L
 	if err != nil {
 		return replica.Location{}, err
 	}
-	sel := &replica.Selector{NWS: m.cfg.NWS}
+	sel := &replica.Selector{NWS: m.cfg.NWS, Obs: m.obs}
 	loc, err := sel.Choose(m.cfg.Machine, 0, locs)
 	if err != nil {
 		return replica.Location{}, fmt.Errorf("core: %s (logical %q): %w", path, logical, err)

@@ -6,6 +6,7 @@ package experiments
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 	"time"
@@ -13,6 +14,7 @@ import (
 	"griddles/internal/climate"
 	"griddles/internal/gns"
 	"griddles/internal/mech"
+	"griddles/internal/obs"
 	"griddles/internal/simclock"
 	"griddles/internal/testbed"
 	"griddles/internal/vfs"
@@ -28,12 +30,21 @@ type Env struct {
 	Runner *workflow.Runner
 }
 
+// traceSink, when set, receives the JSONL event log of every subsequently
+// created Env (cmd/benchtables -trace). Envs share the writer but not the
+// observer: each has its own virtual clock, so each needs its own Observer.
+var traceSink io.Writer
+
+// SetTraceSink streams every future Env's event trace to w as JSONL; nil
+// turns tracing off. Not safe to change while experiments run.
+func SetTraceSink(w io.Writer) { traceSink = w }
+
 // NewEnv builds a fresh environment. Each experiment gets its own so runs
 // cannot contaminate each other.
 func NewEnv() *Env {
 	v := simclock.NewVirtualDefault()
 	grid := testbed.DefaultGrid(v)
-	return &Env{
+	env := &Env{
 		Clock: v,
 		Grid:  grid,
 		Runner: &workflow.Runner{
@@ -43,6 +54,10 @@ func NewEnv() *Env {
 			PollWork:    0.025,
 		},
 	}
+	if traceSink != nil {
+		env.Runner.Obs = obs.NewWith(v, obs.Config{Sink: traceSink})
+	}
+	return env
 }
 
 // Run executes a workflow spec under a coupling inside a fresh simulation

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"griddles/internal/obs"
 	"griddles/internal/simclock"
 )
 
@@ -12,6 +13,13 @@ import (
 // embed it directly ("each workflow may have its own GNS", §3.2).
 type Store struct {
 	clock simclock.Clock
+
+	// Cached instruments (discard until SetObserver): lookup/update rates
+	// and the latency watchers spend blocked.
+	resolves  *obs.Counter
+	sets      *obs.Counter
+	watches   *obs.Counter
+	watchWait *obs.Histogram
 
 	mu      sync.Mutex
 	cond    simclock.Cond
@@ -23,11 +31,22 @@ type Store struct {
 func NewStore(clock simclock.Clock) *Store {
 	s := &Store{clock: clock, entries: make(map[Key]Mapping)}
 	s.cond = clock.NewCond(&s.mu)
+	s.SetObserver(nil)
 	return s
+}
+
+// SetObserver routes the store's metrics — resolve/set/watch rates and
+// watch wait latency — to o; nil discards them.
+func (s *Store) SetObserver(o *obs.Observer) {
+	s.resolves = o.Counter("gns.resolve.total")
+	s.sets = o.Counter("gns.set.total")
+	s.watches = o.Counter("gns.watch.total")
+	s.watchWait = o.Histogram("gns.watch.wait_ms")
 }
 
 // Resolve implements Resolver.
 func (s *Store) Resolve(machine, path string) (Mapping, error) {
+	s.resolves.Inc()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.resolveLocked(machine, path), nil
@@ -50,6 +69,7 @@ func (s *Store) resolveLocked(machine, path string) Mapping {
 // Set installs or replaces the mapping for (machine, path) and returns the
 // new store version. Watchers of that key are woken.
 func (s *Store) Set(machine, path string, m Mapping) uint64 {
+	s.sets.Inc()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.version++
@@ -94,9 +114,12 @@ func (s *Store) Version() uint64 {
 // (machine, path) carries a version greater than since, or the timeout
 // elapses.
 func (s *Store) Watch(machine, path string, since uint64, timeoutMS int64) (Mapping, bool, error) {
+	s.watches.Inc()
+	entered := s.clock.Now()
+	defer func() { s.watchWait.ObserveDuration(s.clock.Now().Sub(entered)) }()
 	deadline := time.Time{}
 	if timeoutMS > 0 {
-		deadline = s.clock.Now().Add(time.Duration(timeoutMS) * time.Millisecond)
+		deadline = entered.Add(time.Duration(timeoutMS) * time.Millisecond)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 
+	"griddles/internal/obs"
 	"griddles/internal/simclock"
 	"griddles/internal/vfs"
 )
@@ -101,6 +102,17 @@ type Buffer struct {
 	cacheFile vfs.File
 	inCache   map[int64]bool
 	stopped   bool
+
+	// Cached instruments (discard until SetObserver): queue depth,
+	// blocking-read wait, capacity stalls, spills and broadcast fan-out.
+	puts       *obs.Counter
+	gets       *obs.Counter
+	spills     *obs.Counter
+	cacheReads *obs.Counter
+	putStall   *obs.Histogram
+	readWait   *obs.Histogram
+	resident   *obs.Gauge
+	fanout     *obs.Gauge
 }
 
 // NewBuffer returns an empty buffer with the given key and options.
@@ -117,7 +129,24 @@ func NewBuffer(clock simclock.Clock, key string, opts Options) *Buffer {
 	b.mu = simclock.NewMutex(clock)
 	b.rcond = clock.NewCond(b.mu)
 	b.wcond = clock.NewCond(b.mu)
+	b.SetObserver(nil)
 	return b
+}
+
+// SetObserver routes the buffer's metrics to o; nil discards them. Metrics
+// carry the buffer key as a label, so concurrent couplings stay separable.
+func (b *Buffer) SetObserver(o *obs.Observer) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	kv := func(name string) string { return obs.Key(name, "key", b.key) }
+	b.puts = o.Counter(kv("gb.put.total"))
+	b.gets = o.Counter(kv("gb.get.total"))
+	b.spills = o.Counter(kv("gb.spill.total"))
+	b.cacheReads = o.Counter(kv("gb.cache.read.total"))
+	b.putStall = o.Histogram(kv("gb.put.stall_ms"))
+	b.readWait = o.Histogram(kv("gb.read.wait_ms"))
+	b.resident = o.Gauge(kv("gb.resident.blocks"))
+	b.fanout = o.Gauge(kv("gb.readers.attached"))
 }
 
 // Key reports the buffer's global name.
@@ -133,6 +162,7 @@ func (b *Buffer) Attach() int {
 	id := b.nextReader
 	b.nextReader++
 	b.attached[id] = true
+	b.fanout.Set(int64(len(b.attached)))
 	return id
 }
 
@@ -145,6 +175,7 @@ func (b *Buffer) Detach(id int) {
 		return
 	}
 	delete(b.attached, id)
+	b.fanout.Set(int64(len(b.attached)))
 	for idx := range b.blocks {
 		b.markConsumedLocked(idx, id)
 	}
@@ -159,6 +190,9 @@ func (b *Buffer) Put(idx int64, data []byte) error {
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	b.puts.Inc()
+	stalled := false
+	entered := b.clock.Now()
 	for {
 		if b.stopped {
 			return ErrStopped
@@ -169,11 +203,16 @@ func (b *Buffer) Put(idx int64, data []byte) error {
 		if _, resident := b.blocks[idx]; resident || len(b.blocks) < b.opts.capacity() {
 			break
 		}
+		stalled = true
 		b.wcond.Wait()
+	}
+	if stalled {
+		b.putStall.ObserveDuration(b.clock.Now().Sub(entered))
 	}
 	cp := make([]byte, len(data))
 	copy(cp, data)
 	b.blocks[idx] = cp
+	b.resident.Set(int64(len(b.blocks)))
 	if idx >= b.written {
 		b.written = idx + 1
 	}
@@ -227,11 +266,20 @@ func (b *Buffer) Get(id int, idx int64) (data []byte, eof bool, err error) {
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	b.gets.Inc()
+	waited := false
+	entered := b.clock.Now()
+	observeWait := func() {
+		if waited {
+			b.readWait.ObserveDuration(b.clock.Now().Sub(entered))
+		}
+	}
 	for {
 		if b.stopped {
 			return nil, false, ErrStopped
 		}
 		if data, ok := b.blocks[idx]; ok {
+			observeWait()
 			out := data
 			if n := b.blockLenLocked(idx); n < len(out) {
 				out = out[:n]
@@ -242,17 +290,20 @@ func (b *Buffer) Get(id int, idx int64) (data []byte, eof bool, err error) {
 			return cp, false, nil
 		}
 		if b.inCache[idx] {
+			observeWait()
 			return b.readCacheLocked(idx)
 		}
 		if b.eof {
 			bs := int64(b.opts.blockSize())
 			if idx*bs >= b.total {
+				observeWait()
 				return nil, true, nil
 			}
 			// The block existed but was dropped without a cache: the reader
 			// attached too late or sought backward without cache enabled.
 			return nil, false, fmt.Errorf("gridbuffer: block %d of %q no longer available (enable the cache file for re-reads)", idx, b.key)
 		}
+		waited = true
 		b.rcond.Wait()
 	}
 }
@@ -281,6 +332,7 @@ func (b *Buffer) markConsumedLocked(idx int64, id int) {
 	}
 	delete(b.blocks, idx)
 	delete(b.consumed, idx)
+	b.resident.Set(int64(len(b.blocks)))
 	b.wcond.Broadcast()
 }
 
@@ -304,6 +356,7 @@ func (b *Buffer) spillLocked(idx int64, data []byte) {
 	}
 	if _, err := b.cacheFile.WriteAt(data, idx*int64(b.opts.blockSize())); err == nil {
 		b.inCache[idx] = true
+		b.spills.Inc()
 	}
 }
 
@@ -311,6 +364,7 @@ func (b *Buffer) readCacheLocked(idx int64) ([]byte, bool, error) {
 	if b.cacheFile == nil {
 		return nil, false, fmt.Errorf("gridbuffer: cache file missing for %q", b.key)
 	}
+	b.cacheReads.Inc()
 	n := b.blockLenLocked(idx)
 	buf := make([]byte, n)
 	got, err := b.cacheFile.ReadAt(buf, idx*int64(b.opts.blockSize()))

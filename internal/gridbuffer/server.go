@@ -7,6 +7,7 @@ import (
 	"net"
 	"sync"
 
+	"griddles/internal/obs"
 	"griddles/internal/simclock"
 	"griddles/internal/vfs"
 	"griddles/internal/wire"
@@ -42,6 +43,7 @@ type Registry struct {
 	cacheFS vfs.FS
 
 	mu      sync.Mutex
+	obs     *obs.Observer
 	buffers map[string]*Buffer
 }
 
@@ -50,6 +52,17 @@ type Registry struct {
 // machine's disk-cost-accounted file system.
 func NewRegistry(clock simclock.Clock, cacheFS vfs.FS) *Registry {
 	return &Registry{clock: clock, cacheFS: cacheFS, buffers: make(map[string]*Buffer)}
+}
+
+// SetObserver routes metrics of all buffers — current and future — to o;
+// nil discards them.
+func (r *Registry) SetObserver(o *obs.Observer) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.obs = o
+	for _, b := range r.buffers {
+		b.SetObserver(o)
+	}
 }
 
 // GetOrCreate returns the buffer named key, creating it with opts on first
@@ -65,6 +78,9 @@ func (r *Registry) GetOrCreate(key string, opts Options) *Buffer {
 		opts.CacheFS = r.cacheFS
 	}
 	b := NewBuffer(r.clock, key, opts)
+	if r.obs != nil {
+		b.SetObserver(r.obs)
+	}
 	r.buffers[key] = b
 	return b
 }

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 
+	"griddles/internal/obs"
 	"griddles/internal/simclock"
 	"griddles/internal/vfs"
 	"griddles/internal/wire"
@@ -24,6 +25,13 @@ type Client struct {
 	dialer Dialer
 	addr   string
 	clock  simclock.Clock
+	// Cached instruments (discard instruments until SetObserver), so the
+	// per-Read hit/miss accounting is one atomic add, not a registry lookup.
+	readaheadHit  *obs.Counter
+	readaheadMiss *obs.Counter
+	copyinBytes   *obs.Counter
+	copyoutBytes  *obs.Counter
+	copyStreams   *obs.Histogram
 
 	mu   *simclock.Mutex
 	conn net.Conn
@@ -33,7 +41,21 @@ type Client struct {
 
 // NewClient returns a Client for the file service at addr.
 func NewClient(dialer Dialer, addr string, clock simclock.Clock) *Client {
-	return &Client{dialer: dialer, addr: addr, clock: clock, mu: simclock.NewMutex(clock)}
+	c := &Client{dialer: dialer, addr: addr, clock: clock, mu: simclock.NewMutex(clock)}
+	c.SetObserver(nil)
+	return c
+}
+
+// SetObserver routes this client's metrics (read-ahead hit rate, copy
+// traffic, parallel-stream use) to o; nil discards them. Call before
+// issuing requests; the File Multiplexer sets it on every pooled client it
+// creates.
+func (c *Client) SetObserver(o *obs.Observer) {
+	c.readaheadHit = o.Counter("ftp.readahead.hit.total")
+	c.readaheadMiss = o.Counter("ftp.readahead.miss.total")
+	c.copyinBytes = o.Counter("ftp.copyin.bytes")
+	c.copyoutBytes = o.Counter("ftp.copyout.bytes")
+	c.copyStreams = o.Histogram("ftp.copy.streams")
 }
 
 // Addr reports the server address.
@@ -290,10 +312,12 @@ func (f *RemoteFile) Read(p []byte) (int, error) {
 	}
 	// Serve from the read-ahead buffer when the position lands inside it.
 	if f.pos >= f.bufOff && f.pos < f.bufOff+int64(len(f.buf)) {
+		f.c.readaheadHit.Inc()
 		n := copy(p, f.buf[f.pos-f.bufOff:])
 		f.pos += int64(n)
 		return n, nil
 	}
+	f.c.readaheadMiss.Inc()
 	// Past the end of a buffer the server already flagged as final.
 	if f.eof && f.pos >= f.bufOff+int64(len(f.buf)) {
 		return 0, io.EOF
@@ -422,8 +446,12 @@ func (c *Client) CopyIn(remotePath string, fsys vfs.FS, localPath string, stream
 		return 0, nil
 	}
 	if streams == 1 || size < int64(streams)*streamChunk {
-		return c.Fetch(remotePath, 0, -1, &sectionWriter{f: dst, off: 0})
+		c.copyStreams.Observe(1)
+		n, err := c.Fetch(remotePath, 0, -1, &sectionWriter{f: dst, off: 0})
+		c.copyinBytes.Add(n)
+		return n, err
 	}
+	c.copyStreams.Observe(int64(streams))
 
 	stripe := (size + int64(streams) - 1) / int64(streams)
 	wg := simclock.NewWaitGroup(c.clock)
@@ -454,6 +482,7 @@ func (c *Client) CopyIn(remotePath string, fsys vfs.FS, localPath string, stream
 		}
 		total += totals[i]
 	}
+	c.copyinBytes.Add(total)
 	return total, nil
 }
 
@@ -464,7 +493,9 @@ func (c *Client) CopyOut(fsys vfs.FS, localPath, remotePath string) (int64, erro
 		return 0, err
 	}
 	defer src.Close()
-	return c.Put(remotePath, src)
+	n, err := c.Put(remotePath, src)
+	c.copyoutBytes.Add(n)
+	return n, err
 }
 
 // sectionWriter adapts WriteAt to io.Writer at a running offset.

@@ -13,6 +13,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"griddles/internal/obs"
 )
 
 // Sample is one observation of a series.
@@ -205,6 +207,7 @@ type Service struct {
 	series map[string]*Series
 	cap    int
 	fcs    []Forecaster
+	obs    *obs.Observer
 }
 
 // Metric names used by the prober and consumers.
@@ -233,8 +236,19 @@ func (s *Service) SeriesFor(src, dst, metric string) *Series {
 	return sr
 }
 
+// SetObserver routes per-metric record rates to o; nil discards them.
+func (s *Service) SetObserver(o *obs.Observer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.obs = o
+}
+
 // Record stores an observation for a link metric.
 func (s *Service) Record(src, dst, metric string, t time.Time, v float64) {
+	s.mu.Lock()
+	o := s.obs
+	s.mu.Unlock()
+	o.Counter(obs.Key("nws.record.total", "metric", metric)).Inc()
 	s.SeriesFor(src, dst, metric).Record(t, v)
 }
 

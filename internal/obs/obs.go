@@ -1,0 +1,160 @@
+// Package obs is the unified observability layer of GriddLeS-Go.
+//
+// Every subsystem — the File Multiplexer, the Grid Buffer service, the
+// GridFTP-like file service, the GNS, replica selection and the workflow
+// engine — reports through this one package, so a single trace file answers
+// "why did this OPEN bind to that mechanism, and what happened next?".
+// Three facilities, deliberately small:
+//
+//   - Metrics: typed counters, gauges and histograms with lock-free atomic
+//     hot paths, collected in a Registry and read via Snapshot. Names follow
+//     the dotted-with-labels convention documented in OBSERVABILITY.md
+//     (e.g. "fm.open.total{mode=buffer}", "gb.read.wait_ms").
+//   - Events: a structured trace held in a fixed-size ring buffer, with an
+//     optional JSONL sink that streams every event as one JSON object per
+//     line. Events are stamped with simclock time, so traces taken on the
+//     simulated testbed are byte-for-byte deterministic.
+//   - Decision records: span-style events capturing the inputs of a run-time
+//     choice (the §3.1 copy-vs-remote heuristic, replica selection) next to
+//     the outcome, emitted as ordinary events with a documented attribute
+//     set.
+//
+// An Observer bundles one Registry and one Trace. Every method is safe on a
+// nil *Observer (metrics discard, events vanish), so instrumented code never
+// needs nil checks and uninstrumented paths cost one branch plus, for
+// metrics, one atomic add.
+package obs
+
+import (
+	"io"
+	"time"
+
+	"griddles/internal/simclock"
+)
+
+// DefaultRingCapacity is the number of events an Observer retains when
+// Config.RingCapacity is zero.
+const DefaultRingCapacity = 4096
+
+// Config tunes an Observer.
+type Config struct {
+	// RingCapacity is the number of events the in-memory trace retains
+	// (oldest dropped first); 0 selects DefaultRingCapacity, negative
+	// disables the ring entirely (events still reach the Sink).
+	RingCapacity int
+	// Sink, if non-nil, receives every event as one JSONL line at emit
+	// time. Writes happen under the trace lock, in emit order.
+	Sink io.Writer
+}
+
+// Observer bundles a metric Registry and an event Trace for one subsystem
+// instance (or one shared across a whole run). The zero value is not usable;
+// construct with New or NewWith. All methods are nil-receiver safe.
+type Observer struct {
+	clock simclock.Clock
+	reg   *Registry
+	trace *Trace
+}
+
+// New returns an Observer with default configuration, stamping events with
+// clock.
+func New(clock simclock.Clock) *Observer {
+	return NewWith(clock, Config{})
+}
+
+// NewWith returns an Observer configured by cfg, stamping events with clock.
+func NewWith(clock simclock.Clock, cfg Config) *Observer {
+	return &Observer{
+		clock: clock,
+		reg:   NewRegistry(),
+		trace: NewTrace(clock, cfg.RingCapacity, cfg.Sink),
+	}
+}
+
+// Registry reports the observer's metric registry (nil for a nil observer).
+func (o *Observer) Registry() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.reg
+}
+
+// Trace reports the observer's event trace (nil for a nil observer).
+func (o *Observer) Trace() *Trace {
+	if o == nil {
+		return nil
+	}
+	return o.trace
+}
+
+// Counter returns the named counter, creating it on first use. On a nil
+// observer it returns a shared discard counter.
+func (o *Observer) Counter(name string) *Counter {
+	if o == nil {
+		return discardCounter
+	}
+	return o.reg.Counter(name)
+}
+
+// Gauge returns the named gauge, creating it on first use. On a nil
+// observer it returns a shared discard gauge.
+func (o *Observer) Gauge(name string) *Gauge {
+	if o == nil {
+		return discardGauge
+	}
+	return o.reg.Gauge(name)
+}
+
+// Histogram returns the named histogram, creating it on first use. On a nil
+// observer it returns a shared discard histogram.
+func (o *Observer) Histogram(name string) *Histogram {
+	if o == nil {
+		return discardHistogram
+	}
+	return o.reg.Histogram(name)
+}
+
+// Emit records one event with the observer's clock time. It is a no-op on a
+// nil observer.
+func (o *Observer) Emit(typ, src string, attrs ...Attr) {
+	if o == nil {
+		return
+	}
+	o.trace.Emit(typ, src, attrs...)
+}
+
+// Events reports the retained events, oldest first (nil for a nil
+// observer).
+func (o *Observer) Events() []Event {
+	if o == nil {
+		return nil
+	}
+	return o.trace.Events()
+}
+
+// WriteJSONL dumps the retained events to w, one JSON object per line.
+func (o *Observer) WriteJSONL(w io.Writer) error {
+	if o == nil {
+		return nil
+	}
+	return o.trace.WriteJSONL(w)
+}
+
+// Snapshot reports the current metric values (zero value for a nil
+// observer).
+func (o *Observer) Snapshot() Snapshot {
+	if o == nil {
+		return Snapshot{}
+	}
+	return o.reg.Snapshot()
+}
+
+// Now reports the observer's clock time (zero time for a nil observer);
+// instrumented code uses it to measure wait intervals without carrying a
+// second clock reference.
+func (o *Observer) Now() time.Time {
+	if o == nil {
+		return time.Time{}
+	}
+	return o.clock.Now()
+}

@@ -1,0 +1,338 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"griddles/internal/simclock"
+)
+
+// TestCounterConcurrent hammers one counter and one registry entry from many
+// goroutines; run with -race to validate the atomic hot path.
+func TestCounterConcurrent(t *testing.T) {
+	o := New(simclock.Real{})
+	const workers, perWorker = 16, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Half the increments go through a cached pointer, half through
+			// the registry's get-or-create path.
+			c := o.Counter("test.total")
+			for i := 0; i < perWorker/2; i++ {
+				c.Inc()
+				o.Counter("test.total").Inc()
+				o.Gauge("test.depth").Add(1)
+				o.Histogram("test.wait_ms").Observe(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := o.Registry().CounterValue("test.total"); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := o.Gauge("test.depth").Value(); got != workers*perWorker/2 {
+		t.Fatalf("gauge = %d, want %d", got, workers*perWorker/2)
+	}
+	if got := o.Histogram("test.wait_ms").Snapshot().Count; got != workers*perWorker/2 {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perWorker/2)
+	}
+}
+
+func TestCounterAddIgnoresNegative(t *testing.T) {
+	var c Counter
+	c.Add(5)
+	c.Add(-3)
+	c.Add(0)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{-1, 0, 1, 2, 3, 4, 1 << 40} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 7 {
+		t.Fatalf("count = %d, want 7", s.Count)
+	}
+	// v<=0 in bucket 0; 1 in bucket 1; 2,3 in bucket 2; 4 in bucket 3.
+	for i, want := range []int64{2, 1, 2, 1} {
+		if s.Buckets[i] != want {
+			t.Fatalf("bucket %d = %d, want %d", i, s.Buckets[i], want)
+		}
+	}
+	if s.Buckets[41] != 1 {
+		t.Fatalf("bucket 41 = %d, want 1 (1<<40)", s.Buckets[41])
+	}
+	if got := (HistogramSnapshot{}).Mean(); got != 0 {
+		t.Fatalf("empty mean = %v, want 0", got)
+	}
+}
+
+func TestNilObserverSafe(t *testing.T) {
+	var o *Observer
+	o.Counter("x").Inc()
+	o.Gauge("x").Set(3)
+	o.Histogram("x").Observe(1)
+	o.Emit("x", "y", KV("k", "v"))
+	if o.Events() != nil {
+		t.Fatal("nil observer retained events")
+	}
+	if err := o.WriteJSONL(os.Stderr); err != nil {
+		t.Fatalf("nil WriteJSONL: %v", err)
+	}
+	if s := o.Snapshot(); s.Counters != nil {
+		t.Fatal("nil observer snapshot not zero")
+	}
+	if !o.Now().IsZero() {
+		t.Fatal("nil observer Now not zero")
+	}
+}
+
+func TestKey(t *testing.T) {
+	cases := []struct{ got, want string }{
+		{Key("fm.open.total"), "fm.open.total"},
+		{Key("fm.open.total", "mode", "buffer"), "fm.open.total{mode=buffer}"},
+		{Key("x", "a", "1", "b", "2"), "x{a=1,b=2}"},
+		{Key("x", "dangling"), "x"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Fatalf("Key = %q, want %q", c.got, c.want)
+		}
+	}
+}
+
+// TestRingWraparound fills a small ring past capacity and checks the oldest
+// events are dropped while order and total are preserved.
+func TestRingWraparound(t *testing.T) {
+	clock := simclock.NewVirtualDefault()
+	tr := NewTrace(clock, 4, nil)
+	clock.Run(func() {
+		for i := 0; i < 10; i++ {
+			tr.Emit("tick", "test", KV("i", i))
+		}
+	})
+	if tr.Total() != 10 {
+		t.Fatalf("total = %d, want 10", tr.Total())
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained = %d, want 4", len(evs))
+	}
+	for i, e := range evs {
+		wantSeq := uint64(6 + i)
+		if e.Seq != wantSeq {
+			t.Fatalf("event %d seq = %d, want %d", i, e.Seq, wantSeq)
+		}
+		if got := e.Attr("i"); got != 6+i {
+			t.Fatalf("event %d attr i = %v, want %d", i, got, 6+i)
+		}
+	}
+	if tr.Events()[0].Attr("missing") != nil {
+		t.Fatal("missing attr should be nil")
+	}
+}
+
+func TestTraceRingDisabled(t *testing.T) {
+	var sink bytes.Buffer
+	tr := NewTrace(simclock.NewVirtualDefault(), -1, &sink)
+	tr.Emit("x", "y")
+	if len(tr.Events()) != 0 {
+		t.Fatal("negative capacity should retain nothing")
+	}
+	if tr.Total() != 1 {
+		t.Fatalf("total = %d, want 1", tr.Total())
+	}
+	if sink.Len() == 0 {
+		t.Fatal("sink should still receive events")
+	}
+}
+
+// failWriter fails every write after the first.
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	w.n++
+	if w.n > 1 {
+		return 0, errors.New("disk full")
+	}
+	return len(p), nil
+}
+
+func TestSinkErrorStopsWrites(t *testing.T) {
+	w := &failWriter{}
+	tr := NewTrace(simclock.NewVirtualDefault(), 8, w)
+	tr.Emit("a", "s")
+	tr.Emit("b", "s")
+	tr.Emit("c", "s")
+	if tr.SinkErr() == nil {
+		t.Fatal("sink error not recorded")
+	}
+	if w.n != 2 {
+		t.Fatalf("sink writes = %d, want 2 (stop after first failure)", w.n)
+	}
+	if len(tr.Events()) != 3 {
+		t.Fatal("ring must keep collecting after sink failure")
+	}
+}
+
+// emitSample drives one virtual-clock scenario; used twice to prove traces
+// are byte-deterministic in simulated time.
+func emitSample(sink *bytes.Buffer) []Event {
+	clock := simclock.NewVirtualDefault()
+	o := NewWith(clock, Config{Sink: sink})
+	clock.Run(func() {
+		o.Emit("fm.open", "brecca", KV("path", "data.out"), KV("mode", "buffer"), KV("writing", true))
+		clock.Sleep(1500 * time.Millisecond)
+		o.Emit("gb.spill", "quickstart/data.out", KV("block", int64(7)), KV("bytes", 4096))
+		clock.Sleep(250 * time.Microsecond)
+		o.Emit("wf.stage", "vpac27",
+			KV("wall_ms", 1500250*time.Microsecond),
+			KV("read_fraction", 0.9),
+			KV("bw", 1e6),
+			KV("none", nil))
+	})
+	return o.Events()
+}
+
+// TestDeterministicTimestamps runs the same scenario twice on fresh virtual
+// clocks: the JSONL bytes must match exactly, and timestamps must be offsets
+// from the simulation epoch, not wall time.
+func TestDeterministicTimestamps(t *testing.T) {
+	var a, b bytes.Buffer
+	emitSample(&a)
+	evs := emitSample(&b)
+	if a.String() != b.String() {
+		t.Fatalf("traces differ:\n%s\n---\n%s", a.String(), b.String())
+	}
+	if got := evs[0].Time; !got.Equal(simclock.DefaultBase) {
+		t.Fatalf("first event at %v, want simulation epoch %v", got, simclock.DefaultBase)
+	}
+	if got, want := evs[1].Time, simclock.DefaultBase.Add(1500*time.Millisecond); !got.Equal(want) {
+		t.Fatalf("second event at %v, want %v", got, want)
+	}
+}
+
+// TestGoldenJSONL locks the on-disk format: the exact bytes documented in
+// OBSERVABILITY.md. Regenerate with -update after a deliberate format
+// change (and update OBSERVABILITY.md to match).
+func TestGoldenJSONL(t *testing.T) {
+	var sink bytes.Buffer
+	emitSample(&sink)
+	golden := filepath.Join("testdata", "trace.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, sink.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (set UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if !bytes.Equal(sink.Bytes(), want) {
+		t.Fatalf("trace differs from golden:\ngot:\n%s\nwant:\n%s", sink.Bytes(), want)
+	}
+}
+
+// TestWriteJSONLMatchesSink checks the ring dump equals the streamed bytes.
+func TestWriteJSONLMatchesSink(t *testing.T) {
+	var sink bytes.Buffer
+	clock := simclock.NewVirtualDefault()
+	o := NewWith(clock, Config{Sink: &sink})
+	clock.Run(func() {
+		o.Emit("a", "s", KV("i", 1))
+		o.Emit("b", "s", KV("d", 1500*time.Millisecond))
+	})
+	var dump bytes.Buffer
+	if err := o.WriteJSONL(&dump); err != nil {
+		t.Fatal(err)
+	}
+	if dump.String() != sink.String() {
+		t.Fatalf("dump and sink differ:\n%s\n---\n%s", dump.String(), sink.String())
+	}
+}
+
+// TestJSONLValueEncoding pins the deterministic encoding of every supported
+// attribute type.
+func TestJSONLValueEncoding(t *testing.T) {
+	e := Event{
+		Time: simclock.DefaultBase,
+		Type: "t",
+		Src:  "s",
+		Attrs: []Attr{
+			KV("str", `say "hi"`),
+			KV("yes", true),
+			KV("int", 42),
+			KV("i64", int64(-7)),
+			KV("u64", uint64(9)),
+			KV("f", 0.25),
+			KV("dur", 1500*time.Millisecond),
+			KV("stringer", fmtStringer("X")),
+			KV("nil", nil),
+			KV("other", []int{1, 2}),
+		},
+	}
+	want := `{"ts":"2004-04-26T00:00:00Z","seq":0,"type":"t","src":"s",` +
+		`"str":"say \"hi\"","yes":true,"int":42,"i64":-7,"u64":9,"f":0.25,` +
+		`"dur":1500,"stringer":"X","nil":null,"other":"[1 2]"}`
+	if got := e.JSONL(); got != want {
+		t.Fatalf("JSONL:\ngot  %s\nwant %s", got, want)
+	}
+}
+
+type fmtStringer string
+
+func (s fmtStringer) String() string { return string(s) }
+
+func TestSnapshotString(t *testing.T) {
+	o := New(simclock.Real{})
+	o.Counter(Key("fm.open.total", "mode", "copy")).Add(2)
+	o.Gauge("gb.resident.blocks").Set(5)
+	o.Histogram("gb.read.wait_ms").Observe(10)
+	s := o.Snapshot().String()
+	for _, want := range []string{
+		"fm.open.total{mode=copy} 2",
+		"gb.resident.blocks 5",
+		"gb.read.wait_ms count=1 sum=10 mean=10.000",
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("snapshot %q missing %q", s, want)
+		}
+	}
+	if got := o.Registry().SumPrefix("fm.open.total{"); got != 2 {
+		t.Fatalf("SumPrefix = %d, want 2", got)
+	}
+}
+
+func TestRegistryDistinctInstruments(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") == r.Counter("b") {
+		t.Fatal("distinct names must be distinct counters")
+	}
+	if r.Counter("a") != r.Counter("a") {
+		t.Fatal("same name must be the same counter")
+	}
+	if r.CounterValue("never") != 0 {
+		t.Fatal("unknown counter value should be 0")
+	}
+}
+
+func ExampleKey() {
+	fmt.Println(Key("fm.open.total", "mode", "buffer"))
+	// Output: fm.open.total{mode=buffer}
+}

@@ -10,10 +10,12 @@ package replica
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"griddles/internal/nws"
+	"griddles/internal/obs"
 )
 
 // Location is one physical copy of a dataset.
@@ -95,6 +97,11 @@ func (c *Catalog) Logicals() []string {
 type Selector struct {
 	// NWS supplies transfer estimates; nil falls back to static order.
 	NWS *nws.Service
+	// Obs, if set, receives a "replica.select" decision record per Choose —
+	// every candidate with its forecast cost next to the winner, so replica
+	// choices are debuggable after the fact (cf. "Replica Selection in the
+	// Globus Data Grid").
+	Obs *obs.Observer
 }
 
 // Ranked is a replica with its estimated transfer cost.
@@ -141,10 +148,36 @@ func (s *Selector) Rank(from string, size int64, locs []Location) []Ranked {
 	return ranked
 }
 
-// Choose picks the best replica per Rank.
+// Choose picks the best replica per Rank and emits the decision record.
 func (s *Selector) Choose(from string, size int64, locs []Location) (Location, error) {
 	if len(locs) == 0 {
 		return Location{}, fmt.Errorf("replica: no replicas available")
 	}
-	return s.Rank(from, size, locs)[0].Location, nil
+	ranked := s.Rank(from, size, locs)
+	chosen := ranked[0]
+	if s.Obs != nil {
+		s.Obs.Counter("replica.select.total").Inc()
+		s.Obs.Emit("replica.select", from,
+			obs.KV("host", chosen.Location.Host),
+			obs.KV("addr", chosen.Location.Addr),
+			obs.KV("size", size),
+			obs.KV("cost_known", chosen.Known),
+			obs.KV("cost_ms", chosen.Cost),
+			obs.KV("candidates", rankedSummary(ranked)))
+	}
+	return chosen.Location, nil
+}
+
+// rankedSummary renders a ranking as "host=cost|host=?" for decision
+// records (? marks links the NWS had no data for).
+func rankedSummary(ranked []Ranked) string {
+	parts := make([]string, len(ranked))
+	for i, r := range ranked {
+		if r.Known {
+			parts[i] = fmt.Sprintf("%s=%s", r.Location.Host, r.Cost.Round(time.Millisecond))
+		} else {
+			parts[i] = r.Location.Host + "=?"
+		}
+	}
+	return strings.Join(parts, "|")
 }

@@ -22,6 +22,7 @@ import (
 	"griddles/internal/gns"
 	"griddles/internal/gridbuffer"
 	"griddles/internal/gridftp"
+	"griddles/internal/obs"
 	"griddles/internal/simclock"
 	"griddles/internal/soap"
 	"griddles/internal/testbed"
@@ -335,6 +336,11 @@ type Runner struct {
 	// CacheFiles enables the buffer cache file per file name; files listed
 	// here support reader seek/re-read (the DARLAM pattern).
 	CacheFiles map[string]bool
+	// Obs, if set, is shared by every component's File Multiplexer and
+	// receives per-stage "wf.stage" events (wall time and IO volume per
+	// component) plus the GNS store's metrics. nil keeps each FM on its own
+	// private observer, exactly as before.
+	Obs *obs.Observer
 }
 
 // Configure writes the GNS entries that implement the requested coupling
@@ -406,6 +412,9 @@ func (r *Runner) Run(spec *Spec, coupling Coupling) (*Report, error) {
 	if err := r.Configure(spec, coupling); err != nil {
 		return nil, err
 	}
+	if r.Obs != nil {
+		r.GNS.SetObserver(r.Obs)
+	}
 	clock := r.Grid.Clock()
 	start := clock.Now()
 	report := &Report{
@@ -433,6 +442,7 @@ func (r *Runner) Run(spec *Spec, coupling Coupling) (*Report, error) {
 			BufferConnPerCall: r.ConnPerCall,
 			BufferTransport:   bufferTransport(r.SOAP),
 			CopyStreams:       r.CopyStreams,
+			Obs:               r.Obs,
 		})
 		if err != nil {
 			return err
@@ -445,10 +455,26 @@ func (r *Runner) Run(spec *Spec, coupling Coupling) (*Report, error) {
 				report.Marks[comp.Name+"/"+name] = clock.Now().Sub(start)
 				markMu.Unlock()
 			}}
+		// Per-stage IO deltas: with a shared Observer, same-machine FMs
+		// aggregate into one counter, so subtract the pre-run values.
+		st := fm.Stats()
+		readBefore, writeBefore, pollsBefore := st.BytesRead(), st.BytesWritten(), st.Polls()
 		if err := comp.Run(ctx); err != nil {
 			return fmt.Errorf("workflow: component %s: %w", comp.Name, err)
 		}
 		report.Timings[i].Finish = clock.Now().Sub(start)
+		if r.Obs != nil {
+			wall := report.Timings[i].Finish - report.Timings[i].Start
+			r.Obs.Histogram("wf.stage.wall_ms").ObserveDuration(wall)
+			r.Obs.Emit("wf.stage", comp.Machine,
+				obs.KV("workflow", spec.Name),
+				obs.KV("component", comp.Name),
+				obs.KV("coupling", coupling.String()),
+				obs.KV("wall_ms", wall),
+				obs.KV("read_bytes", st.BytesRead()-readBefore),
+				obs.KV("write_bytes", st.BytesWritten()-writeBefore),
+				obs.KV("polls", st.Polls()-pollsBefore))
+		}
 		return nil
 	}
 
