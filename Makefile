@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check fmt vet test race build
+.PHONY: check fmt vet test race chaos build
 
-## check: gofmt + vet + race-detector tests for the concurrency-heavy packages
-check: fmt vet race
+## check: gofmt + vet + race-detector tests + the chaos matrix
+check: fmt vet race chaos
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -16,6 +16,11 @@ vet:
 
 race:
 	$(GO) test -race ./internal/obs/... ./internal/core/...
+
+## chaos: the fault-injection matrix — {IO mechanism} x {fault scenario},
+## the no-survivor budget tests, and 50 seeded random fault schedules.
+chaos:
+	$(GO) test -race -timeout 5m ./internal/chaos/... ./internal/fault/...
 
 build:
 	$(GO) build ./...

@@ -24,6 +24,7 @@ import (
 	"griddles/internal/gridbuffer"
 	"griddles/internal/gridftp"
 	"griddles/internal/mech"
+	"griddles/internal/retry"
 	"griddles/internal/simclock"
 	"griddles/internal/simnet"
 	"griddles/internal/testbed"
@@ -476,4 +477,60 @@ func BenchmarkSimnetThroughput(b *testing.B) {
 		})
 	}
 	b.SetBytes(1 << 20)
+}
+
+// BenchmarkDegradedLinkRetry prices the resilience layer: a 1 MB fetch over
+// a monash<->vpac-shaped link with retry off, with retry on but no faults
+// (the happy-path overhead, target <2%), and with retry on across a
+// mid-stream connection reset. Simulated transfer times surface as virt-ms
+// metrics and the happy-path delta as overhead-pct, so BENCH_*.json tracks
+// resilience overhead from now on.
+func BenchmarkDegradedLinkRetry(b *testing.B) {
+	const size = 1 << 20
+	run := func(withRetry bool, arm func(n *simnet.Network)) time.Duration {
+		v := simclock.NewVirtualDefault()
+		n := simnet.New(v)
+		n.SetLinkBoth("app", "srv", simnet.LinkSpec{Latency: 2 * time.Millisecond, Bandwidth: 460_000})
+		fs := vfs.NewMemFS()
+		vfs.WriteFile(fs, "big", make([]byte, size))
+		var el time.Duration
+		v.Run(func() {
+			l, err := n.Host("srv").Listen("srv:6000")
+			if err != nil {
+				b.Fatal(err)
+			}
+			v.Go("ftp-server", func() { gridftp.NewServer(fs, v).Serve(l) })
+			c := gridftp.NewClient(n.Host("app"), "srv:6000", v)
+			if withRetry {
+				p := retry.Default(v)
+				p.AttemptTimeout = 2 * time.Second
+				c.SetRetry(p)
+			}
+			if arm != nil {
+				arm(n)
+			}
+			start := v.Now()
+			if _, err := c.Fetch("big", 0, -1, io.Discard); err != nil {
+				b.Fatal(err)
+			}
+			el = v.Now().Sub(start)
+		})
+		return el
+	}
+	b.ReportAllocs()
+	b.SetBytes(3 * size)
+	var off, on, degraded time.Duration
+	for i := 0; i < b.N; i++ {
+		off = run(false, nil)
+		on = run(true, nil)
+		degraded = run(true, func(n *simnet.Network) { n.FailAfter("srv", "app", size/2) })
+	}
+	b.ReportMetric(off.Seconds()*1e3, "virt-ms/retry-off")
+	b.ReportMetric(on.Seconds()*1e3, "virt-ms/retry-on")
+	b.ReportMetric(degraded.Seconds()*1e3, "virt-ms/degraded")
+	pct := 100 * (on - off).Seconds() / off.Seconds()
+	b.ReportMetric(pct, "overhead-%")
+	if pct > 2 {
+		b.Errorf("happy-path retry overhead %.2f%%, target <2%%", pct)
+	}
 }

@@ -8,10 +8,13 @@
 // Usage:
 //
 //	flowrun [-mode local|copy|remote|buffer] [-mb 8] [-dir DIR] [-trace FILE]
+//	        [-retries N] [-retry-timeout D]
 //
 // All services (GNS, file service, Grid Buffer) are started in-process on
 // loopback TCP ports. -trace streams the run's JSONL event log (see
-// OBSERVABILITY.md) to FILE.
+// OBSERVABILITY.md) to FILE. -retries / -retry-timeout configure the
+// resilience policy threaded through every transport (DESIGN.md §7);
+// -retries 1 restores the historical fail-fast behaviour.
 package main
 
 import (
@@ -30,6 +33,7 @@ import (
 	"griddles/internal/gridbuffer"
 	"griddles/internal/gridftp"
 	"griddles/internal/obs"
+	"griddles/internal/retry"
 	"griddles/internal/simclock"
 	"griddles/internal/vfs"
 )
@@ -44,6 +48,8 @@ func main() {
 	mb := flag.Int("mb", 8, "stream size in MiB")
 	dir := flag.String("dir", "", "working directory (default: a temp dir)")
 	trace := flag.String("trace", "", "stream the JSONL event log to this file")
+	retries := flag.Int("retries", 4, "transport attempts per operation (1 = historical fail-fast)")
+	retryTimeout := flag.Duration("retry-timeout", 10*time.Second, "per-attempt timeout when -retries > 1")
 	flag.Parse()
 
 	work := *dir
@@ -114,13 +120,25 @@ func main() {
 		log.Fatalf("flowrun: unknown -mode %q", *mode)
 	}
 
+	// The resilience policy for every transport (GNS lookups, file-service
+	// and Grid Buffer traffic). -retries 1 keeps the zero policy: fail fast.
+	var policy retry.Policy
+	if *retries > 1 {
+		policy = retry.Default(clock)
+		policy.MaxAttempts = *retries
+		policy.AttemptTimeout = *retryTimeout
+	}
+
 	fmFor := func(machine, fsDir string) *core.Multiplexer {
+		gnsClient := gns.NewClient(tcpDialer{}, gnsAddr, clock)
+		gnsClient.SetRetry(policy)
 		fm, err := core.New(core.Config{
 			Machine: machine,
 			Clock:   clock,
 			FS:      vfs.NewOSFS(fsDir),
 			Dialer:  tcpDialer{},
-			GNS:     gns.NewClient(tcpDialer{}, gnsAddr, clock),
+			GNS:     gnsClient,
+			Retry:   policy,
 			Obs:     observer,
 			// Real-network runs poll faster than the 2004 simulation.
 			PollInterval: 20 * time.Millisecond,

@@ -1,0 +1,256 @@
+// Package chaos is the fault-injection test harness for the whole GriddLeS
+// stack: a miniature grid (the paper's Table 1 testbed) with every service
+// running, a shared observer, and workload drivers for each of the six FM IO
+// mechanisms. The chaos test matrix runs {mechanism} x {fault scenario}
+// pairs on it and asserts that a run under faults delivers byte-identical
+// output to the no-fault run — or, when no endpoint survives, that it fails
+// cleanly within the retry policy's budget instead of hanging.
+//
+// Everything here is deterministic: the simulated clock drives the fault
+// schedules (package fault), so a given scenario trips on the same byte at
+// the same simulated instant on every run.
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"griddles/internal/core"
+	"griddles/internal/gns"
+	"griddles/internal/gridbuffer"
+	"griddles/internal/gridftp"
+	"griddles/internal/nws"
+	"griddles/internal/obs"
+	"griddles/internal/replica"
+	"griddles/internal/retry"
+	"griddles/internal/simclock"
+	"griddles/internal/testbed"
+	"griddles/internal/vfs"
+)
+
+// Well-known service ports on the simulated testbed.
+const (
+	FTPPort = ":6000"
+	BufPort = ":7000"
+)
+
+// Env is a miniature grid with shared GNS, replica catalogue, NWS and
+// observer — one chaos run's world.
+type Env struct {
+	V     *simclock.Virtual
+	Grid  *testbed.Grid
+	Store *gns.Store
+	Cat   *replica.Catalog
+	NWS   *nws.Service
+	Obs   *obs.Observer
+}
+
+// NewEnv builds a fresh world on the paper's Table 1 testbed.
+func NewEnv() *Env {
+	v := simclock.NewVirtualDefault()
+	return &Env{
+		V:     v,
+		Grid:  testbed.DefaultGrid(v),
+		Store: gns.NewStore(v),
+		Cat:   replica.NewCatalog(),
+		NWS:   nws.NewService(),
+		Obs:   obs.New(v),
+	}
+}
+
+// StartServices brings up a file service and a buffer service on each named
+// machine. Must run inside V.Run.
+func (e *Env) StartServices(hosts ...string) error {
+	for _, name := range hosts {
+		m := e.Grid.Machine(name)
+		lf, err := m.Listen(FTPPort)
+		if err != nil {
+			return fmt.Errorf("chaos: %s ftp listen: %w", name, err)
+		}
+		e.V.Go(name+"-ftp", func() { gridftp.NewServer(m.FS(), e.V).Serve(lf) })
+		lb, err := m.Listen(BufPort)
+		if err != nil {
+			return fmt.Errorf("chaos: %s buffer listen: %w", name, err)
+		}
+		reg := gridbuffer.NewRegistry(e.V, m.FS())
+		e.V.Go(name+"-buf", func() { gridbuffer.NewServer(reg, e.V).Serve(lb) })
+	}
+	return nil
+}
+
+// FM builds a Multiplexer on the named machine wired into the shared
+// observer, with the given resilience policy.
+func (e *Env) FM(machine string, p retry.Policy) (*core.Multiplexer, error) {
+	m := e.Grid.Machine(machine)
+	return core.New(core.Config{
+		Machine:  machine,
+		Clock:    e.V,
+		FS:       m.FS(),
+		Dialer:   m,
+		GNS:      e.Store,
+		Replicas: replica.CatalogLookuper{Catalog: e.Cat},
+		NWS:      e.NWS,
+		Retry:    p,
+		Obs:      e.Obs,
+	})
+}
+
+// Policy is the chaos-matrix resilience policy: enough attempts, spaced
+// widely enough, to ride out every recoverable scenario in the matrix
+// (one-shot resets, 1 s blackholes, 1.2 s partitions) on the testbed's WAN
+// round trips, while still failing within ~15 s of simulated time when no
+// endpoint survives.
+func Policy() retry.Policy {
+	return retry.Policy{
+		MaxAttempts:    6,
+		BaseDelay:      100 * time.Millisecond,
+		MaxDelay:       time.Second,
+		AttemptTimeout: 2 * time.Second,
+	}
+}
+
+// The matrix topology: the consumer application runs on AppHost; bulk data
+// lives on DataHost (monash<->vpac: 2 ms, 460 KB/s — WAN-shaped but quick to
+// simulate); replicated datasets have a second copy on AltHost.
+const (
+	AppHost  = "dione"
+	DataHost = "brecca"
+	AltHost  = "koume00"
+)
+
+// Payload returns the deterministic workload content for a seed.
+func Payload(seed int64, n int) []byte {
+	data := make([]byte, n)
+	rand.New(rand.NewSource(seed)).Read(data)
+	return data
+}
+
+// Mechanism is one of the FM's six IO bindings, with everything the harness
+// needs to drive it: Prepare seeds data and GNS state before the run, and
+// the workload is "open File on AppHost and read it to EOF" (mechanism 6
+// additionally runs the producer, see RunProducer).
+type Mechanism struct {
+	ID   int
+	Name string
+	// Prepare installs mappings, catalogue entries and source data.
+	Prepare func(e *Env, want []byte)
+	// Producer reports whether the workload needs a concurrent producer on
+	// DataHost writing `want` through its own FM (mechanism 6).
+	Producer bool
+}
+
+// File is the path every mechanism maps for the consumer.
+const File = "CHAOS.DAT"
+
+// Mechanisms is the full matrix axis: one entry per paper IO mechanism.
+var Mechanisms = []Mechanism{
+	{
+		ID: 1, Name: "local",
+		Prepare: func(e *Env, want []byte) {
+			vfsWrite(e, AppHost, "/local/f", want)
+			e.Store.Set(AppHost, File, gns.Mapping{Mode: gns.ModeLocal, LocalPath: "/local/f"})
+		},
+	},
+	{
+		ID: 2, Name: "copy",
+		Prepare: func(e *Env, want []byte) {
+			vfsWrite(e, DataHost, "/data/f", want)
+			e.Store.Set(AppHost, File, gns.Mapping{
+				Mode: gns.ModeCopy, RemoteHost: DataHost + FTPPort, RemotePath: "/data/f", LocalPath: "/stage/f",
+			})
+		},
+	},
+	{
+		ID: 3, Name: "remote",
+		Prepare: func(e *Env, want []byte) {
+			vfsWrite(e, DataHost, "/data/f", want)
+			e.Store.Set(AppHost, File, gns.Mapping{
+				Mode: gns.ModeRemote, RemoteHost: DataHost + FTPPort, RemotePath: "/data/f",
+			})
+		},
+	},
+	{
+		ID: 4, Name: "replica-remote",
+		Prepare: func(e *Env, want []byte) {
+			prepareReplicas(e, want)
+			e.Store.Set(AppHost, File, gns.Mapping{Mode: gns.ModeReplicaRemote, LogicalName: "chaos-ds"})
+		},
+	},
+	{
+		ID: 5, Name: "replica-copy",
+		Prepare: func(e *Env, want []byte) {
+			prepareReplicas(e, want)
+			e.Store.Set(AppHost, File, gns.Mapping{
+				Mode: gns.ModeReplicaCopy, LogicalName: "chaos-ds", LocalPath: "/stage/f",
+			})
+		},
+	},
+	{
+		ID: 6, Name: "buffer", Producer: true,
+		Prepare: func(e *Env, want []byte) {
+			m := gns.Mapping{Mode: gns.ModeBuffer, BufferHost: AppHost + BufPort, BufferKey: "chaos-k"}
+			e.Store.Set(AppHost, File, m)
+			e.Store.Set(DataHost, File, m)
+		},
+	},
+}
+
+func vfsWrite(e *Env, host, path string, data []byte) {
+	if err := vfs.WriteFile(e.Grid.Machine(host).RawFS(), path, data); err != nil {
+		panic(err)
+	}
+}
+
+// prepareReplicas registers identical copies on DataHost and AltHost with an
+// NWS preference for DataHost.
+func prepareReplicas(e *Env, want []byte) {
+	vfsWrite(e, DataHost, "/rep/f", want)
+	vfsWrite(e, AltHost, "/rep/f", want)
+	e.Cat.Register("chaos-ds", replica.Location{Host: DataHost, Addr: DataHost + FTPPort, Path: "/rep/f"})
+	e.Cat.Register("chaos-ds", replica.Location{Host: AltHost, Addr: AltHost + FTPPort, Path: "/rep/f"})
+	now := time.Unix(0, 0)
+	e.NWS.Record(DataHost, AppHost, nws.MetricLatency, now, 0.002)
+	e.NWS.Record(AltHost, AppHost, nws.MetricLatency, now, 0.2)
+}
+
+// RunProducer writes want through a fresh FM on host and closes the file.
+func RunProducer(e *Env, host string, p retry.Policy, want []byte) error {
+	fm, err := e.FM(host, p)
+	if err != nil {
+		return err
+	}
+	w, err := fm.Create(File)
+	if err != nil {
+		return fmt.Errorf("chaos: producer create: %w", err)
+	}
+	for off := 0; off < len(want); off += 7919 {
+		end := off + 7919
+		if end > len(want) {
+			end = len(want)
+		}
+		if _, err := w.Write(want[off:end]); err != nil {
+			w.Close()
+			return fmt.Errorf("chaos: producer write: %w", err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		return fmt.Errorf("chaos: producer close: %w", err)
+	}
+	return nil
+}
+
+// RunConsumer opens File on host and reads it to EOF.
+func RunConsumer(e *Env, host string, p retry.Policy) ([]byte, error) {
+	fm, err := e.FM(host, p)
+	if err != nil {
+		return nil, err
+	}
+	f, err := fm.Open(File)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}

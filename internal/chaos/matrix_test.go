@@ -1,0 +1,164 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"griddles/internal/fault"
+	"griddles/internal/simclock"
+)
+
+// dataSize is the matrix workload: large enough that every fault scenario
+// lands mid-stream at the testbed's link rates.
+const dataSize = 96_000
+
+// scenario is the fault axis of the matrix. Actions may depend on the
+// mechanism: partitions heal for the single-endpoint mechanisms but stay up
+// for the replicated ones, where the whole point is failing over to the
+// surviving copy.
+type scenario struct {
+	name    string
+	actions func(m Mechanism) []fault.Action
+	// expectRecovery asserts that the trace shows the resilience layer at
+	// work (retry.attempt or fm.failover) for mechanisms with a network path.
+	expectRecovery bool
+}
+
+var scenarios = []scenario{
+	{
+		// The data stream's connection is reset halfway through the payload.
+		name: "midstream-reset",
+		actions: func(Mechanism) []fault.Action {
+			return []fault.Action{{Kind: fault.FailAfter, From: DataHost, To: AppHost, Bytes: dataSize / 2}}
+		},
+		expectRecovery: true,
+	},
+	{
+		// The data direction goes silent for 1s — within the 2s attempt
+		// timeout, so recovery is driven purely by deadlines.
+		name: "blackhole-timeout",
+		actions: func(Mechanism) []fault.Action {
+			return []fault.Action{{Kind: fault.Blackhole, From: DataHost, To: AppHost, Duration: time.Second}}
+		},
+		expectRecovery: true,
+	},
+	{
+		// Both directions die mid-transfer. Single-endpoint mechanisms ride
+		// it out across the 1.2s heal on retry backoff; replicated ones face
+		// a permanent cut and must fail over to the copy on AltHost.
+		name: "partition-then-heal",
+		actions: func(m Mechanism) []fault.Action {
+			a := fault.Action{At: 50 * time.Millisecond, Kind: fault.Partition, From: AppHost, To: DataHost}
+			if m.ID != 4 && m.ID != 5 {
+				a.Duration = 1200 * time.Millisecond
+			}
+			return []fault.Action{a}
+		},
+		expectRecovery: true,
+	},
+	{
+		// No failures, just a degraded route: 100ms of extra latency for 2s.
+		// The transfer must complete identically with no retry needed.
+		name: "slow-link",
+		actions: func(Mechanism) []fault.Action {
+			return []fault.Action{{Kind: fault.Latency, From: DataHost, To: AppHost, Extra: 100 * time.Millisecond, Duration: 2 * time.Second}}
+		},
+	},
+}
+
+// runCell executes one (mechanism, schedule) cell in a fresh world and
+// returns the bytes the consumer read plus the run's JSONL event trace.
+func runCell(t *testing.T, mech Mechanism, actions []fault.Action) ([]byte, string) {
+	t.Helper()
+	e := NewEnv()
+	want := Payload(1, dataSize)
+	mech.Prepare(e, want)
+	p := Policy()
+	var got []byte
+	var rerr, perr error
+	e.V.Run(func() {
+		if err := e.StartServices(AppHost, DataHost, AltHost); err != nil {
+			t.Fatal(err)
+		}
+		if len(actions) > 0 {
+			(&fault.Schedule{Clock: e.V, Net: e.Grid.Network(), Obs: e.Obs, Actions: actions}).Start()
+		}
+		wg := simclock.NewWaitGroup(e.V)
+		if mech.Producer {
+			wg.Add(1)
+			e.V.Go("chaos-producer", func() {
+				defer wg.Done()
+				perr = RunProducer(e, DataHost, p, want)
+			})
+		}
+		got, rerr = RunConsumer(e, AppHost, p)
+		wg.Wait()
+	})
+	if perr != nil {
+		t.Fatalf("producer: %v", perr)
+	}
+	if rerr != nil {
+		t.Fatalf("consumer: %v", rerr)
+	}
+	var trace bytes.Buffer
+	if err := e.Obs.WriteJSONL(&trace); err != nil {
+		t.Fatalf("writing trace: %v", err)
+	}
+	return got, trace.String()
+}
+
+// TestChaosMatrix is the full {mechanism 1..6} x {fault scenario} grid: every
+// cell must deliver output byte-identical to the mechanism's no-fault run,
+// and recoverable cells must show the resilience layer in the event trace.
+func TestChaosMatrix(t *testing.T) {
+	for _, mech := range Mechanisms {
+		t.Run(fmt.Sprintf("mech%d-%s", mech.ID, mech.Name), func(t *testing.T) {
+			baseline, _ := runCell(t, mech, nil)
+			if want := Payload(1, dataSize); !bytes.Equal(baseline, want) {
+				t.Fatalf("no-fault run broken: got %d bytes, want %d", len(baseline), len(want))
+			}
+			for _, sc := range scenarios {
+				t.Run(sc.name, func(t *testing.T) {
+					got, trace := runCell(t, mech, sc.actions(mech))
+					if !bytes.Equal(got, baseline) {
+						t.Fatalf("output under faults differs from no-fault run: got %d bytes, want %d",
+							len(got), len(baseline))
+					}
+					if !strings.Contains(trace, "fault.injected") {
+						t.Error("trace has no fault.injected event")
+					}
+					// Mechanism 1 never touches the network, so faults are
+					// invisible to it — no recovery to assert.
+					if sc.expectRecovery && mech.ID != 1 &&
+						!strings.Contains(trace, "retry.attempt") && !strings.Contains(trace, "fm.failover") {
+						t.Error("trace shows no retry.attempt or fm.failover despite injected faults")
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestChaosFailoverEvidence pins the replicated mechanisms' partition cells
+// to the strongest claim: the read finished from the surviving replica and
+// the decision is in the trace.
+func TestChaosFailoverEvidence(t *testing.T) {
+	for _, mech := range Mechanisms {
+		if mech.ID != 4 && mech.ID != 5 {
+			continue
+		}
+		t.Run(mech.Name, func(t *testing.T) {
+			sc := scenarios[2] // partition-then-heal: permanent for these mechanisms
+			_, trace := runCell(t, mech, sc.actions(mech))
+			if !strings.Contains(trace, "fm.failover") {
+				t.Error("no fm.failover event after losing the preferred replica")
+			}
+			if !strings.Contains(trace, AltHost) {
+				t.Errorf("trace never mentions the surviving replica %s", AltHost)
+			}
+		})
+	}
+}

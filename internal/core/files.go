@@ -108,6 +108,10 @@ func (f *remoteFile) Close() error {
 // now wins, reopens there at the same offset. The application never
 // notices — exactly the paper's "change the mapping dynamically during the
 // execution" for read-only files.
+//
+// With the FM's retry policy enabled the same machinery runs on errors: when
+// the bound replica dies (its client's own retries exhausted), the file
+// fails over to the next-best surviving replica at the current offset.
 type replicaFile struct {
 	fm      *Multiplexer
 	name    string
@@ -115,6 +119,7 @@ type replicaFile struct {
 
 	cur       *gridftp.RemoteFile
 	curLoc    replica.Location
+	failed    map[string]bool // hosts excluded after an error, by failover
 	pos       int64
 	lastCheck time.Time
 	closed    bool
@@ -157,15 +162,67 @@ func (f *replicaFile) maybeRemap() {
 		obs.KV("offset", f.pos))
 }
 
+// failover re-binds the file to the best-ranked replica not yet marked
+// failed, at the current offset, and records the fm.failover decision.
+// cause is the error that forced the move.
+func (f *replicaFile) failover(cause error) error {
+	locs, err := f.fm.replicaLocations(f.mapping, f.name)
+	if err != nil {
+		return err
+	}
+	sel := &replica.Selector{NWS: f.fm.cfg.NWS}
+	for _, r := range sel.Rank(f.fm.cfg.Machine, 0, locs) {
+		loc := r.Location
+		if f.failed[loc.Host] {
+			continue
+		}
+		nf, err := f.fm.client(loc.Addr).Open(loc.Path, os.O_RDONLY)
+		if err != nil {
+			f.failed[loc.Host] = true
+			continue
+		}
+		if _, err := nf.Seek(f.pos, io.SeekStart); err != nil {
+			nf.Close()
+			f.failed[loc.Host] = true
+			continue
+		}
+		prev := f.curLoc.Host
+		if f.cur != nil {
+			f.cur.Close()
+		}
+		f.cur = nf
+		f.curLoc = loc
+		f.fm.stats.failedOver()
+		f.fm.obs.Emit("fm.failover", f.fm.cfg.Machine,
+			obs.KV("path", f.name), obs.KV("from", prev), obs.KV("to", loc.Host),
+			obs.KV("offset", f.pos), obs.KV("error", cause.Error()))
+		return nil
+	}
+	return fmt.Errorf("core: %s: all replicas failed: %w", f.name, cause)
+}
+
 func (f *replicaFile) Read(p []byte) (int, error) {
 	if f.closed {
 		return 0, fmt.Errorf("core: %s: read after close", f.name)
 	}
 	f.maybeRemap()
-	n, err := f.cur.Read(p)
-	f.pos += int64(n)
-	f.fm.stats.read(n)
-	return n, err
+	for {
+		n, err := f.cur.Read(p)
+		f.pos += int64(n)
+		f.fm.stats.read(n)
+		if err == nil || err == io.EOF || !f.fm.cfg.Retry.Enabled() {
+			return n, err
+		}
+		if n > 0 {
+			// Deliver the progress; a persistent fault resurfaces on the
+			// next call with n == 0 and triggers the failover below.
+			return n, nil
+		}
+		f.failed[f.curLoc.Host] = true
+		if ferr := f.failover(err); ferr != nil {
+			return 0, ferr
+		}
+	}
 }
 
 func (f *replicaFile) Write([]byte) (int, error) {

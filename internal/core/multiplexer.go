@@ -36,6 +36,7 @@ import (
 	"griddles/internal/nws"
 	"griddles/internal/obs"
 	"griddles/internal/replica"
+	"griddles/internal/retry"
 	"griddles/internal/simclock"
 	"griddles/internal/soap"
 	"griddles/internal/vfs"
@@ -105,6 +106,14 @@ type Config struct {
 	// its replica choice mid-read; 0 disables dynamic re-binding.
 	RemapInterval time.Duration
 
+	// Retry is the resilience policy threaded into every transport this FM
+	// opens (file-service clients and Grid Buffer endpoints). When enabled it
+	// also arms replica failover: a replicated read whose transport dies —
+	// after the client's own retries are exhausted — re-binds to the
+	// next-best surviving replica at the current offset. The zero policy
+	// keeps the historical fail-fast behaviour.
+	Retry retry.Policy
+
 	// Heuristic tunes ModeAuto's copy-vs-remote decision (§3.1).
 	Heuristic HeuristicConfig
 
@@ -150,6 +159,15 @@ func New(cfg Config) (*Multiplexer, error) {
 	if cfg.Obs == nil {
 		cfg.Obs = obs.New(cfg.Clock)
 	}
+	if cfg.Retry.Enabled() {
+		if cfg.Retry.Clock == nil {
+			cfg.Retry.Clock = cfg.Clock
+		}
+		if cfg.Retry.Obs == nil {
+			cfg.Retry.Obs = cfg.Obs
+			cfg.Retry.Src = cfg.Machine
+		}
+	}
 	m := &Multiplexer{cfg: cfg, obs: cfg.Obs, clients: make(map[string]*gridftp.Client)}
 	m.stats.init(m.obs, cfg.Machine)
 	return m, nil
@@ -169,6 +187,7 @@ func (m *Multiplexer) client(addr string) *gridftp.Client {
 	if !ok {
 		c = gridftp.NewClient(m.cfg.Dialer, addr, m.cfg.Clock)
 		c.SetObserver(m.obs)
+		c.SetRetry(m.cfg.Retry)
 		m.clients[addr] = c
 	}
 	return c
@@ -365,10 +384,10 @@ func (m *Multiplexer) openRemote(path string, mapping gns.Mapping, flag int, wri
 	return &remoteFile{RemoteFile: rf, name: path, fm: m, marker: mapping.WaitClose && writing, markerPath: rp + DoneSuffix, client: c}, nil
 }
 
-// chooseReplica resolves and ranks the replicas of a mapping.
-func (m *Multiplexer) chooseReplica(mapping gns.Mapping, path string) (replica.Location, error) {
+// replicaLocations resolves the candidate replicas of a mapping.
+func (m *Multiplexer) replicaLocations(mapping gns.Mapping, path string) ([]replica.Location, error) {
 	if m.cfg.Replicas == nil {
-		return replica.Location{}, fmt.Errorf("core: %s maps to replicated mode but no replica catalogue is configured", path)
+		return nil, fmt.Errorf("core: %s maps to replicated mode but no replica catalogue is configured", path)
 	}
 	logical := mapping.LogicalName
 	if logical == "" {
@@ -376,18 +395,29 @@ func (m *Multiplexer) chooseReplica(mapping gns.Mapping, path string) (replica.L
 	}
 	locs, err := m.cfg.Replicas.Lookup(logical)
 	if err != nil {
+		return nil, err
+	}
+	return locs, nil
+}
+
+// chooseReplica resolves and ranks the replicas of a mapping.
+func (m *Multiplexer) chooseReplica(mapping gns.Mapping, path string) (replica.Location, error) {
+	locs, err := m.replicaLocations(mapping, path)
+	if err != nil {
 		return replica.Location{}, err
 	}
 	sel := &replica.Selector{NWS: m.cfg.NWS, Obs: m.obs}
 	loc, err := sel.Choose(m.cfg.Machine, 0, locs)
 	if err != nil {
-		return replica.Location{}, fmt.Errorf("core: %s (logical %q): %w", path, logical, err)
+		return replica.Location{}, fmt.Errorf("core: %s: %w", path, err)
 	}
 	m.stats.replicaChosen(loc.Host)
 	return loc, nil
 }
 
 // openReplicaRemote binds mechanism 4, with optional mid-read re-binding.
+// With the retry policy enabled, an unreachable best replica is not fatal at
+// open time either: the ranked runners-up are tried in order.
 func (m *Multiplexer) openReplicaRemote(path string, mapping gns.Mapping, writing bool) (File, error) {
 	if writing {
 		return nil, fmt.Errorf("core: %s: replicated files are read-only", path)
@@ -396,19 +426,30 @@ func (m *Multiplexer) openReplicaRemote(path string, mapping gns.Mapping, writin
 	if err != nil {
 		return nil, err
 	}
+	f := &replicaFile{
+		fm: m, name: path, mapping: mapping,
+		failed:    make(map[string]bool),
+		lastCheck: m.cfg.Clock.Now(),
+	}
 	rf, err := m.client(loc.Addr).Open(loc.Path, os.O_RDONLY)
 	if err != nil {
-		return nil, err
+		if !m.cfg.Retry.Enabled() {
+			return nil, err
+		}
+		f.failed[loc.Host] = true
+		f.curLoc = loc
+		if ferr := f.failover(err); ferr != nil {
+			return nil, ferr
+		}
+		return f, nil
 	}
-	return &replicaFile{
-		fm: m, name: path, mapping: mapping,
-		cur: rf, curLoc: loc,
-		lastCheck: m.cfg.Clock.Now(),
-	}, nil
+	f.cur, f.curLoc = rf, loc
+	return f, nil
 }
 
 // openReplicaCopy binds mechanism 5: find replica, copy it local, read
-// locally.
+// locally. With the retry policy enabled, a replica whose copy-in fails is
+// skipped and the ranked runners-up are tried in order.
 func (m *Multiplexer) openReplicaCopy(path string, mapping gns.Mapping, flag int, perm os.FileMode, writing bool) (File, error) {
 	if writing {
 		return nil, fmt.Errorf("core: %s: replicated files are read-only", path)
@@ -419,8 +460,11 @@ func (m *Multiplexer) openReplicaCopy(path string, mapping gns.Mapping, flag int
 		return nil, err
 	}
 	n, err := m.client(loc.Addr).CopyIn(loc.Path, m.cfg.FS, lp, m.cfg.CopyStreams)
+	if err != nil && m.cfg.Retry.Enabled() {
+		n, err = m.copyInFailover(mapping, path, lp, loc, err)
+	}
 	if err != nil {
-		return nil, fmt.Errorf("core: copying replica %s from %s: %w", loc.Path, loc.Host, err)
+		return nil, fmt.Errorf("core: copying replica of %s: %w", path, err)
 	}
 	m.stats.stagedIn(n)
 	f, err := m.cfg.FS.OpenFile(lp, flag, perm)
@@ -428,6 +472,33 @@ func (m *Multiplexer) openReplicaCopy(path string, mapping gns.Mapping, flag int
 		return nil, err
 	}
 	return &localFile{File: f, name: path, fm: m}, nil
+}
+
+// copyInFailover walks the ranked runner-up replicas after a failed copy-in
+// from `failed`, returning the bytes staged from the first survivor.
+func (m *Multiplexer) copyInFailover(mapping gns.Mapping, path, lp string, failedLoc replica.Location, cause error) (int64, error) {
+	locs, err := m.replicaLocations(mapping, path)
+	if err != nil {
+		return 0, cause
+	}
+	sel := &replica.Selector{NWS: m.cfg.NWS}
+	for _, r := range sel.Rank(m.cfg.Machine, 0, locs) {
+		loc := r.Location
+		if loc == failedLoc {
+			continue
+		}
+		n, err := m.client(loc.Addr).CopyIn(loc.Path, m.cfg.FS, lp, m.cfg.CopyStreams)
+		if err != nil {
+			cause = err
+			continue
+		}
+		m.stats.failedOver()
+		m.obs.Emit("fm.failover", m.cfg.Machine,
+			obs.KV("path", path), obs.KV("from", failedLoc.Host), obs.KV("to", loc.Host),
+			obs.KV("offset", int64(0)), obs.KV("error", cause.Error()))
+		return n, nil
+	}
+	return 0, fmt.Errorf("all replicas failed: %w", cause)
 }
 
 // openBuffer binds mechanism 6: direct writer/reader coupling.
@@ -461,14 +532,14 @@ func (m *Multiplexer) openBuffer(path string, mapping gns.Mapping, writing bool,
 	}
 	if writing {
 		w, err := gridbuffer.NewWriter(m.cfg.Dialer, mapping.BufferHost, m.cfg.Clock, key, opts,
-			gridbuffer.WriterOptions{Window: m.cfg.WriterWindow, ConnPerCall: m.cfg.BufferConnPerCall})
+			gridbuffer.WriterOptions{Window: m.cfg.WriterWindow, ConnPerCall: m.cfg.BufferConnPerCall, Retry: m.cfg.Retry})
 		if err != nil {
 			return nil, err
 		}
 		return &bufferWriterFile{w: w, name: path, fm: m}, nil
 	}
 	r, err := gridbuffer.NewReader(m.cfg.Dialer, mapping.BufferHost, m.cfg.Clock, key, opts,
-		gridbuffer.ReaderOptions{Depth: m.cfg.ReaderDepth})
+		gridbuffer.ReaderOptions{Depth: m.cfg.ReaderDepth, Retry: m.cfg.Retry})
 	if err != nil {
 		return nil, err
 	}

@@ -35,6 +35,7 @@ type Stats struct {
 	stageIn      *obs.Counter
 	stageOut     *obs.Counter
 	remaps       *obs.Counter
+	failovers    *obs.Counter
 	translations *obs.Counter
 
 	mu           sync.Mutex
@@ -71,6 +72,7 @@ func (s *Stats) init(o *obs.Observer, machine string) {
 	s.stageIn = o.Counter(name("fm.stagein.bytes"))
 	s.stageOut = o.Counter(name("fm.stageout.bytes"))
 	s.remaps = o.Counter(name("fm.remap.total"))
+	s.failovers = o.Counter(name("fm.failover.total"))
 	s.translations = o.Counter(name("fm.translate.total"))
 }
 
@@ -87,6 +89,8 @@ func (s *Stats) stagedIn(n int64)  { s.stageIn.Add(n) }
 func (s *Stats) stagedOut(n int64) { s.stageOut.Add(n) }
 
 func (s *Stats) remapped() { s.remaps.Inc() }
+
+func (s *Stats) failedOver() { s.failovers.Inc() }
 
 // decided records a ModeAuto choice: the ordered in-memory list the
 // Decisions accessor serves, a per-mode counter, and a decision-record
@@ -163,6 +167,9 @@ func (s *Stats) StagedOut() int64 { return s.stageOut.Value() }
 
 // Remaps reports mid-read replica re-bindings.
 func (s *Stats) Remaps() int64 { return s.remaps.Value() }
+
+// Failovers reports error-driven replica re-bindings.
+func (s *Stats) Failovers() int64 { return s.failovers.Value() }
 
 // ReplicaChoices reports how often each replica host was selected.
 func (s *Stats) ReplicaChoices() map[string]int {

@@ -1,0 +1,196 @@
+// Package fault turns the simnet fault-injection primitives into scripted,
+// replayable chaos schedules. A Schedule is a list of timed Actions applied
+// to a simnet.Network by a background goroutine on the simulated clock, so a
+// given (schedule, workload) pair is fully deterministic: the same faults
+// hit the same bytes on every run. The chaos test matrix builds on this, and
+// RandomSchedule derives whole schedules from a seed for property tests.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"griddles/internal/obs"
+	"griddles/internal/simclock"
+	"griddles/internal/simnet"
+)
+
+// Kind enumerates the injectable fault types.
+type Kind int
+
+const (
+	// Reset kills every live connection on the directed link From->To.
+	Reset Kind = iota
+	// FailAfter arms From->To to reset the connection carrying the
+	// Bytes-th byte sent after the action fires.
+	FailAfter
+	// Blackhole silences From->To for Duration (0 = until healed by a
+	// later action); bytes are swallowed, only deadlines notice.
+	Blackhole
+	// Latency adds Extra of propagation delay on From->To for Duration
+	// (0 = permanently).
+	Latency
+	// Partition cuts both directions between From and To for Duration
+	// (0 = until a Heal action).
+	Partition
+	// Heal removes a partition between From and To.
+	Heal
+)
+
+// String names the fault kind for event records.
+func (k Kind) String() string {
+	switch k {
+	case Reset:
+		return "reset"
+	case FailAfter:
+		return "fail-after"
+	case Blackhole:
+		return "blackhole"
+	case Latency:
+		return "latency"
+	case Partition:
+		return "partition"
+	case Heal:
+		return "heal"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Action is one timed fault.
+type Action struct {
+	// At is the simulated instant (relative to Schedule.Start) the fault
+	// fires.
+	At time.Duration
+	// Kind selects the fault; From/To name the directed link (for Partition
+	// and Heal the pair is symmetric).
+	Kind Kind
+	From string
+	To   string
+	// Bytes arms FailAfter.
+	Bytes int64
+	// Extra is the added latency for Latency actions.
+	Extra time.Duration
+	// Duration, when positive, auto-reverts the fault (heal a partition or
+	// blackhole, remove extra latency) that long after it fires.
+	Duration time.Duration
+}
+
+// Schedule applies a list of Actions to a Network on a clock.
+type Schedule struct {
+	Clock simclock.Clock
+	Net   *simnet.Network
+	// Obs, if set, receives a "fault.injected" event per applied action (and
+	// per auto-revert).
+	Obs     *obs.Observer
+	Actions []Action
+}
+
+// Start launches the schedule in the background: actions fire in At order on
+// the schedule's clock. Call inside the virtual clock's Run. The returned
+// WaitGroup is done when every action (including auto-reverts) has fired.
+func (s *Schedule) Start() *simclock.WaitGroup {
+	acts := make([]Action, len(s.Actions))
+	copy(acts, s.Actions)
+	sort.SliceStable(acts, func(i, j int) bool { return acts[i].At < acts[j].At })
+	wg := simclock.NewWaitGroup(s.Clock)
+	wg.Add(1)
+	start := s.Clock.Now()
+	s.Clock.Go("fault-schedule", func() {
+		defer wg.Done()
+		for _, a := range acts {
+			if wait := a.At - s.Clock.Now().Sub(start); wait > 0 {
+				s.Clock.Sleep(wait)
+			}
+			s.apply(a, wg)
+		}
+	})
+	return wg
+}
+
+func (s *Schedule) apply(a Action, wg *simclock.WaitGroup) {
+	switch a.Kind {
+	case Reset:
+		s.Net.InjectReset(a.From, a.To)
+	case FailAfter:
+		s.Net.FailAfter(a.From, a.To, a.Bytes)
+	case Blackhole:
+		s.Net.SetBlackhole(a.From, a.To, true)
+		s.revertAfter(a, wg, func() { s.Net.SetBlackhole(a.From, a.To, false) })
+	case Latency:
+		s.Net.SetExtraLatency(a.From, a.To, a.Extra)
+		s.revertAfter(a, wg, func() { s.Net.SetExtraLatency(a.From, a.To, 0) })
+	case Partition:
+		s.Net.Partition(a.From, a.To)
+		s.revertAfter(a, wg, func() { s.Net.Heal(a.From, a.To) })
+	case Heal:
+		s.Net.Heal(a.From, a.To)
+	}
+	s.emit(a.Kind.String(), a)
+}
+
+// revertAfter schedules the undo of a timed fault.
+func (s *Schedule) revertAfter(a Action, wg *simclock.WaitGroup, undo func()) {
+	if a.Duration <= 0 {
+		return
+	}
+	wg.Add(1)
+	s.Clock.Go("fault-revert", func() {
+		defer wg.Done()
+		s.Clock.Sleep(a.Duration)
+		undo()
+		s.emit(a.Kind.String()+".revert", a)
+	})
+}
+
+func (s *Schedule) emit(kind string, a Action) {
+	if s.Obs == nil {
+		return
+	}
+	s.Obs.Counter(obs.Key("fault.injected.total", "kind", a.Kind.String())).Inc()
+	s.Obs.Emit("fault.injected", "fault",
+		obs.KV("kind", kind), obs.KV("from", a.From), obs.KV("to", a.To),
+		obs.KV("bytes", a.Bytes), obs.KV("extra_ms", float64(a.Extra)/float64(time.Millisecond)),
+		obs.KV("duration_ms", float64(a.Duration)/float64(time.Millisecond)))
+}
+
+// RandomSchedule derives a fault schedule from seed: n actions over span,
+// each picking a random directed pair from hosts and a random recoverable
+// fault. Partitions and blackholes always carry a bounded Duration, so a
+// random schedule never leaves a link permanently dead — a workload with
+// retry enabled should therefore always finish or fail cleanly, which is
+// exactly what the property test asserts.
+func RandomSchedule(seed int64, hosts []string, n int, span time.Duration) []Action {
+	rng := rand.New(rand.NewSource(seed))
+	acts := make([]Action, 0, n)
+	for i := 0; i < n; i++ {
+		from := hosts[rng.Intn(len(hosts))]
+		to := hosts[rng.Intn(len(hosts))]
+		for to == from {
+			to = hosts[rng.Intn(len(hosts))]
+		}
+		a := Action{
+			At:   time.Duration(rng.Int63n(int64(span))),
+			From: from,
+			To:   to,
+		}
+		switch rng.Intn(4) {
+		case 0:
+			a.Kind = Reset
+		case 1:
+			a.Kind = FailAfter
+			a.Bytes = 1 + rng.Int63n(256<<10)
+		case 2:
+			a.Kind = Blackhole
+			a.Duration = time.Duration(1+rng.Int63n(int64(2*time.Second)/int64(time.Millisecond))) * time.Millisecond
+		case 3:
+			a.Kind = Latency
+			a.Extra = time.Duration(1+rng.Int63n(500)) * time.Millisecond
+			a.Duration = time.Duration(1+rng.Int63n(int64(5*time.Second)/int64(time.Millisecond))) * time.Millisecond
+		}
+		acts = append(acts, a)
+	}
+	return acts
+}

@@ -1,0 +1,83 @@
+package fault
+
+import (
+	"testing"
+	"time"
+
+	"griddles/internal/obs"
+	"griddles/internal/simclock"
+	"griddles/internal/simnet"
+)
+
+func TestScheduleFiresInOrder(t *testing.T) {
+	v := simclock.NewVirtualDefault()
+	n := simnet.New(v)
+	n.SetLinkBoth("a", "b", simnet.LinkSpec{Latency: time.Millisecond})
+	o := obs.New(v)
+	v.Run(func() {
+		s := &Schedule{Clock: v, Net: n, Obs: o, Actions: []Action{
+			{At: 50 * time.Millisecond, Kind: Partition, From: "a", To: "b", Duration: 100 * time.Millisecond},
+			{At: 10 * time.Millisecond, Kind: FailAfter, From: "a", To: "b", Bytes: 1000},
+		}}
+		wg := s.Start()
+		v.Sleep(20 * time.Millisecond)
+		if n.Partitioned("a", "b") {
+			t.Error("partition fired early")
+		}
+		v.Sleep(40 * time.Millisecond)
+		if !n.Partitioned("a", "b") {
+			t.Error("partition did not fire at its instant")
+		}
+		wg.Wait()
+		if n.Partitioned("a", "b") {
+			t.Error("timed partition did not auto-heal")
+		}
+	})
+	var kinds []string
+	for _, ev := range o.Events() {
+		if ev.Type == "fault.injected" {
+			kinds = append(kinds, ev.Attr("kind").(string))
+		}
+	}
+	want := []string{"fail-after", "partition", "partition.revert"}
+	if len(kinds) != len(want) {
+		t.Fatalf("fault.injected events = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("fault.injected events = %v, want %v", kinds, want)
+		}
+	}
+}
+
+func TestRandomScheduleDeterministicAndBounded(t *testing.T) {
+	hosts := []string{"a", "b", "c"}
+	s1 := RandomSchedule(42, hosts, 20, 10*time.Second)
+	s2 := RandomSchedule(42, hosts, 20, 10*time.Second)
+	if len(s1) != 20 || len(s2) != 20 {
+		t.Fatalf("lengths %d/%d", len(s1), len(s2))
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("same seed diverged at %d: %+v vs %+v", i, s1[i], s2[i])
+		}
+		if s1[i].From == s1[i].To {
+			t.Fatalf("self-link action %+v", s1[i])
+		}
+		if (s1[i].Kind == Blackhole || s1[i].Kind == Partition) && s1[i].Duration <= 0 {
+			t.Fatalf("unbounded outage %+v", s1[i])
+		}
+	}
+	if diff := RandomSchedule(43, hosts, 20, 10*time.Second); len(diff) == 20 {
+		same := true
+		for i := range diff {
+			if diff[i] != s1[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical schedules")
+		}
+	}
+}

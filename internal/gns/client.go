@@ -5,7 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"time"
 
+	"griddles/internal/retry"
 	"griddles/internal/simclock"
 	"griddles/internal/wire"
 )
@@ -23,6 +25,7 @@ type Client struct {
 	dialer Dialer
 	addr   string
 	clock  simclock.Clock
+	retry  retry.Policy
 
 	mu   *simclock.Mutex // serializes use of the shared connection
 	conn net.Conn
@@ -34,6 +37,12 @@ type Client struct {
 func NewClient(dialer Dialer, addr string, clock simclock.Clock) *Client {
 	return &Client{dialer: dialer, addr: addr, clock: clock, mu: simclock.NewMutex(clock)}
 }
+
+// SetRetry installs the resilience policy. GNS calls are stateless, so every
+// operation simply redials and re-asks on transport faults; server-reported
+// errors are final. The zero policy (the default) preserves the historical
+// fail-fast behaviour.
+func (c *Client) SetRetry(p retry.Policy) { c.retry = p }
 
 func (c *Client) ensureConnLocked() error {
 	if c.conn != nil {
@@ -57,12 +66,27 @@ func (c *Client) dropConnLocked() {
 	}
 }
 
-// roundTrip sends one request on the shared connection and reads one reply.
+// roundTrip sends one request on the shared connection and reads one reply,
+// redialing and retrying on transport faults per the retry policy.
 func (c *Client) roundTrip(reqType uint8, payload []byte) (uint8, []byte, error) {
+	var typ uint8
+	var resp []byte
+	err := c.retry.Do("gns.call", func(int) error {
+		t, r, err := c.tripOnce(reqType, payload)
+		typ, resp = t, r
+		return err
+	})
+	return typ, resp, err
+}
+
+func (c *Client) tripOnce(reqType uint8, payload []byte) (uint8, []byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err := c.ensureConnLocked(); err != nil {
 		return 0, nil, err
+	}
+	if dl := c.retry.Deadline(); !dl.IsZero() {
+		c.conn.SetDeadline(dl)
 	}
 	if err := wire.WriteFrame(c.bw, reqType, payload); err != nil {
 		c.dropConnLocked()
@@ -77,8 +101,11 @@ func (c *Client) roundTrip(reqType uint8, payload []byte) (uint8, []byte, error)
 		c.dropConnLocked()
 		return 0, nil, err
 	}
+	if c.retry.Enabled() {
+		c.conn.SetDeadline(time.Time{})
+	}
 	if typ == msgError {
-		return 0, nil, errors.New("gns: " + wire.NewDecoder(resp).String())
+		return 0, nil, retry.Permanent(errors.New("gns: " + wire.NewDecoder(resp).String()))
 	}
 	return typ, resp, nil
 }
@@ -156,13 +183,34 @@ func (c *Client) List() ([]Entry, error) {
 }
 
 // Watch implements Resolver over the network. Each call uses its own
-// connection so long waits do not block other requests.
+// connection so long waits do not block other requests. With a retry policy
+// set, a watch broken mid-wait re-registers with the same `since` version,
+// so no update is lost.
 func (c *Client) Watch(machine, path string, since uint64, timeoutMS int64) (Mapping, bool, error) {
+	var m Mapping
+	var changed bool
+	err := c.retry.Do("gns.watch", func(int) error {
+		var err error
+		m, changed, err = c.watchOnce(machine, path, since, timeoutMS)
+		return err
+	})
+	if err != nil {
+		return Mapping{}, false, err
+	}
+	return m, changed, nil
+}
+
+func (c *Client) watchOnce(machine, path string, since uint64, timeoutMS int64) (Mapping, bool, error) {
 	conn, err := c.dialer.Dial(c.addr)
 	if err != nil {
 		return Mapping{}, false, fmt.Errorf("gns: dial %s: %w", c.addr, err)
 	}
 	defer conn.Close()
+	if t := c.retry.Timeout(); t > 0 {
+		// The server may legitimately hold the watch for timeoutMS before
+		// answering "unchanged"; the fault deadline starts after that.
+		conn.SetDeadline(c.clock.Now().Add(t + time.Duration(timeoutMS)*time.Millisecond))
+	}
 	e := wire.NewEncoder()
 	e.String(machine).String(path).U64(since).I64(timeoutMS)
 	if err := wire.WriteFrame(conn, msgWatch, e.Bytes()); err != nil {
@@ -173,10 +221,10 @@ func (c *Client) Watch(machine, path string, since uint64, timeoutMS int64) (Map
 		return Mapping{}, false, err
 	}
 	if typ == msgError {
-		return Mapping{}, false, errors.New("gns: " + wire.NewDecoder(resp).String())
+		return Mapping{}, false, retry.Permanent(errors.New("gns: " + wire.NewDecoder(resp).String()))
 	}
 	if typ != msgWatchResp {
-		return Mapping{}, false, fmt.Errorf("gns: unexpected reply type %d", typ)
+		return Mapping{}, false, retry.Permanent(fmt.Errorf("gns: unexpected reply type %d", typ))
 	}
 	d := wire.NewDecoder(resp)
 	changed := d.Bool()

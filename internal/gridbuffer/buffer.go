@@ -92,6 +92,7 @@ type Buffer struct {
 
 	blocks   map[int64][]byte
 	consumed map[int64]map[int]bool // blockIdx -> readerIDs that have read it
+	dead     map[int64]bool         // fully consumed and dropped without a cache copy
 	written  int64                  // highest contiguous sequential watermark (for diagnostics)
 	eof      bool
 	total    int64 // total byte length, valid once eof
@@ -123,6 +124,7 @@ func NewBuffer(clock simclock.Clock, key string, opts Options) *Buffer {
 		key:      key,
 		blocks:   make(map[int64][]byte),
 		consumed: make(map[int64]map[int]bool),
+		dead:     make(map[int64]bool),
 		attached: make(map[int]bool),
 		inCache:  make(map[int64]bool),
 	}
@@ -166,6 +168,24 @@ func (b *Buffer) Attach() int {
 	return id
 }
 
+// Reattach re-registers a reader after a transport reconnect. When prev is
+// still attached the same ID is returned, so a broadcast buffer does not
+// count the reconnected reader as a second consumer (a fresh ghost ID would
+// inflate the expected fan-out and strand blocks). prev < 0, or a prev that
+// already detached, falls back to a fresh Attach.
+func (b *Buffer) Reattach(prev int) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if prev >= 0 && b.attached[prev] {
+		return prev
+	}
+	id := b.nextReader
+	b.nextReader++
+	b.attached[id] = true
+	b.fanout.Set(int64(len(b.attached)))
+	return id
+}
+
 // Detach unregisters a reader. Blocks it had not consumed become consumable
 // by the remaining expectation (they are treated as consumed by id).
 func (b *Buffer) Detach(id int) {
@@ -191,6 +211,13 @@ func (b *Buffer) Put(idx int64, data []byte) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.puts.Inc()
+	if b.dead[idx] || b.inCache[idx] {
+		// Every expected reader already consumed this block: the put is a
+		// replay of a delivery whose acknowledgement was lost. Accepting it
+		// idempotently (rather than parking it forever in the table) is what
+		// makes writer-side replay after reconnect safe.
+		return nil
+	}
 	stalled := false
 	entered := b.clock.Now()
 	for {
@@ -220,11 +247,16 @@ func (b *Buffer) Put(idx int64, data []byte) error {
 	return nil
 }
 
-// CloseWrite marks end-of-stream with the total byte length.
+// CloseWrite marks end-of-stream with the total byte length. A repeat with
+// the same total is an idempotent no-op (a writer re-sending close after a
+// lost acknowledgement); a conflicting total is an error.
 func (b *Buffer) CloseWrite(totalBytes int64) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.eof {
+		if b.total == totalBytes {
+			return nil
+		}
 		return errors.New("gridbuffer: duplicate close-write")
 	}
 	b.eof = true
@@ -261,6 +293,31 @@ func (b *Buffer) blockLenLocked(idx int64) int {
 // end-of-stream. Reading a block the reader already consumed is served from
 // the resident table or the cache file.
 func (b *Buffer) Get(id int, idx int64) (data []byte, eof bool, err error) {
+	return b.get(id, idx, true)
+}
+
+// GetKeep is Get without the consume: the block stays resident (charged
+// against capacity) until the reader acknowledges it via AckBelow. The
+// resilient binary transport uses this pair so a delivery lost on the wire
+// can be re-requested after reconnect.
+func (b *Buffer) GetKeep(id int, idx int64) (data []byte, eof bool, err error) {
+	return b.get(id, idx, false)
+}
+
+// AckBelow marks every resident block with index < upto as consumed by
+// reader id (spilling to the cache file as usual), freeing capacity for the
+// writer.
+func (b *Buffer) AckBelow(id int, upto int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for idx := range b.blocks {
+		if idx < upto {
+			b.markConsumedLocked(idx, id)
+		}
+	}
+}
+
+func (b *Buffer) get(id int, idx int64, consume bool) (data []byte, eof bool, err error) {
 	if idx < 0 {
 		return nil, false, fmt.Errorf("gridbuffer: negative block index %d", idx)
 	}
@@ -286,7 +343,9 @@ func (b *Buffer) Get(id int, idx int64) (data []byte, eof bool, err error) {
 			}
 			cp := make([]byte, len(out))
 			copy(cp, out)
-			b.markConsumedLocked(idx, id)
+			if consume {
+				b.markConsumedLocked(idx, id)
+			}
 			return cp, false, nil
 		}
 		if b.inCache[idx] {
@@ -331,6 +390,9 @@ func (b *Buffer) markConsumedLocked(idx int64, id int) {
 		b.spillLocked(idx, data)
 	}
 	delete(b.blocks, idx)
+	if !b.inCache[idx] {
+		b.dead[idx] = true
+	}
 	delete(b.consumed, idx)
 	b.resident.Set(int64(len(b.blocks)))
 	b.wcond.Broadcast()

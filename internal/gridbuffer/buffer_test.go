@@ -192,8 +192,11 @@ func TestBufferEOFSemantics(t *testing.T) {
 	if err := b.Put(2, []byte("zz")); err == nil {
 		t.Error("put after close-write succeeded")
 	}
-	if err := b.CloseWrite(6); err == nil {
-		t.Error("double close-write succeeded")
+	if err := b.CloseWrite(6); err != nil {
+		t.Errorf("replayed close-write with same total: %v", err)
+	}
+	if err := b.CloseWrite(7); err == nil {
+		t.Error("close-write with conflicting total succeeded")
 	}
 }
 

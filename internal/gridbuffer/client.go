@@ -7,7 +7,9 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
+	"griddles/internal/retry"
 	"griddles/internal/simclock"
 	"griddles/internal/wire"
 )
@@ -28,14 +30,28 @@ const DefaultWriterWindow = 2
 // DefaultReaderDepth is the reader's prefetch pipeline depth.
 const DefaultReaderDepth = 2
 
+// wblock is one block the writer has sent but the server has not yet
+// acknowledged. Acks arrive in send order, so the set is a FIFO; on
+// reconnect the whole window replays (the server accepts replayed blocks
+// idempotently).
+type wblock struct {
+	idx  int64
+	data []byte
+}
+
 // Writer streams an application's sequential writes into a remote Grid
 // Buffer as fixed-size blocks. It implements io.WriteCloser.
+//
+// With a retry policy set (WriterOptions.Retry), the writer survives
+// transport faults: it reconnects, replays the unacknowledged block window,
+// and continues. Without one it fails fast, as the paper's service did.
 type Writer struct {
 	clock     simclock.Clock
 	conn      net.Conn
 	bw        *bufio.Writer
 	key       string
 	blockSize int
+	retry     retry.Policy
 
 	// connection-per-call (SOAP-style) state
 	connPerCall bool
@@ -47,9 +63,12 @@ type Writer struct {
 	winSize int64
 	done    *simclock.Event
 
-	mu     sync.Mutex // guards err
-	err    error
-	closed bool
+	mu      sync.Mutex // guards err, broken, gen, unacked
+	err     error
+	broken  bool
+	gen     uint64
+	unacked []wblock
+	closed  bool
 
 	partial []byte
 	nextIdx int64
@@ -69,19 +88,27 @@ type WriterOptions struct {
 	// on its trans-continental Table 5 rows — and is the default in the
 	// experiment harness. Window is ignored in this mode.
 	ConnPerCall bool
+	// Retry is the resilience policy; the zero policy fails fast.
+	Retry retry.Policy
 }
 
 // attach dials addr and performs one Attach handshake, returning the open
-// connection and the negotiated parameters.
-func attach(dialer Dialer, addr string, key string, role uint8, opts Options) (net.Conn, *bufio.Reader, *bufio.Writer, int, int, error) {
+// connection and the negotiated parameters. prev is the reader ID a
+// reconnecting reader resumes (-1 for writers and first attaches); dl, if
+// non-zero, bounds the whole handshake.
+func attach(dialer Dialer, addr string, key string, role uint8, opts Options, prev int, dl time.Time) (net.Conn, *bufio.Reader, *bufio.Writer, int, int, error) {
 	conn, err := dialer.Dial(addr)
 	if err != nil {
 		return nil, nil, nil, 0, 0, fmt.Errorf("gridbuffer: dial %s: %w", addr, err)
+	}
+	if !dl.IsZero() {
+		conn.SetDeadline(dl)
 	}
 	bw := bufio.NewWriter(conn)
 	e := wire.NewEncoder()
 	e.String(key).U8(role)
 	encodeOptions(e, opts)
+	e.I64(int64(prev))
 	if err := wire.WriteFrame(bw, msgAttach, e.Bytes()); err != nil {
 		conn.Close()
 		return nil, nil, nil, 0, 0, err
@@ -98,14 +125,17 @@ func attach(dialer Dialer, addr string, key string, role uint8, opts Options) (n
 	}
 	if typ == msgError {
 		conn.Close()
-		return nil, nil, nil, 0, 0, errors.New("gridbuffer: " + wire.NewDecoder(resp).String())
+		return nil, nil, nil, 0, 0, retry.Permanent(errors.New("gridbuffer: " + wire.NewDecoder(resp).String()))
 	}
 	d := wire.NewDecoder(resp)
 	readerID := int(d.I64())
 	blockSize := int(d.U32())
 	if err := d.Err(); err != nil {
 		conn.Close()
-		return nil, nil, nil, 0, 0, err
+		return nil, nil, nil, 0, 0, retry.Permanent(err)
+	}
+	if !dl.IsZero() {
+		conn.SetDeadline(time.Time{})
 	}
 	return conn, br, bw, readerID, blockSize, nil
 }
@@ -113,7 +143,15 @@ func attach(dialer Dialer, addr string, key string, role uint8, opts Options) (n
 // NewWriter attaches to (or creates) the buffer key on the service at addr
 // and returns a Writer.
 func NewWriter(dialer Dialer, addr string, clock simclock.Clock, key string, opts Options, wopts WriterOptions) (*Writer, error) {
-	conn, br, bw, _, blockSize, err := attach(dialer, addr, key, roleWriter, opts)
+	var conn net.Conn
+	var br *bufio.Reader
+	var bw *bufio.Writer
+	var blockSize int
+	err := wopts.Retry.Do("gb.attach", func(int) error {
+		var err error
+		conn, br, bw, _, blockSize, err = attach(dialer, addr, key, roleWriter, opts, -1, wopts.Retry.Deadline())
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -127,6 +165,7 @@ func NewWriter(dialer Dialer, addr string, clock simclock.Clock, key string, opt
 		bw:          bw,
 		key:         key,
 		blockSize:   blockSize,
+		retry:       wopts.Retry,
 		connPerCall: wopts.ConnPerCall,
 		dialer:      dialer,
 		addr:        addr,
@@ -142,8 +181,16 @@ func NewWriter(dialer Dialer, addr string, clock simclock.Clock, key string, opt
 		w.conn, w.bw = nil, nil
 		return w, nil
 	}
-	clock.Go("gridbuffer-writer-acks", func() { w.ackLoop(br) })
+	w.spawnAckLoop(br)
 	return w, nil
+}
+
+func (w *Writer) spawnAckLoop(br *bufio.Reader) {
+	w.mu.Lock()
+	gen := w.gen
+	w.mu.Unlock()
+	window, done := w.window, w.done
+	w.clock.Go("gridbuffer-writer-acks", func() { w.ackLoop(br, window, done, gen) })
 }
 
 // oneCall opens a fresh connection, performs a single request/response,
@@ -164,6 +211,9 @@ func (w *Writer) oneCall(reqType uint8, payload []byte) error {
 		conn.Close()
 		w.clock.Sleep(setup)
 	}()
+	if dl := w.retry.Deadline(); !dl.IsZero() {
+		conn.SetDeadline(dl)
+	}
 	if err := wire.WriteFrame(conn, reqType, payload); err != nil {
 		return err
 	}
@@ -172,51 +222,99 @@ func (w *Writer) oneCall(reqType uint8, payload []byte) error {
 		return err
 	}
 	if typ == msgError {
-		return errors.New("gridbuffer: " + wire.NewDecoder(resp).String())
+		return retry.Permanent(errors.New("gridbuffer: " + wire.NewDecoder(resp).String()))
 	}
 	return nil
 }
 
-// ackLoop consumes Put acknowledgements, releasing window permits.
-func (w *Writer) ackLoop(br *bufio.Reader) {
+// ackLoop consumes Put acknowledgements, releasing window permits. One loop
+// runs per connection generation; window/done belong to that generation, so
+// a stale loop can never release permits of a successor connection.
+func (w *Writer) ackLoop(br *bufio.Reader, window *simclock.Semaphore, done *simclock.Event, gen uint64) {
 	for {
 		typ, payload, err := wire.ReadFrame(br)
 		if err != nil {
-			w.fail(err)
+			w.noteTransport(gen, err)
+			window.Release(w.winSize)
+			done.Set()
 			return
 		}
 		switch typ {
 		case msgPutResp:
-			w.window.Release(1)
+			w.mu.Lock()
+			if w.gen == gen && len(w.unacked) > 0 {
+				w.unacked = w.unacked[1:]
+			}
+			w.mu.Unlock()
+			window.Release(1)
 		case msgCloseWriteResp:
-			w.done.Set()
+			done.Set()
 			return
 		case msgError:
-			w.fail(errors.New("gridbuffer: " + wire.NewDecoder(payload).String()))
+			w.failServer(errors.New("gridbuffer: " + wire.NewDecoder(payload).String()))
+			window.Release(w.winSize)
+			done.Set()
 			return
 		default:
-			w.fail(fmt.Errorf("gridbuffer: unexpected writer frame %d", typ))
+			w.failServer(fmt.Errorf("gridbuffer: unexpected writer frame %d", typ))
+			window.Release(w.winSize)
+			done.Set()
 			return
 		}
 	}
 }
 
-// fail records the first error and unblocks anything waiting.
-func (w *Writer) fail(err error) {
+// noteTransport records a transport fault seen by the gen ackLoop: with a
+// retry policy the connection is marked broken (the app goroutine
+// reconnects); without one it is the writer's terminal error.
+func (w *Writer) noteTransport(gen uint64, err error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.gen != gen {
+		return // a stale loop observing its own connection being replaced
+	}
+	if w.retry.Enabled() {
+		w.broken = true
+		return
+	}
+	if w.err == nil {
+		w.err = err
+	}
+}
+
+// failServer records a server-reported error: permanent in every mode.
+func (w *Writer) failServer(err error) {
 	w.mu.Lock()
 	if w.err == nil {
 		w.err = err
 	}
 	w.mu.Unlock()
+}
+
+// fail records the first error and unblocks anything waiting.
+func (w *Writer) fail(err error) {
+	w.failServer(err)
 	w.window.Release(w.winSize) // unblock senders
 	w.done.Set()
 }
 
-// Err reports the first transport error, if any.
+// Err reports the first permanent error, if any.
 func (w *Writer) Err() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.err
+}
+
+func (w *Writer) isBroken() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.broken
+}
+
+func (w *Writer) setBroken() {
+	w.mu.Lock()
+	w.broken = true
+	w.mu.Unlock()
 }
 
 // BlockSize reports the negotiated block size.
@@ -252,25 +350,69 @@ func (w *Writer) Write(p []byte) (int, error) {
 }
 
 func (w *Writer) sendBlock() error {
+	idx := w.nextIdx
+	w.nextIdx++
+	data := append([]byte(nil), w.partial...)
+	w.partial = w.partial[:0]
+
 	if w.connPerCall {
 		e := wire.NewEncoder()
-		e.String(w.key).I64(w.nextIdx).Bytes32(w.partial)
-		w.nextIdx++
-		w.partial = w.partial[:0]
-		if err := w.oneCall(msgPut, e.Bytes()); err != nil {
+		e.String(w.key).I64(idx).Bytes32(data)
+		err := w.retry.Do("gb.put", func(int) error { return w.oneCall(msgPut, e.Bytes()) })
+		if err != nil {
 			w.fail(err)
 			return err
 		}
 		return nil
 	}
+	if !w.retry.Enabled() {
+		return w.sendBlockOnce(idx, data)
+	}
+
+	appended := false
+	return w.retry.Do("gb.put", func(int) error {
+		if err := w.Err(); err != nil {
+			return retry.Permanent(err)
+		}
+		if w.isBroken() {
+			if err := w.reconnect(); err != nil {
+				return err
+			}
+		}
+		if appended {
+			// The reconnect above replayed this block with the rest of the
+			// unacknowledged window.
+			return nil
+		}
+		t := w.retry.Timeout()
+		if !w.window.AcquireTimeout(1, t) {
+			w.setBroken()
+			return fmt.Errorf("gridbuffer: put %d: no acknowledgement within %v", idx, t)
+		}
+		if w.isBroken() {
+			// The ackLoop died while we waited; the permit belongs to the
+			// dead window. Reconnect on the next attempt.
+			return errors.New("gridbuffer: connection broken")
+		}
+		w.mu.Lock()
+		w.unacked = append(w.unacked, wblock{idx: idx, data: data})
+		w.mu.Unlock()
+		appended = true
+		return w.writeFrame(msgPut, func(e *wire.Encoder) { e.String(w.key).I64(idx).Bytes32(data) })
+	})
+}
+
+// sendBlockOnce is the historical fail-fast send path.
+func (w *Writer) sendBlockOnce(idx int64, data []byte) error {
 	w.window.Acquire(1)
 	if err := w.Err(); err != nil {
 		return err
 	}
+	w.mu.Lock()
+	w.unacked = append(w.unacked, wblock{idx: idx, data: data})
+	w.mu.Unlock()
 	e := wire.NewEncoder()
-	e.String(w.key).I64(w.nextIdx).Bytes32(w.partial)
-	w.nextIdx++
-	w.partial = w.partial[:0]
+	e.String(w.key).I64(idx).Bytes32(data)
 	if err := wire.WriteFrame(w.bw, msgPut, e.Bytes()); err != nil {
 		w.fail(err)
 		return err
@@ -279,6 +421,71 @@ func (w *Writer) sendBlock() error {
 		w.fail(err)
 		return err
 	}
+	return nil
+}
+
+// writeFrame sends one frame on the persistent connection under the
+// per-attempt write deadline, marking the connection broken on failure.
+func (w *Writer) writeFrame(typ uint8, enc func(*wire.Encoder)) error {
+	if t := w.retry.Timeout(); t > 0 {
+		w.conn.SetWriteDeadline(w.clock.Now().Add(t))
+	}
+	e := wire.NewEncoder()
+	enc(e)
+	if err := wire.WriteFrame(w.bw, typ, e.Bytes()); err != nil {
+		w.setBroken()
+		return err
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.setBroken()
+		return err
+	}
+	return nil
+}
+
+// reconnect re-attaches the writer, replays the unacknowledged block
+// window, and restarts the ack loop. Only the application goroutine calls
+// it.
+func (w *Writer) reconnect() error {
+	if w.conn != nil {
+		w.conn.Close()
+		w.conn = nil
+	}
+	conn, br, bw, _, _, err := attach(w.dialer, w.addr, w.key, roleWriter, w.opts, -1, w.retry.Deadline())
+	if err != nil {
+		return err
+	}
+	w.mu.Lock()
+	w.gen++
+	w.broken = false
+	replay := make([]wblock, len(w.unacked))
+	copy(replay, w.unacked)
+	w.mu.Unlock()
+	if t := w.retry.Timeout(); t > 0 {
+		conn.SetWriteDeadline(w.clock.Now().Add(t))
+	}
+	for _, blk := range replay {
+		e := wire.NewEncoder()
+		e.String(w.key).I64(blk.idx).Bytes32(blk.data)
+		if err := wire.WriteFrame(bw, msgPut, e.Bytes()); err != nil {
+			conn.Close()
+			w.setBroken()
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		conn.Close()
+		w.setBroken()
+		return err
+	}
+	w.conn, w.bw = conn, bw
+	avail := w.winSize - int64(len(replay))
+	if avail < 0 {
+		avail = 0
+	}
+	w.window = simclock.NewSemaphore(w.clock, avail)
+	w.done = simclock.NewEvent(w.clock)
+	w.spawnAckLoop(br)
 	return nil
 }
 
@@ -297,11 +504,60 @@ func (w *Writer) Close() error {
 	if w.connPerCall {
 		e := wire.NewEncoder()
 		e.String(w.key).I64(w.total)
-		if err := w.oneCall(msgCloseWrite, e.Bytes()); err != nil {
+		err := w.retry.Do("gb.close", func(int) error { return w.oneCall(msgCloseWrite, e.Bytes()) })
+		if err != nil {
 			return err
 		}
 		return w.Err()
 	}
+	if !w.retry.Enabled() {
+		return w.closeOnce()
+	}
+	defer func() {
+		if w.conn != nil {
+			w.conn.Close()
+		}
+	}()
+	t := w.retry.Timeout()
+	return w.retry.Do("gb.close", func(int) error {
+		if err := w.Err(); err != nil {
+			return retry.Permanent(err)
+		}
+		if w.isBroken() {
+			if err := w.reconnect(); err != nil {
+				return err
+			}
+		}
+		// Wait for every outstanding Put to be acknowledged.
+		if !w.window.AcquireTimeout(w.winSize, t) {
+			w.setBroken()
+			return errors.New("gridbuffer: close: outstanding puts not acknowledged in time")
+		}
+		if w.isBroken() {
+			return errors.New("gridbuffer: connection broken")
+		}
+		if err := w.Err(); err != nil {
+			return retry.Permanent(err)
+		}
+		if err := w.writeFrame(msgCloseWrite, func(e *wire.Encoder) { e.String(w.key).I64(w.total) }); err != nil {
+			return err
+		}
+		if !w.done.WaitTimeout(t) {
+			w.setBroken()
+			return errors.New("gridbuffer: close-write not acknowledged in time")
+		}
+		if err := w.Err(); err != nil {
+			return retry.Permanent(err)
+		}
+		if w.isBroken() {
+			return errors.New("gridbuffer: connection broken")
+		}
+		return nil
+	})
+}
+
+// closeOnce is the historical fail-fast close path.
+func (w *Writer) closeOnce() error {
 	defer w.conn.Close()
 	// Wait for every outstanding Put to be acknowledged.
 	w.window.Acquire(w.winSize)
@@ -324,6 +580,15 @@ func (w *Writer) Close() error {
 // of the read position. It implements io.ReadSeekCloser. Reads of blocks
 // the writer has not produced yet stall (in simulated or real time) until
 // the data arrives — the paper's blocking-read semantics.
+//
+// With a retry policy set (ReaderOptions.Retry), the reader survives
+// transport faults: blocks stay resident on the server until the reader
+// acknowledges delivery (piggybacked on the next request), so after a
+// reconnect it resumes at the current position with nothing lost. The
+// per-attempt timeout then also bounds how long the reader tolerates
+// silence, so a producer that stalls longer than the policy's attempt
+// budget is indistinguishable from a dead one — raise the timeout for
+// slow producers.
 type Reader struct {
 	clock     simclock.Clock
 	conn      net.Conn
@@ -333,9 +598,15 @@ type Reader struct {
 	blockSize int
 	readerID  int
 	depth     int
+	retry     retry.Policy
+	dialer    Dialer
+	addr      string
+	opts      Options
+	broken    bool
 
 	inflight []int64 // block indices with pending responses, in order
 	nextReq  int64
+	acked    int64 // every block < acked has been delivered to the app
 
 	pos    int64
 	cur    []byte // remainder of the current block at pos
@@ -347,41 +618,22 @@ type Reader struct {
 type ReaderOptions struct {
 	// Depth is the prefetch pipeline depth (0 selects DefaultReaderDepth).
 	Depth int
+	// Retry is the resilience policy; the zero policy fails fast.
+	Retry retry.Policy
 }
 
 // NewReader attaches to (or creates) the buffer key on the service at addr.
 func NewReader(dialer Dialer, addr string, clock simclock.Clock, key string, opts Options, ropts ReaderOptions) (*Reader, error) {
-	conn, err := dialer.Dial(addr)
+	var conn net.Conn
+	var br *bufio.Reader
+	var bw *bufio.Writer
+	var readerID, blockSize int
+	err := ropts.Retry.Do("gb.attach", func(int) error {
+		var err error
+		conn, br, bw, readerID, blockSize, err = attach(dialer, addr, key, roleReader, opts, -1, ropts.Retry.Deadline())
+		return err
+	})
 	if err != nil {
-		return nil, fmt.Errorf("gridbuffer: dial %s: %w", addr, err)
-	}
-	bw := bufio.NewWriter(conn)
-	e := wire.NewEncoder()
-	e.String(key).U8(roleReader)
-	encodeOptions(e, opts)
-	if err := wire.WriteFrame(bw, msgAttach, e.Bytes()); err != nil {
-		conn.Close()
-		return nil, err
-	}
-	if err := bw.Flush(); err != nil {
-		conn.Close()
-		return nil, err
-	}
-	br := bufio.NewReader(conn)
-	typ, resp, err := wire.ReadFrame(br)
-	if err != nil {
-		conn.Close()
-		return nil, err
-	}
-	if typ == msgError {
-		conn.Close()
-		return nil, errors.New("gridbuffer: " + wire.NewDecoder(resp).String())
-	}
-	d := wire.NewDecoder(resp)
-	readerID := int(d.I64())
-	blockSize := int(d.U32())
-	if err := d.Err(); err != nil {
-		conn.Close()
 		return nil, err
 	}
 	depth := ropts.Depth
@@ -391,7 +643,9 @@ func NewReader(dialer Dialer, addr string, clock simclock.Clock, key string, opt
 	return &Reader{
 		clock: clock, conn: conn, br: br, bw: bw,
 		key: key, blockSize: blockSize, readerID: readerID,
-		depth: depth, total: -1,
+		depth: depth, retry: ropts.Retry,
+		dialer: dialer, addr: addr, opts: opts,
+		total: -1,
 	}, nil
 }
 
@@ -407,10 +661,33 @@ func (r *Reader) noteTotal(v int64) {
 // BlockSize reports the negotiated block size.
 func (r *Reader) BlockSize() int { return r.blockSize }
 
-// sendGet queues a Get for block idx.
+// reconnect re-attaches the reader under its previous identity and resets
+// the request pipeline; the next fill re-requests from the current
+// position, whose blocks the server retained (they were never
+// acknowledged).
+func (r *Reader) reconnect() error {
+	if r.conn != nil {
+		r.conn.Close()
+	}
+	conn, br, bw, id, _, err := attach(r.dialer, r.addr, r.key, roleReader, r.opts, r.readerID, r.retry.Deadline())
+	if err != nil {
+		return err
+	}
+	r.conn, r.br, r.bw = conn, br, bw
+	r.readerID = id
+	r.inflight = nil
+	r.broken = false
+	return nil
+}
+
+// sendGet queues a Get for block idx, acknowledging everything already
+// delivered.
 func (r *Reader) sendGet(idx int64) error {
+	if t := r.retry.Timeout(); t > 0 {
+		r.conn.SetWriteDeadline(r.clock.Now().Add(t))
+	}
 	e := wire.NewEncoder()
-	e.String(r.key).I64(int64(r.readerID)).I64(idx)
+	e.String(r.key).I64(int64(r.readerID)).I64(idx).I64(r.acked)
 	if err := wire.WriteFrame(r.bw, msgGet, e.Bytes()); err != nil {
 		return err
 	}
@@ -427,6 +704,9 @@ func (r *Reader) recvOne() (idx int64, data []byte, eof bool, err error) {
 		return 0, nil, false, errors.New("gridbuffer: no in-flight request")
 	}
 	idx = r.inflight[0]
+	if t := r.retry.Timeout(); t > 0 {
+		r.conn.SetReadDeadline(r.clock.Now().Add(t))
+	}
 	typ, payload, err := wire.ReadFrame(r.br)
 	if err != nil {
 		return idx, nil, false, err
@@ -439,9 +719,9 @@ func (r *Reader) recvOne() (idx int64, data []byte, eof bool, err error) {
 		data = append([]byte(nil), d.Bytes32()...)
 		return idx, data, eof, d.Err()
 	case msgError:
-		return idx, nil, false, errors.New("gridbuffer: " + wire.NewDecoder(payload).String())
+		return idx, nil, false, retry.Permanent(errors.New("gridbuffer: " + wire.NewDecoder(payload).String()))
 	default:
-		return idx, nil, false, fmt.Errorf("gridbuffer: unexpected reader frame %d", typ)
+		return idx, nil, false, retry.Permanent(fmt.Errorf("gridbuffer: unexpected reader frame %d", typ))
 	}
 }
 
@@ -467,12 +747,54 @@ func (r *Reader) Read(p []byte) (int, error) {
 	if r.closed {
 		return 0, errors.New("gridbuffer: read after close")
 	}
+	if !r.retry.Enabled() {
+		return r.readOnce(p)
+	}
+	var n int
+	var eof bool
+	err := r.retry.Do("gb.get", func(int) error {
+		if r.broken {
+			if err := r.reconnect(); err != nil {
+				return err
+			}
+		}
+		nn, rerr := r.readOnce(p)
+		if rerr != nil {
+			if errors.Is(rerr, io.EOF) {
+				n, eof = nn, true
+				return nil
+			}
+			if !retry.IsPermanent(rerr) {
+				r.broken = true
+			}
+			return rerr
+		}
+		n = nn
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	if eof {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// readOnce is one fill attempt against the current connection.
+func (r *Reader) readOnce(p []byte) (int, error) {
 	bs := int64(r.blockSize)
 	for len(r.cur) == 0 {
 		if r.total >= 0 && r.pos >= r.total {
 			return 0, io.EOF
 		}
 		idx := r.pos / bs
+		// Everything below the block holding pos has been delivered; the
+		// next request acknowledges it (monotonic: a backward seek re-reads
+		// from the cache file, exactly as with eager consumption).
+		if idx > r.acked {
+			r.acked = idx
+		}
 		// Keep the pipeline aligned with the read position.
 		if len(r.inflight) > 0 && r.inflight[0] != idx {
 			if err := r.drain(); err != nil {

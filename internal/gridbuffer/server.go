@@ -179,13 +179,17 @@ func (s *Server) dispatch(w io.Writer, typ uint8, payload []byte) error {
 		key := d.String()
 		role := d.U8()
 		opts := decodeOptions(d)
+		// prev is the reader ID of an earlier attach this request resumes
+		// (-1 for a first attach), so a reconnected reader keeps its
+		// identity in broadcast accounting.
+		prev := int(d.I64())
 		if err := d.Err(); err != nil {
 			return writeError(w, err)
 		}
 		b := s.reg.GetOrCreate(key, opts)
 		readerID := -1
 		if role == roleReader {
-			readerID = b.Attach()
+			readerID = b.Reattach(prev)
 		}
 		e := wire.NewEncoder()
 		e.I64(int64(readerID)).U32(uint32(b.BlockSize()))
@@ -211,6 +215,10 @@ func (s *Server) dispatch(w io.Writer, typ uint8, payload []byte) error {
 		key := d.String()
 		readerID := int(d.I64())
 		idx := d.I64()
+		// ackBelow acknowledges safe receipt of every block < ackBelow; the
+		// requested block itself stays resident until a later ack, so a
+		// response lost on the wire can be re-requested after reconnect.
+		ackBelow := d.I64()
 		if err := d.Err(); err != nil {
 			return writeError(w, err)
 		}
@@ -218,7 +226,10 @@ func (s *Server) dispatch(w io.Writer, typ uint8, payload []byte) error {
 		if !ok {
 			return writeError(w, fmt.Errorf("gridbuffer: no buffer %q", key))
 		}
-		data, eof, err := b.Get(readerID, idx)
+		if ackBelow > 0 {
+			b.AckBelow(readerID, ackBelow)
+		}
+		data, eof, err := b.GetKeep(readerID, idx)
 		if err != nil {
 			return writeError(w, err)
 		}

@@ -6,8 +6,11 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
+	"time"
 
 	"griddles/internal/obs"
+	"griddles/internal/retry"
 	"griddles/internal/simclock"
 	"griddles/internal/vfs"
 	"griddles/internal/wire"
@@ -18,13 +21,24 @@ type Dialer interface {
 	Dial(addr string) (net.Conn, error)
 }
 
+// errStaleHandle signals that a remote handle belongs to a connection the
+// client has since dropped; the server-side handle died with it. The retry
+// path reopens the file on the fresh connection and re-issues the request.
+var errStaleHandle = errors.New("gridftp: stale handle")
+
 // Client talks to one remote file server. Request/response operations share
 // one persistent connection; bulk Fetch/Put transfers use dedicated
 // connections so they can stream without blocking block IO.
+//
+// With a retry policy set (SetRetry), every operation survives transport
+// faults: the shared connection is redialed, stale handles are transparently
+// reopened, and interrupted Fetch streams resume from the last byte
+// delivered. Server-reported errors ("no such file") are never retried.
 type Client struct {
 	dialer Dialer
 	addr   string
 	clock  simclock.Clock
+	retry  retry.Policy
 	// Cached instruments (discard instruments until SetObserver), so the
 	// per-Read hit/miss accounting is one atomic add, not a registry lookup.
 	readaheadHit  *obs.Counter
@@ -37,6 +51,10 @@ type Client struct {
 	conn net.Conn
 	br   *bufio.Reader
 	bw   *bufio.Writer
+	// gen counts successful dials of the shared connection. A RemoteFile
+	// remembers the gen its handle was opened under; a mismatch means the
+	// handle is stale.
+	gen uint64
 }
 
 // NewClient returns a Client for the file service at addr.
@@ -58,6 +76,10 @@ func (c *Client) SetObserver(o *obs.Observer) {
 	c.copyStreams = o.Histogram("ftp.copy.streams")
 }
 
+// SetRetry installs the resilience policy. The zero policy (the default)
+// preserves the historical fail-fast behaviour.
+func (c *Client) SetRetry(p retry.Policy) { c.retry = p }
+
 // Addr reports the server address.
 func (c *Client) Addr() string { return c.addr }
 
@@ -72,6 +94,7 @@ func (c *Client) ensureConnLocked() error {
 	c.conn = conn
 	c.br = bufio.NewReader(conn)
 	c.bw = bufio.NewWriter(conn)
+	c.gen++
 	return nil
 }
 
@@ -90,11 +113,13 @@ func (c *Client) Close() error {
 	return nil
 }
 
-func (c *Client) roundTrip(reqType uint8, payload []byte) (uint8, []byte, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := c.ensureConnLocked(); err != nil {
-		return 0, nil, err
+// roundTripLocked performs one request/response on the shared connection,
+// which must be established. Transport errors drop the connection (a later
+// call redials); server-reported errors come back marked retry.Permanent,
+// because the transport worked and a retry would only repeat the answer.
+func (c *Client) roundTripLocked(reqType uint8, payload []byte) (uint8, []byte, error) {
+	if dl := c.retry.Deadline(); !dl.IsZero() {
+		c.conn.SetDeadline(dl)
 	}
 	if err := wire.WriteFrame(c.bw, reqType, payload); err != nil {
 		c.dropConnLocked()
@@ -109,57 +134,104 @@ func (c *Client) roundTrip(reqType uint8, payload []byte) (uint8, []byte, error)
 		c.dropConnLocked()
 		return 0, nil, err
 	}
+	if c.retry.Enabled() {
+		c.conn.SetDeadline(time.Time{})
+	}
 	if typ == msgError {
-		return 0, nil, errors.New("gridftp: " + wire.NewDecoder(resp).String())
+		return 0, nil, retry.Permanent(errors.New("gridftp: " + wire.NewDecoder(resp).String()))
 	}
 	return typ, resp, nil
 }
 
+func (c *Client) roundTrip(reqType uint8, payload []byte) (uint8, []byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.ensureConnLocked(); err != nil {
+		return 0, nil, err
+	}
+	return c.roundTripLocked(reqType, payload)
+}
+
+// handleTrip is roundTrip for handle-scoped requests: it fails with
+// errStaleHandle when the shared connection is no longer the one the handle
+// was opened on.
+func (c *Client) handleTrip(gen uint64, reqType uint8, payload []byte) (uint8, []byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.ensureConnLocked(); err != nil {
+		return 0, nil, err
+	}
+	if c.gen != gen {
+		return 0, nil, errStaleHandle
+	}
+	return c.roundTripLocked(reqType, payload)
+}
+
 // Stat reports whether path exists on the server and its size.
 func (c *Client) Stat(path string) (size int64, exists bool, err error) {
-	typ, resp, err := c.roundTrip(msgStat, wire.NewEncoder().String(path).Bytes())
+	err = c.retry.Do("gridftp.stat", func(int) error {
+		typ, resp, err := c.roundTrip(msgStat, wire.NewEncoder().String(path).Bytes())
+		if err != nil {
+			return err
+		}
+		if typ != msgStatResp {
+			return retry.Permanent(fmt.Errorf("gridftp: unexpected reply %d", typ))
+		}
+		d := wire.NewDecoder(resp)
+		exists = d.Bool()
+		size = d.I64()
+		return retry.Permanent(d.Err())
+	})
 	if err != nil {
 		return 0, false, err
 	}
-	if typ != msgStatResp {
-		return 0, false, fmt.Errorf("gridftp: unexpected reply %d", typ)
-	}
-	d := wire.NewDecoder(resp)
-	exists = d.Bool()
-	size = d.I64()
-	return size, exists, d.Err()
+	return size, exists, nil
 }
 
 // Open opens path on the server with os-style flags and returns a handle
 // supporting block-granular remote IO — the paper's "proxy file server"
 // access mode.
 func (c *Client) Open(path string, flag int) (*RemoteFile, error) {
-	e := wire.NewEncoder().String(path).U32(uint32(flag))
-	typ, resp, err := c.roundTrip(msgOpen, e.Bytes())
+	f := &RemoteFile{c: c, name: path, flag: flag, ReadAhead: streamChunk}
+	err := c.retry.Do("gridftp.open", func(int) error { return f.ensureHandle() })
 	if err != nil {
 		return nil, err
 	}
-	if typ != msgOpenResp {
-		return nil, fmt.Errorf("gridftp: unexpected reply %d", typ)
-	}
-	d := wire.NewDecoder(resp)
-	h := d.U64()
-	size := d.I64()
-	if err := d.Err(); err != nil {
-		return nil, err
-	}
-	return &RemoteFile{c: c, handle: h, name: path, size: size, ReadAhead: streamChunk}, nil
+	return f, nil
 }
 
 // Fetch streams [off, off+length) of path into w over a dedicated
 // connection; length < 0 means the rest of the file. It returns the byte
-// count transferred.
+// count transferred. With a retry policy set, a broken stream resumes from
+// the last byte written to w (w only ever sees each byte once).
 func (c *Client) Fetch(path string, off, length int64, w io.Writer) (int64, error) {
+	var total int64
+	err := c.retry.Do("gridftp.fetch", func(int) error {
+		remaining := length
+		if remaining >= 0 {
+			remaining -= total
+			if remaining <= 0 && total > 0 {
+				// Every byte arrived; only the end-of-stream frame was lost.
+				return nil
+			}
+		}
+		n, err := c.fetchOnce(path, off+total, remaining, w)
+		total += n
+		return err
+	})
+	return total, err
+}
+
+func (c *Client) fetchOnce(path string, off, length int64, w io.Writer) (int64, error) {
 	conn, err := c.dialer.Dial(c.addr)
 	if err != nil {
 		return 0, fmt.Errorf("gridftp: dial %s: %w", c.addr, err)
 	}
 	defer conn.Close()
+	idle := c.retry.Timeout()
+	if idle > 0 {
+		conn.SetDeadline(c.clock.Now().Add(idle))
+	}
 	e := wire.NewEncoder().String(path).I64(off).I64(length)
 	if err := wire.WriteFrame(conn, msgFetch, e.Bytes()); err != nil {
 		return 0, err
@@ -170,14 +242,20 @@ func (c *Client) Fetch(path string, off, length int64, w io.Writer) (int64, erro
 		return 0, err
 	}
 	if typ == msgError {
-		return 0, errors.New("gridftp: " + wire.NewDecoder(resp).String())
+		return 0, retry.Permanent(errors.New("gridftp: " + wire.NewDecoder(resp).String()))
 	}
 	if typ != msgFetchHdr {
-		return 0, fmt.Errorf("gridftp: unexpected reply %d", typ)
+		return 0, retry.Permanent(fmt.Errorf("gridftp: unexpected reply %d", typ))
 	}
 	want := wire.NewDecoder(resp).I64()
 	var total int64
 	for {
+		// The deadline is per frame, so it bounds silence, not the whole
+		// transfer: a multi-second bulk stream keeps extending it as long as
+		// data flows.
+		if idle > 0 {
+			conn.SetDeadline(c.clock.Now().Add(idle))
+		}
 		typ, payload, err := wire.ReadFrame(br)
 		if err != nil {
 			return total, err
@@ -187,74 +265,117 @@ func (c *Client) Fetch(path string, off, length int64, w io.Writer) (int64, erro
 			n, werr := w.Write(payload)
 			total += int64(n)
 			if werr != nil {
-				return total, werr
+				return total, retry.Permanent(werr)
 			}
 		case msgFetchEnd:
 			if total != want {
-				return total, fmt.Errorf("gridftp: fetch got %d bytes, header said %d", total, want)
+				return total, retry.Permanent(fmt.Errorf("gridftp: fetch got %d bytes, header said %d", total, want))
 			}
 			return total, nil
 		case msgError:
-			return total, errors.New("gridftp: " + wire.NewDecoder(payload).String())
+			return total, retry.Permanent(errors.New("gridftp: " + wire.NewDecoder(payload).String()))
 		default:
-			return total, fmt.Errorf("gridftp: unexpected frame %d during fetch", typ)
+			return total, retry.Permanent(fmt.Errorf("gridftp: unexpected frame %d during fetch", typ))
 		}
 	}
 }
 
 // Put streams r to path on the server over a dedicated connection,
-// creating or truncating it. It returns the byte count transferred.
+// creating or truncating it. It returns the byte count transferred. With a
+// retry policy set, a broken transfer restarts from the beginning when r is
+// an io.Seeker (the server truncates on each attempt, so no byte is
+// duplicated); a non-seekable source fails permanently once bytes have been
+// consumed.
 func (c *Client) Put(path string, r io.Reader) (int64, error) {
+	seeker, canSeek := r.(io.Seeker)
+	var consumed bool
+	var total int64
+	err := c.retry.Do("gridftp.put", func(int) error {
+		if consumed && canSeek {
+			if _, err := seeker.Seek(0, io.SeekStart); err != nil {
+				return retry.Permanent(err)
+			}
+		}
+		n, readAny, err := c.putOnce(path, r)
+		if readAny {
+			consumed = true
+		}
+		total = n
+		if err != nil && consumed && !canSeek {
+			return retry.Permanent(fmt.Errorf("gridftp: put %s: source not seekable, cannot replay: %w", path, err))
+		}
+		return err
+	})
+	if err != nil {
+		return 0, err
+	}
+	return total, nil
+}
+
+func (c *Client) putOnce(path string, r io.Reader) (total int64, readAny bool, err error) {
 	conn, err := c.dialer.Dial(c.addr)
 	if err != nil {
-		return 0, fmt.Errorf("gridftp: dial %s: %w", c.addr, err)
+		return 0, false, fmt.Errorf("gridftp: dial %s: %w", c.addr, err)
 	}
 	defer conn.Close()
+	idle := c.retry.Timeout()
 	bw := bufio.NewWriter(conn)
 	if err := wire.WriteFrame(bw, msgPut, wire.NewEncoder().String(path).Bytes()); err != nil {
-		return 0, err
+		return 0, false, err
 	}
 	buf := make([]byte, streamChunk)
 	for {
 		n, rerr := r.Read(buf)
 		if n > 0 {
+			readAny = true
+			if idle > 0 {
+				conn.SetDeadline(c.clock.Now().Add(idle))
+			}
 			if err := wire.WriteFrame(bw, msgPutData, buf[:n]); err != nil {
-				return 0, err
+				return 0, readAny, err
 			}
 		}
 		if rerr == io.EOF {
 			break
 		}
 		if rerr != nil {
-			return 0, rerr
+			return 0, readAny, retry.Permanent(rerr)
 		}
 	}
 	if err := wire.WriteFrame(bw, msgPutEnd, nil); err != nil {
-		return 0, err
+		return 0, readAny, err
 	}
 	if err := bw.Flush(); err != nil {
-		return 0, err
+		return 0, readAny, err
+	}
+	if idle > 0 {
+		conn.SetDeadline(c.clock.Now().Add(idle))
 	}
 	typ, resp, err := wire.ReadFrame(bufio.NewReader(conn))
 	if err != nil {
-		return 0, err
+		return 0, readAny, err
 	}
 	if typ == msgError {
-		return 0, errors.New("gridftp: " + wire.NewDecoder(resp).String())
+		return 0, readAny, retry.Permanent(errors.New("gridftp: " + wire.NewDecoder(resp).String()))
 	}
 	if typ != msgPutResp {
-		return 0, fmt.Errorf("gridftp: unexpected reply %d", typ)
+		return 0, readAny, retry.Permanent(fmt.Errorf("gridftp: unexpected reply %d", typ))
 	}
 	d := wire.NewDecoder(resp)
-	total := d.I64()
-	return total, d.Err()
+	total = d.I64()
+	if err := d.Err(); err != nil {
+		return 0, readAny, retry.Permanent(err)
+	}
+	return total, readAny, nil
 }
 
 // RemoteFile is an open handle on the server, with sequential read-ahead.
 type RemoteFile struct {
 	c      *Client
-	handle uint64
+	handle uint64 // 0 = not yet opened (server handles start at 1)
+	gen    uint64 // client conn generation the handle was opened under
 	name   string
+	flag   int
 	size   int64
 	pos    int64
 
@@ -275,31 +396,79 @@ func (f *RemoteFile) Name() string { return f.name }
 // Size reports the file size observed at Open.
 func (f *RemoteFile) Size() int64 { return f.size }
 
+// ensureHandle (re)opens the remote handle on the client's current shared
+// connection when the handle is unset or stale.
+func (f *RemoteFile) ensureHandle() error {
+	c := f.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.ensureConnLocked(); err != nil {
+		return err
+	}
+	if f.handle != 0 && f.gen == c.gen {
+		return nil
+	}
+	flag := f.flag
+	if f.handle != 0 {
+		// A reopen after reconnect must not retruncate what earlier attempts
+		// already wrote through this handle.
+		flag &^= os.O_TRUNC | os.O_EXCL
+	}
+	e := wire.NewEncoder().String(f.name).U32(uint32(flag))
+	typ, resp, err := c.roundTripLocked(msgOpen, e.Bytes())
+	if err != nil {
+		return err
+	}
+	if typ != msgOpenResp {
+		return retry.Permanent(fmt.Errorf("gridftp: unexpected reply %d", typ))
+	}
+	d := wire.NewDecoder(resp)
+	h := d.U64()
+	size := d.I64()
+	if err := d.Err(); err != nil {
+		return retry.Permanent(err)
+	}
+	f.handle, f.gen = h, c.gen
+	if size > f.size {
+		f.size = size
+	}
+	return nil
+}
+
 // ReadAt implements io.ReaderAt with one round trip per call.
 func (f *RemoteFile) ReadAt(p []byte, off int64) (int, error) {
 	if f.closed {
 		return 0, errors.New("gridftp: file closed")
 	}
-	e := wire.NewEncoder().U64(f.handle).I64(off).U32(uint32(len(p)))
-	typ, resp, err := f.c.roundTrip(msgRead, e.Bytes())
+	var n int
+	var eof bool
+	err := f.c.retry.Do("gridftp.read", func(int) error {
+		if err := f.ensureHandle(); err != nil {
+			return err
+		}
+		e := wire.NewEncoder().U64(f.handle).I64(off).U32(uint32(len(p)))
+		typ, resp, err := f.c.handleTrip(f.gen, msgRead, e.Bytes())
+		if err != nil {
+			return err
+		}
+		if typ != msgReadResp {
+			return retry.Permanent(fmt.Errorf("gridftp: unexpected reply %d", typ))
+		}
+		d := wire.NewDecoder(resp)
+		eofResp := d.Bool()
+		data := d.Bytes32()
+		if err := d.Err(); err != nil {
+			return retry.Permanent(err)
+		}
+		n = copy(p, data)
+		eof = eofResp
+		return nil
+	})
 	if err != nil {
 		return 0, err
 	}
-	if typ != msgReadResp {
-		return 0, fmt.Errorf("gridftp: unexpected reply %d", typ)
-	}
-	d := wire.NewDecoder(resp)
-	eof := d.Bool()
-	data := d.Bytes32()
-	if err := d.Err(); err != nil {
-		return 0, err
-	}
-	n := copy(p, data)
-	if eof && n < len(p) {
+	if eof && (n < len(p) || n == 0) {
 		return n, io.EOF
-	}
-	if n == 0 && eof {
-		return 0, io.EOF
 	}
 	return n, nil
 }
@@ -350,18 +519,25 @@ func (f *RemoteFile) WriteAt(p []byte, off int64) (int, error) {
 	if f.closed {
 		return 0, errors.New("gridftp: file closed")
 	}
-	e := wire.NewEncoder().U64(f.handle).I64(off)
-	e.Bytes32(p)
-	typ, resp, err := f.c.roundTrip(msgWrite, e.Bytes())
+	var n int
+	err := f.c.retry.Do("gridftp.write", func(int) error {
+		if err := f.ensureHandle(); err != nil {
+			return err
+		}
+		e := wire.NewEncoder().U64(f.handle).I64(off)
+		e.Bytes32(p)
+		typ, resp, err := f.c.handleTrip(f.gen, msgWrite, e.Bytes())
+		if err != nil {
+			return err
+		}
+		if typ != msgWriteResp {
+			return retry.Permanent(fmt.Errorf("gridftp: unexpected reply %d", typ))
+		}
+		d := wire.NewDecoder(resp)
+		n = int(d.U32())
+		return retry.Permanent(d.Err())
+	})
 	if err != nil {
-		return 0, err
-	}
-	if typ != msgWriteResp {
-		return 0, fmt.Errorf("gridftp: unexpected reply %d", typ)
-	}
-	d := wire.NewDecoder(resp)
-	n := int(d.U32())
-	if err := d.Err(); err != nil {
 		return 0, err
 	}
 	if end := off + int64(n); end > f.size {
@@ -407,14 +583,25 @@ func (f *RemoteFile) invalidate() {
 	f.eof = false
 }
 
-// Close releases the server-side handle.
+// Close releases the server-side handle. A handle whose connection already
+// died needs no release — the server drops its per-connection handle table —
+// so Close reports success in that case.
 func (f *RemoteFile) Close() error {
 	if f.closed {
 		return nil
 	}
 	f.closed = true
-	typ, _, err := f.c.roundTrip(msgClose, wire.NewEncoder().U64(f.handle).Bytes())
+	c := f.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil || c.gen != f.gen || f.handle == 0 {
+		return nil
+	}
+	typ, _, err := c.roundTripLocked(msgClose, wire.NewEncoder().U64(f.handle).Bytes())
 	if err != nil {
+		if c.retry.Enabled() && !retry.IsPermanent(err) {
+			return nil // transport died, and the handle with it
+		}
 		return err
 	}
 	if typ != msgCloseResp {

@@ -1,0 +1,145 @@
+package gridftp
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+
+	"griddles/internal/retry"
+	"griddles/internal/simnet"
+	"griddles/internal/vfs"
+)
+
+// testPolicy is a fast-recovering policy for the resilience tests.
+func testPolicy(r *rig) retry.Policy {
+	p := retry.Default(r.v)
+	p.BaseDelay = 10 * time.Millisecond
+	p.AttemptTimeout = 500 * time.Millisecond
+	return p
+}
+
+func TestFetchResumesAfterReset(t *testing.T) {
+	r := newRig(simnet.LinkSpec{Latency: time.Millisecond})
+	want := make([]byte, 300_000)
+	rand.New(rand.NewSource(7)).Read(want)
+	vfs.WriteFile(r.fs, "big", want)
+	r.v.Run(func() {
+		r.start(t)
+		r.client.SetRetry(testPolicy(r))
+		// Kill the server->client stream mid-transfer, twice.
+		r.net.FailAfter("srv", "app", 64_000)
+		var got bytes.Buffer
+		n, err := r.client.Fetch("big", 0, -1, &got)
+		if err != nil {
+			t.Fatalf("fetch: %v", err)
+		}
+		r.net.FailAfter("srv", "app", 100_000)
+		var got2 bytes.Buffer
+		if _, err := r.client.Fetch("big", 0, -1, &got2); err != nil {
+			t.Fatalf("second fetch: %v", err)
+		}
+		if n != int64(len(want)) || !bytes.Equal(got.Bytes(), want) {
+			t.Fatalf("resumed fetch delivered %d bytes, mismatch=%v", n, !bytes.Equal(got.Bytes(), want))
+		}
+		if !bytes.Equal(got2.Bytes(), want) {
+			t.Fatal("second resumed fetch corrupted data")
+		}
+	})
+}
+
+func TestRemoteFileSurvivesReset(t *testing.T) {
+	r := newRig(simnet.LinkSpec{Latency: time.Millisecond})
+	want := make([]byte, 150_000)
+	rand.New(rand.NewSource(8)).Read(want)
+	vfs.WriteFile(r.fs, "big", want)
+	r.v.Run(func() {
+		r.start(t)
+		r.client.SetRetry(testPolicy(r))
+		f, err := r.client.Open("big", os.O_RDONLY)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 1024)
+		if _, err := io.ReadFull(f, buf); err != nil {
+			t.Fatalf("first read: %v", err)
+		}
+		// Reset the shared connection: the server-side handle dies. The
+		// client must redial, reopen, and continue from the same offset.
+		r.net.InjectReset("app", "srv")
+		rest, err := io.ReadAll(f)
+		if err != nil {
+			t.Fatalf("read after reset: %v", err)
+		}
+		got := append(append([]byte(nil), buf...), rest...)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("read after reset: got %d bytes, mismatch", len(got))
+		}
+		if err := f.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+	})
+}
+
+func TestWriteSurvivesReset(t *testing.T) {
+	r := newRig(simnet.LinkSpec{Latency: time.Millisecond})
+	r.v.Run(func() {
+		r.start(t)
+		r.client.SetRetry(testPolicy(r))
+		f, err := r.client.Open("out", vfs.CreateTruncFlag)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write([]byte("hello ")); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		r.net.InjectReset("app", "srv")
+		// The reopen after reconnect must not truncate "hello ".
+		if _, err := f.Write([]byte("world")); err != nil {
+			t.Fatalf("write after reset: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+		got, err := vfs.ReadFile(r.fs, "out")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != "hello world" {
+			t.Fatalf("file = %q, want %q", got, "hello world")
+		}
+	})
+}
+
+func TestPermanentErrorNotRetried(t *testing.T) {
+	r := newRig(simnet.LinkSpec{Latency: time.Millisecond})
+	r.v.Run(func() {
+		r.start(t)
+		r.client.SetRetry(testPolicy(r))
+		start := r.v.Now()
+		_, err := r.client.Open("missing", os.O_RDONLY)
+		if err == nil {
+			t.Fatal("open of missing file succeeded")
+		}
+		if el := r.v.Now().Sub(start); el > 100*time.Millisecond {
+			t.Fatalf("server-reported error took %v — it was retried", el)
+		}
+	})
+}
+
+func TestFailFastWithoutPolicy(t *testing.T) {
+	r := newRig(simnet.LinkSpec{Latency: time.Millisecond})
+	vfs.WriteFile(r.fs, "big", make([]byte, 200_000))
+	r.v.Run(func() {
+		r.start(t)
+		// No SetRetry: historical behaviour, the fault surfaces.
+		r.net.FailAfter("srv", "app", 64_000)
+		var got bytes.Buffer
+		if _, err := r.client.Fetch("big", 0, -1, &got); !errors.Is(err, simnet.ErrConnReset) {
+			t.Fatalf("fetch without retry: %v, want ErrConnReset", err)
+		}
+	})
+}

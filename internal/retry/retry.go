@@ -1,0 +1,210 @@
+// Package retry is the resilience policy shared by every GriddLeS service
+// client: capped exponential backoff with optional jitter, a per-attempt
+// timeout the transports translate into connection deadlines, and a
+// "retry.attempt" event per recovery so traces show exactly how a run
+// survived a fault.
+//
+// The zero Policy is disabled (one attempt, no delays, no deadlines), so
+// threading a Policy value through existing code changes nothing until a
+// caller opts in. Jitter comes from an injectable RNG, keeping simulated
+// chaos runs deterministic.
+package retry
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"griddles/internal/obs"
+	"griddles/internal/simclock"
+)
+
+// Defaults used by Default and by Policy fields left zero when MaxAttempts
+// enables retrying.
+const (
+	DefaultMaxAttempts    = 4
+	DefaultBaseDelay      = 50 * time.Millisecond
+	DefaultMaxDelay       = 2 * time.Second
+	DefaultMultiplier     = 2.0
+	DefaultAttemptTimeout = 10 * time.Second
+)
+
+// Policy says how a client retries a failed operation. The zero value never
+// retries; Default returns the tuned policy the daemons and experiments use.
+type Policy struct {
+	// MaxAttempts is the total number of tries (first attempt included).
+	// <= 1 disables retrying.
+	MaxAttempts int
+	// BaseDelay is the sleep before the second attempt; each further attempt
+	// multiplies it by Multiplier, capped at MaxDelay.
+	BaseDelay  time.Duration
+	MaxDelay   time.Duration
+	Multiplier float64
+	// Jitter spreads each delay uniformly in [1-Jitter, 1+Jitter] using
+	// Rand; 0 or a nil Rand disables it.
+	Jitter float64
+	// AttemptTimeout bounds one attempt: transports set it as the
+	// connection deadline per request (and per streamed frame, so bulk
+	// transfers time out on silence, not on total duration).
+	AttemptTimeout time.Duration
+	// Clock paces the backoff sleeps. Required when MaxAttempts > 1.
+	Clock simclock.Clock
+	// Rand returns a uniform sample in [0, 1). It must be safe for the
+	// concurrency of the callers sharing this policy (wrap a seeded
+	// math/rand.Rand for deterministic tests).
+	Rand func() float64
+	// Obs receives "retry.attempt" events and counters; Src labels them
+	// (typically the machine name).
+	Obs *obs.Observer
+	Src string
+}
+
+// Default returns the standard policy on clock: 4 attempts, 50ms..2s
+// exponential backoff, 10s per-attempt timeout, no jitter.
+func Default(clock simclock.Clock) Policy {
+	return Policy{
+		MaxAttempts:    DefaultMaxAttempts,
+		BaseDelay:      DefaultBaseDelay,
+		MaxDelay:       DefaultMaxDelay,
+		Multiplier:     DefaultMultiplier,
+		AttemptTimeout: DefaultAttemptTimeout,
+		Clock:          clock,
+	}
+}
+
+// Enabled reports whether the policy retries at all.
+func (p Policy) Enabled() bool { return p.MaxAttempts > 1 }
+
+// Timeout reports the per-attempt timeout, if any.
+func (p Policy) Timeout() time.Duration {
+	if !p.Enabled() {
+		return 0
+	}
+	if p.AttemptTimeout > 0 {
+		return p.AttemptTimeout
+	}
+	return DefaultAttemptTimeout
+}
+
+// Deadline reports the absolute deadline for one attempt starting now, or
+// the zero time when the policy is disabled (no deadline — the pre-retry
+// behaviour).
+func (p Policy) Deadline() time.Time {
+	d := p.Timeout()
+	if d <= 0 || p.Clock == nil {
+		return time.Time{}
+	}
+	return p.Clock.Now().Add(d)
+}
+
+// MaxElapsed bounds the total time Do can take before surfacing an error:
+// every attempt timeout plus every backoff delay. Tests use it as the "the
+// FM errors within the policy deadline instead of hanging" budget.
+func (p Policy) MaxElapsed() time.Duration {
+	if !p.Enabled() {
+		return p.Timeout()
+	}
+	total := time.Duration(p.attempts()) * p.Timeout()
+	for a := 1; a < p.attempts(); a++ {
+		total += p.delay(a, false)
+	}
+	return total
+}
+
+func (p Policy) attempts() int {
+	if p.MaxAttempts <= 0 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// delay computes the backoff before attempt+1 (attempt counts from 1).
+func (p Policy) delay(attempt int, jitter bool) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = DefaultBaseDelay
+	}
+	maxd := p.MaxDelay
+	if maxd <= 0 {
+		maxd = DefaultMaxDelay
+	}
+	mult := p.Multiplier
+	if mult < 1 {
+		mult = DefaultMultiplier
+	}
+	d := float64(base) * math.Pow(mult, float64(attempt-1))
+	if d > float64(maxd) {
+		d = float64(maxd)
+	}
+	if jitter && p.Jitter > 0 && p.Rand != nil {
+		d *= 1 + p.Jitter*(2*p.Rand()-1)
+	}
+	return time.Duration(d)
+}
+
+// permanentError marks an error that must not be retried (the server
+// answered; the answer is final).
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent wraps err so Do surfaces it immediately instead of retrying.
+// Do unwraps it again, so callers see the original error value.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// IsPermanent reports whether err was marked with Permanent.
+func IsPermanent(err error) bool {
+	var p *permanentError
+	return errors.As(err, &p)
+}
+
+// Do runs op until it succeeds, returns a Permanent error, or the attempt
+// budget is spent. op receives the 1-based attempt number. Between failed
+// attempts Do emits a "retry.attempt" event and sleeps the backoff delay.
+// The error of the final attempt is returned annotated with the attempt
+// count (wrapped, so errors.Is still matches the cause).
+func (p Policy) Do(op string, fn func(attempt int) error) error {
+	max := p.attempts()
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = fn(attempt)
+		if err == nil {
+			return nil
+		}
+		var perm *permanentError
+		if errors.As(err, &perm) {
+			return perm.err
+		}
+		if attempt >= max {
+			break
+		}
+		d := p.delay(attempt, true)
+		if p.Obs != nil {
+			p.Obs.Counter(obs.Key("retry.attempt.total", "op", op)).Inc()
+			p.Obs.Emit("retry.attempt", p.Src,
+				obs.KV("op", op),
+				obs.KV("attempt", attempt),
+				obs.KV("error", err.Error()),
+				obs.KV("delay_ms", float64(d)/float64(time.Millisecond)))
+		}
+		if p.Clock != nil && d > 0 {
+			p.Clock.Sleep(d)
+		}
+	}
+	if max > 1 {
+		if p.Obs != nil {
+			p.Obs.Counter(obs.Key("retry.giveup.total", "op", op)).Inc()
+			p.Obs.Emit("retry.giveup", p.Src,
+				obs.KV("op", op), obs.KV("attempts", max), obs.KV("error", err.Error()))
+		}
+		return fmt.Errorf("%s failed after %d attempts: %w", op, max, err)
+	}
+	return err
+}

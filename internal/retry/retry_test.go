@@ -1,0 +1,188 @@
+package retry
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"griddles/internal/obs"
+	"griddles/internal/simclock"
+)
+
+func TestZeroPolicyRunsOnce(t *testing.T) {
+	var p Policy
+	if p.Enabled() {
+		t.Fatal("zero policy must be disabled")
+	}
+	calls := 0
+	boom := errors.New("boom")
+	err := p.Do("op", func(attempt int) error {
+		calls++
+		if attempt != 1 {
+			t.Fatalf("attempt = %d, want 1", attempt)
+		}
+		return boom
+	})
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+	if err != boom {
+		t.Fatalf("err = %v, want the bare error (no wrapping when disabled)", err)
+	}
+	if !p.Deadline().IsZero() {
+		t.Fatal("disabled policy must not impose deadlines")
+	}
+}
+
+func TestRetriesUntilSuccess(t *testing.T) {
+	v := simclock.NewVirtualDefault()
+	v.Run(func() {
+		p := Default(v)
+		calls := 0
+		start := v.Now()
+		err := p.Do("op", func(int) error {
+			calls++
+			if calls < 3 {
+				return errors.New("transient")
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("Do: %v", err)
+		}
+		if calls != 3 {
+			t.Fatalf("calls = %d, want 3", calls)
+		}
+		// Backoff slept 50ms + 100ms between the three attempts.
+		if el := v.Now().Sub(start); el != 150*time.Millisecond {
+			t.Fatalf("elapsed %v, want 150ms of backoff", el)
+		}
+	})
+}
+
+func TestExhaustionWrapsCause(t *testing.T) {
+	v := simclock.NewVirtualDefault()
+	v.Run(func() {
+		p := Default(v)
+		p.MaxAttempts = 3
+		cause := errors.New("net down")
+		calls := 0
+		err := p.Do("fetch", func(int) error { calls++; return cause })
+		if calls != 3 {
+			t.Fatalf("calls = %d, want 3", calls)
+		}
+		if !errors.Is(err, cause) {
+			t.Fatalf("err = %v, want wrapped cause", err)
+		}
+	})
+}
+
+func TestPermanentStopsImmediately(t *testing.T) {
+	v := simclock.NewVirtualDefault()
+	v.Run(func() {
+		p := Default(v)
+		cause := errors.New("file not found")
+		calls := 0
+		err := p.Do("open", func(int) error { calls++; return Permanent(cause) })
+		if calls != 1 {
+			t.Fatalf("calls = %d, want 1", calls)
+		}
+		if err != cause {
+			t.Fatalf("err = %v, want the unwrapped original error", err)
+		}
+		if IsPermanent(err) {
+			t.Fatal("returned error must be unwrapped, not still Permanent")
+		}
+		if !IsPermanent(Permanent(cause)) {
+			t.Fatal("IsPermanent must detect Permanent wrapping")
+		}
+	})
+}
+
+func TestBackoffCapAndJitterDeterminism(t *testing.T) {
+	p := Policy{
+		MaxAttempts: 8,
+		BaseDelay:   100 * time.Millisecond,
+		MaxDelay:    400 * time.Millisecond,
+		Multiplier:  2,
+	}
+	want := []time.Duration{100, 200, 400, 400, 400}
+	for i, w := range want {
+		if d := p.delay(i+1, false); d != w*time.Millisecond {
+			t.Fatalf("delay(%d) = %v, want %v", i+1, d, w*time.Millisecond)
+		}
+	}
+	// Jitter from the same seed is identical run to run.
+	mk := func() []time.Duration {
+		q := p
+		q.Jitter = 0.5
+		q.Rand = rand.New(rand.NewSource(42)).Float64
+		out := make([]time.Duration, 5)
+		for i := range out {
+			out[i] = q.delay(i+1, true)
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("jittered delays differ at %d: %v vs %v", i, a[i], b[i])
+		}
+		lo := time.Duration(float64(p.delay(i+1, false)) * 0.5)
+		hi := time.Duration(float64(p.delay(i+1, false)) * 1.5)
+		if a[i] < lo || a[i] > hi {
+			t.Fatalf("jittered delay %v outside [%v, %v]", a[i], lo, hi)
+		}
+	}
+}
+
+func TestEventsEmitted(t *testing.T) {
+	v := simclock.NewVirtualDefault()
+	v.Run(func() {
+		o := obs.New(v)
+		p := Default(v)
+		p.MaxAttempts = 2
+		p.Obs = o
+		p.Src = "test"
+		_ = p.Do("read", func(int) error { return errors.New("nope") })
+		var attempts, giveups int
+		for _, e := range o.Events() {
+			switch e.Type {
+			case "retry.attempt":
+				attempts++
+				if e.Attr("op") != "read" {
+					t.Fatalf("retry.attempt op = %v", e.Attr("op"))
+				}
+			case "retry.giveup":
+				giveups++
+			}
+		}
+		if attempts != 1 || giveups != 1 {
+			t.Fatalf("events: %d retry.attempt, %d retry.giveup; want 1 and 1", attempts, giveups)
+		}
+		if got := o.Counter(obs.Key("retry.attempt.total", "op", "read")).Value(); got != 1 {
+			t.Fatalf("retry.attempt.total = %d, want 1", got)
+		}
+	})
+}
+
+func TestMaxElapsedBudget(t *testing.T) {
+	v := simclock.NewVirtualDefault()
+	v.Run(func() {
+		p := Default(v)
+		budget := p.MaxElapsed()
+		start := v.Now()
+		err := p.Do("op", func(int) error {
+			v.Sleep(p.Timeout()) // worst case: every attempt burns its full timeout
+			return fmt.Errorf("slow failure")
+		})
+		if err == nil {
+			t.Fatal("expected failure")
+		}
+		if el := v.Now().Sub(start); el > budget {
+			t.Fatalf("elapsed %v exceeds MaxElapsed budget %v", el, budget)
+		}
+	})
+}

@@ -87,6 +87,7 @@ func (w *WaitGroup) Wait() {
 // Semaphore is a counting semaphore bound to a clock. It is used for
 // bounded in-flight windows (e.g. the Grid Buffer writer's backpressure).
 type Semaphore struct {
+	clock Clock
 	mu    sync.Mutex
 	cond  Cond
 	avail int64
@@ -94,7 +95,7 @@ type Semaphore struct {
 
 // NewSemaphore returns a Semaphore with n initial permits.
 func NewSemaphore(c Clock, n int64) *Semaphore {
-	s := &Semaphore{avail: n}
+	s := &Semaphore{clock: c, avail: n}
 	s.cond = c.NewCond(&s.mu)
 	return s
 }
@@ -107,6 +108,27 @@ func (s *Semaphore) Acquire(n int64) {
 	}
 	s.avail -= n
 	s.mu.Unlock()
+}
+
+// AcquireTimeout takes n permits, parking up to d for them, and reports
+// success. On timeout no permits are taken. It lets a caller distinguish a
+// window that is merely full from one whose permits will never come back (a
+// peer that died holding acknowledgements).
+func (s *Semaphore) AcquireTimeout(n int64, d time.Duration) bool {
+	deadline := s.clock.Now().Add(d)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.avail < n {
+		wait := deadline.Sub(s.clock.Now())
+		if wait <= 0 || !s.cond.WaitTimeout(wait) {
+			if s.avail >= n {
+				break
+			}
+			return false
+		}
+	}
+	s.avail -= n
+	return true
 }
 
 // TryAcquire takes n permits if immediately available and reports success.

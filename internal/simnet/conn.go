@@ -18,9 +18,10 @@ type Conn struct {
 	r      *stream // data flowing toward this endpoint
 	w      *stream // data flowing away from this endpoint
 
-	mu           sync.Mutex
-	closed       bool
-	readDeadline time.Time
+	mu            sync.Mutex
+	closed        bool
+	readDeadline  time.Time
+	writeDeadline time.Time
 }
 
 // Read implements net.Conn. It blocks (in simulated time) until data that
@@ -38,15 +39,18 @@ func (c *Conn) Read(p []byte) (int, error) {
 
 // Write implements net.Conn. Writes larger than the link chunk size are
 // split; each chunk consumes window space, pays link serialization time and
-// becomes readable one propagation delay later.
+// becomes readable one propagation delay later. A blocked writer (the peer
+// stopped reading, or the link is dropping traffic) fails with
+// os.ErrDeadlineExceeded once the write deadline passes.
 func (c *Conn) Write(p []byte) (int, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
 		return 0, net.ErrClosed
 	}
+	dl := c.writeDeadline
 	c.mu.Unlock()
-	return c.w.write(p)
+	return c.w.write(p, dl)
 }
 
 // Close implements net.Conn. The peer reads any already-sent data and then
@@ -77,9 +81,12 @@ func (c *Conn) LocalAddr() net.Addr { return c.local }
 // RemoteAddr implements net.Conn.
 func (c *Conn) RemoteAddr() net.Addr { return c.remote }
 
-// SetDeadline implements net.Conn (read side only; writes in this model
-// cannot stall indefinitely unless the peer stops reading).
-func (c *Conn) SetDeadline(t time.Time) error { return c.SetReadDeadline(t) }
+// SetDeadline implements net.Conn for both directions.
+func (c *Conn) SetDeadline(t time.Time) error {
+	c.SetReadDeadline(t)
+	c.SetWriteDeadline(t)
+	return nil
+}
 
 // SetReadDeadline implements net.Conn.
 func (c *Conn) SetReadDeadline(t time.Time) error {
@@ -89,8 +96,16 @@ func (c *Conn) SetReadDeadline(t time.Time) error {
 	return nil
 }
 
-// SetWriteDeadline implements net.Conn as a no-op.
-func (c *Conn) SetWriteDeadline(time.Time) error { return nil }
+// SetWriteDeadline implements net.Conn. A writer blocked on window space
+// (the in-flight bytes the peer has not consumed) fails with
+// os.ErrDeadlineExceeded when the deadline passes — without it a peer that
+// stops reading, or a blackholed link, stalls the writer forever.
+func (c *Conn) SetWriteDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.writeDeadline = t
+	c.mu.Unlock()
+	return nil
+}
 
 // segment is a chunk of bytes that becomes readable at ready.
 type segment struct {
@@ -105,6 +120,7 @@ type segment struct {
 type stream struct {
 	clock simclock.Clock
 	link  *link
+	peer  *stream // opposite direction of the same connection (reset pairing)
 
 	mu       sync.Mutex
 	rcond    simclock.Cond // readers wait for data
@@ -121,10 +137,11 @@ func newStream(clock simclock.Clock, l *link, window int) *stream {
 	s := &stream{clock: clock, link: l, window: window}
 	s.rcond = clock.NewCond(&s.mu)
 	s.wcond = clock.NewCond(&s.mu)
+	l.register(s)
 	return s
 }
 
-func (s *stream) write(p []byte) (int, error) {
+func (s *stream) write(p []byte, deadline time.Time) (int, error) {
 	total := 0
 	for len(p) > 0 {
 		chunk := len(p)
@@ -138,10 +155,25 @@ func (s *stream) write(p []byte) (int, error) {
 		// Reserve window space.
 		s.mu.Lock()
 		for s.buffered+chunk > s.window && !s.wclosed && !s.rclosed {
-			s.wcond.Wait()
+			if deadline.IsZero() {
+				s.wcond.Wait()
+				continue
+			}
+			wait := deadline.Sub(s.clock.Now())
+			if wait <= 0 || !s.wcond.WaitTimeout(wait) {
+				if s.buffered+chunk <= s.window || s.wclosed || s.rclosed {
+					break
+				}
+				s.mu.Unlock()
+				return total, os.ErrDeadlineExceeded
+			}
 		}
 		if s.wclosed {
+			err := s.err
 			s.mu.Unlock()
+			if err != nil {
+				return total, err
+			}
 			return total, net.ErrClosed
 		}
 		if s.rclosed {
@@ -151,6 +183,15 @@ func (s *stream) write(p []byte) (int, error) {
 		s.buffered += chunk
 		s.mu.Unlock()
 
+		// Injected faults: a byte-count-armed reset kills the connection
+		// here; a blackholed link swallows the chunk after charging it to
+		// the window, which is what starves the peer and stalls this writer.
+		drop, extra, reset := s.link.noteWrite(chunk)
+		if reset {
+			s.resetPair(ErrConnReset)
+			return total, ErrConnReset
+		}
+
 		// Pay serialization on the shared link, outside the stream lock.
 		if bw := s.link.spec.Bandwidth; bw > 0 {
 			s.link.xmit.Lock()
@@ -158,13 +199,23 @@ func (s *stream) write(p []byte) (int, error) {
 			s.link.xmit.Unlock()
 		}
 
-		// Deliver after propagation delay.
-		data := make([]byte, chunk)
-		copy(data, p[:chunk])
-		s.mu.Lock()
-		s.segs = append(s.segs, segment{data: data, ready: s.clock.Now().Add(s.link.spec.Latency)})
-		s.rcond.Broadcast()
-		s.mu.Unlock()
+		if !drop {
+			// Deliver after propagation delay (plus any injected spike).
+			data := make([]byte, chunk)
+			copy(data, p[:chunk])
+			s.mu.Lock()
+			if s.wclosed { // reset raced with this chunk; surface its error
+				err := s.err
+				s.mu.Unlock()
+				if err == nil {
+					err = net.ErrClosed
+				}
+				return total, err
+			}
+			s.segs = append(s.segs, segment{data: data, ready: s.clock.Now().Add(s.link.spec.Latency + extra)})
+			s.rcond.Broadcast()
+			s.mu.Unlock()
+		}
 
 		p = p[chunk:]
 		total += chunk
@@ -251,4 +302,37 @@ func (s *stream) closeRead() {
 		s.wcond.Broadcast()
 	}
 	s.mu.Unlock()
+}
+
+// reset kills this direction like a TCP RST: in-flight data is discarded
+// (not delivered-then-failed) and blocked readers and writers fail with err.
+func (s *stream) reset(err error) {
+	s.mu.Lock()
+	if !s.wclosed || s.err == nil {
+		s.wclosed = true
+		if s.err == nil {
+			s.err = err
+		}
+		s.segs = nil
+		s.buffered = 0
+		s.rcond.Broadcast()
+		s.wcond.Broadcast()
+	}
+	s.mu.Unlock()
+}
+
+// resetPair resets both directions of the connection this stream belongs to.
+func (s *stream) resetPair(err error) {
+	s.reset(err)
+	if s.peer != nil {
+		s.peer.reset(err)
+	}
+}
+
+// dead reports whether both sides of the stream are finished (prunable from
+// the link's registry).
+func (s *stream) dead() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.wclosed && s.rclosed
 }

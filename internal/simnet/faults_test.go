@@ -1,0 +1,224 @@
+package simnet
+
+import (
+	"errors"
+	"io"
+	"os"
+	"testing"
+	"time"
+
+	"griddles/internal/simclock"
+)
+
+// startSink runs a server on host b that accepts connections but never
+// reads, so writers fill the window and stall.
+func startSink(t *testing.T, clock simclock.Clock, n *Network) {
+	t.Helper()
+	l, err := n.Host("b").Listen("b:9")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	clock.Go("sink-accept", func() {
+		for {
+			if _, err := l.Accept(); err != nil {
+				return
+			}
+		}
+	})
+}
+
+// TestWriteDeadline is the regression test for the silent-hang fix: a
+// writer blocked on window space against a peer that stopped reading must
+// fail with os.ErrDeadlineExceeded instead of stalling forever.
+func TestWriteDeadline(t *testing.T) {
+	v := simclock.NewVirtualDefault()
+	n := testNet(v, LinkSpec{Latency: 5 * time.Millisecond})
+	v.Run(func() {
+		startSink(t, v, n)
+		c, err := n.Host("a").Dial("b:9")
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		defer c.Close()
+		if err := c.SetWriteDeadline(v.Now().Add(200 * time.Millisecond)); err != nil {
+			t.Fatalf("SetWriteDeadline: %v", err)
+		}
+		start := v.Now()
+		buf := make([]byte, 2*DefaultWindow)
+		nw, err := c.Write(buf)
+		if !errors.Is(err, os.ErrDeadlineExceeded) {
+			t.Fatalf("write: n=%d err=%v, want deadline exceeded", nw, err)
+		}
+		if nw <= 0 || nw > DefaultWindow {
+			t.Fatalf("write accepted %d bytes before stalling, want (0, %d]", nw, DefaultWindow)
+		}
+		if el := v.Now().Sub(start); el < 200*time.Millisecond {
+			t.Fatalf("write failed after %v, before the deadline", el)
+		}
+	})
+}
+
+func TestInjectReset(t *testing.T) {
+	v := simclock.NewVirtualDefault()
+	n := testNet(v, LinkSpec{Latency: 5 * time.Millisecond})
+	v.Run(func() {
+		startEcho(t, v, n)
+		c, err := n.Host("a").Dial("b:9")
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		if _, err := c.Write([]byte("ping")); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		buf := make([]byte, 4)
+		if _, err := io.ReadFull(c, buf); err != nil {
+			t.Fatalf("read echo: %v", err)
+		}
+		n.InjectReset("a", "b")
+		if _, err := c.Write([]byte("pong")); !errors.Is(err, ErrConnReset) {
+			t.Fatalf("write after reset: %v, want ErrConnReset", err)
+		}
+		if _, err := c.Read(buf); !errors.Is(err, ErrConnReset) {
+			t.Fatalf("read after reset: %v, want ErrConnReset", err)
+		}
+		// One-shot: a fresh connection works.
+		c2, err := n.Host("a").Dial("b:9")
+		if err != nil {
+			t.Fatalf("redial: %v", err)
+		}
+		if _, err := c2.Write([]byte("ping")); err != nil {
+			t.Fatalf("write on new conn: %v", err)
+		}
+		if _, err := io.ReadFull(c2, buf); err != nil {
+			t.Fatalf("echo on new conn: %v", err)
+		}
+		c2.Close()
+	})
+}
+
+func TestFailAfterBytes(t *testing.T) {
+	v := simclock.NewVirtualDefault()
+	n := testNet(v, LinkSpec{Latency: time.Millisecond})
+	v.Run(func() {
+		startEcho(t, v, n)
+		c, err := n.Host("a").Dial("b:9")
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		n.FailAfter("a", "b", 6*1024)
+		sent := 0
+		buf := make([]byte, 1024)
+		var werr error
+		for i := 0; i < 64; i++ {
+			var nw int
+			nw, werr = c.Write(buf)
+			sent += nw
+			if werr != nil {
+				break
+			}
+			// Consume the echo so the window never stalls.
+			if _, rerr := io.ReadFull(c, buf); rerr != nil {
+				t.Fatalf("echo read: %v", rerr)
+			}
+		}
+		if !errors.Is(werr, ErrConnReset) {
+			t.Fatalf("expected reset, got err=%v after %d bytes", werr, sent)
+		}
+		if sent < 5*1024 || sent > 7*1024 {
+			t.Fatalf("reset after %d bytes, want ~6 KiB", sent)
+		}
+	})
+}
+
+func TestBlackholeAndHeal(t *testing.T) {
+	v := simclock.NewVirtualDefault()
+	n := testNet(v, LinkSpec{Latency: time.Millisecond})
+	v.Run(func() {
+		startEcho(t, v, n)
+		c, err := n.Host("a").Dial("b:9")
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		n.SetBlackhole("a", "b", true)
+		if _, err := c.Write([]byte("lost")); err != nil {
+			t.Fatalf("write into blackhole should be absorbed, got %v", err)
+		}
+		c.SetReadDeadline(v.Now().Add(100 * time.Millisecond))
+		buf := make([]byte, 4)
+		if _, err := c.Read(buf); !errors.Is(err, os.ErrDeadlineExceeded) {
+			t.Fatalf("read through blackhole: %v, want deadline exceeded", err)
+		}
+		// Heal; a fresh connection flows again.
+		n.SetBlackhole("a", "b", false)
+		c2, err := n.Host("a").Dial("b:9")
+		if err != nil {
+			t.Fatalf("redial after heal: %v", err)
+		}
+		if _, err := c2.Write([]byte("ping")); err != nil {
+			t.Fatalf("write after heal: %v", err)
+		}
+		if _, err := io.ReadFull(c2, buf); err != nil {
+			t.Fatalf("echo after heal: %v", err)
+		}
+	})
+}
+
+func TestPartitionHeal(t *testing.T) {
+	v := simclock.NewVirtualDefault()
+	n := testNet(v, LinkSpec{Latency: time.Millisecond})
+	v.Run(func() {
+		startEcho(t, v, n)
+		n.Partition("a", "b")
+		if !n.Partitioned("a", "b") || !n.Partitioned("b", "a") {
+			t.Fatal("Partitioned should report both directions cut")
+		}
+		if _, err := n.Host("a").Dial("b:9"); !errors.Is(err, ErrUnreachable) {
+			t.Fatalf("dial during partition: %v, want ErrUnreachable", err)
+		}
+		n.Heal("a", "b")
+		c, err := n.Host("a").Dial("b:9")
+		if err != nil {
+			t.Fatalf("dial after heal: %v", err)
+		}
+		if _, err := c.Write([]byte("ping")); err != nil {
+			t.Fatalf("write after heal: %v", err)
+		}
+		buf := make([]byte, 4)
+		if _, err := io.ReadFull(c, buf); err != nil {
+			t.Fatalf("echo after heal: %v", err)
+		}
+	})
+}
+
+func TestExtraLatency(t *testing.T) {
+	v := simclock.NewVirtualDefault()
+	n := testNet(v, LinkSpec{Latency: time.Millisecond})
+	v.Run(func() {
+		startEcho(t, v, n)
+		c, err := n.Host("a").Dial("b:9")
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		buf := make([]byte, 4)
+		rtt := func() time.Duration {
+			t0 := v.Now()
+			if _, err := c.Write([]byte("ping")); err != nil {
+				t.Fatalf("write: %v", err)
+			}
+			if _, err := io.ReadFull(c, buf); err != nil {
+				t.Fatalf("read: %v", err)
+			}
+			return v.Now().Sub(t0)
+		}
+		base := rtt()
+		n.SetExtraLatency("a", "b", 500*time.Millisecond)
+		spiked := rtt()
+		if spiked < base+500*time.Millisecond {
+			t.Fatalf("rtt with spike %v, want >= base %v + 500ms", spiked, base)
+		}
+		n.SetExtraLatency("a", "b", 0)
+		if again := rtt(); again > base+10*time.Millisecond {
+			t.Fatalf("rtt after clearing spike %v, want ~%v", again, base)
+		}
+	})
+}

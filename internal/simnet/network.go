@@ -52,19 +52,26 @@ var Loopback = LinkSpec{Latency: 50 * time.Microsecond, Bandwidth: 0}
 type Network struct {
 	clock simclock.Clock
 
-	mu        sync.Mutex
-	listeners map[string]*Listener
-	links     map[linkKey]*link
-	defaults  LinkSpec
-	window    int
+	mu          sync.Mutex
+	listeners   map[string]*Listener
+	links       map[linkKey]*link
+	defaults    LinkSpec
+	window      int
+	partitioned map[linkKey]bool
 }
 
 type linkKey struct{ from, to string }
 
-// link carries the shared serialization state for one directed host pair.
+// link carries the shared serialization state for one directed host pair,
+// plus its fault-injection block (see faults.go).
 type link struct {
 	spec LinkSpec
 	xmit *simclock.Mutex // serializes transmissions when Bandwidth > 0
+	f    faults
+}
+
+func newLink(clock simclock.Clock, spec LinkSpec) *link {
+	return &link{spec: spec, xmit: simclock.NewMutex(clock), f: faults{failAfter: -1}}
 }
 
 // New returns an empty Network on the given clock. Links not configured via
@@ -100,7 +107,7 @@ func (n *Network) SetWindow(w int) {
 func (n *Network) SetLink(from, to string, spec LinkSpec) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.links[linkKey{from, to}] = &link{spec: spec, xmit: simclock.NewMutex(n.clock)}
+	n.links[linkKey{from, to}] = newLink(n.clock, spec)
 }
 
 // SetLinkBoth configures both directions between a and b.
@@ -122,7 +129,7 @@ func (n *Network) linkFor(from, to string) *link {
 	if from == to {
 		spec = Loopback
 	}
-	l := &link{spec: spec, xmit: simclock.NewMutex(n.clock)}
+	l := newLink(n.clock, spec)
 	n.links[k] = l
 	return l
 }
@@ -188,6 +195,9 @@ func (h *Host) Dial(addr string) (net.Conn, error) {
 		return nil, err
 	}
 	full := host + ":" + port
+	if err := h.net.dialFault(h.name, host); err != nil {
+		return nil, err
+	}
 	h.net.mu.Lock()
 	l, ok := h.net.listeners[full]
 	window := h.net.window
@@ -203,6 +213,7 @@ func (h *Host) Dial(addr string) (net.Conn, error) {
 
 	c2s := newStream(h.net.clock, out, window)
 	s2c := newStream(h.net.clock, in, window)
+	c2s.peer, s2c.peer = s2c, c2s
 	clientAddr := Addr{h.name + ":0"}
 	client := &Conn{clock: h.net.clock, local: clientAddr, remote: Addr{full}, r: s2c, w: c2s}
 	server := &Conn{clock: h.net.clock, local: Addr{full}, remote: clientAddr, r: c2s, w: s2c}
