@@ -1,9 +1,20 @@
 GO ?= go
 
-.PHONY: check fmt vet test race chaos build
+# Coverage floors: the pre-PR3 baselines for the packages the buffer
+# overhaul touches. `make cover` fails when either drops below its floor.
+COVER_FLOOR_CORE       ?= 80.3
+COVER_FLOOR_GRIDBUFFER ?= 84.7
 
-## check: gofmt + vet + race-detector tests + the chaos matrix
-check: fmt vet race chaos
+# Per-target fuzz budget for the `make fuzz` smoke pass. The checked-in
+# seed corpora always replay in full under plain `go test`; this adds a
+# short randomized probe on top.
+FUZZTIME ?= 5s
+
+.PHONY: check fmt vet test race chaos build cover fuzz bench bench-gate
+
+## check: gofmt + vet + race coverage gate + chaos matrix + fuzz smoke +
+## bench regression gate
+check: fmt vet cover chaos fuzz bench-gate
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -17,10 +28,49 @@ vet:
 race:
 	$(GO) test -race ./internal/obs/... ./internal/core/...
 
+## cover: race-enabled tests with per-package coverage, gated on the
+## pre-PR floors for internal/core and internal/gridbuffer.
+cover:
+	$(GO) test -race -coverprofile=cover.out \
+		./internal/obs/... ./internal/core/... ./internal/gridbuffer/... \
+		| $(GO) run ./cmd/covergate \
+		-floor griddles/internal/core=$(COVER_FLOOR_CORE) \
+		-floor griddles/internal/gridbuffer=$(COVER_FLOOR_GRIDBUFFER)
+
 ## chaos: the fault-injection matrix — {IO mechanism} x {fault scenario},
 ## the no-survivor budget tests, and 50 seeded random fault schedules.
 chaos:
 	$(GO) test -race -timeout 5m ./internal/chaos/... ./internal/fault/...
+
+## fuzz: short randomized probe of every fuzz target (the seed corpora in
+## testdata/fuzz replay under plain `go test` regardless). `go test -fuzz`
+## takes one target per invocation, hence the loop.
+fuzz:
+	@for tgt in \
+		internal/wire:FuzzFrameRoundTrip \
+		internal/wire:FuzzReadFrame \
+		internal/wire:FuzzDecoderSticky \
+		internal/gridbuffer:FuzzDecodePutBatch \
+		internal/gridbuffer:FuzzDecodeGetWin \
+		internal/gridbuffer:FuzzDecodeOptions \
+		internal/xdr:FuzzTranslateTwiceIdentity \
+		internal/xdr:FuzzRecordRoundTrip ; do \
+		pkg=$${tgt%%:*}; fn=$${tgt##*:}; \
+		echo "fuzz $$pkg $$fn ($(FUZZTIME))"; \
+		$(GO) test -run '^$$' -fuzz "^$$fn$$" -fuzztime $(FUZZTIME) ./$$pkg/ || exit 1; \
+	done
+
+## bench: run the benchmark suite once and record it as BENCH_pr3.json.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x -timeout 20m . | tee bench.out
+	$(GO) run ./cmd/benchgate -parse bench.out -o BENCH_pr3.json
+
+## bench-gate: re-run the suite and fail on regression vs the checked-in
+## baseline. Simulated-clock metrics and allocs/op gate at 10%; wall-clock
+## metrics are compared and reported but don't gate (pure machine noise at
+## -benchtime 1x) — pass -gate-wall to benchgate to enforce them too.
+bench-gate: bench
+	$(GO) run ./cmd/benchgate BENCH_baseline.json BENCH_pr3.json
 
 build:
 	$(GO) build ./...

@@ -20,7 +20,9 @@ import (
 	"time"
 
 	"griddles/internal/climate"
+	"griddles/internal/core"
 	"griddles/internal/experiments"
+	"griddles/internal/gns"
 	"griddles/internal/gridbuffer"
 	"griddles/internal/gridftp"
 	"griddles/internal/mech"
@@ -477,6 +479,165 @@ func BenchmarkSimnetThroughput(b *testing.B) {
 		})
 	}
 	b.SetBytes(1 << 20)
+}
+
+// fanOutStream pushes four concurrent writer->reader streams through one
+// Grid Buffer service across the AU-UK link and reports the simulated time
+// for all four to drain. The transport configuration selects the protocol
+// generation: the pre-batching shape is one frame per block with a
+// single-request reader pipeline; the pipelined shape batches Puts and
+// keeps a deep GET window outstanding.
+func fanOutStream(tb testing.TB, batch, depth, window int, connPerCall bool) time.Duration {
+	tb.Helper()
+	const streams = 4
+	const total = 1 << 20 // bytes per stream
+	lat, bw := testbed.LinkBetween("brecca", "bouscat")
+	v := simclock.NewVirtualDefault()
+	net := simnet.New(v)
+	for i := 0; i < streams; i++ {
+		net.SetLinkBoth(fmt.Sprintf("w%d", i), "buf", simnet.LinkSpec{Latency: lat, Bandwidth: bw})
+		net.SetLinkBoth(fmt.Sprintf("r%d", i), "buf", simnet.LinkSpec{Latency: lat, Bandwidth: bw})
+	}
+	net.SetWindow(testbed.WindowBytes)
+	reg := gridbuffer.NewRegistry(v, vfs.NewMemFS())
+	var elapsed time.Duration
+	v.Run(func() {
+		l, err := net.Host("buf").Listen("buf:7000")
+		if err != nil {
+			tb.Fatal(err)
+		}
+		v.Go("serve", func() { gridbuffer.NewServer(reg, v).Serve(l) })
+		opts := gridbuffer.Options{BlockSize: 4096, Capacity: 256}
+		start := v.Now()
+		done := simclock.NewWaitGroup(v)
+		for i := 0; i < streams; i++ {
+			i := i
+			key := fmt.Sprintf("fan/%d", i)
+			done.Add(2)
+			v.Go(fmt.Sprintf("reader-%d", i), func() {
+				defer done.Done()
+				r, err := gridbuffer.NewReader(net.Host(fmt.Sprintf("r%d", i)), "buf:7000", v, key,
+					opts, gridbuffer.ReaderOptions{Depth: depth})
+				if err != nil {
+					tb.Error(err)
+					return
+				}
+				defer r.Close()
+				if n, _ := io.Copy(io.Discard, r); n != total {
+					tb.Errorf("stream %d: read %d of %d bytes", i, n, total)
+				}
+			})
+			v.Go(fmt.Sprintf("writer-%d", i), func() {
+				defer done.Done()
+				w, err := gridbuffer.NewWriter(net.Host(fmt.Sprintf("w%d", i)), "buf:7000", v, key,
+					opts, gridbuffer.WriterOptions{Window: window, ConnPerCall: connPerCall, Batch: batch})
+				if err != nil {
+					tb.Error(err)
+					return
+				}
+				w.Write(make([]byte, total))
+				if err := w.Close(); err != nil {
+					tb.Error(err)
+				}
+			})
+		}
+		done.Wait()
+		elapsed = v.Now().Sub(start)
+	})
+	return elapsed
+}
+
+// BenchmarkGridBufferFanOut is the tentpole's headline number: 4 writers and
+// 4 readers through one buffer service, pre-batching protocol versus the
+// pipelined one.
+func BenchmarkGridBufferFanOut(b *testing.B) {
+	for _, cfg := range []struct {
+		name                 string
+		batch, depth, window int
+		connPerCall          bool
+	}{
+		{"pre-batching", 1, 1, 1, true},
+		{"pipelined", 16, 8, 32, false},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			var virt time.Duration
+			for i := 0; i < b.N; i++ {
+				virt = fanOutStream(b, cfg.batch, cfg.depth, cfg.window, cfg.connPerCall)
+			}
+			b.ReportMetric(virt.Seconds(), "virt-s")
+			b.ReportMetric(4/virt.Seconds(), "virt-MB/s")
+		})
+	}
+}
+
+// TestFanOutSpeedup pins the acceptance floor: the pipelined protocol moves
+// the 4x4 fan-out at least twice as fast (simulated clock) as the
+// pre-batching one.
+func TestFanOutSpeedup(t *testing.T) {
+	old := fanOutStream(t, 1, 1, 1, true)
+	new_ := fanOutStream(t, 16, 8, 32, false)
+	t.Logf("fan-out 4x4: pre-batching %v, pipelined %v (%.1fx)",
+		old, new_, old.Seconds()/new_.Seconds())
+	if new_*2 > old {
+		t.Errorf("pipelined fan-out %v is not 2x faster than pre-batching %v", new_, old)
+	}
+}
+
+// BenchmarkFMReReadCache prices the FM block cache on a remote re-read: a
+// mode-3 consumer reads a 2 MiB file twice over the monash<->vpac-shaped
+// link, cache off versus on. With the cache the second pass is memory-only.
+func BenchmarkFMReReadCache(b *testing.B) {
+	const size = 2 << 20
+	run := func(cacheBytes int64) time.Duration {
+		v := simclock.NewVirtualDefault()
+		n := simnet.New(v)
+		n.SetLinkBoth("app", "srv", simnet.LinkSpec{Latency: 2 * time.Millisecond, Bandwidth: 10 << 20})
+		n.SetWindow(testbed.WindowBytes)
+		fs := vfs.NewMemFS()
+		vfs.WriteFile(fs, "big", make([]byte, size))
+		var el time.Duration
+		v.Run(func() {
+			l, err := n.Host("srv").Listen("srv:6000")
+			if err != nil {
+				b.Fatal(err)
+			}
+			v.Go("ftp-server", func() { gridftp.NewServer(fs, v).Serve(l) })
+			store := gns.NewStore(v)
+			store.Set("app", "big", gns.Mapping{Mode: gns.ModeRemote, RemoteHost: "srv:6000", RemotePath: "big"})
+			fm, err := core.New(core.Config{
+				Machine: "app", Clock: v, FS: vfs.NewMemFS(), Dialer: n.Host("app"),
+				GNS: store, BlockCacheBytes: cacheBytes,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			f, err := fm.Open("big")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer f.Close()
+			start := v.Now()
+			for pass := 0; pass < 2; pass++ {
+				if _, err := f.Seek(0, io.SeekStart); err != nil {
+					b.Fatal(err)
+				}
+				if n, _ := io.Copy(io.Discard, f); n != size {
+					b.Fatalf("pass %d read %d bytes", pass, n)
+				}
+			}
+			el = v.Now().Sub(start)
+		})
+		return el
+	}
+	b.ReportAllocs()
+	b.SetBytes(2 * size)
+	var off, on time.Duration
+	for i := 0; i < b.N; i++ {
+		off = run(0)
+		on = run(8 << 20)
+	}
+	b.ReportMetric(off.Seconds()*1e3, "virt-ms/cache-off")
+	b.ReportMetric(on.Seconds()*1e3, "virt-ms/cache-on")
 }
 
 // BenchmarkDegradedLinkRetry prices the resilience layer: a 1 MB fetch over

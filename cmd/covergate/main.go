@@ -1,0 +1,122 @@
+// Command covergate reads `go test -cover` output on stdin (or from a file),
+// prints per-package coverage, and fails when a package named by a -floor
+// flag falls below its minimum.
+//
+//	go test -race -cover ./... | covergate \
+//	    -floor griddles/internal/core=80.3 \
+//	    -floor griddles/internal/gridbuffer=84.7
+//
+// Packages without a floor are reported but never gate. A floored package
+// that is missing from the input fails the run: the gate must not pass
+// because the tests silently stopped running.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type floors map[string]float64
+
+func (f floors) String() string { return fmt.Sprint(map[string]float64(f)) }
+
+func (f floors) Set(v string) error {
+	pkg, pct, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want pkg=percent, got %q", v)
+	}
+	p, err := strconv.ParseFloat(pct, 64)
+	if err != nil {
+		return err
+	}
+	f[pkg] = p
+	return nil
+}
+
+var coverLine = regexp.MustCompile(`^(ok|---)?\s*(\S+)\s.*coverage:\s+([0-9.]+)% of statements`)
+
+func main() {
+	minima := floors{}
+	flag.Var(minima, "floor", "pkg=percent minimum coverage (repeatable)")
+	input := flag.String("in", "-", "test output to read (default stdin)")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *input != "-" {
+		f, err := os.Open(*input)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "covergate:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		r = f
+	}
+
+	seen := map[string]float64{}
+	testsFailed := false
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass the test output through
+		// covergate sits downstream of a pipe, so `go test`'s exit status
+		// is lost; recover it from the output.
+		if strings.HasPrefix(line, "FAIL") {
+			testsFailed = true
+		}
+		m := coverLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		pct, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			continue
+		}
+		seen[m[2]] = pct
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "covergate:", err)
+		os.Exit(1)
+	}
+
+	pkgs := make([]string, 0, len(seen))
+	for pkg := range seen {
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Strings(pkgs)
+	fmt.Println("covergate: per-package coverage")
+	ok := true
+	for _, pkg := range pkgs {
+		note := ""
+		if floor, gated := minima[pkg]; gated {
+			note = fmt.Sprintf("  (floor %.1f%%)", floor)
+			if seen[pkg] < floor {
+				note += "  FAIL"
+				ok = false
+			}
+		}
+		fmt.Printf("  %-45s %6.1f%%%s\n", pkg, seen[pkg], note)
+	}
+	for pkg, floor := range minima {
+		if _, present := seen[pkg]; !present {
+			fmt.Printf("  %-45s missing  (floor %.1f%%)  FAIL\n", pkg, floor)
+			ok = false
+		}
+	}
+	if testsFailed {
+		fmt.Println("covergate: test failures in the input")
+	}
+	if !ok {
+		fmt.Println("covergate: coverage fell below the checked-in floor")
+	}
+	if !ok || testsFailed {
+		os.Exit(1)
+	}
+}

@@ -17,6 +17,7 @@ import (
 func main() {
 	listen := flag.String("listen", ":7000", "TCP listen address")
 	cacheDir := flag.String("cache", os.TempDir(), "directory for buffer cache files")
+	shards := flag.Int("shards", 0, "block-table shards per buffer (0 = default, rounded up to a power of two)")
 	flag.Parse()
 
 	if err := os.MkdirAll(*cacheDir, 0o755); err != nil {
@@ -28,6 +29,7 @@ func main() {
 	}
 	clock := simclock.Real{}
 	reg := gridbuffer.NewRegistry(clock, vfs.NewOSFS(*cacheDir))
+	reg.SetDefaultShards(*shards)
 	log.Printf("gridbufferd: serving on %s (cache in %s)", l.Addr(), *cacheDir)
 	gridbuffer.NewServer(reg, clock).Serve(l)
 }

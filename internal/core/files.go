@@ -25,20 +25,40 @@ type localFile struct {
 	marker     bool
 	markerPath string
 	closed     bool
+	cr         *cachedReader // block-cached reads (mode 5), nil = direct
 }
 
 func (f *localFile) Name() string { return f.name }
 
 func (f *localFile) Read(p []byte) (int, error) {
-	n, err := f.File.Read(p)
+	var n int
+	var err error
+	if f.cr != nil {
+		n, err = f.cr.Read(p)
+	} else {
+		n, err = f.File.Read(p)
+	}
 	f.fm.stats.read(n)
 	return n, err
 }
 
 func (f *localFile) Write(p []byte) (int, error) {
-	n, err := f.File.Write(p)
+	var n int
+	var err error
+	if f.cr != nil {
+		n, err = f.cr.Write(p)
+	} else {
+		n, err = f.File.Write(p)
+	}
 	f.fm.stats.wrote(n)
 	return n, err
+}
+
+func (f *localFile) Seek(offset int64, whence int) (int64, error) {
+	if f.cr != nil {
+		return f.cr.Seek(offset, whence)
+	}
+	return f.File.Seek(offset, whence)
 }
 
 func (f *localFile) Close() error {
@@ -71,20 +91,40 @@ type remoteFile struct {
 	markerPath string
 	client     *gridftp.Client
 	closed     bool
+	cr         *cachedReader // block-cached reads, nil = direct
 }
 
 func (f *remoteFile) Name() string { return f.name }
 
 func (f *remoteFile) Read(p []byte) (int, error) {
-	n, err := f.RemoteFile.Read(p)
+	var n int
+	var err error
+	if f.cr != nil {
+		n, err = f.cr.Read(p)
+	} else {
+		n, err = f.RemoteFile.Read(p)
+	}
 	f.fm.stats.read(n)
 	return n, err
 }
 
 func (f *remoteFile) Write(p []byte) (int, error) {
-	n, err := f.RemoteFile.Write(p)
+	var n int
+	var err error
+	if f.cr != nil {
+		n, err = f.cr.Write(p)
+	} else {
+		n, err = f.RemoteFile.Write(p)
+	}
 	f.fm.stats.wrote(n)
 	return n, err
+}
+
+func (f *remoteFile) Seek(offset int64, whence int) (int64, error) {
+	if f.cr != nil {
+		return f.cr.Seek(offset, whence)
+	}
+	return f.RemoteFile.Seek(offset, whence)
 }
 
 func (f *remoteFile) Close() error {
@@ -123,6 +163,7 @@ type replicaFile struct {
 	pos       int64
 	lastCheck time.Time
 	closed    bool
+	cr        *cachedReader // block-cached reads, nil = direct
 }
 
 func (f *replicaFile) Name() string { return f.name }
@@ -205,11 +246,24 @@ func (f *replicaFile) Read(p []byte) (int, error) {
 	if f.closed {
 		return 0, fmt.Errorf("core: %s: read after close", f.name)
 	}
+	var n int
+	var err error
+	if f.cr != nil {
+		n, err = f.cr.Read(p)
+	} else {
+		n, err = f.rawRead(p)
+	}
+	f.fm.stats.read(n)
+	return n, err
+}
+
+// rawRead is the uncached read path: remap check, then read from the bound
+// replica with failover.
+func (f *replicaFile) rawRead(p []byte) (int, error) {
 	f.maybeRemap()
 	for {
 		n, err := f.cur.Read(p)
 		f.pos += int64(n)
-		f.fm.stats.read(n)
 		if err == nil || err == io.EOF || !f.fm.cfg.Retry.Enabled() {
 			return n, err
 		}
@@ -230,12 +284,30 @@ func (f *replicaFile) Write([]byte) (int, error) {
 }
 
 func (f *replicaFile) Seek(offset int64, whence int) (int64, error) {
+	if f.closed {
+		return 0, fmt.Errorf("core: %s: seek after close", f.name)
+	}
+	if f.cr != nil {
+		return f.cr.Seek(offset, whence)
+	}
+	return f.rawSeek(offset, whence)
+}
+
+func (f *replicaFile) rawSeek(offset int64, whence int) (int64, error) {
 	npos, err := f.cur.Seek(offset, whence)
 	if err == nil {
 		f.pos = npos
 	}
 	return npos, err
 }
+
+// rawReplica adapts the uncached failover read path as the inner handle of
+// a cachedReader: cache-miss fills run through remap/failover exactly as
+// uncached reads do.
+type rawReplica struct{ f *replicaFile }
+
+func (r rawReplica) Read(p []byte) (int, error)                { return r.f.rawRead(p) }
+func (r rawReplica) Seek(off int64, whence int) (int64, error) { return r.f.rawSeek(off, whence) }
 
 func (f *replicaFile) Close() error {
 	if f.closed {

@@ -87,9 +87,14 @@ type Config struct {
 	PollCost func()
 
 	// WriterWindow / ReaderDepth tune Grid Buffer pipelining (defaults in
-	// package gridbuffer).
+	// package gridbuffer). WriterBatch coalesces that many blocks into one
+	// PUT-BATCH frame (0/1 = the historical frame-per-block protocol).
+	// BufferShards sets the served buffer's block-table shard count (0 =
+	// gridbuffer.DefaultShards).
 	WriterWindow int
 	ReaderDepth  int
+	WriterBatch  int
+	BufferShards int
 	// BufferConnPerCall selects the paper's SOAP-era connection-per-call
 	// buffer transport for writers (see gridbuffer.WriterOptions).
 	BufferConnPerCall bool
@@ -105,6 +110,14 @@ type Config struct {
 	// RemapInterval is how often a read-only replicated file re-evaluates
 	// its replica choice mid-read; 0 disables dynamic re-binding.
 	RemapInterval time.Duration
+
+	// BlockCache shares an in-memory LRU block cache across remote and
+	// replicated reads (modes 3–5); BlockCacheBytes > 0 creates a private
+	// one with that byte budget when BlockCache is nil. Zero values disable
+	// caching (the historical behaviour). Cache keys embed the GNS mapping
+	// generation, so a remap never serves stale blocks.
+	BlockCache      *BlockCache
+	BlockCacheBytes int64
 
 	// Retry is the resilience policy threaded into every transport this FM
 	// opens (file-service clients and Grid Buffer endpoints). When enabled it
@@ -168,10 +181,17 @@ func New(cfg Config) (*Multiplexer, error) {
 			cfg.Retry.Src = cfg.Machine
 		}
 	}
+	if cfg.BlockCache == nil && cfg.BlockCacheBytes > 0 {
+		cfg.BlockCache = NewBlockCache(cfg.BlockCacheBytes)
+		cfg.BlockCache.SetObserver(cfg.Obs)
+	}
 	m := &Multiplexer{cfg: cfg, obs: cfg.Obs, clients: make(map[string]*gridftp.Client)}
 	m.stats.init(m.obs, cfg.Machine)
 	return m, nil
 }
+
+// BlockCache reports the FM's block cache, if one is configured.
+func (m *Multiplexer) BlockCache() *BlockCache { return m.cfg.BlockCache }
 
 // Stats reports cumulative counters for this FM instance.
 func (m *Multiplexer) Stats() *Stats { return &m.stats }
@@ -381,7 +401,37 @@ func (m *Multiplexer) openRemote(path string, mapping gns.Mapping, flag int, wri
 	if err != nil {
 		return nil, fmt.Errorf("core: remote open %s on %s: %w", rp, mapping.RemoteHost, err)
 	}
-	return &remoteFile{RemoteFile: rf, name: path, fm: m, marker: mapping.WaitClose && writing, markerPath: rp + DoneSuffix, client: c}, nil
+	f := &remoteFile{RemoteFile: rf, name: path, fm: m, marker: mapping.WaitClose && writing, markerPath: rp + DoneSuffix, client: c}
+	if cache := m.cfg.BlockCache; cache != nil {
+		ck := cacheKeyRemote(mapping, rp)
+		if writing {
+			// A writer handle bypasses the cache but must not leave stale
+			// blocks behind for concurrent reader handles.
+			cache.Invalidate(ck)
+		} else {
+			f.cr = newCachedReader(rf, cache, func() string { return ck })
+		}
+	}
+	return f, nil
+}
+
+// cacheKeyRemote is the block-cache identity of a mode-3 file: remote
+// coordinates plus the GNS mapping generation, so a remapped path never
+// serves blocks of its previous binding.
+func cacheKeyRemote(mapping gns.Mapping, rp string) string {
+	return fmt.Sprintf("remote:%s/%s@%d", mapping.RemoteHost, rp, mapping.Version)
+}
+
+// cacheKeyReplica is the block-cache identity of a mode-4/5 file: the
+// logical name plus the mapping generation. Replicas of one logical file
+// are bytewise identical, so a mid-read re-bind or failover keeps the
+// cached blocks valid; only a GNS remap (new generation) invalidates them.
+func cacheKeyReplica(mapping gns.Mapping, path string) string {
+	logical := mapping.LogicalName
+	if logical == "" {
+		logical = path
+	}
+	return fmt.Sprintf("replica:%s@%d", logical, mapping.Version)
 }
 
 // replicaLocations resolves the candidate replicas of a mapping.
@@ -444,6 +494,10 @@ func (m *Multiplexer) openReplicaRemote(path string, mapping gns.Mapping, writin
 		return f, nil
 	}
 	f.cur, f.curLoc = rf, loc
+	if cache := m.cfg.BlockCache; cache != nil {
+		ck := cacheKeyReplica(mapping, path)
+		f.cr = newCachedReader(rawReplica{f}, cache, func() string { return ck })
+	}
 	return f, nil
 }
 
@@ -471,7 +525,15 @@ func (m *Multiplexer) openReplicaCopy(path string, mapping gns.Mapping, flag int
 	if err != nil {
 		return nil, err
 	}
-	return &localFile{File: f, name: path, fm: m}, nil
+	lf := &localFile{File: f, name: path, fm: m}
+	if cache := m.cfg.BlockCache; cache != nil {
+		// The staged copy is bytewise the replica, so it shares the replica
+		// cache identity: a re-read after a fresh stage-in of the same
+		// generation hits blocks cached by an earlier open.
+		ck := cacheKeyReplica(mapping, path)
+		lf.cr = newCachedReader(f, cache, func() string { return ck })
+	}
+	return lf, nil
 }
 
 // copyInFailover walks the ranked runner-up replicas after a failed copy-in
@@ -515,6 +577,7 @@ func (m *Multiplexer) openBuffer(path string, mapping gns.Mapping, writing bool,
 		Cache:     mapping.CacheEnabled,
 		CachePath: mapping.CachePath,
 		Readers:   mapping.Readers,
+		Shards:    m.cfg.BufferShards,
 	}
 	if m.cfg.BufferTransport == "soap" {
 		if writing {
@@ -532,7 +595,7 @@ func (m *Multiplexer) openBuffer(path string, mapping gns.Mapping, writing bool,
 	}
 	if writing {
 		w, err := gridbuffer.NewWriter(m.cfg.Dialer, mapping.BufferHost, m.cfg.Clock, key, opts,
-			gridbuffer.WriterOptions{Window: m.cfg.WriterWindow, ConnPerCall: m.cfg.BufferConnPerCall, Retry: m.cfg.Retry})
+			gridbuffer.WriterOptions{Window: m.cfg.WriterWindow, Batch: m.cfg.WriterBatch, ConnPerCall: m.cfg.BufferConnPerCall, Retry: m.cfg.Retry})
 		if err != nil {
 			return nil, err
 		}

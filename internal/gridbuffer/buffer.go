@@ -14,11 +14,19 @@
 //
 // Broadcast mode (one writer, several readers) keeps a block until every
 // expected reader has consumed it.
+//
+// The hash table is sharded (power-of-two shards, per-shard lock), so
+// concurrent writers and broadcast readers on different blocks do not
+// contend on one lock; stream-wide state (capacity, EOF, attach registry)
+// lives behind a separate small lock, and block payloads are recycled
+// through a sync.Pool.
 package gridbuffer
 
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"griddles/internal/obs"
 	"griddles/internal/simclock"
@@ -34,6 +42,12 @@ const DefaultCapacity = 8192
 
 // DefaultBlockSize matches the paper's typical write size.
 const DefaultBlockSize = 4096
+
+// DefaultShards is the default shard count of the block table. Sixteen
+// per-shard locks are plenty for the fan-outs a single coupling sees; the
+// count is clamped to a power of two so the shard of a block index is one
+// mask away.
+const DefaultShards = 16
 
 // Options configures one named buffer. Writer and readers must agree on
 // BlockSize (the GNS mapping carries it to both sides).
@@ -52,6 +66,9 @@ type Options struct {
 	// Readers is the number of readers expected to consume each block
 	// (broadcast); 0 means 1.
 	Readers int
+	// Shards is the block-table shard count, rounded up to a power of two;
+	// 0 selects DefaultShards.
+	Shards int
 }
 
 func (o Options) blockSize() int {
@@ -75,37 +92,38 @@ func (o Options) readers() int {
 	return o.Readers
 }
 
+func (o Options) shards() int {
+	n := o.Shards
+	if n <= 0 {
+		n = DefaultShards
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
 // ErrStopped is returned by blocked operations when the buffer is dropped.
 var ErrStopped = errors.New("gridbuffer: buffer dropped")
 
-// Buffer is one named writer/reader rendezvous.
-type Buffer struct {
-	clock simclock.Clock
-	opts  Options
-	key   string
-
-	// mu is clock-aware because it is held across simulated disk IO when a
-	// consumed block spills to the cache file.
+// shard is one slice of the block table: the blocks whose index hashes here,
+// plus their broadcast-consumption bookkeeping. The shard lock is
+// clock-aware because it is held across simulated disk IO when a consumed
+// block spills to the cache file.
+type shard struct {
 	mu    *simclock.Mutex
-	rcond simclock.Cond // readers wait for blocks / EOF
-	wcond simclock.Cond // writers wait for capacity
+	rcond simclock.Cond // readers wait for blocks of this shard / EOF
 
 	blocks   map[int64][]byte
 	consumed map[int64]map[int]bool // blockIdx -> readerIDs that have read it
 	dead     map[int64]bool         // fully consumed and dropped without a cache copy
-	written  int64                  // highest contiguous sequential watermark (for diagnostics)
-	eof      bool
-	total    int64 // total byte length, valid once eof
+	inCache  map[int64]bool
+}
 
-	nextReader int
-	attached   map[int]bool
-
-	cacheFile vfs.File
-	inCache   map[int64]bool
-	stopped   bool
-
-	// Cached instruments (discard until SetObserver): queue depth,
-	// blocking-read wait, capacity stalls, spills and broadcast fan-out.
+// bufInstruments is the swappable set of cached obs instruments (discard
+// until SetObserver), published atomically so hot paths load one pointer.
+type bufInstruments struct {
 	puts       *obs.Counter
 	gets       *obs.Counter
 	spills     *obs.Counter
@@ -114,23 +132,67 @@ type Buffer struct {
 	readWait   *obs.Histogram
 	resident   *obs.Gauge
 	fanout     *obs.Gauge
+	shardCount *obs.Gauge
+	contended  *obs.Counter
+}
+
+// Buffer is one named writer/reader rendezvous.
+type Buffer struct {
+	clock simclock.Clock
+	opts  Options
+	key   string
+
+	mask   int64
+	shards []shard
+	pool   sync.Pool // block payloads, capacity == blockSize
+
+	// smu guards the stream-wide state: capacity accounting, EOF, the
+	// attach registry and the stop flag. Lock order is shard.mu -> smu ->
+	// cmu; smu is never taken before a shard lock is released by the same
+	// path that then takes one.
+	smu      *simclock.Mutex
+	wcond    simclock.Cond // writers wait for capacity
+	resident int           // blocks charged against Capacity
+	eof      bool
+	total    int64 // total byte length, valid once eof
+	stopped  bool
+
+	nextReader int
+	attached   map[int]bool
+
+	// cmu serializes the shared cache file (taken after a shard lock).
+	cmu       *simclock.Mutex
+	cacheFile vfs.File
+
+	written atomic.Int64 // highest sequential watermark (for diagnostics)
+	ins     atomic.Pointer[bufInstruments]
 }
 
 // NewBuffer returns an empty buffer with the given key and options.
 func NewBuffer(clock simclock.Clock, key string, opts Options) *Buffer {
+	n := opts.shards()
 	b := &Buffer{
 		clock:    clock,
 		opts:     opts,
 		key:      key,
-		blocks:   make(map[int64][]byte),
-		consumed: make(map[int64]map[int]bool),
-		dead:     make(map[int64]bool),
+		mask:     int64(n - 1),
+		shards:   make([]shard, n),
 		attached: make(map[int]bool),
-		inCache:  make(map[int64]bool),
 	}
-	b.mu = simclock.NewMutex(clock)
-	b.rcond = clock.NewCond(b.mu)
-	b.wcond = clock.NewCond(b.mu)
+	bs := opts.blockSize()
+	b.pool.New = func() any { return make([]byte, bs) }
+	for i := range b.shards {
+		s := &b.shards[i]
+		s.mu = simclock.NewMutex(clock)
+		s.rcond = clock.NewCond(s.mu)
+		s.blocks = make(map[int64][]byte)
+		s.consumed = make(map[int64]map[int]bool)
+		s.dead = make(map[int64]bool)
+		s.inCache = make(map[int64]bool)
+	}
+	b.smu = simclock.NewMutex(clock)
+	b.wcond = clock.NewCond(b.smu)
+	b.cmu = simclock.NewMutex(clock)
 	b.SetObserver(nil)
 	return b
 }
@@ -138,17 +200,21 @@ func NewBuffer(clock simclock.Clock, key string, opts Options) *Buffer {
 // SetObserver routes the buffer's metrics to o; nil discards them. Metrics
 // carry the buffer key as a label, so concurrent couplings stay separable.
 func (b *Buffer) SetObserver(o *obs.Observer) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
 	kv := func(name string) string { return obs.Key(name, "key", b.key) }
-	b.puts = o.Counter(kv("gb.put.total"))
-	b.gets = o.Counter(kv("gb.get.total"))
-	b.spills = o.Counter(kv("gb.spill.total"))
-	b.cacheReads = o.Counter(kv("gb.cache.read.total"))
-	b.putStall = o.Histogram(kv("gb.put.stall_ms"))
-	b.readWait = o.Histogram(kv("gb.read.wait_ms"))
-	b.resident = o.Gauge(kv("gb.resident.blocks"))
-	b.fanout = o.Gauge(kv("gb.readers.attached"))
+	ins := &bufInstruments{
+		puts:       o.Counter(kv("gb.put.total")),
+		gets:       o.Counter(kv("gb.get.total")),
+		spills:     o.Counter(kv("gb.spill.total")),
+		cacheReads: o.Counter(kv("gb.cache.read.total")),
+		putStall:   o.Histogram(kv("gb.put.stall_ms")),
+		readWait:   o.Histogram(kv("gb.read.wait_ms")),
+		resident:   o.Gauge(kv("gb.resident.blocks")),
+		fanout:     o.Gauge(kv("gb.readers.attached")),
+		shardCount: o.Gauge(kv("buf.shard.count")),
+		contended:  o.Counter(kv("buf.shard.contended.total")),
+	}
+	ins.shardCount.Set(int64(len(b.shards)))
+	b.ins.Store(ins)
 }
 
 // Key reports the buffer's global name.
@@ -157,15 +223,51 @@ func (b *Buffer) Key() string { return b.key }
 // BlockSize reports the negotiated block size.
 func (b *Buffer) BlockSize() int { return b.opts.blockSize() }
 
+// Shards reports the block-table shard count (for tests and metrics).
+func (b *Buffer) Shards() int { return len(b.shards) }
+
+func (b *Buffer) shard(idx int64) *shard { return &b.shards[idx&b.mask] }
+
+// lockShard acquires s.mu, counting the acquisition as contended when it
+// could not be taken immediately.
+func (b *Buffer) lockShard(s *shard) {
+	if s.mu.TryLock() {
+		return
+	}
+	b.ins.Load().contended.Inc()
+	s.mu.Lock()
+}
+
+// copyIn copies data into a pooled payload (capacity == blockSize).
+func (b *Buffer) copyIn(data []byte) []byte {
+	buf := b.pool.Get().([]byte)
+	if cap(buf) < len(data) {
+		buf = make([]byte, len(data))
+	}
+	buf = buf[:len(data)]
+	copy(buf, data)
+	return buf
+}
+
+// Recycle returns a payload obtained from Get/GetKeep to the block pool.
+// Optional: callers that keep the slice simply let the GC have it.
+func (b *Buffer) Recycle(p []byte) {
+	if cap(p) >= b.opts.blockSize() {
+		b.pool.Put(p[:cap(p)])
+	}
+}
+
+// streamState reads the stream-wide flags consistently.
+func (b *Buffer) streamState() (stopped, eof bool, total int64) {
+	b.smu.Lock()
+	stopped, eof, total = b.stopped, b.eof, b.total
+	b.smu.Unlock()
+	return
+}
+
 // Attach registers a reader and returns its ID.
 func (b *Buffer) Attach() int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	id := b.nextReader
-	b.nextReader++
-	b.attached[id] = true
-	b.fanout.Set(int64(len(b.attached)))
-	return id
+	return b.Reattach(-1)
 }
 
 // Reattach re-registers a reader after a transport reconnect. When prev is
@@ -174,50 +276,45 @@ func (b *Buffer) Attach() int {
 // inflate the expected fan-out and strand blocks). prev < 0, or a prev that
 // already detached, falls back to a fresh Attach.
 func (b *Buffer) Reattach(prev int) int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.smu.Lock()
+	defer b.smu.Unlock()
 	if prev >= 0 && b.attached[prev] {
 		return prev
 	}
 	id := b.nextReader
 	b.nextReader++
 	b.attached[id] = true
-	b.fanout.Set(int64(len(b.attached)))
+	b.ins.Load().fanout.Set(int64(len(b.attached)))
 	return id
 }
 
 // Detach unregisters a reader. Blocks it had not consumed become consumable
 // by the remaining expectation (they are treated as consumed by id).
 func (b *Buffer) Detach(id int) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.smu.Lock()
 	if !b.attached[id] {
+		b.smu.Unlock()
 		return
 	}
 	delete(b.attached, id)
-	b.fanout.Set(int64(len(b.attached)))
-	for idx := range b.blocks {
-		b.markConsumedLocked(idx, id)
+	b.ins.Load().fanout.Set(int64(len(b.attached)))
+	b.smu.Unlock()
+	for i := range b.shards {
+		s := &b.shards[i]
+		b.lockShard(s)
+		for idx := range s.blocks {
+			b.markConsumedLocked(s, idx, id)
+		}
+		s.mu.Unlock()
 	}
-	b.wcond.Broadcast()
 }
 
-// Put stores data as block idx, stalling while the table is at capacity
-// with unconsumed blocks. Overwriting a resident block never stalls.
-func (b *Buffer) Put(idx int64, data []byte) error {
-	if idx < 0 {
-		return fmt.Errorf("gridbuffer: negative block index %d", idx)
-	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.puts.Inc()
-	if b.dead[idx] || b.inCache[idx] {
-		// Every expected reader already consumed this block: the put is a
-		// replay of a delivery whose acknowledgement was lost. Accepting it
-		// idempotently (rather than parking it forever in the table) is what
-		// makes writer-side replay after reconnect safe.
-		return nil
-	}
+// reserveSlot charges one block against Capacity, stalling while the table
+// is full of unconsumed blocks.
+func (b *Buffer) reserveSlot() error {
+	ins := b.ins.Load()
+	b.smu.Lock()
+	defer b.smu.Unlock()
 	stalled := false
 	entered := b.clock.Now()
 	for {
@@ -227,63 +324,154 @@ func (b *Buffer) Put(idx int64, data []byte) error {
 		if b.eof {
 			return errors.New("gridbuffer: put after close-write")
 		}
-		if _, resident := b.blocks[idx]; resident || len(b.blocks) < b.opts.capacity() {
+		if b.resident < b.opts.capacity() {
 			break
 		}
 		stalled = true
 		b.wcond.Wait()
 	}
 	if stalled {
-		b.putStall.ObserveDuration(b.clock.Now().Sub(entered))
+		ins.putStall.ObserveDuration(b.clock.Now().Sub(entered))
 	}
-	cp := make([]byte, len(data))
-	copy(cp, data)
-	b.blocks[idx] = cp
-	b.resident.Set(int64(len(b.blocks)))
-	if idx >= b.written {
-		b.written = idx + 1
-	}
-	b.rcond.Broadcast()
+	b.resident++
+	ins.resident.Set(int64(b.resident))
 	return nil
+}
+
+// releaseSlot returns one capacity slot and wakes stalled writers.
+func (b *Buffer) releaseSlot() {
+	b.smu.Lock()
+	b.resident--
+	b.ins.Load().resident.Set(int64(b.resident))
+	b.wcond.Broadcast()
+	b.smu.Unlock()
+}
+
+// Put stores data as block idx, stalling while the table is at capacity
+// with unconsumed blocks. Overwriting a resident block never stalls.
+func (b *Buffer) Put(idx int64, data []byte) error {
+	if idx < 0 {
+		return fmt.Errorf("gridbuffer: negative block index %d", idx)
+	}
+	b.ins.Load().puts.Inc()
+	s := b.shard(idx)
+	b.lockShard(s)
+	if s.dead[idx] || s.inCache[idx] {
+		// Every expected reader already consumed this block: the put is a
+		// replay of a delivery whose acknowledgement was lost. Accepting it
+		// idempotently (rather than parking it forever in the table) is what
+		// makes writer-side replay after reconnect safe.
+		s.mu.Unlock()
+		return nil
+	}
+	stopped, eof, _ := b.streamState()
+	if stopped {
+		s.mu.Unlock()
+		return ErrStopped
+	}
+	if eof {
+		s.mu.Unlock()
+		return errors.New("gridbuffer: put after close-write")
+	}
+	if old, resident := s.blocks[idx]; resident {
+		s.blocks[idx] = b.copyIn(data)
+		b.Recycle(old)
+		s.rcond.Broadcast()
+		s.mu.Unlock()
+		b.noteWritten(idx)
+		return nil
+	}
+	s.mu.Unlock()
+
+	if err := b.reserveSlot(); err != nil {
+		return err
+	}
+	b.lockShard(s)
+	if s.dead[idx] || s.inCache[idx] {
+		s.mu.Unlock()
+		b.releaseSlot()
+		return nil
+	}
+	if old, resident := s.blocks[idx]; resident {
+		// A racing replay beat us to the slot; overwrite in place.
+		s.blocks[idx] = b.copyIn(data)
+		b.Recycle(old)
+		s.rcond.Broadcast()
+		s.mu.Unlock()
+		b.releaseSlot()
+		b.noteWritten(idx)
+		return nil
+	}
+	s.blocks[idx] = b.copyIn(data)
+	s.rcond.Broadcast()
+	s.mu.Unlock()
+	b.noteWritten(idx)
+	return nil
+}
+
+func (b *Buffer) noteWritten(idx int64) {
+	for {
+		w := b.written.Load()
+		if idx < w {
+			return
+		}
+		if b.written.CompareAndSwap(w, idx+1) {
+			return
+		}
+	}
 }
 
 // CloseWrite marks end-of-stream with the total byte length. A repeat with
 // the same total is an idempotent no-op (a writer re-sending close after a
 // lost acknowledgement); a conflicting total is an error.
 func (b *Buffer) CloseWrite(totalBytes int64) error {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.smu.Lock()
 	if b.eof {
-		if b.total == totalBytes {
+		same := b.total == totalBytes
+		b.smu.Unlock()
+		if same {
 			return nil
 		}
 		return errors.New("gridbuffer: duplicate close-write")
 	}
 	b.eof = true
 	b.total = totalBytes
-	b.rcond.Broadcast()
+	b.wcond.Broadcast() // stalled writers must fail with put-after-close
+	b.smu.Unlock()
+	b.broadcastShards()
 	return nil
+}
+
+// broadcastShards wakes every waiting reader, taking each shard lock so a
+// reader between its predicate check and its wait cannot miss the wakeup.
+func (b *Buffer) broadcastShards() {
+	for i := range b.shards {
+		s := &b.shards[i]
+		s.mu.Lock()
+		s.rcond.Broadcast()
+		s.mu.Unlock()
+	}
 }
 
 // EOF reports whether the writer has closed, and the total length if so.
 func (b *Buffer) EOF() (bool, int64) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.smu.Lock()
+	defer b.smu.Unlock()
 	return b.eof, b.total
 }
 
-// blockLen reports the valid length of block idx once total is known.
-func (b *Buffer) blockLenLocked(idx int64) int {
+// blockLen reports the valid length of block idx given the stream state.
+func (b *Buffer) blockLen(idx int64, eof bool, total int64) int {
 	bs := int64(b.opts.blockSize())
-	if !b.eof {
+	if !eof {
 		return int(bs)
 	}
 	start := idx * bs
-	if start >= b.total {
+	if start >= total {
 		return 0
 	}
-	if start+bs > b.total {
-		return int(b.total - start)
+	if start+bs > total {
+		return int(total - start)
 	}
 	return int(bs)
 }
@@ -308,12 +496,15 @@ func (b *Buffer) GetKeep(id int, idx int64) (data []byte, eof bool, err error) {
 // reader id (spilling to the cache file as usual), freeing capacity for the
 // writer.
 func (b *Buffer) AckBelow(id int, upto int64) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	for idx := range b.blocks {
-		if idx < upto {
-			b.markConsumedLocked(idx, id)
+	for i := range b.shards {
+		s := &b.shards[i]
+		b.lockShard(s)
+		for idx := range s.blocks {
+			if idx < upto {
+				b.markConsumedLocked(s, idx, id)
+			}
 		}
+		s.mu.Unlock()
 	}
 }
 
@@ -321,40 +512,42 @@ func (b *Buffer) get(id int, idx int64, consume bool) (data []byte, eof bool, er
 	if idx < 0 {
 		return nil, false, fmt.Errorf("gridbuffer: negative block index %d", idx)
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.gets.Inc()
+	ins := b.ins.Load()
+	ins.gets.Inc()
+	s := b.shard(idx)
+	b.lockShard(s)
+	defer s.mu.Unlock()
 	waited := false
 	entered := b.clock.Now()
 	observeWait := func() {
 		if waited {
-			b.readWait.ObserveDuration(b.clock.Now().Sub(entered))
+			ins.readWait.ObserveDuration(b.clock.Now().Sub(entered))
 		}
 	}
 	for {
-		if b.stopped {
+		stopped, seof, total := b.streamState()
+		if stopped {
 			return nil, false, ErrStopped
 		}
-		if data, ok := b.blocks[idx]; ok {
+		if data, ok := s.blocks[idx]; ok {
 			observeWait()
 			out := data
-			if n := b.blockLenLocked(idx); n < len(out) {
+			if n := b.blockLen(idx, seof, total); n < len(out) {
 				out = out[:n]
 			}
-			cp := make([]byte, len(out))
-			copy(cp, out)
+			cp := b.copyIn(out)
 			if consume {
-				b.markConsumedLocked(idx, id)
+				b.markConsumedLocked(s, idx, id)
 			}
 			return cp, false, nil
 		}
-		if b.inCache[idx] {
+		if s.inCache[idx] {
 			observeWait()
-			return b.readCacheLocked(idx)
+			return b.readCache(idx, seof, total)
 		}
-		if b.eof {
+		if seof {
 			bs := int64(b.opts.blockSize())
-			if idx*bs >= b.total {
+			if idx*bs >= total {
 				observeWait()
 				return nil, true, nil
 			}
@@ -363,17 +556,18 @@ func (b *Buffer) get(id int, idx int64, consume bool) (data []byte, eof bool, er
 			return nil, false, fmt.Errorf("gridbuffer: block %d of %q no longer available (enable the cache file for re-reads)", idx, b.key)
 		}
 		waited = true
-		b.rcond.Wait()
+		s.rcond.Wait()
 	}
 }
 
 // markConsumedLocked records that id has read idx and drops the block once
-// every expected reader has it (spilling to the cache file first).
-func (b *Buffer) markConsumedLocked(idx int64, id int) {
-	set := b.consumed[idx]
+// every expected reader has it (spilling to the cache file first). The
+// caller holds the shard lock of idx.
+func (b *Buffer) markConsumedLocked(s *shard, idx int64, id int) {
+	set := s.consumed[idx]
 	if set == nil {
 		set = make(map[int]bool)
-		b.consumed[idx] = set
+		s.consumed[idx] = set
 	}
 	if set[id] {
 		return
@@ -382,20 +576,20 @@ func (b *Buffer) markConsumedLocked(idx int64, id int) {
 	if len(set) < b.opts.readers() {
 		return
 	}
-	data, ok := b.blocks[idx]
+	data, ok := s.blocks[idx]
 	if !ok {
 		return
 	}
 	if b.opts.Cache {
-		b.spillLocked(idx, data)
+		b.spill(s, idx, data)
 	}
-	delete(b.blocks, idx)
-	if !b.inCache[idx] {
-		b.dead[idx] = true
+	delete(s.blocks, idx)
+	if !s.inCache[idx] {
+		s.dead[idx] = true
 	}
-	delete(b.consumed, idx)
-	b.resident.Set(int64(len(b.blocks)))
-	b.wcond.Broadcast()
+	delete(s.consumed, idx)
+	b.Recycle(data)
+	b.releaseSlot()
 }
 
 func (b *Buffer) cachePath() string {
@@ -405,10 +599,13 @@ func (b *Buffer) cachePath() string {
 	return ".gridbuffer-cache/" + b.key
 }
 
-func (b *Buffer) spillLocked(idx int64, data []byte) {
+// spill writes idx to the cache file; the caller holds the shard lock.
+func (b *Buffer) spill(s *shard, idx int64, data []byte) {
 	if b.opts.CacheFS == nil {
 		return
 	}
+	b.cmu.Lock()
+	defer b.cmu.Unlock()
 	if b.cacheFile == nil {
 		f, err := b.opts.CacheFS.OpenFile(b.cachePath(), vfs.ReadWriteFlag, 0o644)
 		if err != nil {
@@ -417,17 +614,19 @@ func (b *Buffer) spillLocked(idx int64, data []byte) {
 		b.cacheFile = f
 	}
 	if _, err := b.cacheFile.WriteAt(data, idx*int64(b.opts.blockSize())); err == nil {
-		b.inCache[idx] = true
-		b.spills.Inc()
+		s.inCache[idx] = true
+		b.ins.Load().spills.Inc()
 	}
 }
 
-func (b *Buffer) readCacheLocked(idx int64) ([]byte, bool, error) {
+func (b *Buffer) readCache(idx int64, eof bool, total int64) ([]byte, bool, error) {
+	b.cmu.Lock()
+	defer b.cmu.Unlock()
 	if b.cacheFile == nil {
 		return nil, false, fmt.Errorf("gridbuffer: cache file missing for %q", b.key)
 	}
-	b.cacheReads.Inc()
-	n := b.blockLenLocked(idx)
+	b.ins.Load().cacheReads.Inc()
+	n := b.blockLen(idx, eof, total)
 	buf := make([]byte, n)
 	got, err := b.cacheFile.ReadAt(buf, idx*int64(b.opts.blockSize()))
 	if err != nil && got < n {
@@ -438,24 +637,27 @@ func (b *Buffer) readCacheLocked(idx int64) ([]byte, bool, error) {
 
 // Resident reports the number of blocks currently in the hash table.
 func (b *Buffer) Resident() int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return len(b.blocks)
+	b.smu.Lock()
+	defer b.smu.Unlock()
+	return b.resident
 }
 
 // Drop aborts the buffer: all blocked operations return ErrStopped and the
 // cache file is closed.
 func (b *Buffer) Drop() {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.smu.Lock()
 	if b.stopped {
+		b.smu.Unlock()
 		return
 	}
 	b.stopped = true
+	b.wcond.Broadcast()
+	b.smu.Unlock()
+	b.cmu.Lock()
 	if b.cacheFile != nil {
 		b.cacheFile.Close()
 		b.cacheFile = nil
 	}
-	b.rcond.Broadcast()
-	b.wcond.Broadcast()
+	b.cmu.Unlock()
+	b.broadcastShards()
 }

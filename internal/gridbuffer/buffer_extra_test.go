@@ -1,0 +1,135 @@
+package gridbuffer
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"griddles/internal/simclock"
+	"griddles/internal/simnet"
+	"griddles/internal/vfs"
+)
+
+// TestBufferPutEdgeCases walks the Put state machine directly: bad index,
+// replay overwrite of a resident block, put-after-close-write, and
+// put-after-drop.
+func TestBufferPutEdgeCases(t *testing.T) {
+	b := NewBuffer(simclock.Real{}, "k", Options{BlockSize: 4})
+	b.Attach()
+	if err := b.Put(-1, []byte("x")); err == nil {
+		t.Error("negative index accepted")
+	}
+	if err := b.Put(0, []byte("aaaa")); err != nil {
+		t.Fatal(err)
+	}
+	// A replayed put of a resident block overwrites in place, no stall.
+	if err := b.Put(0, []byte("bbbb")); err != nil {
+		t.Errorf("replay overwrite: %v", err)
+	}
+	if err := b.Put(1, []byte("cc")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CloseWrite(6); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Put(2, []byte("dd")); err == nil {
+		t.Error("put after close-write accepted")
+	}
+	b.Drop()
+	if err := b.Put(3, []byte("ee")); !errors.Is(err, ErrStopped) {
+		t.Errorf("put after drop: %v, want ErrStopped", err)
+	}
+	b.Drop() // second drop is a no-op, not a panic
+}
+
+// TestBufferCachePathOption: an explicit CachePath names the spill file;
+// the default derives from the key.
+func TestBufferCachePathOption(t *testing.T) {
+	fs := vfs.NewMemFS()
+	b := NewBuffer(simclock.Real{}, "k", Options{
+		BlockSize: 4, Cache: true, CacheFS: fs, CachePath: "/spill/custom",
+	})
+	if got := b.cachePath(); got != "/spill/custom" {
+		t.Errorf("cachePath() = %q", got)
+	}
+	d := NewBuffer(simclock.Real{}, "k2", Options{BlockSize: 4, Cache: true, CacheFS: fs})
+	if got := d.cachePath(); got != ".gridbuffer-cache/k2" {
+		t.Errorf("default cachePath() = %q", got)
+	}
+	// Exercise the spill-and-drop path so the custom file really is used.
+	id := d.Attach()
+	d.Put(0, []byte("aaaa"))
+	if data, _, err := d.Get(id, 0); err != nil || !bytes.Equal(data, []byte("aaaa")) {
+		t.Fatalf("get: %q %v", data, err)
+	}
+	d.Drop()
+}
+
+// TestReaderSeekErrors: the stream reader documents its seek contract —
+// no SeekEnd, no negative target, no bad whence, no seek after close.
+func TestReaderSeekErrors(t *testing.T) {
+	b := newBrig(simnet.LinkSpec{})
+	b.v.Run(func() {
+		b.start(t)
+		w, _ := NewWriter(b.net.Host("w"), b.addr, b.v, "k", Options{}, WriterOptions{})
+		w.Write([]byte("hello"))
+		w.Close()
+		r, err := NewReader(b.net.Host("r"), b.addr, b.v, "k", Options{}, ReaderOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Seek(0, io.SeekEnd); err == nil {
+			t.Error("SeekEnd accepted on a stream")
+		}
+		if _, err := r.Seek(-1, io.SeekStart); err == nil {
+			t.Error("negative seek accepted")
+		}
+		if _, err := r.Seek(0, 99); err == nil {
+			t.Error("bad whence accepted")
+		}
+		if pos, err := r.Seek(2, io.SeekCurrent); err != nil || pos != 2 {
+			t.Errorf("SeekCurrent: pos=%d err=%v", pos, err)
+		}
+		rest, _ := io.ReadAll(r)
+		if string(rest) != "llo" {
+			t.Errorf("after seek(2): %q", rest)
+		}
+		r.Close()
+		if _, err := r.Seek(0, io.SeekStart); err == nil {
+			t.Error("seek after close accepted")
+		}
+		if err := r.Close(); err != nil {
+			t.Errorf("second close: %v", err)
+		}
+	})
+}
+
+// TestWriterDoubleClose: closing a writer twice is idempotent, and writes
+// after close fail.
+func TestWriterDoubleClose(t *testing.T) {
+	b := newBrig(simnet.LinkSpec{})
+	b.v.Run(func() {
+		b.start(t)
+		w, err := NewWriter(b.net.Host("w"), b.addr, b.v, "k", Options{}, WriterOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Write([]byte("data"))
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Errorf("second close: %v", err)
+		}
+		if _, err := w.Write([]byte("late")); err == nil {
+			t.Error("write after close accepted")
+		}
+		r, _ := NewReader(b.net.Host("r"), b.addr, b.v, "k", Options{}, ReaderOptions{})
+		defer r.Close()
+		got, _ := io.ReadAll(r)
+		if string(got) != "data" {
+			t.Errorf("stream = %q", got)
+		}
+	})
+}

@@ -62,6 +62,7 @@ type Writer struct {
 	window  *simclock.Semaphore
 	winSize int64
 	done    *simclock.Event
+	batch   int
 
 	mu      sync.Mutex // guards err, broken, gen, unacked
 	err     error
@@ -71,6 +72,7 @@ type Writer struct {
 	closed  bool
 
 	partial []byte
+	pending []wblock // full blocks accumulated for the next batch frame
 	nextIdx int64
 	total   int64
 }
@@ -80,6 +82,12 @@ type WriterOptions struct {
 	// Window is the number of unacknowledged in-flight Puts (0 selects
 	// DefaultWriterWindow).
 	Window int
+	// Batch is the number of blocks coalesced into one PUT-BATCH frame
+	// (acknowledged once). 0 or 1 keeps the historical one-frame-per-block
+	// protocol; larger batches amortize the per-frame round trip and are
+	// clamped to the window. Blocks are held client-side until the batch
+	// fills (Close flushes a partial batch).
+	Batch int
 	// ConnPerCall reproduces the paper's Web-Services transport behaviour:
 	// every block is delivered on a fresh, politely closed connection (TCP
 	// handshake + request round trip + serialized teardown, ~3 RTTs per
@@ -159,6 +167,13 @@ func NewWriter(dialer Dialer, addr string, clock simclock.Clock, key string, opt
 	if win <= 0 {
 		win = DefaultWriterWindow
 	}
+	batch := wopts.Batch
+	if batch <= 0 {
+		batch = 1
+	}
+	if batch > win && !wopts.ConnPerCall {
+		batch = win // a batch larger than the window could never be acknowledged
+	}
 	w := &Writer{
 		clock:       clock,
 		conn:        conn,
@@ -173,6 +188,7 @@ func NewWriter(dialer Dialer, addr string, clock simclock.Clock, key string, opt
 		window:      simclock.NewSemaphore(clock, int64(win)),
 		winSize:     int64(win),
 		done:        simclock.NewEvent(clock),
+		batch:       batch,
 	}
 	if w.connPerCall {
 		// The construction connection only created the buffer; each block
@@ -241,12 +257,15 @@ func (w *Writer) ackLoop(br *bufio.Reader, window *simclock.Semaphore, done *sim
 		}
 		switch typ {
 		case msgPutResp:
-			w.mu.Lock()
-			if w.gen == gen && len(w.unacked) > 0 {
-				w.unacked = w.unacked[1:]
-			}
-			w.mu.Unlock()
+			w.popAcked(gen, 1)
 			window.Release(1)
+		case msgPutBatchResp:
+			n := int64(wire.NewDecoder(payload).U32())
+			if n < 1 {
+				n = 1
+			}
+			w.popAcked(gen, n)
+			window.Release(n)
 		case msgCloseWriteResp:
 			done.Set()
 			return
@@ -262,6 +281,19 @@ func (w *Writer) ackLoop(br *bufio.Reader, window *simclock.Semaphore, done *sim
 			return
 		}
 	}
+}
+
+// popAcked drops the n oldest unacknowledged blocks (acks arrive in send
+// order) if the acknowledging connection is still current.
+func (w *Writer) popAcked(gen uint64, n int64) {
+	w.mu.Lock()
+	if w.gen == gen {
+		if n > int64(len(w.unacked)) {
+			n = int64(len(w.unacked))
+		}
+		w.unacked = w.unacked[n:]
+	}
+	w.mu.Unlock()
 }
 
 // noteTransport records a transport fault seen by the gen ackLoop: with a
@@ -349,16 +381,46 @@ func (w *Writer) Write(p []byte) (int, error) {
 	return total, nil
 }
 
+// sendBlock queues the filled partial block as the next pending batch
+// entry; the batch is flushed to the wire once full (batch == 1 flushes
+// every block, the historical protocol).
 func (w *Writer) sendBlock() error {
 	idx := w.nextIdx
 	w.nextIdx++
 	data := append([]byte(nil), w.partial...)
 	w.partial = w.partial[:0]
+	w.pending = append(w.pending, wblock{idx: idx, data: data})
+	if len(w.pending) < w.batch {
+		return nil
+	}
+	return w.flushPending()
+}
+
+// putFrame encodes blocks as the smallest frame carrying them: the
+// historical one-block PUT (byte-identical to the pre-batch protocol), or a
+// PUT-BATCH.
+func putFrame(e *wire.Encoder, key string, blocks []wblock) uint8 {
+	if len(blocks) == 1 {
+		e.String(key).I64(blocks[0].idx).Bytes32(blocks[0].data)
+		return msgPut
+	}
+	encodePutBatch(e, key, blocks)
+	return msgPutBatch
+}
+
+// flushPending delivers the accumulated batch over the configured
+// transport discipline.
+func (w *Writer) flushPending() error {
+	if len(w.pending) == 0 {
+		return nil
+	}
+	blocks := w.pending
+	w.pending = nil
 
 	if w.connPerCall {
 		e := wire.NewEncoder()
-		e.String(w.key).I64(idx).Bytes32(data)
-		err := w.retry.Do("gb.put", func(int) error { return w.oneCall(msgPut, e.Bytes()) })
+		typ := putFrame(e, w.key, blocks)
+		err := w.retry.Do("gb.put", func(int) error { return w.oneCall(typ, e.Bytes()) })
 		if err != nil {
 			w.fail(err)
 			return err
@@ -366,10 +428,12 @@ func (w *Writer) sendBlock() error {
 		return nil
 	}
 	if !w.retry.Enabled() {
-		return w.sendBlockOnce(idx, data)
+		return w.sendOnce(blocks)
 	}
 
 	appended := false
+	n := int64(len(blocks))
+	first := blocks[0].idx
 	return w.retry.Do("gb.put", func(int) error {
 		if err := w.Err(); err != nil {
 			return retry.Permanent(err)
@@ -380,40 +444,42 @@ func (w *Writer) sendBlock() error {
 			}
 		}
 		if appended {
-			// The reconnect above replayed this block with the rest of the
-			// unacknowledged window.
+			// The reconnect above replayed these blocks with the rest of
+			// the unacknowledged window.
 			return nil
 		}
 		t := w.retry.Timeout()
-		if !w.window.AcquireTimeout(1, t) {
+		if !w.window.AcquireTimeout(n, t) {
 			w.setBroken()
-			return fmt.Errorf("gridbuffer: put %d: no acknowledgement within %v", idx, t)
+			return fmt.Errorf("gridbuffer: put %d: no acknowledgement within %v", first, t)
 		}
 		if w.isBroken() {
-			// The ackLoop died while we waited; the permit belongs to the
+			// The ackLoop died while we waited; the permits belong to the
 			// dead window. Reconnect on the next attempt.
 			return errors.New("gridbuffer: connection broken")
 		}
 		w.mu.Lock()
-		w.unacked = append(w.unacked, wblock{idx: idx, data: data})
+		w.unacked = append(w.unacked, blocks...)
 		w.mu.Unlock()
 		appended = true
-		return w.writeFrame(msgPut, func(e *wire.Encoder) { e.String(w.key).I64(idx).Bytes32(data) })
+		e := wire.NewEncoder()
+		typ := putFrame(e, w.key, blocks)
+		return w.writeFrame(typ, e.Bytes())
 	})
 }
 
-// sendBlockOnce is the historical fail-fast send path.
-func (w *Writer) sendBlockOnce(idx int64, data []byte) error {
-	w.window.Acquire(1)
+// sendOnce is the historical fail-fast send path.
+func (w *Writer) sendOnce(blocks []wblock) error {
+	w.window.Acquire(int64(len(blocks)))
 	if err := w.Err(); err != nil {
 		return err
 	}
 	w.mu.Lock()
-	w.unacked = append(w.unacked, wblock{idx: idx, data: data})
+	w.unacked = append(w.unacked, blocks...)
 	w.mu.Unlock()
 	e := wire.NewEncoder()
-	e.String(w.key).I64(idx).Bytes32(data)
-	if err := wire.WriteFrame(w.bw, msgPut, e.Bytes()); err != nil {
+	typ := putFrame(e, w.key, blocks)
+	if err := wire.WriteFrame(w.bw, typ, e.Bytes()); err != nil {
 		w.fail(err)
 		return err
 	}
@@ -426,13 +492,11 @@ func (w *Writer) sendBlockOnce(idx int64, data []byte) error {
 
 // writeFrame sends one frame on the persistent connection under the
 // per-attempt write deadline, marking the connection broken on failure.
-func (w *Writer) writeFrame(typ uint8, enc func(*wire.Encoder)) error {
+func (w *Writer) writeFrame(typ uint8, payload []byte) error {
 	if t := w.retry.Timeout(); t > 0 {
 		w.conn.SetWriteDeadline(w.clock.Now().Add(t))
 	}
-	e := wire.NewEncoder()
-	enc(e)
-	if err := wire.WriteFrame(w.bw, typ, e.Bytes()); err != nil {
+	if err := wire.WriteFrame(w.bw, typ, payload); err != nil {
 		w.setBroken()
 		return err
 	}
@@ -464,10 +528,14 @@ func (w *Writer) reconnect() error {
 	if t := w.retry.Timeout(); t > 0 {
 		conn.SetWriteDeadline(w.clock.Now().Add(t))
 	}
-	for _, blk := range replay {
+	for start := 0; start < len(replay); start += w.batch {
+		end := start + w.batch
+		if end > len(replay) {
+			end = len(replay)
+		}
 		e := wire.NewEncoder()
-		e.String(w.key).I64(blk.idx).Bytes32(blk.data)
-		if err := wire.WriteFrame(bw, msgPut, e.Bytes()); err != nil {
+		typ := putFrame(e, w.key, replay[start:end])
+		if err := wire.WriteFrame(bw, typ, e.Bytes()); err != nil {
 			conn.Close()
 			w.setBroken()
 			return err
@@ -500,6 +568,9 @@ func (w *Writer) Close() error {
 		if err := w.sendBlock(); err != nil {
 			return err
 		}
+	}
+	if err := w.flushPending(); err != nil {
+		return err
 	}
 	if w.connPerCall {
 		e := wire.NewEncoder()
@@ -539,7 +610,7 @@ func (w *Writer) Close() error {
 		if err := w.Err(); err != nil {
 			return retry.Permanent(err)
 		}
-		if err := w.writeFrame(msgCloseWrite, func(e *wire.Encoder) { e.String(w.key).I64(w.total) }); err != nil {
+		if err := w.writeFrame(msgCloseWrite, wire.NewEncoder().String(w.key).I64(w.total).Bytes()); err != nil {
 			return err
 		}
 		if !w.done.WaitTimeout(t) {
@@ -680,21 +751,28 @@ func (r *Reader) reconnect() error {
 	return nil
 }
 
-// sendGet queues a Get for block idx, acknowledging everything already
-// delivered.
-func (r *Reader) sendGet(idx int64) error {
+// sendWindow queues one windowed GET for blocks [first, first+count),
+// acknowledging everything already delivered. The server streams one
+// response frame per block as each becomes available, so the reader keeps
+// count requests outstanding at the cost of a single request frame.
+func (r *Reader) sendWindow(first int64, count int) error {
 	if t := r.retry.Timeout(); t > 0 {
 		r.conn.SetWriteDeadline(r.clock.Now().Add(t))
 	}
 	e := wire.NewEncoder()
-	e.String(r.key).I64(int64(r.readerID)).I64(idx).I64(r.acked)
-	if err := wire.WriteFrame(r.bw, msgGet, e.Bytes()); err != nil {
+	encodeGetWin(e, getWinReq{
+		key: r.key, readerID: r.readerID,
+		first: first, count: count, ackBelow: r.acked,
+	})
+	if err := wire.WriteFrame(r.bw, msgGetWin, e.Bytes()); err != nil {
 		return err
 	}
 	if err := r.bw.Flush(); err != nil {
 		return err
 	}
-	r.inflight = append(r.inflight, idx)
+	for i := 0; i < count; i++ {
+		r.inflight = append(r.inflight, first+int64(i))
+	}
 	return nil
 }
 
@@ -713,11 +791,18 @@ func (r *Reader) recvOne() (idx int64, data []byte, eof bool, err error) {
 	}
 	r.inflight = r.inflight[1:]
 	switch typ {
-	case msgGetResp:
+	case msgGetWinResp:
 		d := wire.NewDecoder(payload)
+		gotIdx := d.I64()
 		eof = d.Bool()
 		data = append([]byte(nil), d.Bytes32()...)
-		return idx, data, eof, d.Err()
+		if err := d.Err(); err != nil {
+			return idx, nil, false, err
+		}
+		if gotIdx != idx {
+			return idx, nil, false, retry.Permanent(fmt.Errorf("gridbuffer: response for block %d, expected %d", gotIdx, idx))
+		}
+		return idx, data, eof, nil
 	case msgError:
 		return idx, nil, false, retry.Permanent(errors.New("gridbuffer: " + wire.NewDecoder(payload).String()))
 	default:
@@ -804,14 +889,20 @@ func (r *Reader) readOnce(p []byte) (int, error) {
 		if len(r.inflight) == 0 {
 			r.nextReq = idx
 		}
-		for len(r.inflight) < r.depth {
-			if r.total >= 0 && r.nextReq*bs >= r.total {
-				break
+		if want := r.depth - len(r.inflight); want > 0 {
+			count := 0
+			for count < want {
+				if r.total >= 0 && (r.nextReq+int64(count))*bs >= r.total {
+					break
+				}
+				count++
 			}
-			if err := r.sendGet(r.nextReq); err != nil {
-				return 0, err
+			if count > 0 {
+				if err := r.sendWindow(r.nextReq, count); err != nil {
+					return 0, err
+				}
+				r.nextReq += int64(count)
 			}
-			r.nextReq++
 		}
 		if len(r.inflight) == 0 {
 			// Nothing requestable below the known end: the position must be

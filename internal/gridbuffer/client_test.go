@@ -2,8 +2,10 @@ package gridbuffer
 
 import (
 	"bytes"
+	"fmt"
 	"io"
 	"math/rand"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 	"time"
@@ -13,13 +15,25 @@ import (
 	"griddles/internal/vfs"
 )
 
+// bufPortSeq hands every test its own buffer-service identity. Tests used
+// to share the literal "buf:7000", which made the package order-dependent:
+// any future cross-test state keyed by address (or a leaked listener)
+// collided silently. With per-test ports, `go test -race -p 4` can shuffle
+// and shard tests freely.
+var bufPortSeq atomic.Int64
+
+func nextBufAddr() string {
+	return fmt.Sprintf("buf:%d", 7000+bufPortSeq.Add(1))
+}
+
 // brig is a buffer service on host "buf" with writer host "w" and reader
-// host "r".
+// host "r". Each brig owns a unique service address in addr.
 type brig struct {
-	v   *simclock.Virtual
-	net *simnet.Network
-	fs  *vfs.MemFS
-	reg *Registry
+	v    *simclock.Virtual
+	net  *simnet.Network
+	fs   *vfs.MemFS
+	reg  *Registry
+	addr string
 }
 
 func newBrig(spec simnet.LinkSpec) *brig {
@@ -28,12 +42,12 @@ func newBrig(spec simnet.LinkSpec) *brig {
 	n.SetLinkBoth("w", "buf", spec)
 	n.SetLinkBoth("r", "buf", simnet.LinkSpec{Latency: 100 * time.Microsecond})
 	fs := vfs.NewMemFS()
-	return &brig{v: v, net: n, fs: fs, reg: NewRegistry(v, fs)}
+	return &brig{v: v, net: n, fs: fs, reg: NewRegistry(v, fs), addr: nextBufAddr()}
 }
 
 func (b *brig) start(t *testing.T) {
 	t.Helper()
-	l, err := b.net.Host("buf").Listen("buf:7000")
+	l, err := b.net.Host("buf").Listen(b.addr)
 	if err != nil {
 		t.Fatalf("listen: %v", err)
 	}
@@ -51,7 +65,7 @@ func TestStreamWriterToReader(t *testing.T) {
 		done.Add(1)
 		b.v.Go("reader", func() {
 			defer done.Done()
-			r, err := NewReader(b.net.Host("r"), "buf:7000", b.v, "k", Options{}, ReaderOptions{})
+			r, err := NewReader(b.net.Host("r"), b.addr, b.v, "k", Options{}, ReaderOptions{})
 			if err != nil {
 				t.Errorf("reader: %v", err)
 				return
@@ -64,7 +78,7 @@ func TestStreamWriterToReader(t *testing.T) {
 			}
 			got = data
 		})
-		w, err := NewWriter(b.net.Host("w"), "buf:7000", b.v, "k", Options{}, WriterOptions{})
+		w, err := NewWriter(b.net.Host("w"), b.addr, b.v, "k", Options{}, WriterOptions{})
 		if err != nil {
 			t.Fatalf("writer: %v", err)
 		}
@@ -98,7 +112,7 @@ func TestReaderOverlapsWriter(t *testing.T) {
 		done.Add(1)
 		b.v.Go("reader", func() {
 			defer done.Done()
-			r, err := NewReader(b.net.Host("r"), "buf:7000", b.v, "k", Options{}, ReaderOptions{})
+			r, err := NewReader(b.net.Host("r"), b.addr, b.v, "k", Options{}, ReaderOptions{})
 			if err != nil {
 				t.Errorf("reader: %v", err)
 				return
@@ -112,7 +126,7 @@ func TestReaderOverlapsWriter(t *testing.T) {
 			firstByteAt = b.v.Elapsed()
 			io.Copy(io.Discard, r)
 		})
-		w, _ := NewWriter(b.net.Host("w"), "buf:7000", b.v, "k", Options{}, WriterOptions{})
+		w, _ := NewWriter(b.net.Host("w"), b.addr, b.v, "k", Options{}, WriterOptions{})
 		block := make([]byte, 4096)
 		for i := 0; i < 100; i++ {
 			w.Write(block)
@@ -141,11 +155,11 @@ func TestWriterWindowLimitsWANThroughput(t *testing.T) {
 			done.Add(1)
 			b.v.Go("reader", func() {
 				defer done.Done()
-				r, _ := NewReader(b.net.Host("r"), "buf:7000", b.v, "k", Options{}, ReaderOptions{Depth: 8})
+				r, _ := NewReader(b.net.Host("r"), b.addr, b.v, "k", Options{}, ReaderOptions{Depth: 8})
 				defer r.Close()
 				io.Copy(io.Discard, r)
 			})
-			w, _ := NewWriter(b.net.Host("w"), "buf:7000", b.v, "k", Options{}, WriterOptions{Window: window})
+			w, _ := NewWriter(b.net.Host("w"), b.addr, b.v, "k", Options{}, WriterOptions{Window: window})
 			w.Write(make([]byte, 200*4096))
 			w.Close()
 			done.Wait()
@@ -164,7 +178,7 @@ func TestReaderSeekBackwardWithCache(t *testing.T) {
 	b.v.Run(func() {
 		b.start(t)
 		opts := Options{BlockSize: 8, Cache: true}
-		w, err := NewWriter(b.net.Host("w"), "buf:7000", b.v, "k", opts, WriterOptions{})
+		w, err := NewWriter(b.net.Host("w"), b.addr, b.v, "k", opts, WriterOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -172,7 +186,7 @@ func TestReaderSeekBackwardWithCache(t *testing.T) {
 		if err := w.Close(); err != nil {
 			t.Fatal(err)
 		}
-		r, err := NewReader(b.net.Host("r"), "buf:7000", b.v, "k", opts, ReaderOptions{})
+		r, err := NewReader(b.net.Host("r"), b.addr, b.v, "k", opts, ReaderOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -215,7 +229,7 @@ func TestBroadcastTwoReaderClients(t *testing.T) {
 			wg.Add(1)
 			b.v.Go("reader", func() {
 				defer wg.Done()
-				r, err := NewReader(b.net.Host("r"), "buf:7000", b.v, "bcast", opts, ReaderOptions{})
+				r, err := NewReader(b.net.Host("r"), b.addr, b.v, "bcast", opts, ReaderOptions{})
 				if err != nil {
 					t.Errorf("reader %d: %v", i, err)
 					return
@@ -224,7 +238,7 @@ func TestBroadcastTwoReaderClients(t *testing.T) {
 				got[i], _ = io.ReadAll(r)
 			})
 		}
-		w, err := NewWriter(b.net.Host("w"), "buf:7000", b.v, "bcast", opts, WriterOptions{})
+		w, err := NewWriter(b.net.Host("w"), b.addr, b.v, "bcast", opts, WriterOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -243,11 +257,11 @@ func TestEmptyStream(t *testing.T) {
 	b := newBrig(simnet.LinkSpec{})
 	b.v.Run(func() {
 		b.start(t)
-		w, _ := NewWriter(b.net.Host("w"), "buf:7000", b.v, "k", Options{}, WriterOptions{})
+		w, _ := NewWriter(b.net.Host("w"), b.addr, b.v, "k", Options{}, WriterOptions{})
 		if err := w.Close(); err != nil {
 			t.Fatal(err)
 		}
-		r, _ := NewReader(b.net.Host("r"), "buf:7000", b.v, "k", Options{}, ReaderOptions{})
+		r, _ := NewReader(b.net.Host("r"), b.addr, b.v, "k", Options{}, ReaderOptions{})
 		defer r.Close()
 		data, err := io.ReadAll(r)
 		if err != nil || len(data) != 0 {
@@ -261,10 +275,10 @@ func TestTailExactlyOneBlock(t *testing.T) {
 	b.v.Run(func() {
 		b.start(t)
 		opts := Options{BlockSize: 16}
-		w, _ := NewWriter(b.net.Host("w"), "buf:7000", b.v, "k", opts, WriterOptions{})
+		w, _ := NewWriter(b.net.Host("w"), b.addr, b.v, "k", opts, WriterOptions{})
 		w.Write(make([]byte, 32)) // exactly two full blocks
 		w.Close()
-		r, _ := NewReader(b.net.Host("r"), "buf:7000", b.v, "k", opts, ReaderOptions{})
+		r, _ := NewReader(b.net.Host("r"), b.addr, b.v, "k", opts, ReaderOptions{})
 		defer r.Close()
 		data, err := io.ReadAll(r)
 		if err != nil || len(data) != 32 {
@@ -280,7 +294,7 @@ func TestPutOnUnknownBufferFails(t *testing.T) {
 		// A writer that attaches creates the buffer, so sneak a raw Put via
 		// a reader-side trick: create writer, close it, drop the buffer,
 		// then write again.
-		w, _ := NewWriter(b.net.Host("w"), "buf:7000", b.v, "k", Options{BlockSize: 4}, WriterOptions{})
+		w, _ := NewWriter(b.net.Host("w"), b.addr, b.v, "k", Options{BlockSize: 4}, WriterOptions{})
 		b.reg.Drop("k")
 		_, err := w.Write(make([]byte, 4))
 		if err == nil {
@@ -320,7 +334,7 @@ func TestStreamIntegrityProperty(t *testing.T) {
 		b := newBrig(simnet.LinkSpec{Latency: time.Millisecond})
 		ok := true
 		b.v.Run(func() {
-			l, err := b.net.Host("buf").Listen("buf:7000")
+			l, err := b.net.Host("buf").Listen(b.addr)
 			if err != nil {
 				ok = false
 				return
@@ -332,7 +346,7 @@ func TestStreamIntegrityProperty(t *testing.T) {
 			wg.Add(1)
 			b.v.Go("reader", func() {
 				defer wg.Done()
-				r, err := NewReader(b.net.Host("r"), "buf:7000", b.v, "k", opts, ReaderOptions{Depth: depth})
+				r, err := NewReader(b.net.Host("r"), b.addr, b.v, "k", opts, ReaderOptions{Depth: depth})
 				if err != nil {
 					ok = false
 					return
@@ -340,7 +354,7 @@ func TestStreamIntegrityProperty(t *testing.T) {
 				defer r.Close()
 				got, _ = io.ReadAll(r)
 			})
-			w, err := NewWriter(b.net.Host("w"), "buf:7000", b.v, "k", opts, WriterOptions{Window: win})
+			w, err := NewWriter(b.net.Host("w"), b.addr, b.v, "k", opts, WriterOptions{Window: win})
 			if err != nil {
 				ok = false
 				return

@@ -19,6 +19,7 @@ func TestRepeatedPersistentStreamNoDeadlock(t *testing.T) {
 		n.SetLinkBoth("w", "buf", simnet.LinkSpec{Latency: 150 * time.Millisecond, Bandwidth: 1 << 20})
 		n.SetWindow(8 * 1024)
 		reg := NewRegistry(v, vfs.NewMemFS())
+		addr := nextBufAddr()
 		func() {
 			defer func() {
 				if r := recover(); r != nil {
@@ -26,7 +27,7 @@ func TestRepeatedPersistentStreamNoDeadlock(t *testing.T) {
 				}
 			}()
 			v.Run(func() {
-				l, err := n.Host("buf").Listen("buf:7000")
+				l, err := n.Host("buf").Listen(addr)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -36,7 +37,7 @@ func TestRepeatedPersistentStreamNoDeadlock(t *testing.T) {
 				done.Add(1)
 				v.Go("reader", func() {
 					defer done.Done()
-					r, err := NewReader(n.Host("buf"), "buf:7000", v, "k", opts, ReaderOptions{Depth: 8})
+					r, err := NewReader(n.Host("buf"), addr, v, "k", opts, ReaderOptions{Depth: 8})
 					if err != nil {
 						t.Error(err)
 						return
@@ -44,7 +45,7 @@ func TestRepeatedPersistentStreamNoDeadlock(t *testing.T) {
 					defer r.Close()
 					io.Copy(io.Discard, r)
 				})
-				w, err := NewWriter(n.Host("w"), "buf:7000", v, "k", opts, WriterOptions{Window: 2})
+				w, err := NewWriter(n.Host("w"), addr, v, "k", opts, WriterOptions{Window: 2})
 				if err != nil {
 					t.Fatal(err)
 				}

@@ -52,7 +52,7 @@ func TestWriterReplaysAfterReset(t *testing.T) {
 		done.Add(1)
 		b.v.Go("reader", func() {
 			defer done.Done()
-			r, err := NewReader(b.net.Host("r"), "buf:7000", b.v, "k", Options{}, ReaderOptions{})
+			r, err := NewReader(b.net.Host("r"), b.addr, b.v, "k", Options{}, ReaderOptions{})
 			if err != nil {
 				t.Errorf("reader: %v", err)
 				return
@@ -63,7 +63,7 @@ func TestWriterReplaysAfterReset(t *testing.T) {
 				t.Errorf("readall: %v", err)
 			}
 		})
-		w, err := NewWriter(b.net.Host("w"), "buf:7000", b.v, "k", Options{},
+		w, err := NewWriter(b.net.Host("w"), b.addr, b.v, "k", Options{},
 			WriterOptions{Retry: bPolicy(b.v)})
 		if err != nil {
 			t.Fatalf("writer: %v", err)
@@ -91,7 +91,7 @@ func TestWriterReplaysAfterAckLoss(t *testing.T) {
 		done.Add(1)
 		b.v.Go("reader", func() {
 			defer done.Done()
-			r, err := NewReader(b.net.Host("r"), "buf:7000", b.v, "k", Options{}, ReaderOptions{})
+			r, err := NewReader(b.net.Host("r"), b.addr, b.v, "k", Options{}, ReaderOptions{})
 			if err != nil {
 				t.Errorf("reader: %v", err)
 				return
@@ -102,7 +102,7 @@ func TestWriterReplaysAfterAckLoss(t *testing.T) {
 				t.Errorf("readall: %v", err)
 			}
 		})
-		w, err := NewWriter(b.net.Host("w"), "buf:7000", b.v, "k", Options{},
+		w, err := NewWriter(b.net.Host("w"), b.addr, b.v, "k", Options{},
 			WriterOptions{Retry: bPolicy(b.v)})
 		if err != nil {
 			t.Fatalf("writer: %v", err)
@@ -130,7 +130,7 @@ func TestReaderResumesAfterReset(t *testing.T) {
 		done.Add(1)
 		b.v.Go("reader", func() {
 			defer done.Done()
-			r, err := NewReader(b.net.Host("r"), "buf:7000", b.v, "k", Options{},
+			r, err := NewReader(b.net.Host("r"), b.addr, b.v, "k", Options{},
 				ReaderOptions{Retry: bPolicy(b.v)})
 			if err != nil {
 				t.Errorf("reader: %v", err)
@@ -142,7 +142,7 @@ func TestReaderResumesAfterReset(t *testing.T) {
 				t.Errorf("readall: %v", err)
 			}
 		})
-		w, err := NewWriter(b.net.Host("w"), "buf:7000", b.v, "k", Options{}, WriterOptions{})
+		w, err := NewWriter(b.net.Host("w"), b.addr, b.v, "k", Options{}, WriterOptions{})
 		if err != nil {
 			t.Fatalf("writer: %v", err)
 		}
@@ -173,7 +173,7 @@ func TestReaderRecoversFromBlackhole(t *testing.T) {
 		done.Add(1)
 		b.v.Go("reader", func() {
 			defer done.Done()
-			r, err := NewReader(b.net.Host("r"), "buf:7000", b.v, "k", Options{},
+			r, err := NewReader(b.net.Host("r"), b.addr, b.v, "k", Options{},
 				ReaderOptions{Retry: bPolicy(b.v)})
 			if err != nil {
 				t.Errorf("reader: %v", err)
@@ -185,7 +185,7 @@ func TestReaderRecoversFromBlackhole(t *testing.T) {
 				t.Errorf("readall: %v", err)
 			}
 		})
-		w, err := NewWriter(b.net.Host("w"), "buf:7000", b.v, "k", Options{}, WriterOptions{})
+		w, err := NewWriter(b.net.Host("w"), b.addr, b.v, "k", Options{}, WriterOptions{})
 		if err != nil {
 			t.Fatalf("writer: %v", err)
 		}
@@ -208,7 +208,7 @@ func TestConnPerCallWriterRetries(t *testing.T) {
 		done.Add(1)
 		b.v.Go("reader", func() {
 			defer done.Done()
-			r, err := NewReader(b.net.Host("r"), "buf:7000", b.v, "k", Options{}, ReaderOptions{})
+			r, err := NewReader(b.net.Host("r"), b.addr, b.v, "k", Options{}, ReaderOptions{})
 			if err != nil {
 				t.Errorf("reader: %v", err)
 				return
@@ -219,7 +219,7 @@ func TestConnPerCallWriterRetries(t *testing.T) {
 				t.Errorf("readall: %v", err)
 			}
 		})
-		w, err := NewWriter(b.net.Host("w"), "buf:7000", b.v, "k", Options{},
+		w, err := NewWriter(b.net.Host("w"), b.addr, b.v, "k", Options{},
 			WriterOptions{ConnPerCall: true, Retry: bPolicy(b.v)})
 		if err != nil {
 			t.Fatalf("writer: %v", err)
@@ -239,7 +239,7 @@ func TestWriterFailsFastWithoutPolicy(t *testing.T) {
 	b := newBrig(simnet.LinkSpec{Latency: time.Millisecond})
 	b.v.Run(func() {
 		b.start(t)
-		w, err := NewWriter(b.net.Host("w"), "buf:7000", b.v, "k", Options{}, WriterOptions{})
+		w, err := NewWriter(b.net.Host("w"), b.addr, b.v, "k", Options{}, WriterOptions{})
 		if err != nil {
 			t.Fatalf("writer: %v", err)
 		}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"griddles/internal/obs"
 	"griddles/internal/simclock"
@@ -28,7 +29,15 @@ const (
 	msgDetachResp     = 10
 	msgDrop           = 11
 	msgDropResp       = 12
-	msgError          = 255
+	// Pipelined extensions: a PUT-BATCH carries several blocks in one frame
+	// and is acknowledged once; a windowed GET asks for a run of blocks and
+	// receives one response frame per block, flushed as each becomes
+	// available, so a reader keeps N requests outstanding without N frames.
+	msgPutBatch     = 13
+	msgPutBatchResp = 14
+	msgGetWin       = 15
+	msgGetWinResp   = 16
+	msgError        = 255
 )
 
 // Roles in an Attach request.
@@ -42,16 +51,21 @@ type Registry struct {
 	clock   simclock.Clock
 	cacheFS vfs.FS
 
-	mu      sync.Mutex
-	obs     *obs.Observer
-	buffers map[string]*Buffer
+	mu        sync.RWMutex
+	obs       *obs.Observer
+	buffers   map[string]*Buffer
+	defShards int // applied when creating options leave Shards zero
+
+	windowDepth atomic.Pointer[obs.Histogram]
 }
 
 // NewRegistry returns an empty Registry. cacheFS (may be nil) hosts cache
 // files for buffers that enable them — on a testbed machine this is the
 // machine's disk-cost-accounted file system.
 func NewRegistry(clock simclock.Clock, cacheFS vfs.FS) *Registry {
-	return &Registry{clock: clock, cacheFS: cacheFS, buffers: make(map[string]*Buffer)}
+	r := &Registry{clock: clock, cacheFS: cacheFS, buffers: make(map[string]*Buffer)}
+	r.windowDepth.Store((*obs.Observer)(nil).Histogram("buf.window.depth"))
+	return r
 }
 
 // SetObserver routes metrics of all buffers — current and future — to o;
@@ -60,15 +74,31 @@ func (r *Registry) SetObserver(o *obs.Observer) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.obs = o
+	r.windowDepth.Store(o.Histogram("buf.window.depth"))
 	for _, b := range r.buffers {
 		b.SetObserver(o)
 	}
+}
+
+// SetDefaultShards sets the block-table shard count applied to buffers
+// whose creating options leave Shards zero (the usual case: clients rarely
+// override it). Zero restores DefaultShards.
+func (r *Registry) SetDefaultShards(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.defShards = n
 }
 
 // GetOrCreate returns the buffer named key, creating it with opts on first
 // use. Options of later attachers are ignored: the first attach wins, which
 // is safe because writer and readers receive the same GNS mapping.
 func (r *Registry) GetOrCreate(key string, opts Options) *Buffer {
+	r.mu.RLock()
+	b, ok := r.buffers[key]
+	r.mu.RUnlock()
+	if ok {
+		return b
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if b, ok := r.buffers[key]; ok {
@@ -77,7 +107,10 @@ func (r *Registry) GetOrCreate(key string, opts Options) *Buffer {
 	if opts.Cache && opts.CacheFS == nil {
 		opts.CacheFS = r.cacheFS
 	}
-	b := NewBuffer(r.clock, key, opts)
+	if opts.Shards == 0 {
+		opts.Shards = r.defShards
+	}
+	b = NewBuffer(r.clock, key, opts)
 	if r.obs != nil {
 		b.SetObserver(r.obs)
 	}
@@ -87,8 +120,8 @@ func (r *Registry) GetOrCreate(key string, opts Options) *Buffer {
 
 // Lookup returns the buffer named key, if present.
 func (r *Registry) Lookup(key string) (*Buffer, bool) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	b, ok := r.buffers[key]
 	return b, ok
 }
@@ -106,8 +139,8 @@ func (r *Registry) Drop(key string) {
 
 // Len reports the number of live buffers.
 func (r *Registry) Len() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	return len(r.buffers)
 }
 
@@ -161,6 +194,7 @@ func decodeOptions(d *wire.Decoder) Options {
 	o.Cache = d.Bool()
 	o.CachePath = d.String()
 	o.Readers = int(d.U32())
+	o.Shards = int(d.U32())
 	return o
 }
 
@@ -170,9 +204,87 @@ func encodeOptions(e *wire.Encoder, o Options) {
 	e.Bool(o.Cache)
 	e.String(o.CachePath)
 	e.U32(uint32(o.Readers))
+	e.U32(uint32(o.Shards))
 }
 
-func (s *Server) dispatch(w io.Writer, typ uint8, payload []byte) error {
+// putBatchReq is a decoded PUT-BATCH frame.
+type putBatchReq struct {
+	key    string
+	blocks []wblock
+}
+
+// maxBatchBlocks bounds the per-frame block count a decoder will accept,
+// protecting the server from a hostile count field (the frame size itself
+// is already bounded by wire.MaxFrame).
+const maxBatchBlocks = 4096
+
+func encodePutBatch(e *wire.Encoder, key string, blocks []wblock) {
+	e.String(key)
+	e.U32(uint32(len(blocks)))
+	for _, blk := range blocks {
+		e.I64(blk.idx)
+		e.Bytes32(blk.data)
+	}
+}
+
+func decodePutBatch(d *wire.Decoder) (putBatchReq, error) {
+	var r putBatchReq
+	r.key = d.String()
+	n := d.U32()
+	if err := d.Err(); err != nil {
+		return r, err
+	}
+	if n > maxBatchBlocks {
+		return r, fmt.Errorf("gridbuffer: put-batch of %d blocks exceeds limit %d", n, maxBatchBlocks)
+	}
+	r.blocks = make([]wblock, 0, n)
+	for i := uint32(0); i < n; i++ {
+		idx := d.I64()
+		data := d.Bytes32()
+		if err := d.Err(); err != nil {
+			return r, err
+		}
+		r.blocks = append(r.blocks, wblock{idx: idx, data: data})
+	}
+	return r, d.Err()
+}
+
+// getWinReq is a decoded windowed-GET frame: blocks [first, first+count)
+// for readerID, acknowledging everything below ackBelow.
+type getWinReq struct {
+	key      string
+	readerID int
+	first    int64
+	count    int
+	ackBelow int64
+}
+
+func encodeGetWin(e *wire.Encoder, r getWinReq) {
+	e.String(r.key)
+	e.I64(int64(r.readerID))
+	e.I64(r.first)
+	e.U32(uint32(r.count))
+	e.I64(r.ackBelow)
+}
+
+func decodeGetWin(d *wire.Decoder) (getWinReq, error) {
+	var r getWinReq
+	r.key = d.String()
+	r.readerID = int(d.I64())
+	r.first = d.I64()
+	r.count = int(d.U32())
+	r.ackBelow = d.I64()
+	if err := d.Err(); err != nil {
+		return r, err
+	}
+	if r.count < 0 || r.count > maxBatchBlocks {
+		return r, fmt.Errorf("gridbuffer: get window of %d blocks exceeds limit %d", r.count, maxBatchBlocks)
+	}
+	return r, nil
+}
+
+func (s *Server) dispatch(bw *bufio.Writer, typ uint8, payload []byte) error {
+	var w io.Writer = bw
 	d := wire.NewDecoder(payload)
 	switch typ {
 	case msgAttach:
@@ -211,6 +323,24 @@ func (s *Server) dispatch(w io.Writer, typ uint8, payload []byte) error {
 		}
 		return wire.WriteFrame(w, msgPutResp, nil)
 
+	case msgPutBatch:
+		req, err := decodePutBatch(d)
+		if err != nil {
+			return writeError(w, err)
+		}
+		b, ok := s.reg.Lookup(req.key)
+		if !ok {
+			return writeError(w, fmt.Errorf("gridbuffer: no buffer %q", req.key))
+		}
+		for _, blk := range req.blocks {
+			if err := b.Put(blk.idx, blk.data); err != nil {
+				return writeError(w, err)
+			}
+		}
+		e := wire.NewEncoder()
+		e.U32(uint32(len(req.blocks)))
+		return wire.WriteFrame(w, msgPutBatchResp, e.Bytes())
+
 	case msgGet:
 		key := d.String()
 		readerID := int(d.I64())
@@ -235,7 +365,44 @@ func (s *Server) dispatch(w io.Writer, typ uint8, payload []byte) error {
 		}
 		e := wire.NewEncoder()
 		e.Bool(eof).Bytes32(data)
-		return wire.WriteFrame(w, msgGetResp, e.Bytes())
+		err = wire.WriteFrame(w, msgGetResp, e.Bytes())
+		b.Recycle(data)
+		return err
+
+	case msgGetWin:
+		req, err := decodeGetWin(d)
+		if err != nil {
+			return writeError(w, err)
+		}
+		b, ok := s.reg.Lookup(req.key)
+		if !ok {
+			return writeError(w, fmt.Errorf("gridbuffer: no buffer %q", req.key))
+		}
+		if req.ackBelow > 0 {
+			b.AckBelow(req.readerID, req.ackBelow)
+		}
+		s.reg.windowDepth.Load().Observe(int64(req.count))
+		// One response frame per block, flushed as the block becomes
+		// available: the blocking read of block k overlaps the delivery of
+		// blocks < k, which is what kills the one-block-per-RTT ceiling.
+		for i := 0; i < req.count; i++ {
+			idx := req.first + int64(i)
+			data, eof, err := b.GetKeep(req.readerID, idx)
+			if err != nil {
+				return writeError(w, err)
+			}
+			e := wire.NewEncoder()
+			e.I64(idx).Bool(eof).Bytes32(data)
+			err = wire.WriteFrame(bw, msgGetWinResp, e.Bytes())
+			b.Recycle(data)
+			if err != nil {
+				return err
+			}
+			if err := bw.Flush(); err != nil {
+				return err
+			}
+		}
+		return nil
 
 	case msgCloseWrite:
 		key := d.String()

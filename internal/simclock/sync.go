@@ -32,6 +32,20 @@ func (m *Mutex) Lock() {
 	m.mu.Unlock()
 }
 
+// TryLock acquires the mutex if it is immediately available and reports
+// success. It never parks, so hot paths can use a failed TryLock as a
+// contention signal before falling back to Lock.
+func (m *Mutex) TryLock() bool {
+	m.mu.Lock()
+	if m.locked {
+		m.mu.Unlock()
+		return false
+	}
+	m.locked = true
+	m.mu.Unlock()
+	return true
+}
+
 // Unlock releases the mutex. It panics if the mutex is not locked.
 func (m *Mutex) Unlock() {
 	m.mu.Lock()

@@ -1,0 +1,85 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzFrameRoundTrip: any (type, payload) pair survives WriteFrame →
+// ReadFrame unchanged.
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add(uint8(1), []byte("hello"))
+	f.Add(uint8(0), []byte{})
+	f.Add(uint8(255), []byte{0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, typ uint8, payload []byte) {
+		if len(payload) > MaxFrame {
+			t.Skip()
+		}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, typ, payload); err != nil {
+			t.Fatalf("WriteFrame: %v", err)
+		}
+		gotTyp, gotPayload, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("ReadFrame: %v", err)
+		}
+		if gotTyp != typ || !bytes.Equal(gotPayload, payload) {
+			t.Fatalf("round trip changed the frame: type %d->%d, %d->%d bytes",
+				typ, gotTyp, len(payload), len(gotPayload))
+		}
+	})
+}
+
+// FuzzReadFrame: arbitrary bytes never panic the frame reader, and any
+// frame it accepts re-encodes to exactly the bytes it consumed.
+func FuzzReadFrame(f *testing.F) {
+	var good bytes.Buffer
+	WriteFrame(&good, 7, []byte("seed payload"))
+	f.Add(good.Bytes())
+	f.Add([]byte{0, 0, 0, 3, 1, 'a'})        // short body
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1}) // oversized length
+	f.Add([]byte{})                          // empty
+	f.Fuzz(func(t *testing.T, data []byte) {
+		typ, payload, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, typ, payload); err != nil {
+			t.Fatalf("re-encode of an accepted frame failed: %v", err)
+		}
+		consumed := 5 + len(payload)
+		if !bytes.Equal(buf.Bytes(), data[:consumed]) {
+			t.Fatal("re-encoded frame differs from the consumed bytes")
+		}
+	})
+}
+
+// FuzzDecoderSticky: the Decoder never panics on arbitrary payloads, and
+// once it errors every further read returns the zero value.
+func FuzzDecoderSticky(f *testing.F) {
+	e := NewEncoder()
+	e.U8(3).U32(9).I64(-1).String("abc").Bool(true).StringSlice([]string{"x", "y"})
+	f.Add(e.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 200, 'x'}) // length prefix beyond the payload
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := NewDecoder(data)
+		d.U8()
+		d.U32()
+		d.I64()
+		_ = d.String()
+		d.Bool()
+		d.Bytes32()
+		d.StringSlice()
+		d.U64()
+		if d.Err() == nil {
+			return
+		}
+		// Sticky: post-error reads are all zero.
+		if d.U8() != 0 || d.U32() != 0 || d.U64() != 0 || d.I64() != 0 ||
+			d.String() != "" || d.Bytes32() != nil || d.StringSlice() != nil || d.Bool() {
+			t.Fatal("decoder returned a non-zero value after an error")
+		}
+	})
+}
