@@ -26,12 +26,12 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/obs/... ./internal/core/...
+	$(GO) test -race -shuffle=on ./internal/obs/... ./internal/core/... ./internal/gridftp/...
 
 ## cover: race-enabled tests with per-package coverage, gated on the
 ## pre-PR floors for internal/core and internal/gridbuffer.
 cover:
-	$(GO) test -race -coverprofile=cover.out \
+	$(GO) test -race -shuffle=on -coverprofile=cover.out \
 		./internal/obs/... ./internal/core/... ./internal/gridbuffer/... \
 		| $(GO) run ./cmd/covergate \
 		-floor griddles/internal/core=$(COVER_FLOOR_CORE) \
@@ -40,7 +40,7 @@ cover:
 ## chaos: the fault-injection matrix — {IO mechanism} x {fault scenario},
 ## the no-survivor budget tests, and 50 seeded random fault schedules.
 chaos:
-	$(GO) test -race -timeout 5m ./internal/chaos/... ./internal/fault/...
+	$(GO) test -race -shuffle=on -timeout 5m ./internal/chaos/... ./internal/fault/...
 
 ## fuzz: short randomized probe of every fuzz target (the seed corpora in
 ## testdata/fuzz replay under plain `go test` regardless). `go test -fuzz`
@@ -60,20 +60,20 @@ fuzz:
 		$(GO) test -run '^$$' -fuzz "^$$fn$$" -fuzztime $(FUZZTIME) ./$$pkg/ || exit 1; \
 	done
 
-## bench: run the benchmark suite once and record it as BENCH_pr3.json.
+## bench: run the benchmark suite once and record it as BENCH_pr4.json.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x -timeout 20m . | tee bench.out
-	$(GO) run ./cmd/benchgate -parse bench.out -o BENCH_pr3.json
+	$(GO) run ./cmd/benchgate -parse bench.out -o BENCH_pr4.json
 
 ## bench-gate: re-run the suite and fail on regression vs the checked-in
 ## baseline. Simulated-clock metrics and allocs/op gate at 10%; wall-clock
 ## metrics are compared and reported but don't gate (pure machine noise at
 ## -benchtime 1x) — pass -gate-wall to benchgate to enforce them too.
 bench-gate: bench
-	$(GO) run ./cmd/benchgate BENCH_baseline.json BENCH_pr3.json
+	$(GO) run ./cmd/benchgate BENCH_baseline.json BENCH_pr4.json
 
 build:
 	$(GO) build ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...

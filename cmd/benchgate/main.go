@@ -151,14 +151,28 @@ func trimCPUSuffix(rep Report, names []string) {
 }
 
 // higherIsBetter reports the metric's direction from its unit name.
-func higherIsBetter(unit string) bool { return strings.Contains(unit, "/s") }
+// Throughputs ("/s"), speedup ratios ("speedup-x") and hit rates ("hit-%")
+// improve upward; everything else is a cost. Simulated-clock readings are
+// always durations — checked first, so a sub-label like "virt-s/single"
+// can't be mistaken for a throughput by its "/s".
+func higherIsBetter(unit string) bool {
+	if strings.HasPrefix(unit, "virt-") {
+		return false
+	}
+	return strings.Contains(unit, "/s") ||
+		strings.Contains(unit, "speedup-x") ||
+		strings.Contains(unit, "hit-%")
+}
 
 // deterministic reports whether the metric is noise-free (simulated clock,
-// allocation counts) and so gets the strict tolerance.
+// allocation counts, ratios of simulated readings) and so gets the strict
+// tolerance.
 func deterministic(unit string) bool {
 	return strings.HasPrefix(unit, "virt-") ||
 		unit == "allocs/op" ||
-		strings.Contains(unit, "overhead")
+		strings.Contains(unit, "overhead") ||
+		strings.Contains(unit, "speedup-x") ||
+		strings.Contains(unit, "hit-%")
 }
 
 func compare(base, cur Report, tolerance, wallSlack float64, gateWall bool) bool {

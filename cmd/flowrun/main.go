@@ -53,6 +53,9 @@ func main() {
 	batch := flag.Int("batch", 0, "Grid Buffer writer blocks per wire frame (0/1 = one frame per block)")
 	shards := flag.Int("shards", 0, "Grid Buffer block-table shards (0 = default)")
 	cacheMB := flag.Int("cache-mb", 0, "FM block cache budget in MiB for remote reads (0 = disabled)")
+	copyStreamsPerReplica := flag.Int("copy-streams-per-replica", 2, "parallel streams per replica for striped multi-source stage-in")
+	prefetchWindow := flag.Int("prefetch-window", core.DefaultPrefetchWindow, "ranged fetches kept in flight ahead of sequential remote reads (needs -cache-mb; 0 = disabled)")
+	writeBehindMB := flag.Int("write-behind-mb", 0, "dirty-byte bound in MiB for write-behind coalescing of remote writes (0 = disabled)")
 	flag.Parse()
 
 	work := *dir
@@ -148,6 +151,10 @@ func main() {
 			WriterBatch:     *batch,
 			BufferShards:    *shards,
 			BlockCacheBytes: int64(*cacheMB) << 20,
+
+			CopyStreamsPerReplica: *copyStreamsPerReplica,
+			PrefetchWindow:        *prefetchWindow,
+			WriteBehindBytes:      int64(*writeBehindMB) << 20,
 		})
 		if err != nil {
 			log.Fatalf("flowrun: %v", err)

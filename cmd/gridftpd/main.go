@@ -17,6 +17,7 @@ import (
 func main() {
 	listen := flag.String("listen", ":6000", "TCP listen address")
 	root := flag.String("root", ".", "directory to export")
+	chunkKB := flag.Int("chunk-kb", 64, "bulk-stream frame size in KiB (smaller interleaves striped streams better)")
 	flag.Parse()
 
 	if fi, err := os.Stat(*root); err != nil || !fi.IsDir() {
@@ -27,5 +28,7 @@ func main() {
 		log.Fatalf("gridftpd: %v", err)
 	}
 	log.Printf("gridftpd: exporting %s on %s", *root, l.Addr())
-	gridftp.NewServer(vfs.NewOSFS(*root), simclock.Real{}).Serve(l)
+	srv := gridftp.NewServer(vfs.NewOSFS(*root), simclock.Real{})
+	srv.SetChunkSize(*chunkKB << 10)
+	srv.Serve(l)
 }

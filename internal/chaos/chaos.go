@@ -83,8 +83,14 @@ func (e *Env) StartServices(hosts ...string) error {
 // FM builds a Multiplexer on the named machine wired into the shared
 // observer, with the given resilience policy.
 func (e *Env) FM(machine string, p retry.Policy) (*core.Multiplexer, error) {
+	return e.FMWith(machine, p, nil)
+}
+
+// FMWith is FM with a last-minute Config mutation, for chaos cases that need
+// a data-path knob (write-behind, prefetch, stripe streams) turned on.
+func (e *Env) FMWith(machine string, p retry.Policy, mut func(*core.Config)) (*core.Multiplexer, error) {
 	m := e.Grid.Machine(machine)
-	return core.New(core.Config{
+	cfg := core.Config{
 		Machine:  machine,
 		Clock:    e.V,
 		FS:       m.FS(),
@@ -94,7 +100,11 @@ func (e *Env) FM(machine string, p retry.Policy) (*core.Multiplexer, error) {
 		NWS:      e.NWS,
 		Retry:    p,
 		Obs:      e.Obs,
-	})
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	return core.New(cfg)
 }
 
 // Policy is the chaos-matrix resilience policy: enough attempts, spaced

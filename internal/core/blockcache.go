@@ -148,6 +148,15 @@ func (c *BlockCache) removeLocked(el *list.Element) {
 	}
 }
 
+// Contains reports whether block idx of file is resident, without touching
+// hit/miss accounting or LRU order — the prefetcher's duplicate-fetch check.
+func (c *BlockCache) Contains(file string, idx int64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[file][idx]
+	return ok
+}
+
 // Invalidate drops every cached block of file.
 func (c *BlockCache) Invalidate(file string) {
 	c.mu.Lock()
@@ -172,10 +181,13 @@ type cachedReader struct {
 	pos      int64 // application cursor
 	innerPos int64 // the inner handle's cursor (-1 unknown)
 	size     int64 // exact file size once known, else -1
+
+	pf      *prefetcher // async prefetch pipeline, nil = sync fills only
+	lastIdx int64       // last block consumed, for prefetch hit accounting
 }
 
 func newCachedReader(inner io.ReadSeeker, cache *BlockCache, key func() string) *cachedReader {
-	return &cachedReader{inner: inner, cache: cache, key: key, innerPos: 0, size: -1}
+	return &cachedReader{inner: inner, cache: cache, key: key, innerPos: 0, size: -1, lastIdx: -1}
 }
 
 func (c *cachedReader) Read(p []byte) (int, error) {
@@ -188,7 +200,17 @@ func (c *cachedReader) Read(p []byte) (int, error) {
 	bs := int64(c.cache.BlockSize())
 	idx := c.pos / bs
 	key := c.key()
+	if c.pf != nil {
+		c.pf.noteRead(c.pos)
+	}
 	blk, ok := c.cache.Get(key, idx)
+	if !ok && c.pf != nil && c.pf.await(idx) {
+		blk, ok = c.cache.Get(key, idx)
+	}
+	if c.pf != nil && idx != c.lastIdx {
+		c.lastIdx = idx
+		c.pf.noteBlock(ok)
+	}
 	if !ok {
 		start := idx * bs
 		if c.innerPos != start {

@@ -247,50 +247,61 @@ func confMechanisms() []confMech {
 }
 
 // TestConformanceSixMechanisms runs the identical op script through every IO
-// mechanism — with the FM block cache off and on — and requires results
-// byte-identical to the bytes.Reader reference.
+// mechanism — with the FM block cache off and on, and with the prefetch
+// pipeline off and on — and requires results byte-identical to the
+// bytes.Reader reference. The script is deliberately seek-heavy, so the
+// prefetch rows also pin that the pipeline's self-disable leaves the byte
+// stream untouched. prefetch>0 with no cache is skipped: the pipeline has
+// nowhere to land blocks, so it never engages (see TestPrefetchRequiresBlockCache).
 func TestConformanceSixMechanisms(t *testing.T) {
 	content := confContent()
 	want := runConfScript(bytes.NewReader(content))
 	for _, cacheMB := range []int64{0, 4} {
-		for _, m := range confMechanisms() {
-			m := m
-			cacheMB := cacheMB
-			t.Run(fmt.Sprintf("%s/cache=%dMB", m.name, cacheMB), func(t *testing.T) {
-				e := newEnv()
-				m.configure(e, content)
-				e.v.Run(func() {
-					e.startServices(t)
-					var done *simclock.WaitGroup
-					if m.produce != nil {
-						if m.async {
-							done = simclock.NewWaitGroup(e.v)
-							done.Add(1)
-							e.v.Go("producer", func() {
-								defer done.Done()
+		for _, prefetch := range []int{0, 4} {
+			if prefetch > 0 && cacheMB == 0 {
+				continue
+			}
+			for _, m := range confMechanisms() {
+				m := m
+				cacheMB := cacheMB
+				prefetch := prefetch
+				t.Run(fmt.Sprintf("%s/cache=%dMB/prefetch=%d", m.name, cacheMB, prefetch), func(t *testing.T) {
+					e := newEnv()
+					m.configure(e, content)
+					e.v.Run(func() {
+						e.startServices(t)
+						var done *simclock.WaitGroup
+						if m.produce != nil {
+							if m.async {
+								done = simclock.NewWaitGroup(e.v)
+								done.Add(1)
+								e.v.Go("producer", func() {
+									defer done.Done()
+									m.produce(t, e, content)
+								})
+							} else {
 								m.produce(t, e, content)
-							})
-						} else {
-							m.produce(t, e, content)
+							}
 						}
-					}
-					fm := e.fm(t, m.reader, func(c *Config) {
-						c.BlockCacheBytes = cacheMB << 20
+						fm := e.fm(t, m.reader, func(c *Config) {
+							c.BlockCacheBytes = cacheMB << 20
+							c.PrefetchWindow = prefetch
+						})
+						f, err := fm.Open("conf.dat")
+						if err != nil {
+							t.Fatalf("open: %v", err)
+						}
+						got := runConfScript(f)
+						if err := f.Close(); err != nil {
+							t.Errorf("close: %v", err)
+						}
+						if done != nil {
+							done.Wait()
+						}
+						compareConf(t, got, want)
 					})
-					f, err := fm.Open("conf.dat")
-					if err != nil {
-						t.Fatalf("open: %v", err)
-					}
-					got := runConfScript(f)
-					if err := f.Close(); err != nil {
-						t.Errorf("close: %v", err)
-					}
-					if done != nil {
-						done.Wait()
-					}
-					compareConf(t, got, want)
 				})
-			})
+			}
 		}
 	}
 }
@@ -371,37 +382,47 @@ func TestConformanceInterleavedSeekWrite(t *testing.T) {
 			},
 		},
 	}
-	for _, tc := range cases {
-		tc := tc
-		t.Run(tc.name, func(t *testing.T) {
-			e := newEnv()
-			tc.configure(e)
-			e.v.Run(func() {
-				e.startServices(t)
-				wfm := e.fm(t, tc.writer, nil)
-				w, err := wfm.Create("rw.dat")
-				if err != nil {
-					t.Fatalf("create: %v", err)
-				}
-				writeScript(t, w)
-				if err := w.Close(); err != nil {
-					t.Fatalf("close: %v", err)
-				}
-				rfm := e.fm(t, tc.reader, nil)
-				r, err := rfm.Open("rw.dat")
-				if err != nil {
-					t.Fatalf("reopen: %v", err)
-				}
-				got, err := io.ReadAll(r)
-				r.Close()
-				if err != nil {
-					t.Fatalf("readback: %v", err)
-				}
-				if !bytes.Equal(got, golden) {
-					t.Errorf("readback differs from the simulated script (%d vs %d bytes)", len(got), len(golden))
-				}
+	// The write-behind rows pin that coalesced asynchronous flushing — with
+	// its newest-wins overlap merging — is invisible to a reader opening the
+	// file after Close, the durability point. Mechanisms 1 and 2 write local
+	// files where the knob is inert; mechanism 3 is the remote path it exists
+	// for.
+	for _, wbKB := range []int64{0, 256} {
+		for _, tc := range cases {
+			tc := tc
+			wbKB := wbKB
+			t.Run(fmt.Sprintf("%s/wb=%dKB", tc.name, wbKB), func(t *testing.T) {
+				e := newEnv()
+				tc.configure(e)
+				e.v.Run(func() {
+					e.startServices(t)
+					wfm := e.fm(t, tc.writer, func(c *Config) {
+						c.WriteBehindBytes = wbKB << 10
+					})
+					w, err := wfm.Create("rw.dat")
+					if err != nil {
+						t.Fatalf("create: %v", err)
+					}
+					writeScript(t, w)
+					if err := w.Close(); err != nil {
+						t.Fatalf("close: %v", err)
+					}
+					rfm := e.fm(t, tc.reader, nil)
+					r, err := rfm.Open("rw.dat")
+					if err != nil {
+						t.Fatalf("reopen: %v", err)
+					}
+					got, err := io.ReadAll(r)
+					r.Close()
+					if err != nil {
+						t.Fatalf("readback: %v", err)
+					}
+					if !bytes.Equal(got, golden) {
+						t.Errorf("readback differs from the simulated script (%d vs %d bytes)", len(got), len(golden))
+					}
+				})
 			})
-		})
+		}
 	}
 }
 
@@ -450,5 +471,33 @@ func TestConformanceDocumentedDivergences(t *testing.T) {
 		w.Write([]byte("stream"))
 		w.Close()
 		done.Wait()
+	})
+}
+
+// TestConformanceWriteBehindDeferredError pins the one behavioural divergence
+// write-behind introduces: a WriteAt that the synchronous path would have
+// failed can succeed immediately, with the transport error surfacing at the
+// next barrier — here Close, the durability point. No byte is ever silently
+// lost; only the op that reports the error moves.
+func TestConformanceWriteBehindDeferredError(t *testing.T) {
+	e := newEnv()
+	e.store.Set("jagan", "wb.dat", gns.Mapping{
+		Mode: gns.ModeRemote, RemoteHost: "brecca" + ftpPort, RemotePath: "/r/wb",
+	})
+	e.v.Run(func() {
+		e.startServices(t)
+		fm := e.fm(t, "jagan", func(c *Config) { c.WriteBehindBytes = 1 << 20 })
+		w, err := fm.Create("wb.dat")
+		if err != nil {
+			t.Fatalf("create: %v", err)
+		}
+		if _, err := w.Write(bytes.Repeat([]byte("x"), 8192)); err != nil {
+			t.Fatalf("buffered write reported a transport error early: %v", err)
+		}
+		e.grid.Network().Partition("jagan", "brecca")
+		e.grid.Network().InjectReset("jagan", "brecca")
+		if err := w.Close(); err == nil {
+			t.Error("Close succeeded although the queued bytes never reached the server")
+		}
 	})
 }

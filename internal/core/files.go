@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 	"time"
 
 	"griddles/internal/gns"
@@ -132,6 +133,9 @@ func (f *remoteFile) Close() error {
 		return nil
 	}
 	f.closed = true
+	if f.cr != nil && f.cr.pf != nil {
+		f.cr.pf.close()
+	}
 	if err := f.RemoteFile.Close(); err != nil {
 		return err
 	}
@@ -159,6 +163,7 @@ type replicaFile struct {
 
 	cur       *gridftp.RemoteFile
 	curLoc    replica.Location
+	locMu     sync.Mutex      // guards curLoc: prefetch workers read it mid-fetch
 	failed    map[string]bool // hosts excluded after an error, by failover
 	pos       int64
 	lastCheck time.Time
@@ -169,7 +174,21 @@ type replicaFile struct {
 func (f *replicaFile) Name() string { return f.name }
 
 // Location reports the currently bound replica (for tests and examples).
-func (f *replicaFile) Location() replica.Location { return f.curLoc }
+func (f *replicaFile) Location() replica.Location { return f.location() }
+
+// location reads the current binding under locMu; the prefetch pipeline
+// calls it from its workers while remap/failover may be moving the binding.
+func (f *replicaFile) location() replica.Location {
+	f.locMu.Lock()
+	defer f.locMu.Unlock()
+	return f.curLoc
+}
+
+func (f *replicaFile) setLocation(loc replica.Location) {
+	f.locMu.Lock()
+	f.curLoc = loc
+	f.locMu.Unlock()
+}
 
 func (f *replicaFile) maybeRemap() {
 	iv := f.fm.cfg.RemapInterval
@@ -196,7 +215,7 @@ func (f *replicaFile) maybeRemap() {
 	f.cur.Close()
 	prev := f.curLoc
 	f.cur = nf
-	f.curLoc = loc
+	f.setLocation(loc)
 	f.fm.stats.remapped()
 	f.fm.obs.Emit("fm.remap", f.fm.cfg.Machine,
 		obs.KV("path", f.name), obs.KV("from", prev.Host), obs.KV("to", loc.Host),
@@ -232,7 +251,12 @@ func (f *replicaFile) failover(cause error) error {
 			f.cur.Close()
 		}
 		f.cur = nf
-		f.curLoc = loc
+		f.setLocation(loc)
+		if f.cr != nil && f.cr.pf != nil {
+			// The pipeline disabled itself when its fetches started failing;
+			// it now follows the new binding.
+			f.cr.pf.rearm()
+		}
 		f.fm.stats.failedOver()
 		f.fm.obs.Emit("fm.failover", f.fm.cfg.Machine,
 			obs.KV("path", f.name), obs.KV("from", prev), obs.KV("to", loc.Host),
@@ -314,6 +338,9 @@ func (f *replicaFile) Close() error {
 		return nil
 	}
 	f.closed = true
+	if f.cr != nil && f.cr.pf != nil {
+		f.cr.pf.close()
+	}
 	return f.cur.Close()
 }
 

@@ -22,6 +22,7 @@
 package core
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -106,6 +107,26 @@ type Config struct {
 	// CopyStreams is the parallel stream count for stage-in/out copies
 	// (default 1).
 	CopyStreams int
+	// CopyStreamsPerReplica is the per-replica parallel stream count for
+	// multi-source striped stage-in (default 2). Striping engages when a
+	// mode-5 file of at least 512 KiB has two or more reachable remote
+	// replicas; smaller files and single replicas keep the historical
+	// single-source CopyIn path with its ranked failover walk.
+	CopyStreamsPerReplica int
+	// PrefetchWindow enables the async prefetch pipeline for sequential
+	// remote reads (modes 3 and 4): up to this many ranged fetches are kept
+	// in flight ahead of the reader, landing blocks into the block cache.
+	// Requires a block cache; 0 disables (the historical synchronous
+	// fill-on-miss behaviour). Seek-heavy handles detect themselves and
+	// fall back to per-call fetching.
+	PrefetchWindow int
+	// WriteBehindBytes enables write-behind coalescing for remote writes
+	// (mode 3): Write/WriteAt ranges are buffered, merged when adjacent or
+	// overlapping, and flushed asynchronously with at most this many dirty
+	// bytes outstanding. Reads through the same handle and Close drain the
+	// buffer first, so POSIX-visible semantics are unchanged. 0 disables
+	// (every write is a synchronous round trip).
+	WriteBehindBytes int64
 
 	// RemapInterval is how often a read-only replicated file re-evaluates
 	// its replica choice mid-read; 0 disables dynamic re-binding.
@@ -169,6 +190,9 @@ func New(cfg Config) (*Multiplexer, error) {
 	if cfg.CopyStreams <= 0 {
 		cfg.CopyStreams = 1
 	}
+	if cfg.CopyStreamsPerReplica <= 0 {
+		cfg.CopyStreamsPerReplica = 2
+	}
 	if cfg.Obs == nil {
 		cfg.Obs = obs.New(cfg.Clock)
 	}
@@ -208,6 +232,7 @@ func (m *Multiplexer) client(addr string) *gridftp.Client {
 		c = gridftp.NewClient(m.cfg.Dialer, addr, m.cfg.Clock)
 		c.SetObserver(m.obs)
 		c.SetRetry(m.cfg.Retry)
+		c.SetWriteBehind(m.cfg.WriteBehindBytes)
 		m.clients[addr] = c
 	}
 	return c
@@ -410,6 +435,16 @@ func (m *Multiplexer) openRemote(path string, mapping gns.Mapping, flag int, wri
 			cache.Invalidate(ck)
 		} else {
 			f.cr = newCachedReader(rf, cache, func() string { return ck })
+			if w := m.cfg.PrefetchWindow; w > 0 {
+				fetch := func(off, length int64) ([]byte, error) {
+					var buf bytes.Buffer
+					if _, err := c.Fetch(rp, off, length, &buf); err != nil {
+						return nil, err
+					}
+					return buf.Bytes(), nil
+				}
+				f.cr.pf = newPrefetcher(m.cfg.Clock, m.obs, cache, f.cr.key, fetch, w)
+			}
 		}
 	}
 	return f, nil
@@ -487,16 +522,30 @@ func (m *Multiplexer) openReplicaRemote(path string, mapping gns.Mapping, writin
 			return nil, err
 		}
 		f.failed[loc.Host] = true
-		f.curLoc = loc
+		f.setLocation(loc)
 		if ferr := f.failover(err); ferr != nil {
 			return nil, ferr
 		}
 		return f, nil
 	}
-	f.cur, f.curLoc = rf, loc
+	f.cur = rf
+	f.setLocation(loc)
 	if cache := m.cfg.BlockCache; cache != nil {
 		ck := cacheKeyReplica(mapping, path)
 		f.cr = newCachedReader(rawReplica{f}, cache, func() string { return ck })
+		if w := m.cfg.PrefetchWindow; w > 0 {
+			// Prefetch fetches go to whichever replica the file is currently
+			// bound to; after a failover the rearmed pipeline follows it.
+			fetch := func(off, length int64) ([]byte, error) {
+				cur := f.location()
+				var buf bytes.Buffer
+				if _, err := m.client(cur.Addr).Fetch(cur.Path, off, length, &buf); err != nil {
+					return nil, err
+				}
+				return buf.Bytes(), nil
+			}
+			f.cr.pf = newPrefetcher(m.cfg.Clock, m.obs, cache, f.cr.key, fetch, w)
+		}
 	}
 	return f, nil
 }
@@ -509,16 +558,9 @@ func (m *Multiplexer) openReplicaCopy(path string, mapping gns.Mapping, flag int
 		return nil, fmt.Errorf("core: %s: replicated files are read-only", path)
 	}
 	lp := localPath(mapping, path)
-	loc, err := m.chooseReplica(mapping, path)
+	n, err := m.stageInReplica(mapping, path, lp)
 	if err != nil {
 		return nil, err
-	}
-	n, err := m.client(loc.Addr).CopyIn(loc.Path, m.cfg.FS, lp, m.cfg.CopyStreams)
-	if err != nil && m.cfg.Retry.Enabled() {
-		n, err = m.copyInFailover(mapping, path, lp, loc, err)
-	}
-	if err != nil {
-		return nil, fmt.Errorf("core: copying replica of %s: %w", path, err)
 	}
 	m.stats.stagedIn(n)
 	f, err := m.cfg.FS.OpenFile(lp, flag, perm)
@@ -534,6 +576,39 @@ func (m *Multiplexer) openReplicaCopy(path string, mapping gns.Mapping, flag int
 		lf.cr = newCachedReader(f, cache, func() string { return ck })
 	}
 	return lf, nil
+}
+
+// stageInReplica stages the replicated file behind path into lp: striped
+// across every reachable replica when the file is large and several remote
+// copies exist, otherwise the historical best-replica CopyIn with the ranked
+// failover walk.
+func (m *Multiplexer) stageInReplica(mapping gns.Mapping, path, lp string) (int64, error) {
+	locs, err := m.replicaLocations(mapping, path)
+	if err != nil {
+		return 0, err
+	}
+	if len(locs) > 1 {
+		sel := &replica.Selector{NWS: m.cfg.NWS}
+		n, used, err := m.stripedStageIn(path, lp, sel.Rank(m.cfg.Machine, 0, locs))
+		if used {
+			if err != nil {
+				return 0, fmt.Errorf("core: copying replica of %s: %w", path, err)
+			}
+			return n, nil
+		}
+	}
+	loc, err := m.chooseReplica(mapping, path)
+	if err != nil {
+		return 0, err
+	}
+	n, err := m.client(loc.Addr).CopyIn(loc.Path, m.cfg.FS, lp, m.cfg.CopyStreams)
+	if err != nil && m.cfg.Retry.Enabled() {
+		n, err = m.copyInFailover(mapping, path, lp, loc, err)
+	}
+	if err != nil {
+		return 0, fmt.Errorf("core: copying replica of %s: %w", path, err)
+	}
+	return n, nil
 }
 
 // copyInFailover walks the ranked runner-up replicas after a failed copy-in

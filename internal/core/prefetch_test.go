@@ -1,0 +1,174 @@
+package core
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+
+	"griddles/internal/gns"
+	"griddles/internal/obs"
+	"griddles/internal/vfs"
+)
+
+// remoteScanFile puts size random bytes on brecca and maps them mode-3
+// (remote block IO) for jagan.
+func remoteScanFile(e *env, size int) []byte {
+	data := make([]byte, size)
+	rand.New(rand.NewSource(31)).Read(data)
+	vfs.WriteFile(e.grid.Machine("brecca").RawFS(), "/data/scan", data)
+	e.store.Set("jagan", "scan", gns.Mapping{
+		Mode: gns.ModeRemote, RemoteHost: "brecca" + ftpPort, RemotePath: "/data/scan",
+	})
+	return data
+}
+
+func TestPrefetchSequentialScanHitRate(t *testing.T) {
+	e := newEnv()
+	data := remoteScanFile(e, 2<<20) // 32 cache blocks
+	e.v.Run(func() {
+		e.startServices(t)
+		observer := obs.New(e.v)
+		fm := e.fm(t, "jagan", func(c *Config) {
+			c.Obs = observer
+			c.BlockCacheBytes = 8 << 20
+			c.PrefetchWindow = 4
+		})
+		f, err := fm.Open("scan")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := io.ReadAll(f)
+		if cerr := f.Close(); cerr != nil {
+			t.Fatal(cerr)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("prefetched scan corrupted: got %d bytes want %d", len(got), len(data))
+		}
+		snap := observer.Snapshot().Counters
+		if snap["ftp.prefetch.issued.total"] == 0 {
+			t.Fatal("sequential scan issued no prefetches")
+		}
+		hits, misses := snap["ftp.prefetch.hit.total"], snap["ftp.prefetch.miss.total"]
+		if hits+misses == 0 {
+			t.Fatal("no block consumptions classified")
+		}
+		if rate := float64(hits) / float64(hits+misses); rate <= 0.9 {
+			t.Errorf("prefetch hit rate %.1f%% (hits=%d misses=%d), want > 90%%",
+				rate*100, hits, misses)
+		}
+		if snap["ftp.prefetch.fallback.total"] != 0 {
+			t.Error("sequential scan tripped the seek-heavy fallback")
+		}
+	})
+}
+
+func TestPrefetchSeekHeavyFallsBack(t *testing.T) {
+	e := newEnv()
+	data := remoteScanFile(e, 2<<20)
+	e.v.Run(func() {
+		e.startServices(t)
+		observer := obs.New(e.v)
+		fm := e.fm(t, "jagan", func(c *Config) {
+			c.Obs = observer
+			c.BlockCacheBytes = 8 << 20
+			c.PrefetchWindow = 4
+		})
+		f, err := fm.Open("scan")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		// Jump between far-apart blocks: each transition is a seek, so after
+		// four the pipeline must classify the handle seek-heavy and disable
+		// itself — reads still come back correct through the sync path.
+		buf := make([]byte, 16)
+		for _, blk := range []int64{0, 9, 3, 14, 6, 11, 1} {
+			off := blk * DefaultCacheBlock
+			if _, err := f.Seek(off, io.SeekStart); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := io.ReadFull(f, buf); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf, data[off:off+16]) {
+				t.Fatalf("read at block %d corrupted", blk)
+			}
+		}
+		snap := observer.Snapshot().Counters
+		if snap["ftp.prefetch.fallback.total"] != 1 {
+			t.Errorf("fallbacks = %d, want exactly 1 (disabled once)", snap["ftp.prefetch.fallback.total"])
+		}
+	})
+}
+
+func TestPrefetchRequiresBlockCache(t *testing.T) {
+	e := newEnv()
+	data := remoteScanFile(e, 1<<20)
+	e.v.Run(func() {
+		e.startServices(t)
+		observer := obs.New(e.v)
+		fm := e.fm(t, "jagan", func(c *Config) {
+			c.Obs = observer
+			c.PrefetchWindow = 4 // but no BlockCacheBytes: nowhere to land
+		})
+		f, err := fm.Open("scan")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := io.ReadAll(f)
+		f.Close()
+		if !bytes.Equal(got, data) {
+			t.Fatal("uncached scan corrupted")
+		}
+		if n := observer.Snapshot().Counters["ftp.prefetch.issued.total"]; n != 0 {
+			t.Errorf("prefetch issued %d fetches with no cache configured", n)
+		}
+	})
+}
+
+func TestPrefetchRearmsAfterReplicaFailover(t *testing.T) {
+	e := newEnv()
+	data := replicatedDataset(e, "vpac27", "ds", 400_000)
+	e.v.Run(func() {
+		e.startServices(t)
+		observer := obs.New(e.v)
+		fm := e.fm(t, "vpac27", func(c *Config) {
+			c.Obs = observer
+			c.Retry = fmPolicy()
+			c.BlockCacheBytes = 8 << 20
+			c.PrefetchWindow = 4
+		})
+		f, err := fm.Open("ds")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		head := make([]byte, 100_000)
+		if _, err := io.ReadFull(f, head); err != nil {
+			t.Fatal(err)
+		}
+		// Kill the preferred replica mid-scan: sync reads walk over to the
+		// survivor and the prefetch pipeline — disabled by its own failed
+		// fetches — must rearm against the new source.
+		e.grid.Network().Partition("bouscat", "vpac27")
+		e.grid.Network().InjectReset("bouscat", "vpac27")
+		tail, err := io.ReadAll(f)
+		if err != nil {
+			t.Fatalf("read after replica death: %v", err)
+		}
+		got := append(head, tail...)
+		if !bytes.Equal(got, data) {
+			t.Fatalf("failover scan corrupted: got %d bytes want %d", len(got), len(data))
+		}
+		if fm.Stats().Failovers() == 0 {
+			t.Error("no failover recorded")
+		}
+		if observer.Snapshot().Counters["ftp.prefetch.issued.total"] == 0 {
+			t.Error("prefetch never issued")
+		}
+	})
+}

@@ -1,0 +1,280 @@
+package core
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+	"time"
+
+	"griddles/internal/gns"
+	"griddles/internal/nws"
+	"griddles/internal/replica"
+	"griddles/internal/vfs"
+)
+
+func TestPlanStripesCoversFileContiguously(t *testing.T) {
+	cases := []struct {
+		name      string
+		size      int64
+		bws       []float64
+		perStream int
+	}{
+		{"equal-unknown", 3 << 20, []float64{0, 0, 0}, 2},
+		{"proportional", 4 << 20, []float64{3e6, 1e6}, 2},
+		{"mixed-known-unknown", 2 << 20, []float64{2e6, 0, 1e6}, 1},
+		{"single-stream", 1 << 20, []float64{0, 0}, 1},
+		{"tiny-spans-collapse", 600 << 10, []float64{0, 0, 0}, 8},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tasks := planStripes(tc.size, tc.bws, tc.perStream)
+			var off int64
+			for i, task := range tasks {
+				if task.off != off {
+					t.Fatalf("task %d starts at %d, want %d (gap or overlap)", i, task.off, off)
+				}
+				if task.length <= 0 {
+					t.Fatalf("task %d has length %d", i, task.length)
+				}
+				if task.owner < 0 || task.owner >= len(tc.bws) {
+					t.Fatalf("task %d owned by %d of %d sources", i, task.owner, len(tc.bws))
+				}
+				off += task.length
+			}
+			if off != tc.size {
+				t.Fatalf("tasks cover %d bytes, want %d", off, tc.size)
+			}
+		})
+	}
+}
+
+func TestPlanStripesProportionalToBandwidth(t *testing.T) {
+	// A 3:1 bandwidth ratio should split the planned spans roughly 3:1.
+	tasks := planStripes(4<<20, []float64{3e6, 1e6}, 1)
+	spans := make([]int64, 2)
+	for _, task := range tasks {
+		spans[task.owner] += task.length
+	}
+	if spans[0] < 2*spans[1] {
+		t.Errorf("spans = %v, want the 3x-bandwidth source to carry most bytes", spans)
+	}
+}
+
+func TestPlanStripesRespectsMinChunk(t *testing.T) {
+	tasks := planStripes(600<<10, []float64{0, 0, 0}, 8)
+	for i, task := range tasks {
+		if task.length < stripeChunkMin {
+			t.Errorf("task %d is %d bytes, below the %d minimum", i, task.length, stripeChunkMin)
+		}
+	}
+}
+
+// stripeHosts are the replica servers for the striped stage-in tests: three
+// distinct WAN sites, each window-limited toward monash, so aggregating them
+// is the only way to go fast — the scenario striping exists for.
+var stripeHosts = []string{"bouscat", "koume00", "freak"}
+
+// stripedDataset registers `bigset` on the three WAN hosts with identical
+// content and maps it as a mode-5 (replica-copy) file for the requesting
+// machine. The payload is above stripeMinFile so the striped path engages.
+func stripedDataset(e *env, machine string, size int) []byte {
+	data := make([]byte, size)
+	rand.New(rand.NewSource(23)).Read(data)
+	for _, host := range stripeHosts {
+		vfs.WriteFile(e.grid.Machine(host).RawFS(), "/rep/big", data)
+		e.cat.Register("bigset", replica.Location{Host: host, Addr: host + ftpPort, Path: "/rep/big"})
+	}
+	e.store.Set(machine, "big", gns.Mapping{Mode: gns.ModeReplicaCopy, LogicalName: "bigset", LocalPath: "/tmp/big"})
+	return data
+}
+
+func TestStripedStageInByteIdentical(t *testing.T) {
+	e := newEnv()
+	data := stripedDataset(e, "dione", 1<<20)
+	// NWS forecasts near each link's achievable two-stream rate (window over
+	// RTT), so the plan is weighted the way a warmed-up NWS would weight it.
+	now := time.Unix(0, 0)
+	e.nws.Record("bouscat", "dione", nws.MetricBandwidth, now, 53e3)
+	e.nws.Record("koume00", "dione", nws.MetricBandwidth, now, 133e3)
+	e.nws.Record("freak", "dione", nws.MetricBandwidth, now, 102e3)
+	e.v.Run(func() {
+		e.startServices(t)
+		fm := e.fm(t, "dione", nil)
+		r, err := fm.Open("big")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := io.ReadAll(r)
+		r.Close()
+		if err != nil {
+			t.Fatalf("read staged copy: %v", err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("striped stage-in corrupted: got %d bytes want %d", len(got), len(data))
+		}
+		if n := fm.Obs().Counter("ftp.stripe.plan.total").Value(); n != 1 {
+			t.Errorf("stripe plans = %d, want 1", n)
+		}
+		if n := fm.Obs().Counter("ftp.stripe.bytes").Value(); n != int64(len(data)) {
+			t.Errorf("stripe bytes = %d, want %d", n, len(data))
+		}
+		var plan bool
+		for _, ev := range fm.Obs().Events() {
+			if ev.Type == "fm.stripe.plan" {
+				plan = true
+				if ev.Attr("sources") == nil {
+					t.Error("fm.stripe.plan event has no sources attr")
+				}
+			}
+		}
+		if !plan {
+			t.Error("no fm.stripe.plan decision record in trace")
+		}
+		if got := fm.Stats().StagedIn(); got != int64(len(data)) {
+			t.Errorf("staged-in bytes = %d, want %d", got, len(data))
+		}
+	})
+}
+
+func TestStripedStageInFasterThanSingleSource(t *testing.T) {
+	// The same 1 MiB, 3-replica stage-in must beat the single-best-replica
+	// copy on virtual time: the sources sit on three distinct WAN links, so
+	// striping aggregates their bandwidth (the acceptance floor of 1.5x is
+	// asserted by the benchmark; here we just require strictly faster).
+	singleEnv := newEnv()
+	stripedDataset(singleEnv, "dione", 1<<20)
+	var single time.Duration
+	singleEnv.v.Run(func() {
+		singleEnv.startServices(t)
+		// Shrink the catalogue to the single best WAN replica: the
+		// historical path.
+		singleEnv.cat.Unregister("bigset", replica.Location{Host: "bouscat", Addr: "bouscat" + ftpPort, Path: "/rep/big"})
+		singleEnv.cat.Unregister("bigset", replica.Location{Host: "freak", Addr: "freak" + ftpPort, Path: "/rep/big"})
+		fm := singleEnv.fm(t, "dione", nil)
+		start := singleEnv.v.Now()
+		r, err := fm.Open("big")
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Close()
+		single = singleEnv.v.Now().Sub(start)
+		if n := fm.Obs().Counter("ftp.stripe.plan.total").Value(); n != 0 {
+			t.Errorf("single replica striped anyway (%d plans)", n)
+		}
+	})
+
+	stripedEnv := newEnv()
+	stripedDataset(stripedEnv, "dione", 1<<20)
+	var striped time.Duration
+	stripedEnv.v.Run(func() {
+		stripedEnv.startServices(t)
+		fm := stripedEnv.fm(t, "dione", nil)
+		start := stripedEnv.v.Now()
+		r, err := fm.Open("big")
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Close()
+		striped = stripedEnv.v.Now().Sub(start)
+	})
+	if striped >= single {
+		t.Errorf("striped stage-in took %v, single-source %v — no speedup", striped, single)
+	}
+}
+
+func TestStripedStageInSmallFileUsesLegacyPath(t *testing.T) {
+	e := newEnv()
+	data := stripedDataset(e, "dione", 100_000) // below stripeMinFile
+	e.v.Run(func() {
+		e.startServices(t)
+		fm := e.fm(t, "dione", nil)
+		r, err := fm.Open("big")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := io.ReadAll(r)
+		r.Close()
+		if !bytes.Equal(got, data) {
+			t.Fatalf("staged copy corrupted")
+		}
+		if n := fm.Obs().Counter("ftp.stripe.plan.total").Value(); n != 0 {
+			t.Errorf("small file striped (%d plans), want legacy single-source path", n)
+		}
+	})
+}
+
+func TestStripedStageInReplicaDiesMidCopy(t *testing.T) {
+	e := newEnv()
+	data := stripedDataset(e, "dione", 1<<20)
+	e.v.Run(func() {
+		e.startServices(t)
+		// Bouscat's route resets after ~80 KB of its stripe. With no client
+		// retry policy the Fetch fails immediately, so the stripe executor's
+		// own failover — requeueing the dead source's tail onto the survivors
+		// — is the only thing that can complete the copy byte-identically.
+		e.grid.Network().FailAfter("bouscat", "dione", 80_000)
+		fm := e.fm(t, "dione", nil)
+		r, err := fm.Open("big")
+		if err != nil {
+			t.Fatalf("striped stage-in with a dying source: %v", err)
+		}
+		got, err := io.ReadAll(r)
+		r.Close()
+		if err != nil {
+			t.Fatalf("read staged copy: %v", err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("stage-in with mid-copy death corrupted: got %d bytes want %d", len(got), len(data))
+		}
+		if fm.Stats().Failovers() == 0 {
+			t.Error("no failover recorded for the dead stripe source")
+		}
+		if n := fm.Obs().Counter("ftp.stripe.requeue.total").Value(); n == 0 {
+			t.Error("no stripe requeue recorded")
+		}
+	})
+}
+
+func TestStripedStageInHedgesStraggler(t *testing.T) {
+	e := newEnv()
+	data := stripedDataset(e, "dione", 1<<20)
+	e.v.Run(func() {
+		e.startServices(t)
+		// No NWS data, so the planner splits evenly — but koume00's link
+		// crawls, so the fast sources finish their spans and must hedge the
+		// straggling range rather than idle.
+		e.grid.Network().SetExtraLatency("koume00", "dione", 30*time.Second)
+		fm := e.fm(t, "dione", nil)
+		r, err := fm.Open("big")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := io.ReadAll(r)
+		r.Close()
+		if err != nil {
+			t.Fatalf("read staged copy: %v", err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("hedged stage-in corrupted: got %d bytes want %d", len(got), len(data))
+		}
+		if n := fm.Obs().Counter("ftp.stripe.hedge.total").Value(); n == 0 {
+			t.Error("no hedge issued against the straggling source")
+		}
+	})
+}
+
+func TestStripedStageInAllSourcesDead(t *testing.T) {
+	e := newEnv()
+	stripedDataset(e, "dione", 1<<20)
+	e.v.Run(func() {
+		e.startServices(t)
+		for _, h := range stripeHosts {
+			e.grid.Network().FailAfter(h, "dione", 50_000)
+		}
+		fm := e.fm(t, "dione", nil)
+		if _, err := fm.Open("big"); err == nil {
+			t.Fatal("striped stage-in with every source dead succeeded")
+		}
+	})
+}

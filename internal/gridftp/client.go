@@ -46,6 +46,15 @@ type Client struct {
 	copyinBytes   *obs.Counter
 	copyoutBytes  *obs.Counter
 	copyStreams   *obs.Histogram
+	wbFlushes     *obs.Counter
+	wbCoalesce    *obs.Counter
+	wbQueued      *obs.Counter
+	wbDirty       *obs.Gauge
+
+	// writeBehind, when > 0, arms write-behind coalescing on every writable
+	// handle this client opens: up to that many dirty bytes are buffered and
+	// flushed asynchronously (see writebehind.go).
+	writeBehind int64
 
 	mu   *simclock.Mutex
 	conn net.Conn
@@ -74,7 +83,16 @@ func (c *Client) SetObserver(o *obs.Observer) {
 	c.copyinBytes = o.Counter("ftp.copyin.bytes")
 	c.copyoutBytes = o.Counter("ftp.copyout.bytes")
 	c.copyStreams = o.Histogram("ftp.copy.streams")
+	c.wbFlushes = o.Counter("ftp.writebehind.flush.total")
+	c.wbCoalesce = o.Counter("ftp.writebehind.coalesce.total")
+	c.wbQueued = o.Counter("ftp.writebehind.queued.bytes")
+	c.wbDirty = o.Gauge("ftp.writebehind.dirty.bytes")
 }
+
+// SetWriteBehind arms write-behind coalescing for writable handles opened
+// after the call: n is the dirty-byte bound (0 restores the historical
+// synchronous round trip per write).
+func (c *Client) SetWriteBehind(n int64) { c.writeBehind = n }
 
 // SetRetry installs the resilience policy. The zero policy (the default)
 // preserves the historical fail-fast behaviour.
@@ -196,6 +214,12 @@ func (c *Client) Open(path string, flag int) (*RemoteFile, error) {
 	err := c.retry.Do("gridftp.open", func(int) error { return f.ensureHandle() })
 	if err != nil {
 		return nil, err
+	}
+	if c.writeBehind > 0 && flag&(os.O_WRONLY|os.O_RDWR) != 0 {
+		f.wb = newWriteBehind(c.clock, c.writeBehind, func(off int64, data []byte) error {
+			_, werr := f.writeAtRemote(data, off)
+			return werr
+		}, c.wbFlushes, c.wbCoalesce, c.wbQueued, c.wbDirty)
 	}
 	return f, nil
 }
@@ -388,6 +412,8 @@ type RemoteFile struct {
 	bufOff int64  // file offset of buf[0]
 	eof    bool   // server reported EOF at the end of buf
 	closed bool
+
+	wb *writeBehind // write-behind pipeline for writes, nil = synchronous
 }
 
 // Name reports the remote path.
@@ -435,10 +461,17 @@ func (f *RemoteFile) ensureHandle() error {
 	return nil
 }
 
-// ReadAt implements io.ReaderAt with one round trip per call.
+// ReadAt implements io.ReaderAt with one round trip per call. With
+// write-behind armed it drains the dirty buffer first (the read barrier), so
+// the handle always reads its own writes.
 func (f *RemoteFile) ReadAt(p []byte, off int64) (int, error) {
 	if f.closed {
 		return 0, errors.New("gridftp: file closed")
+	}
+	if f.wb != nil {
+		if err := f.wb.barrier(); err != nil {
+			return 0, err
+		}
 	}
 	var n int
 	var eof bool
@@ -514,11 +547,39 @@ func (f *RemoteFile) Read(p []byte) (int, error) {
 	return c, nil
 }
 
-// WriteAt implements io.WriterAt with one round trip per call.
+// WriteAt implements io.WriterAt. Without write-behind it is one round trip
+// per call; with it, the range is queued for asynchronous coalesced flushing
+// and the call returns once the dirty-byte bound admits it. Either way the
+// handle's size and read-ahead state update immediately, so Seek(END) and
+// reads through this handle see the write.
 func (f *RemoteFile) WriteAt(p []byte, off int64) (int, error) {
 	if f.closed {
 		return 0, errors.New("gridftp: file closed")
 	}
+	var n int
+	if f.wb != nil {
+		if err := f.wb.enqueue(p, off); err != nil {
+			return 0, err
+		}
+		n = len(p)
+	} else {
+		var err error
+		n, err = f.writeAtRemote(p, off)
+		if err != nil {
+			return 0, err
+		}
+	}
+	if end := off + int64(n); end > f.size {
+		f.size = end
+	}
+	f.invalidate()
+	return n, nil
+}
+
+// writeAtRemote performs the write round trip without touching the handle's
+// size or read-ahead state — the write-behind flusher calls it from its own
+// goroutine, where only the wire transfer is wanted.
+func (f *RemoteFile) writeAtRemote(p []byte, off int64) (int, error) {
 	var n int
 	err := f.c.retry.Do("gridftp.write", func(int) error {
 		if err := f.ensureHandle(); err != nil {
@@ -540,10 +601,6 @@ func (f *RemoteFile) WriteAt(p []byte, off int64) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	if end := off + int64(n); end > f.size {
-		f.size = end
-	}
-	f.invalidate()
 	return n, nil
 }
 
@@ -590,24 +647,30 @@ func (f *RemoteFile) Close() error {
 	if f.closed {
 		return nil
 	}
+	var wbErr error
+	if f.wb != nil {
+		// Drain the write-behind pipeline before releasing the handle, so
+		// Close-visible durability matches the synchronous path.
+		wbErr = f.wb.close()
+	}
 	f.closed = true
 	c := f.c
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.conn == nil || c.gen != f.gen || f.handle == 0 {
-		return nil
+		return wbErr
 	}
 	typ, _, err := c.roundTripLocked(msgClose, wire.NewEncoder().U64(f.handle).Bytes())
 	if err != nil {
 		if c.retry.Enabled() && !retry.IsPermanent(err) {
-			return nil // transport died, and the handle with it
+			return wbErr // transport died, and the handle with it
 		}
 		return err
 	}
 	if typ != msgCloseResp {
 		return fmt.Errorf("gridftp: unexpected reply %d", typ)
 	}
-	return nil
+	return wbErr
 }
 
 // CopyIn pulls remotePath from the server into localPath on fsys using the

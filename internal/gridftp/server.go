@@ -53,11 +53,21 @@ const streamChunk = 64 * 1024
 type Server struct {
 	fs    vfs.FS
 	clock simclock.Clock
+	chunk int
 }
 
 // NewServer returns a Server exporting fsys.
 func NewServer(fsys vfs.FS, clock simclock.Clock) *Server {
-	return &Server{fs: fsys, clock: clock}
+	return &Server{fs: fsys, clock: clock, chunk: streamChunk}
+}
+
+// SetChunkSize sets the frame size Fetch bulk streaming uses (default
+// 64 KiB). Smaller frames interleave better when many striped streams share
+// a link; larger ones cut per-frame overhead on fat dedicated pipes.
+func (s *Server) SetChunkSize(n int) {
+	if n > 0 {
+		s.chunk = n
+	}
 }
 
 // Serve accepts connections until l is closed.
@@ -255,7 +265,7 @@ func (sess *session) fetch(w io.Writer, path string, off, length int64) error {
 	if err := wire.WriteFrame(w, msgFetchHdr, wire.NewEncoder().I64(end-off).Bytes()); err != nil {
 		return err
 	}
-	buf := make([]byte, streamChunk)
+	buf := make([]byte, sess.srv.chunk)
 	for off < end {
 		n := int64(len(buf))
 		if end-off < n {

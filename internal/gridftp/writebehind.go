@@ -1,0 +1,181 @@
+package gridftp
+
+import (
+	"errors"
+	"sort"
+	"sync"
+
+	"griddles/internal/obs"
+	"griddles/internal/simclock"
+)
+
+// writeBehind buffers and coalesces WriteAt ranges for one RemoteFile and
+// flushes them from a background goroutine, so a stream of small remote
+// writes costs far fewer wire round trips and the application never waits on
+// one (until the dirty-byte bound applies backpressure). POSIX-visible
+// semantics are preserved by barriers: reads through the same handle and
+// Close drain the buffer first, and overlapping writes are merged
+// newest-wins before anything reaches the wire.
+//
+// A flush failure (after the client's own retries) is sticky: it surfaces on
+// the next write, read barrier, or Close, matching the synchronous path's
+// "the write that failed reports the error" up to timing.
+type wbExtent struct {
+	off  int64
+	data []byte
+}
+
+type writeBehind struct {
+	clock simclock.Clock
+	limit int64
+	flush func(off int64, data []byte) error
+
+	flushes  *obs.Counter
+	coalesce *obs.Counter
+	queued   *obs.Counter
+	dirtyG   *obs.Gauge
+
+	mu       sync.Mutex
+	cond     simclock.Cond
+	extents  []wbExtent // sorted by off, non-overlapping
+	dirty    int64
+	flushing bool
+	started  bool
+	closed   bool
+	err      error
+}
+
+func newWriteBehind(clock simclock.Clock, limit int64, flush func(off int64, data []byte) error,
+	flushes, coalesce, queued *obs.Counter, dirty *obs.Gauge) *writeBehind {
+	b := &writeBehind{
+		clock: clock, limit: limit, flush: flush,
+		flushes: flushes, coalesce: coalesce, queued: queued, dirtyG: dirty,
+	}
+	b.cond = clock.NewCond(&b.mu)
+	return b
+}
+
+// enqueue adds [off, off+len(p)) to the dirty set, blocking while the dirty
+// byte bound would be exceeded (backpressure). A single write larger than
+// the whole bound is admitted alone once the buffer drains, so the bound is
+// soft by at most one write.
+func (b *writeBehind) enqueue(p []byte, off int64) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return errors.New("gridftp: write-behind closed")
+	}
+	for b.err == nil && b.dirty > 0 && b.dirty+int64(len(p)) > b.limit {
+		b.cond.Wait()
+	}
+	if b.err != nil {
+		return b.err
+	}
+	b.insertLocked(p, off)
+	b.queued.Add(int64(len(p)))
+	b.dirtyG.Set(b.dirty)
+	if !b.started {
+		b.started = true
+		b.clock.Go("gridftp-writebehind", b.flusher)
+	}
+	b.cond.Broadcast()
+	return nil
+}
+
+// insertLocked merges [off, off+len(p)) into the extent list, coalescing
+// with every overlapping or touching neighbour; the new bytes win where
+// ranges overlap (they are the latest write).
+func (b *writeBehind) insertLocked(p []byte, off int64) {
+	end := off + int64(len(p))
+	lo := sort.Search(len(b.extents), func(i int) bool {
+		return b.extents[i].off+int64(len(b.extents[i].data)) >= off
+	})
+	hi := lo
+	for hi < len(b.extents) && b.extents[hi].off <= end {
+		hi++
+	}
+	if lo == hi {
+		ext := wbExtent{off: off, data: append([]byte(nil), p...)}
+		b.extents = append(b.extents, wbExtent{})
+		copy(b.extents[lo+1:], b.extents[lo:])
+		b.extents[lo] = ext
+		b.dirty += int64(len(p))
+		return
+	}
+	newOff := off
+	if b.extents[lo].off < newOff {
+		newOff = b.extents[lo].off
+	}
+	newEnd := end
+	if e := b.extents[hi-1].off + int64(len(b.extents[hi-1].data)); e > newEnd {
+		newEnd = e
+	}
+	merged := make([]byte, newEnd-newOff)
+	var old int64
+	for i := lo; i < hi; i++ {
+		copy(merged[b.extents[i].off-newOff:], b.extents[i].data)
+		old += int64(len(b.extents[i].data))
+	}
+	copy(merged[off-newOff:], p)
+	b.extents[lo] = wbExtent{off: newOff, data: merged}
+	b.extents = append(b.extents[:lo+1], b.extents[hi:]...)
+	b.dirty += int64(len(merged)) - old
+	b.coalesce.Add(int64(hi - lo))
+}
+
+// flusher drains extents lowest-offset-first, one flush call in flight at a
+// time, until the pipeline closes with an empty buffer or a flush fails.
+func (b *writeBehind) flusher() {
+	b.mu.Lock()
+	for {
+		for !b.closed && (len(b.extents) == 0 || b.err != nil) {
+			b.cond.Wait()
+		}
+		if len(b.extents) == 0 || b.err != nil {
+			break // closed and drained, or sticky failure: stop
+		}
+		ext := b.extents[0]
+		b.extents = b.extents[1:]
+		b.flushing = true
+		b.mu.Unlock()
+		err := b.flush(ext.off, ext.data)
+		b.mu.Lock()
+		b.flushing = false
+		if err != nil {
+			b.err = err
+		} else {
+			b.dirty -= int64(len(ext.data))
+			b.flushes.Inc()
+			b.dirtyG.Set(b.dirty)
+		}
+		b.cond.Broadcast()
+	}
+	b.mu.Unlock()
+}
+
+// barrier blocks until every queued byte has reached the server (or a flush
+// has failed), giving reads through the handle read-your-writes semantics.
+func (b *writeBehind) barrier() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for b.err == nil && (len(b.extents) > 0 || b.flushing) {
+		b.cond.Wait()
+	}
+	return b.err
+}
+
+// close drains the buffer, stops the flusher, and reports the sticky error —
+// Close on the handle is a durability point exactly like the sync path.
+func (b *writeBehind) close() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return b.err
+	}
+	for b.err == nil && (len(b.extents) > 0 || b.flushing) {
+		b.cond.Wait()
+	}
+	b.closed = true
+	b.cond.Broadcast()
+	return b.err
+}

@@ -1,0 +1,206 @@
+package gridftp
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+
+	"griddles/internal/obs"
+	"griddles/internal/simclock"
+	"griddles/internal/simnet"
+	"griddles/internal/vfs"
+)
+
+func newTestWB(limit int64) (*writeBehind, *obs.Observer) {
+	v := simclock.NewVirtualDefault()
+	o := obs.New(v)
+	b := newWriteBehind(v, limit, func(int64, []byte) error { return nil },
+		o.Counter("ftp.writebehind.flush.total"),
+		o.Counter("ftp.writebehind.coalesce.total"),
+		o.Counter("ftp.writebehind.queued.bytes"),
+		o.Gauge("ftp.writebehind.dirty.bytes"))
+	return b, o
+}
+
+func (b *writeBehind) insert(p []byte, off int64) {
+	b.mu.Lock()
+	b.insertLocked(p, off)
+	b.mu.Unlock()
+}
+
+func TestWriteBehindInsertMergesExtents(t *testing.T) {
+	b, o := newTestWB(1 << 20)
+
+	// Disjoint ranges stay separate extents.
+	b.insert([]byte("aaaa"), 0)
+	b.insert([]byte("bbbb"), 100)
+	if len(b.extents) != 2 {
+		t.Fatalf("disjoint inserts produced %d extents, want 2", len(b.extents))
+	}
+
+	// A touching range coalesces with its neighbour.
+	b.insert([]byte("cccc"), 4)
+	if len(b.extents) != 2 {
+		t.Fatalf("adjacent insert left %d extents, want 2", len(b.extents))
+	}
+	if got := string(b.extents[0].data); got != "aaaacccc" {
+		t.Errorf("adjacent merge = %q, want aaaacccc", got)
+	}
+
+	// An overlapping range merges newest-wins.
+	b.insert([]byte("XXXX"), 2)
+	if got := string(b.extents[0].data); got != "aaXXXXcc" {
+		t.Errorf("overlap merge = %q, want aaXXXXcc (newest wins)", got)
+	}
+
+	// A range bridging two extents collapses them into one.
+	b.insert(bytes.Repeat([]byte("z"), 92), 8)
+	if len(b.extents) != 1 {
+		t.Fatalf("bridging insert left %d extents, want 1", len(b.extents))
+	}
+	ext := b.extents[0]
+	if ext.off != 0 || len(ext.data) != 104 {
+		t.Errorf("bridged extent = [%d,+%d), want [0,+104)", ext.off, len(ext.data))
+	}
+	if b.dirty != 104 {
+		t.Errorf("dirty = %d, want 104", b.dirty)
+	}
+	if o.Counter("ftp.writebehind.coalesce.total").Value() == 0 {
+		t.Error("no coalesce operations counted")
+	}
+}
+
+// wbRig is a gridftp rig with write-behind armed on the client.
+func newWBRig(limit int64) (*rig, *obs.Observer) {
+	r := newRig(simnet.LinkSpec{Latency: 5 * time.Millisecond, Bandwidth: 1 << 20})
+	o := obs.New(r.v)
+	r.client.SetObserver(o)
+	r.client.SetWriteBehind(limit)
+	return r, o
+}
+
+func TestWriteBehindCoalescesSequentialWrites(t *testing.T) {
+	r, o := newWBRig(1 << 20)
+	want := make([]byte, 256<<10)
+	rand.New(rand.NewSource(7)).Read(want)
+	r.v.Run(func() {
+		r.start(t)
+		f, err := r.client.Open("out", os.O_WRONLY|os.O_CREATE)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const chunk = 1 << 10
+		for off := 0; off < len(want); off += chunk {
+			if _, err := f.Write(want[off : off+chunk]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := f.Close(); err != nil {
+			t.Fatalf("close (drains write-behind): %v", err)
+		}
+		got, err := vfs.ReadFile(r.fs, "out")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("write-behind output corrupted: %d bytes want %d", len(got), len(want))
+		}
+		writes := int64(len(want) / chunk)
+		flushes := o.Counter("ftp.writebehind.flush.total").Value()
+		if flushes == 0 || flushes >= writes {
+			t.Errorf("flushes = %d for %d writes, want coalescing (0 < flushes < writes)", flushes, writes)
+		}
+		if o.Counter("ftp.writebehind.queued.bytes").Value() != int64(len(want)) {
+			t.Errorf("queued bytes = %d, want %d", o.Counter("ftp.writebehind.queued.bytes").Value(), len(want))
+		}
+	})
+}
+
+func TestWriteBehindReadBackBarrier(t *testing.T) {
+	r, _ := newWBRig(1 << 20)
+	r.v.Run(func() {
+		r.start(t)
+		f, err := r.client.Open("rw", os.O_RDWR|os.O_CREATE)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		want := bytes.Repeat([]byte("durable?"), 4<<10)
+		if _, err := f.WriteAt(want, 0); err != nil {
+			t.Fatal(err)
+		}
+		// Overwrite a hole in the middle, still queued, then read everything
+		// back through the same handle: the barrier must drain first.
+		copy(want[100:], "YES-FLUSHED")
+		if _, err := f.WriteAt([]byte("YES-FLUSHED"), 100); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, len(want))
+		if _, err := f.ReadAt(got, 0); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatal("read-back through write-behind handle saw stale bytes")
+		}
+	})
+}
+
+func TestWriteBehindBackpressureBound(t *testing.T) {
+	r, o := newWBRig(8 << 10) // tiny bound: most writes must wait their turn
+	want := make([]byte, 128<<10)
+	rand.New(rand.NewSource(8)).Read(want)
+	r.v.Run(func() {
+		r.start(t)
+		f, err := r.client.Open("bp", os.O_WRONLY|os.O_CREATE)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// 4 KiB writes fit the bound in pairs; one 32 KiB write is larger
+		// than the whole bound and must be admitted alone.
+		if _, err := f.WriteAt(want[:32<<10], 0); err != nil {
+			t.Fatal(err)
+		}
+		for off := 32 << 10; off < len(want); off += 4 << 10 {
+			if _, err := f.WriteAt(want[off:off+4<<10], int64(off)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := vfs.ReadFile(r.fs, "bp")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatal("backpressured write-behind corrupted the file")
+		}
+		if o.Counter("ftp.writebehind.flush.total").Value() == 0 {
+			t.Error("no flushes recorded")
+		}
+	})
+}
+
+func TestWriteBehindFlushFailureSurfacesOnClose(t *testing.T) {
+	r, _ := newWBRig(1 << 20)
+	r.v.Run(func() {
+		r.start(t)
+		f, err := r.client.Open("doomed", os.O_WRONLY|os.O_CREATE)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.WriteAt(bytes.Repeat([]byte("x"), 4<<10), 0); err != nil {
+			t.Fatal(err)
+		}
+		// Cut the route before the flusher runs: the queued bytes can never
+		// reach the server, so Close — the durability point — must fail
+		// rather than report a silently-lost write.
+		r.net.Partition("app", "srv")
+		r.net.InjectReset("app", "srv")
+		if err := f.Close(); err == nil {
+			t.Fatal("Close succeeded with unflushable dirty bytes")
+		}
+	})
+}

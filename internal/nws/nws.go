@@ -258,6 +258,17 @@ func (s *Service) Forecast(src, dst, metric string) (float64, bool) {
 	return v, ok
 }
 
+// EstimateBandwidth reports the forecast bandwidth in bytes per second from
+// src to dst. ok is false when the link has no bandwidth measurements or the
+// forecast is non-positive; callers should treat such links as unknown.
+func (s *Service) EstimateBandwidth(src, dst string) (float64, bool) {
+	bw, ok := s.Forecast(src, dst, MetricBandwidth)
+	if !ok || bw <= 0 {
+		return 0, false
+	}
+	return bw, true
+}
+
 // EstimateTransfer predicts the time to move n bytes from src to dst using
 // the current latency and bandwidth forecasts. Links with no measurements
 // report ok=false; callers should treat them as unknown, not free.

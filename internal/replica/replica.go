@@ -113,6 +113,10 @@ type Ranked struct {
 	Known bool
 	// Local marks a replica on the requesting machine itself.
 	Local bool
+	// Bandwidth is the forecast link bandwidth in bytes/s toward the
+	// requester, 0 when the NWS had no bandwidth data. The stripe planner
+	// uses it to size per-replica ranges; it does not affect ordering.
+	Bandwidth float64
 }
 
 // Rank orders the replicas of a dataset by access cost from machine `from`
@@ -125,6 +129,9 @@ func (s *Selector) Rank(from string, size int64, locs []Location) []Ranked {
 		if s.NWS != nil && !r.Local {
 			if d, ok := s.NWS.EstimateTransfer(loc.Host, from, size); ok {
 				r.Cost, r.Known = d, true
+			}
+			if bw, ok := s.NWS.EstimateBandwidth(loc.Host, from); ok {
+				r.Bandwidth = bw
 			}
 		}
 		if r.Local {
