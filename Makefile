@@ -1,9 +1,11 @@
 GO ?= go
 
 # Coverage floors: the pre-PR3 baselines for the packages the buffer
-# overhaul touches. `make cover` fails when either drops below its floor.
+# overhaul touches, plus the PR5 scheduler floor for internal/workflow.
+# `make cover` fails when any drops below its floor.
 COVER_FLOOR_CORE       ?= 80.3
 COVER_FLOOR_GRIDBUFFER ?= 84.7
+COVER_FLOOR_WORKFLOW   ?= 91.5
 
 # Per-target fuzz budget for the `make fuzz` smoke pass. The checked-in
 # seed corpora always replay in full under plain `go test`; this adds a
@@ -29,13 +31,16 @@ race:
 	$(GO) test -race -shuffle=on ./internal/obs/... ./internal/core/... ./internal/gridftp/...
 
 ## cover: race-enabled tests with per-package coverage, gated on the
-## pre-PR floors for internal/core and internal/gridbuffer.
+## pre-PR floors for internal/core, internal/gridbuffer and
+## internal/workflow.
 cover:
 	$(GO) test -race -shuffle=on -coverprofile=cover.out \
 		./internal/obs/... ./internal/core/... ./internal/gridbuffer/... \
+		./internal/workflow/... \
 		| $(GO) run ./cmd/covergate \
 		-floor griddles/internal/core=$(COVER_FLOOR_CORE) \
-		-floor griddles/internal/gridbuffer=$(COVER_FLOOR_GRIDBUFFER)
+		-floor griddles/internal/gridbuffer=$(COVER_FLOOR_GRIDBUFFER) \
+		-floor griddles/internal/workflow=$(COVER_FLOOR_WORKFLOW)
 
 ## chaos: the fault-injection matrix — {IO mechanism} x {fault scenario},
 ## the no-survivor budget tests, and 50 seeded random fault schedules.
@@ -60,17 +65,17 @@ fuzz:
 		$(GO) test -run '^$$' -fuzz "^$$fn$$" -fuzztime $(FUZZTIME) ./$$pkg/ || exit 1; \
 	done
 
-## bench: run the benchmark suite once and record it as BENCH_pr4.json.
+## bench: run the benchmark suite once and record it as BENCH_pr5.json.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x -timeout 20m . | tee bench.out
-	$(GO) run ./cmd/benchgate -parse bench.out -o BENCH_pr4.json
+	$(GO) run ./cmd/benchgate -parse bench.out -o BENCH_pr5.json
 
 ## bench-gate: re-run the suite and fail on regression vs the checked-in
 ## baseline. Simulated-clock metrics and allocs/op gate at 10%; wall-clock
 ## metrics are compared and reported but don't gate (pure machine noise at
 ## -benchtime 1x) — pass -gate-wall to benchgate to enforce them too.
 bench-gate: bench
-	$(GO) run ./cmd/benchgate BENCH_baseline.json BENCH_pr4.json
+	$(GO) run ./cmd/benchgate BENCH_baseline.json BENCH_pr5.json
 
 build:
 	$(GO) build ./...

@@ -903,3 +903,171 @@ func BenchmarkWriteBehindStream(b *testing.B) {
 		b.Errorf("write-behind stream (%v) not faster than synchronous writes (%v)", wb, sync)
 	}
 }
+
+// dagBenchRun executes spec on a fresh testbed grid under sequential
+// coupling and returns the run report.
+func dagBenchRun(b *testing.B, spec *workflow.Spec, mutate func(*workflow.Runner)) *workflow.Report {
+	b.Helper()
+	v := simclock.NewVirtualDefault()
+	grid := testbed.DefaultGrid(v)
+	runner := &workflow.Runner{Grid: grid, GNS: gns.NewStore(v)}
+	if mutate != nil {
+		mutate(runner)
+	}
+	var rep *workflow.Report
+	v.Run(func() {
+		if err := workflow.StartServices(v, grid); err != nil {
+			b.Fatal(err)
+		}
+		var err error
+		rep, err = runner.Run(spec, workflow.CouplingSequential)
+		if err != nil {
+			b.Fatal(err)
+		}
+	})
+	return rep
+}
+
+// dagDiamond is the PR 5 tentpole workload: source -> {mid1, mid2} -> sink
+// across three machines, with `work` brecca-seconds per branch and payload
+// bytes on every edge. The branches are independent, so the DAG scheduler
+// can run them concurrently where the serial executor cannot.
+func dagDiamond(work float64, payload int) *workflow.Spec {
+	write := func(ctx *workflow.Ctx, path string) error {
+		w, err := ctx.FM.Create(path)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(make([]byte, payload)); err != nil {
+			return err
+		}
+		return w.Close()
+	}
+	read := func(ctx *workflow.Ctx, path string) error {
+		r, err := ctx.FM.Open(path)
+		if err != nil {
+			return err
+		}
+		defer r.Close()
+		n, err := io.Copy(io.Discard, r)
+		if err != nil {
+			return err
+		}
+		if n != int64(payload) {
+			return fmt.Errorf("%s: read %d of %d bytes", path, n, payload)
+		}
+		return nil
+	}
+	mid := func(in, out string) func(*workflow.Ctx) error {
+		return func(ctx *workflow.Ctx) error {
+			if err := read(ctx, in); err != nil {
+				return err
+			}
+			ctx.Compute(work)
+			return write(ctx, out)
+		}
+	}
+	return &workflow.Spec{Name: "bench-diamond", Components: []workflow.Component{
+		{Name: "source", Machine: "brecca", Outputs: []string{"src.dat"}, WorkHint: 5,
+			Run: func(ctx *workflow.Ctx) error { ctx.Compute(5); return write(ctx, "src.dat") }},
+		{Name: "mid1", Machine: "dione", Inputs: []string{"src.dat"}, Outputs: []string{"m1.dat"}, WorkHint: work,
+			Run: mid("src.dat", "m1.dat")},
+		{Name: "mid2", Machine: "freak", Inputs: []string{"src.dat"}, Outputs: []string{"m2.dat"}, WorkHint: work,
+			Run: mid("src.dat", "m2.dat")},
+		{Name: "sink", Machine: "brecca", Inputs: []string{"m1.dat", "m2.dat"}, WorkHint: 5,
+			Run: func(ctx *workflow.Ctx) error {
+				for _, in := range []string{"m1.dat", "m2.dat"} {
+					if err := read(ctx, in); err != nil {
+						return err
+					}
+				}
+				ctx.Compute(5)
+				return nil
+			}},
+	}}
+}
+
+// BenchmarkDAGParallelStages is the PR 5 tentpole headline: the diamond
+// workflow under the historical serial executor versus the ready-set DAG
+// scheduler with eager stage-in. The speedup-x metric is gated: the ISSUE
+// acceptance floor is 1.5x.
+func BenchmarkDAGParallelStages(b *testing.B) {
+	var serial, dag time.Duration
+	for i := 0; i < b.N; i++ {
+		serial = dagBenchRun(b, dagDiamond(30, 512<<10), func(r *workflow.Runner) { r.Serial = true }).Total
+		dag = dagBenchRun(b, dagDiamond(30, 512<<10), func(r *workflow.Runner) { r.EagerCopy = true }).Total
+	}
+	b.ReportMetric(serial.Seconds(), "virt-s/serial")
+	b.ReportMetric(dag.Seconds(), "virt-s/dag")
+	speedup := serial.Seconds() / dag.Seconds()
+	b.ReportMetric(speedup, "speedup-x")
+	if speedup < 1.5 {
+		b.Errorf("DAG scheduling speedup %.2fx over serial executor, floor 1.5x", speedup)
+	}
+}
+
+// eagerTail is the eager stage-in workload: a producer on brecca writes
+// payload bytes, closes, then keeps computing for `tail` units — the window
+// the eager copy hides the transfer in — before a consumer on dione reads
+// the file. The consumer marks "input-open" once its open (and therefore
+// any open-time copy) completes.
+func eagerTail(payload int, tail float64) *workflow.Spec {
+	return &workflow.Spec{Name: "bench-eager", Components: []workflow.Component{
+		{Name: "producer", Machine: "brecca", Outputs: []string{"out.dat"}, WorkHint: tail,
+			Run: func(ctx *workflow.Ctx) error {
+				w, err := ctx.FM.Create("out.dat")
+				if err != nil {
+					return err
+				}
+				if _, err := w.Write(make([]byte, payload)); err != nil {
+					return err
+				}
+				if err := w.Close(); err != nil {
+					return err
+				}
+				ctx.Compute(tail)
+				return nil
+			}},
+		{Name: "consumer", Machine: "dione", Inputs: []string{"out.dat"}, WorkHint: 1,
+			Run: func(ctx *workflow.Ctx) error {
+				r, err := ctx.FM.Open("out.dat")
+				if err != nil {
+					return err
+				}
+				defer r.Close()
+				ctx.Mark("input-open")
+				if n, _ := io.Copy(io.Discard, r); n != int64(payload) {
+					return fmt.Errorf("consumer read %d of %d bytes", n, payload)
+				}
+				return nil
+			}},
+	}}
+}
+
+// BenchmarkEagerCopyOverlap prices eager stage-in on the producer-tail
+// pipeline: the open-time copy versus the eager copy launched at producer
+// close. hidden-% is the share of the open-time copy cost that the eager
+// copy removed from the critical path — gated at 90%: with a compute tail
+// longer than the transfer, the copy must hide almost entirely.
+func BenchmarkEagerCopyOverlap(b *testing.B) {
+	const payload = 2 << 20
+	var off, on *workflow.Report
+	for i := 0; i < b.N; i++ {
+		off = dagBenchRun(b, eagerTail(payload, 30), nil)
+		on = dagBenchRun(b, eagerTail(payload, 30), func(r *workflow.Runner) { r.EagerCopy = true })
+	}
+	consumer, _ := off.Timing("consumer")
+	openMark, ok := off.Mark("consumer/input-open")
+	if !ok {
+		b.Fatal("consumer never marked input-open")
+	}
+	copyOff := openMark - consumer.Start // the open-time stage-in cost
+	b.ReportMetric(copyOff.Seconds()*1e3, "virt-ms/open-copy")
+	b.ReportMetric(off.Total.Seconds()*1e3, "virt-ms/eager-off")
+	b.ReportMetric(on.Total.Seconds()*1e3, "virt-ms/eager-on")
+	hidden := 100 * (off.Total - on.Total).Seconds() / copyOff.Seconds()
+	b.ReportMetric(hidden, "hidden-%")
+	if hidden < 90 {
+		b.Errorf("eager copy hides %.1f%% of the stage-in cost, floor 90%%", hidden)
+	}
+}

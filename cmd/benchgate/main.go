@@ -151,17 +151,19 @@ func trimCPUSuffix(rep Report, names []string) {
 }
 
 // higherIsBetter reports the metric's direction from its unit name.
-// Throughputs ("/s"), speedup ratios ("speedup-x") and hit rates ("hit-%")
-// improve upward; everything else is a cost. Simulated-clock readings are
-// always durations — checked first, so a sub-label like "virt-s/single"
-// can't be mistaken for a throughput by its "/s".
+// Throughputs ("/s"), speedup ratios ("speedup-x"), hit rates ("hit-%") and
+// overlap shares ("hidden-%") improve upward; everything else is a cost.
+// Simulated-clock readings are always durations — checked first, so a
+// sub-label like "virt-s/single" can't be mistaken for a throughput by its
+// "/s".
 func higherIsBetter(unit string) bool {
 	if strings.HasPrefix(unit, "virt-") {
 		return false
 	}
 	return strings.Contains(unit, "/s") ||
 		strings.Contains(unit, "speedup-x") ||
-		strings.Contains(unit, "hit-%")
+		strings.Contains(unit, "hit-%") ||
+		strings.Contains(unit, "hidden-%")
 }
 
 // deterministic reports whether the metric is noise-free (simulated clock,
@@ -172,7 +174,8 @@ func deterministic(unit string) bool {
 		unit == "allocs/op" ||
 		strings.Contains(unit, "overhead") ||
 		strings.Contains(unit, "speedup-x") ||
-		strings.Contains(unit, "hit-%")
+		strings.Contains(unit, "hit-%") ||
+		strings.Contains(unit, "hidden-%")
 }
 
 func compare(base, cur Report, tolerance, wallSlack float64, gateWall bool) bool {

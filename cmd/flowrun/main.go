@@ -7,14 +7,21 @@
 //
 // Usage:
 //
-//	flowrun [-mode local|copy|remote|buffer] [-mb 8] [-dir DIR] [-trace FILE]
+//	flowrun [-mode local|copy|remote|buffer|dag] [-mb 8] [-dir DIR] [-trace FILE]
 //	        [-retries N] [-retry-timeout D]
 //
 // All services (GNS, file service, Grid Buffer) are started in-process on
 // loopback TCP ports. -trace streams the run's JSONL event log (see
 // OBSERVABILITY.md) to FILE. -retries / -retry-timeout configure the
 // resilience policy threaded through every transport (DESIGN.md §7);
-// -retries 1 restores the historical fail-fast behaviour.
+// -retries 1 restores the historical fail-fast behaviour. -gns-cache turns
+// on client-side GNS resolve memoisation with Watch-based invalidation.
+//
+// -mode dag runs a diamond workflow on the simulated Table 1 testbed
+// instead of the TCP pipe, demonstrating the DAG scheduler (DESIGN.md §10):
+// -max-parallel sets the per-machine admission cap, -eager-copy overlaps
+// staging copies with upstream compute, and -serial forces the historical
+// strict-sequential executor for comparison.
 package main
 
 import (
@@ -35,7 +42,9 @@ import (
 	"griddles/internal/obs"
 	"griddles/internal/retry"
 	"griddles/internal/simclock"
+	"griddles/internal/testbed"
 	"griddles/internal/vfs"
+	"griddles/internal/workflow"
 )
 
 // tcpDialer adapts net.Dial to the service clients' Dialer interface.
@@ -56,7 +65,16 @@ func main() {
 	copyStreamsPerReplica := flag.Int("copy-streams-per-replica", 2, "parallel streams per replica for striped multi-source stage-in")
 	prefetchWindow := flag.Int("prefetch-window", core.DefaultPrefetchWindow, "ranged fetches kept in flight ahead of sequential remote reads (needs -cache-mb; 0 = disabled)")
 	writeBehindMB := flag.Int("write-behind-mb", 0, "dirty-byte bound in MiB for write-behind coalescing of remote writes (0 = disabled)")
+	gnsCache := flag.Bool("gns-cache", false, "memoise GNS resolves client-side with Watch-based invalidation")
+	maxParallel := flag.Int("max-parallel", 1, "stages allowed concurrently per machine under -mode dag")
+	eagerCopy := flag.Bool("eager-copy", false, "start staging copies at producer close under -mode dag")
+	serial := flag.Bool("serial", false, "force the strict-sequential executor under -mode dag")
 	flag.Parse()
+
+	if *mode == "dag" {
+		runDAGDemo(*mb, *maxParallel, *eagerCopy, *serial)
+		return
+	}
 
 	work := *dir
 	if work == "" {
@@ -138,6 +156,10 @@ func main() {
 	fmFor := func(machine, fsDir string) *core.Multiplexer {
 		gnsClient := gns.NewClient(tcpDialer{}, gnsAddr, clock)
 		gnsClient.SetRetry(policy)
+		if *gnsCache {
+			gnsClient.SetObserver(observer)
+			gnsClient.EnableCache()
+		}
 		fm, err := core.New(core.Config{
 			Machine: machine,
 			Clock:   clock,
@@ -244,4 +266,83 @@ func serve(fn func(net.Listener)) string {
 	}
 	go fn(l)
 	return l.Addr().String()
+}
+
+// runDAGDemo runs a diamond workflow (source -> two independent transforms
+// -> sink) on the simulated Table 1 testbed under the requested scheduler
+// settings and prints the resulting schedule.
+func runDAGDemo(mb, maxParallel int, eagerCopy, serial bool) {
+	payload := mb << 20
+	write := func(ctx *workflow.Ctx, path string) error {
+		w, err := ctx.FM.Create(path)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(make([]byte, payload)); err != nil {
+			return err
+		}
+		return w.Close()
+	}
+	read := func(ctx *workflow.Ctx, path string) error {
+		r, err := ctx.FM.Open(path)
+		if err != nil {
+			return err
+		}
+		defer r.Close()
+		if n, _ := io.Copy(io.Discard, r); n != int64(payload) {
+			return fmt.Errorf("%s: read %d of %d bytes", path, n, payload)
+		}
+		return nil
+	}
+	mid := func(in, out string) func(*workflow.Ctx) error {
+		return func(ctx *workflow.Ctx) error {
+			if err := read(ctx, in); err != nil {
+				return err
+			}
+			ctx.Compute(30)
+			return write(ctx, out)
+		}
+	}
+	spec := &workflow.Spec{Name: "diamond", Components: []workflow.Component{
+		{Name: "source", Machine: "brecca", Outputs: []string{"src.dat"}, WorkHint: 5,
+			Run: func(ctx *workflow.Ctx) error { ctx.Compute(5); return write(ctx, "src.dat") }},
+		{Name: "transform1", Machine: "dione", Inputs: []string{"src.dat"}, Outputs: []string{"t1.dat"}, WorkHint: 30,
+			Run: mid("src.dat", "t1.dat")},
+		{Name: "transform2", Machine: "freak", Inputs: []string{"src.dat"}, Outputs: []string{"t2.dat"}, WorkHint: 30,
+			Run: mid("src.dat", "t2.dat")},
+		{Name: "sink", Machine: "brecca", Inputs: []string{"t1.dat", "t2.dat"}, WorkHint: 5,
+			Run: func(ctx *workflow.Ctx) error {
+				for _, in := range []string{"t1.dat", "t2.dat"} {
+					if err := read(ctx, in); err != nil {
+						return err
+					}
+				}
+				ctx.Compute(5)
+				return nil
+			}},
+	}}
+	v := simclock.NewVirtualDefault()
+	grid := testbed.DefaultGrid(v)
+	observer := obs.New(v)
+	runner := &workflow.Runner{
+		Grid: grid, GNS: gns.NewStore(v), Obs: observer,
+		MaxPerMachine: maxParallel, EagerCopy: eagerCopy, Serial: serial,
+	}
+	var report *workflow.Report
+	v.Run(func() {
+		if err := workflow.StartServices(v, grid); err != nil {
+			log.Fatalf("flowrun: %v", err)
+		}
+		var err error
+		report, err = runner.Run(spec, workflow.CouplingSequential)
+		if err != nil {
+			log.Fatalf("flowrun: %v", err)
+		}
+	})
+	fmt.Print(report)
+	c := observer.Snapshot().Counters
+	fmt.Printf("scheduler: dispatched=%d eager started=%d adopted=%d discarded=%d failed=%d\n",
+		c["wf.sched.dispatch.total"], c["wf.eagercopy.start.total"],
+		c["wf.eagercopy.adopt.total"], c["wf.eagercopy.discard.total"],
+		c["wf.eagercopy.fail.total"])
 }

@@ -140,6 +140,17 @@ type Config struct {
 	BlockCache      *BlockCache
 	BlockCacheBytes int64
 
+	// Prestage, if set, is consulted before a mode-2 read open pays its
+	// stage-in copy: a claimed eager copy (already staged toward this
+	// machine by the workflow scheduler) is adopted in place of the
+	// open-time CopyIn. See Prestager for the coherence contract.
+	Prestage Prestager
+	// CloseNotify, if set, is called with the open path after a written
+	// file's close has fully settled (stage-out and markers included). The
+	// workflow scheduler uses it to start eager stage-in copies toward
+	// downstream consumers while the producer is still computing.
+	CloseNotify func(path string)
+
 	// Retry is the resilience policy threaded into every transport this FM
 	// opens (file-service clients and Grid Buffer endpoints). When enabled it
 	// also arms replica failover: a replicated read whose transport dies —
@@ -293,7 +304,14 @@ func (m *Multiplexer) OpenFile(path string, flag int, perm os.FileMode) (File, e
 	if err != nil {
 		return nil, err
 	}
-	return m.maybeTranslate(f, path, mapping, writing)
+	f, err = m.maybeTranslate(f, path, mapping, writing)
+	if err != nil {
+		return nil, err
+	}
+	if writing && m.cfg.CloseNotify != nil {
+		f = &notifyFile{File: f, path: path, notify: m.cfg.CloseNotify}
+	}
+	return f, nil
 }
 
 // Stat reports metadata for path under its current mapping (local and
@@ -384,11 +402,21 @@ func (m *Multiplexer) openCopy(path string, mapping gns.Mapping, flag int, perm 
 				return nil, err
 			}
 		}
-		n, err := c.CopyIn(rp, m.cfg.FS, lp, m.cfg.CopyStreams)
-		if err != nil {
-			return nil, fmt.Errorf("core: staging in %s from %s: %w", rp, mapping.RemoteHost, err)
+		adopted := false
+		if m.cfg.Prestage != nil {
+			if n, ok := m.cfg.Prestage.Claim(m.cfg.Machine, path, mapping); ok {
+				m.stats.prestaged(n)
+				m.stats.stagedIn(n)
+				adopted = true
+			}
 		}
-		m.stats.stagedIn(n)
+		if !adopted {
+			n, err := c.CopyIn(rp, m.cfg.FS, lp, m.cfg.CopyStreams)
+			if err != nil {
+				return nil, fmt.Errorf("core: staging in %s from %s: %w", rp, mapping.RemoteHost, err)
+			}
+			m.stats.stagedIn(n)
+		}
 	}
 	f, err := m.cfg.FS.OpenFile(lp, flag, perm)
 	if err != nil {

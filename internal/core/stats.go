@@ -34,6 +34,8 @@ type Stats struct {
 	polls        *obs.Counter
 	stageIn      *obs.Counter
 	stageOut     *obs.Counter
+	prestageB    *obs.Counter
+	prestageN    *obs.Counter
 	remaps       *obs.Counter
 	failovers    *obs.Counter
 	translations *obs.Counter
@@ -71,6 +73,8 @@ func (s *Stats) init(o *obs.Observer, machine string) {
 	s.polls = o.Counter(name("fm.poll.total"))
 	s.stageIn = o.Counter(name("fm.stagein.bytes"))
 	s.stageOut = o.Counter(name("fm.stageout.bytes"))
+	s.prestageB = o.Counter(name("fm.prestage.bytes"))
+	s.prestageN = o.Counter(name("fm.prestage.adopt.total"))
 	s.remaps = o.Counter(name("fm.remap.total"))
 	s.failovers = o.Counter(name("fm.failover.total"))
 	s.translations = o.Counter(name("fm.translate.total"))
@@ -87,6 +91,13 @@ func (s *Stats) wrote(n int)       { s.bytesWritten.Add(int64(n)) }
 func (s *Stats) polled()           { s.polls.Inc() }
 func (s *Stats) stagedIn(n int64)  { s.stageIn.Add(n) }
 func (s *Stats) stagedOut(n int64) { s.stageOut.Add(n) }
+
+// prestaged records the adoption of an eager stage-in copy (the bytes are
+// additionally counted as staged-in, since they did cross the network).
+func (s *Stats) prestaged(n int64) {
+	s.prestageN.Inc()
+	s.prestageB.Add(n)
+}
 
 func (s *Stats) remapped() { s.remaps.Inc() }
 
@@ -164,6 +175,12 @@ func (s *Stats) StagedIn() int64 { return s.stageIn.Value() }
 
 // StagedOut reports stage-out traffic in bytes.
 func (s *Stats) StagedOut() int64 { return s.stageOut.Value() }
+
+// PrestageAdopts reports how many opens adopted an eager stage-in copy.
+func (s *Stats) PrestageAdopts() int64 { return s.prestageN.Value() }
+
+// PrestagedBytes reports bytes adopted from eager stage-in copies.
+func (s *Stats) PrestagedBytes() int64 { return s.prestageB.Value() }
 
 // Remaps reports mid-read replica re-bindings.
 func (s *Stats) Remaps() int64 { return s.remaps.Value() }

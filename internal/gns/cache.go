@@ -1,0 +1,119 @@
+package gns
+
+// Client-side resolve cache. Every FM OPEN pays a GNS round trip; for a
+// long-running component reopening the same handful of files that is pure
+// latency. EnableCache memoises Resolve answers and keeps each cached key
+// coherent through the GNS's own Watch protocol: a per-key watcher holds a
+// long-poll against the server and folds every version bump back into the
+// cache, so a remap becomes visible after one server push rather than
+// being discovered on the next (cached, stale) open.
+//
+// The cache is opt-in because it trades the store's read-your-writes
+// guarantee across clients for latency: after another client's Set, this
+// client serves the old mapping until the watch push lands (one network
+// round trip later). This client's own Set/Delete calls update the cache
+// synchronously, so a single-client workflow never observes staleness.
+
+// cacheWatchTimeoutMS is the long-poll interval for cache watchers. The
+// server parks the watch in a timed wait, so an idle watcher costs one
+// round trip per interval and never blocks virtual-time progress.
+const cacheWatchTimeoutMS = 30_000
+
+// EnableCache turns on client-side Resolve memoisation with Watch-based
+// invalidation. Call it before the client is shared across goroutines.
+func (c *Client) EnableCache() {
+	c.cacheMu.Lock()
+	defer c.cacheMu.Unlock()
+	if c.cache == nil {
+		c.cache = make(map[Key]Mapping)
+		c.watching = make(map[Key]bool)
+	}
+}
+
+// CacheEnabled reports whether EnableCache has been called.
+func (c *Client) CacheEnabled() bool {
+	c.cacheMu.Lock()
+	defer c.cacheMu.Unlock()
+	return c.cache != nil
+}
+
+// resolveCached serves machine/path from the cache, fetching and
+// registering a watcher on a miss.
+func (c *Client) resolveCached(machine, path string) (Mapping, error) {
+	k := Key{Machine: machine, Path: path}
+	c.cacheMu.Lock()
+	if m, ok := c.cache[k]; ok {
+		c.cacheMu.Unlock()
+		c.obs.Counter("gns.cache.hit.total").Inc()
+		return m, nil
+	}
+	c.cacheMu.Unlock()
+	c.obs.Counter("gns.cache.miss.total").Inc()
+	m, err := c.resolveRemote(machine, path)
+	if err != nil {
+		return m, err
+	}
+	c.cacheInsert(k, m)
+	return m, nil
+}
+
+// cacheInsert stores m for k unless a newer version is already cached, and
+// ensures a watcher is running for the key.
+func (c *Client) cacheInsert(k Key, m Mapping) {
+	c.cacheMu.Lock()
+	if c.cache == nil || c.closed {
+		c.cacheMu.Unlock()
+		return
+	}
+	if cur, ok := c.cache[k]; !ok || m.Version >= cur.Version {
+		c.cache[k] = m
+	}
+	since := c.cache[k].Version
+	start := !c.watching[k]
+	if start {
+		c.watching[k] = true
+	}
+	c.cacheMu.Unlock()
+	if start {
+		c.watchKey(k, since)
+	}
+}
+
+// cacheInvalidate drops k from the cache (used after Delete).
+func (c *Client) cacheInvalidate(k Key) {
+	c.cacheMu.Lock()
+	delete(c.cache, k)
+	c.cacheMu.Unlock()
+}
+
+// watchKey runs the per-key coherence watcher: a long-poll loop that folds
+// every version bump into the cache. On a transport error it invalidates
+// the key and exits; the next Resolve miss re-registers it.
+func (c *Client) watchKey(k Key, since uint64) {
+	c.clock.Go("gns-cache-watch "+k.Machine+":"+k.Path, func() {
+		for {
+			c.cacheMu.Lock()
+			stop := c.closed
+			c.cacheMu.Unlock()
+			if stop {
+				return
+			}
+			m, changed, err := c.Watch(k.Machine, k.Path, since, cacheWatchTimeoutMS)
+			if err != nil {
+				c.cacheMu.Lock()
+				delete(c.cache, k)
+				delete(c.watching, k)
+				c.cacheMu.Unlock()
+				return
+			}
+			if changed && m.Version > since {
+				since = m.Version
+				c.cacheMu.Lock()
+				if cur, ok := c.cache[k]; !ok || m.Version >= cur.Version {
+					c.cache[k] = m
+				}
+				c.cacheMu.Unlock()
+			}
+		}
+	})
+}

@@ -1,0 +1,152 @@
+package gns
+
+import (
+	"testing"
+	"time"
+
+	"griddles/internal/obs"
+	"griddles/internal/simclock"
+	"griddles/internal/simnet"
+)
+
+// cacheEnv dials a client with the cache and an observer enabled.
+func cacheEnv(t *testing.T, v *simclock.Virtual, n *simnet.Network) (*Client, *Store, *obs.Observer) {
+	t.Helper()
+	c, store := startServer(t, v, n)
+	o := obs.New(v)
+	c.SetObserver(o)
+	c.EnableCache()
+	return c, store, o
+}
+
+func TestClientCacheHitMissCounters(t *testing.T) {
+	v := simclock.NewVirtualDefault()
+	n := simnet.New(v)
+	n.SetLinkBoth("app", "gns", simnet.LinkSpec{Latency: 5 * time.Millisecond})
+	v.Run(func() {
+		c, store, o := cacheEnv(t, v, n)
+		defer c.Close()
+		want := Mapping{Mode: ModeRemote, RemoteHost: "brecca:6000", RemotePath: "/d/JOB.SF"}
+		store.Set("jagan", "JOB.SF", want)
+
+		first, err := c.Resolve("jagan", "JOB.SF")
+		if err != nil {
+			t.Fatal(err)
+		}
+		second, err := c.Resolve("jagan", "JOB.SF")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first.RemoteHost != want.RemoteHost || second != first {
+			t.Errorf("cached resolve = %+v, want %+v", second, first)
+		}
+		snap := o.Snapshot().Counters
+		if snap["gns.cache.miss.total"] != 1 || snap["gns.cache.hit.total"] != 1 {
+			t.Errorf("miss/hit = %d/%d, want 1/1",
+				snap["gns.cache.miss.total"], snap["gns.cache.hit.total"])
+		}
+	})
+}
+
+func TestClientCacheWatchInvalidation(t *testing.T) {
+	v := simclock.NewVirtualDefault()
+	n := simnet.New(v)
+	n.SetLinkBoth("app", "gns", simnet.LinkSpec{Latency: 5 * time.Millisecond})
+	v.Run(func() {
+		c, store, o := cacheEnv(t, v, n)
+		defer c.Close()
+		store.Set("jagan", "JOB.SF", Mapping{Mode: ModeRemote, RemoteHost: "brecca:6000", RemotePath: "/d/JOB.SF"})
+		if _, err := c.Resolve("jagan", "JOB.SF"); err != nil { // miss: registers the watcher
+			t.Fatal(err)
+		}
+
+		// A remap by some other party, visible to this client only through
+		// the watch push.
+		store.Set("jagan", "JOB.SF", Mapping{Mode: ModeCopy, RemoteHost: "dione:6000", RemotePath: "/x/JOB.SF"})
+		v.Sleep(100 * time.Millisecond) // let the push land
+
+		m, err := c.Resolve("jagan", "JOB.SF")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Mode != ModeCopy || m.RemoteHost != "dione:6000" {
+			t.Errorf("post-remap resolve = %+v, want the pushed mapping", m)
+		}
+		snap := o.Snapshot().Counters
+		// The remapped answer still comes from the cache — the watcher folded
+		// it in — so it counts as a hit, not a second miss.
+		if snap["gns.cache.miss.total"] != 1 || snap["gns.cache.hit.total"] != 1 {
+			t.Errorf("miss/hit = %d/%d, want 1/1",
+				snap["gns.cache.miss.total"], snap["gns.cache.hit.total"])
+		}
+	})
+}
+
+func TestClientCacheReadYourWritesAndDelete(t *testing.T) {
+	v := simclock.NewVirtualDefault()
+	n := simnet.New(v)
+	n.SetLinkBoth("app", "gns", simnet.LinkSpec{Latency: 5 * time.Millisecond})
+	v.Run(func() {
+		c, _, o := cacheEnv(t, v, n)
+		defer c.Close()
+		ver, err := c.Set("jagan", "A.DAT", Mapping{Mode: ModeRemote, RemoteHost: "brecca:6000", RemotePath: "/d/A.DAT"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := c.Resolve("jagan", "A.DAT")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Version != ver || m.RemoteHost != "brecca:6000" {
+			t.Errorf("resolve after own Set = %+v, want version %d", m, ver)
+		}
+		snap := o.Snapshot().Counters
+		if snap["gns.cache.hit.total"] != 1 || snap["gns.cache.miss.total"] != 0 {
+			t.Errorf("own Set not folded into cache: miss/hit = %d/%d",
+				snap["gns.cache.miss.total"], snap["gns.cache.hit.total"])
+		}
+
+		if err := c.Delete("jagan", "A.DAT"); err != nil {
+			t.Fatal(err)
+		}
+		m, err = c.Resolve("jagan", "A.DAT")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Mode != ModeLocal {
+			t.Errorf("resolve after Delete = %+v, want local passthrough", m)
+		}
+		snap = o.Snapshot().Counters
+		if snap["gns.cache.miss.total"] != 1 {
+			t.Errorf("Delete did not invalidate: miss = %d, want 1", snap["gns.cache.miss.total"])
+		}
+	})
+}
+
+func TestClientCacheDisabledByDefault(t *testing.T) {
+	v := simclock.NewVirtualDefault()
+	n := simnet.New(v)
+	n.SetLinkBoth("app", "gns", simnet.LinkSpec{Latency: 5 * time.Millisecond})
+	v.Run(func() {
+		c, store := startServer(t, v, n)
+		defer c.Close()
+		if c.CacheEnabled() {
+			t.Fatal("cache on without EnableCache")
+		}
+		// Every resolve goes to the server: a server-side change is visible
+		// immediately, with no watch delay.
+		store.Set("jagan", "B.DAT", Mapping{Mode: ModeRemote, RemoteHost: "brecca:6000"})
+		m, err := c.Resolve("jagan", "B.DAT")
+		if err != nil {
+			t.Fatal(err)
+		}
+		store.Set("jagan", "B.DAT", Mapping{Mode: ModeCopy, RemoteHost: "dione:6000"})
+		m, err = c.Resolve("jagan", "B.DAT")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Mode != ModeCopy {
+			t.Errorf("uncached resolve = %+v, want the latest mapping", m)
+		}
+	})
+}

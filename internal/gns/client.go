@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sync"
 	"time"
 
+	"griddles/internal/obs"
 	"griddles/internal/retry"
 	"griddles/internal/simclock"
 	"griddles/internal/wire"
@@ -31,6 +33,14 @@ type Client struct {
 	conn net.Conn
 	br   *bufio.Reader
 	bw   *bufio.Writer
+
+	obs *obs.Observer // nil-safe; receives gns.cache.* counters
+
+	// Resolve cache (see cache.go); nil until EnableCache.
+	cacheMu  sync.Mutex
+	cache    map[Key]Mapping
+	watching map[Key]bool
+	closed   bool
 }
 
 // NewClient returns a Client for the GNS at addr.
@@ -43,6 +53,10 @@ func NewClient(dialer Dialer, addr string, clock simclock.Clock) *Client {
 // errors are final. The zero policy (the default) preserves the historical
 // fail-fast behaviour.
 func (c *Client) SetRetry(p retry.Policy) { c.retry = p }
+
+// SetObserver routes the client's cache metrics (gns.cache.{hit,miss}.total)
+// to o. Nil keeps them unrecorded.
+func (c *Client) SetObserver(o *obs.Observer) { c.obs = o }
 
 func (c *Client) ensureConnLocked() error {
 	if c.conn != nil {
@@ -110,8 +124,17 @@ func (c *Client) tripOnce(reqType uint8, payload []byte) (uint8, []byte, error) 
 	return typ, resp, nil
 }
 
-// Resolve implements Resolver over the network.
+// Resolve implements Resolver over the network; with EnableCache it serves
+// repeated lookups from the watch-coherent cache.
 func (c *Client) Resolve(machine, path string) (Mapping, error) {
+	if c.CacheEnabled() {
+		return c.resolveCached(machine, path)
+	}
+	return c.resolveRemote(machine, path)
+}
+
+// resolveRemote performs the actual network round trip.
+func (c *Client) resolveRemote(machine, path string) (Mapping, error) {
 	e := wire.NewEncoder()
 	e.String(machine).String(path)
 	typ, resp, err := c.roundTrip(msgResolve, e.Bytes())
@@ -140,7 +163,15 @@ func (c *Client) Set(machine, path string, m Mapping) (uint64, error) {
 	}
 	d := wire.NewDecoder(resp)
 	v := d.U64()
-	return v, d.Err()
+	if err := d.Err(); err != nil {
+		return 0, err
+	}
+	if c.CacheEnabled() {
+		// Read-your-writes: fold this client's own update in directly.
+		m.Version = v
+		c.cacheInsert(Key{Machine: machine, Path: path}, m)
+	}
+	return v, nil
 }
 
 // Delete removes a mapping.
@@ -153,6 +184,9 @@ func (c *Client) Delete(machine, path string) error {
 	}
 	if typ != msgDeleteResp {
 		return fmt.Errorf("gns: unexpected reply type %d", typ)
+	}
+	if c.CacheEnabled() {
+		c.cacheInvalidate(Key{Machine: machine, Path: path})
 	}
 	return nil
 }
@@ -232,8 +266,12 @@ func (c *Client) watchOnce(machine, path string, since uint64, timeoutMS int64) 
 	return m, changed, d.Err()
 }
 
-// Close releases the shared connection.
+// Close releases the shared connection and stops cache watchers (each
+// exits at its next long-poll interval).
 func (c *Client) Close() error {
+	c.cacheMu.Lock()
+	c.closed = true
+	c.cacheMu.Unlock()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.dropConnLocked()

@@ -89,9 +89,17 @@ func AutoAssign(spec *Spec, grid *testbed.Grid, coupling Coupling) error {
 		}
 	}
 
-	// LPT greedy: biggest work first onto the machine that would finish it
-	// earliest.
+	// Critical-path greedy: the stage heading the longest remaining
+	// dependency chain is placed first onto the machine that would finish
+	// it earliest, so the DAG's spine lands on the fastest boxes and the
+	// short side branches fill in around it. On dependency-free specs the
+	// critical path of a stage is just its own work, which degenerates to
+	// the classic LPT ordering.
+	cp := criticalPaths(spec)
 	sort.SliceStable(heavy, func(a, b int) bool {
+		if cp[heavy[a]] != cp[heavy[b]] {
+			return cp[heavy[a]] > cp[heavy[b]]
+		}
 		return workHint(spec.Components[heavy[a]]) > workHint(spec.Components[heavy[b]])
 	})
 	for _, i := range heavy {

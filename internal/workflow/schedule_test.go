@@ -101,3 +101,81 @@ func TestAutoAssignBalancedLoad(t *testing.T) {
 		t.Error("fastest machine unused")
 	}
 }
+
+func TestAutoAssignLightStagesFollowTheirData(t *testing.T) {
+	// A light transform reading the heavy solver's output must land on the
+	// solver's machine, keeping the coupling stream off the WAN; a light
+	// stage with no placed neighbours falls back to the fastest box.
+	grid := testbed.DefaultGrid(simclock.NewVirtualDefault())
+	spec := &Spec{Name: "colo", Components: []Component{
+		{Name: "solver", WorkHint: 300, Outputs: []string{"field.dat"}},
+		{Name: "transform", WorkHint: 5, Inputs: []string{"field.dat"}, Outputs: []string{"t.dat"}},
+		{Name: "loner", WorkHint: 5},
+	}}
+	if err := AutoAssign(spec, grid, CouplingBuffers); err != nil {
+		t.Fatal(err)
+	}
+	solver, transform, loner := spec.Components[0], spec.Components[1], spec.Components[2]
+	if transform.Machine != solver.Machine {
+		t.Errorf("transform on %s, solver on %s: light stage did not follow its data",
+			transform.Machine, solver.Machine)
+	}
+	if loner.Machine != "brecca" {
+		t.Errorf("neighbourless light stage on %s, want brecca (fastest)", loner.Machine)
+	}
+}
+
+func TestAutoAssignLightStagePrefersHeaviestNeighbour(t *testing.T) {
+	// A light reducer consuming two solvers' outputs co-locates with the
+	// heavier of the two.
+	grid := testbed.DefaultGrid(simclock.NewVirtualDefault())
+	spec := &Spec{Name: "reduce", Components: []Component{
+		{Name: "big", WorkHint: 300, Outputs: []string{"big.dat"}},
+		{Name: "small", WorkHint: 200, Outputs: []string{"small.dat"}},
+		{Name: "reducer", WorkHint: 5, Inputs: []string{"big.dat", "small.dat"}},
+	}}
+	if err := AutoAssign(spec, grid, CouplingBuffers); err != nil {
+		t.Fatal(err)
+	}
+	if spec.Components[2].Machine != spec.Components[0].Machine {
+		t.Errorf("reducer on %s, want %s (heaviest producer)",
+			spec.Components[2].Machine, spec.Components[0].Machine)
+	}
+}
+
+func TestAutoAssignPinnedMachinesPreloaded(t *testing.T) {
+	// A stage pinned to the fastest machine counts toward its load, so an
+	// equal unassigned stage is pushed to the next machine instead of
+	// doubling up behind the pin.
+	grid := testbed.DefaultGrid(simclock.NewVirtualDefault())
+	spec := &Spec{Name: "preload", Components: []Component{
+		{Name: "pinned", Machine: "brecca", WorkHint: 300},
+		{Name: "free", WorkHint: 300},
+	}}
+	if err := AutoAssign(spec, grid, CouplingBuffers); err != nil {
+		t.Fatal(err)
+	}
+	if m := spec.Components[1].Machine; m == "brecca" {
+		t.Error("free stage stacked behind the pinned one on brecca")
+	}
+}
+
+func TestAutoAssignCriticalPathHeadsGetFastBoxes(t *testing.T) {
+	// The head of a three-stage chain (critical path 300) must be placed
+	// before — and therefore faster than — a lone 250-unit stage, even
+	// though the lone stage's own work is larger. Plain LPT would order by
+	// per-stage work and give brecca to the lone stage instead.
+	grid := testbed.DefaultGrid(simclock.NewVirtualDefault())
+	spec := &Spec{Name: "spine", Components: []Component{
+		{Name: "head", WorkHint: 100, Outputs: []string{"h.dat"}},
+		{Name: "mid", WorkHint: 100, Inputs: []string{"h.dat"}, Outputs: []string{"m.dat"}},
+		{Name: "tail", WorkHint: 100, Inputs: []string{"m.dat"}},
+		{Name: "lone", WorkHint: 250},
+	}}
+	if err := AutoAssign(spec, grid, CouplingBuffers); err != nil {
+		t.Fatal(err)
+	}
+	if spec.Components[0].Machine != "brecca" {
+		t.Errorf("chain head on %s, want brecca (longest remaining path)", spec.Components[0].Machine)
+	}
+}

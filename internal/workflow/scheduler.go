@@ -1,0 +1,242 @@
+package workflow
+
+import (
+	"sort"
+	"sync"
+
+	"griddles/internal/obs"
+	"griddles/internal/simclock"
+)
+
+// This file is the ready-set DAG scheduler behind CouplingSequential.
+//
+// The paper's conclusion says file-copied workflows "need to be run
+// sequentially" — but that constraint only holds along dependency edges: a
+// stage must not start before its producers have closed their outputs.
+// Independent DAG branches carry no such constraint, so the scheduler keeps
+// a ready set (stages whose producers have all finished) and dispatches
+// from it the moment a stage becomes runnable, subject to per-machine
+// admission control:
+//
+//	pending --(all producers done)--> ready --(machine slot free)--> running --> done
+//
+// Runner.MaxPerMachine bounds how many stages may run concurrently on one
+// machine (default 1, the paper's one-job-per-box regime — co-located
+// stages still never overlap, so the Table 3/5 chains reproduce
+// byte-identically). Ready stages are dispatched longest-critical-path
+// first with the component index as a deterministic tie-break, so the
+// DAG's spine starts as early as possible and a pure chain dispatches in
+// exactly the historical topological order.
+//
+// Failure semantics match the historical serial executor: after a stage
+// fails, no new stage is dispatched; in-flight stages drain and the error
+// of the lowest-indexed failed component is returned.
+
+// Stage lifecycle states.
+const (
+	stPending = iota
+	stReady
+	stRunning
+	stDone
+)
+
+// dagRun is one workflow execution's scheduler state. The dispatcher loop
+// runs on the caller's goroutine; completions arrive from the per-stage
+// goroutines under mu.
+type dagRun struct {
+	runner *Runner
+	spec   *Spec
+	clock  simclock.Clock
+	runOne func(int) error
+	maxPer int
+
+	mu      sync.Mutex
+	cond    simclock.Cond
+	state   []int
+	indeg   []int
+	succ    [][]int
+	prio    []float64 // critical-path length (work units to any sink)
+	running map[string]int
+	done    int
+	errs    []error
+	failed  bool
+}
+
+// runDAG executes spec's components under the ready-set scheduler. runOne
+// is the Runner's per-stage body; each dispatched stage gets its own
+// clock-registered goroutine.
+func (r *Runner) runDAG(spec *Spec, runOne func(int) error) error {
+	if _, err := spec.TopoOrder(); err != nil {
+		return err // duplicate producer or dependency cycle
+	}
+	prod, _ := spec.producers()
+	n := len(spec.Components)
+	d := &dagRun{
+		runner:  r,
+		spec:    spec,
+		clock:   r.Grid.Clock(),
+		runOne:  runOne,
+		maxPer:  r.maxPerMachine(),
+		state:   make([]int, n),
+		indeg:   make([]int, n),
+		succ:    make([][]int, n),
+		prio:    criticalPaths(spec),
+		running: make(map[string]int),
+		errs:    make([]error, n),
+	}
+	d.cond = d.clock.NewCond(&d.mu)
+	for i, c := range spec.Components {
+		for _, in := range c.Inputs {
+			if p, ok := prod[in]; ok && p != i {
+				d.succ[p] = append(d.succ[p], i)
+				d.indeg[i]++
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if d.indeg[i] == 0 {
+			d.state[i] = stReady
+		}
+	}
+	d.loop()
+	for _, err := range d.errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// maxPerMachine reports the per-machine admission bound (0 means 1, the
+// paper's one-job-per-box semantics).
+func (r *Runner) maxPerMachine() int {
+	if r.MaxPerMachine > 0 {
+		return r.MaxPerMachine
+	}
+	return 1
+}
+
+// criticalPaths computes, per component, the longest WorkHint-weighted path
+// from it to any sink (inclusive of its own work). The scheduler dispatches
+// ready stages in decreasing critical-path order so the DAG's spine is
+// never kept waiting behind a short side branch; AutoAssign uses the same
+// priority to land the spine on the fastest boxes.
+func criticalPaths(spec *Spec) []float64 {
+	order, err := spec.TopoOrder()
+	if err != nil {
+		return make([]float64, len(spec.Components)) // caller reports the cycle
+	}
+	prod, _ := spec.producers()
+	cons := spec.consumers()
+	cp := make([]float64, len(spec.Components))
+	for k := len(order) - 1; k >= 0; k-- {
+		i := order[k]
+		longest := 0.0
+		for _, out := range spec.Components[i].Outputs {
+			if prod[out] != i {
+				continue
+			}
+			for _, j := range cons[out] {
+				if j != i && cp[j] > longest {
+					longest = cp[j]
+				}
+			}
+		}
+		cp[i] = workHint(spec.Components[i]) + longest
+	}
+	return cp
+}
+
+// loop dispatches until every stage is done, or a failure has drained the
+// in-flight stages. Holding mu across dispatchLocked is safe: the stage
+// body runs on its own goroutine and only takes mu at completion.
+func (d *dagRun) loop() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for {
+		if d.done == len(d.spec.Components) {
+			return
+		}
+		if d.failed {
+			if d.inflightLocked() == 0 {
+				return
+			}
+		} else {
+			for _, i := range d.runnableLocked() {
+				if d.running[d.spec.Components[i].Machine] < d.maxPer {
+					d.dispatchLocked(i)
+				}
+			}
+		}
+		d.cond.Wait()
+	}
+}
+
+// inflightLocked counts running stages.
+func (d *dagRun) inflightLocked() int {
+	n := 0
+	for _, st := range d.state {
+		if st == stRunning {
+			n++
+		}
+	}
+	return n
+}
+
+// runnableLocked returns the ready stages in dispatch order: longest
+// critical path first, component index as the deterministic tie-break.
+func (d *dagRun) runnableLocked() []int {
+	var ready []int
+	for i, st := range d.state {
+		if st == stReady {
+			ready = append(ready, i)
+		}
+	}
+	sort.Slice(ready, func(a, b int) bool {
+		if d.prio[ready[a]] != d.prio[ready[b]] {
+			return d.prio[ready[a]] > d.prio[ready[b]]
+		}
+		return ready[a] < ready[b]
+	})
+	return ready
+}
+
+// dispatchLocked moves stage i to running and launches its goroutine.
+func (d *dagRun) dispatchLocked(i int) {
+	comp := d.spec.Components[i]
+	d.state[i] = stRunning
+	d.running[comp.Machine]++
+	r := d.runner
+	r.Obs.Counter("wf.sched.dispatch.total").Inc()
+	r.Obs.Gauge("wf.sched.running").Set(int64(d.inflightLocked()))
+	r.Obs.Emit("wf.sched.dispatch", comp.Machine,
+		obs.KV("workflow", d.spec.Name),
+		obs.KV("component", comp.Name),
+		obs.KV("priority", d.prio[i]),
+		obs.KV("running_on_machine", d.running[comp.Machine]))
+	d.clock.Go("wf-"+comp.Name, func() {
+		err := d.runOne(i)
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		d.state[i] = stDone
+		d.done++
+		d.running[comp.Machine]--
+		d.errs[i] = err
+		if err != nil {
+			d.failed = true
+			r.Obs.Counter("wf.sched.fail.total").Inc()
+			r.Obs.Emit("wf.sched.fail", comp.Machine,
+				obs.KV("workflow", d.spec.Name),
+				obs.KV("component", comp.Name))
+		} else {
+			for _, j := range d.succ[i] {
+				d.indeg[j]--
+				if d.indeg[j] == 0 && d.state[j] == stPending {
+					d.state[j] = stReady
+				}
+			}
+		}
+		r.Obs.Gauge("wf.sched.running").Set(int64(d.inflightLocked()))
+		d.cond.Broadcast()
+	})
+}

@@ -336,6 +336,20 @@ type Runner struct {
 	// CacheFiles enables the buffer cache file per file name; files listed
 	// here support reader seek/re-read (the DARLAM pattern).
 	CacheFiles map[string]bool
+	// MaxPerMachine bounds how many CouplingSequential stages may run
+	// concurrently on one machine under the DAG scheduler. 0 means 1 — the
+	// paper's one-job-per-box regime, under which pure chains execute
+	// exactly as the historical serial executor did.
+	MaxPerMachine int
+	// EagerCopy starts each staging copy toward a remote consumer as soon
+	// as the producer closes the file, overlapping transfers with upstream
+	// compute; the consumer's open adopts the eager copy. Off by default
+	// (the paper charges copies inside the consumer's slot).
+	EagerCopy bool
+	// Serial forces the historical strict-sequential executor for
+	// CouplingSequential (one stage at a time in topological order),
+	// ignoring MaxPerMachine and EagerCopy. Mainly for A/B benchmarks.
+	Serial bool
 	// Obs, if set, is shared by every component's File Multiplexer and
 	// receives per-stage "wf.stage" events (wall time and IO volume per
 	// component) plus the GNS store's metrics. nil keeps each FM on its own
@@ -424,12 +438,17 @@ func (r *Runner) Run(spec *Spec, coupling Coupling) (*Report, error) {
 	}
 	var markMu sync.Mutex
 
+	var eager *eagerTracker
+	if r.EagerCopy && coupling == CouplingSequential && !r.Serial {
+		eager = newEagerTracker(r, spec)
+	}
+
 	runOne := func(i int) error {
 		comp := spec.Components[i]
 		machine := r.Grid.Machine(comp.Machine)
 		release := machine.Attach()
 		defer release()
-		fm, err := core.New(core.Config{
+		cfg := core.Config{
 			Machine:           comp.Machine,
 			Clock:             clock,
 			FS:                machine.FS(),
@@ -443,7 +462,12 @@ func (r *Runner) Run(spec *Spec, coupling Coupling) (*Report, error) {
 			BufferTransport:   bufferTransport(r.SOAP),
 			CopyStreams:       r.CopyStreams,
 			Obs:               r.Obs,
-		})
+		}
+		if eager != nil {
+			cfg.Prestage = eager
+			cfg.CloseNotify = func(path string) { eager.produced(comp.Machine, path) }
+		}
+		fm, err := core.New(cfg)
 		if err != nil {
 			return err
 		}
@@ -480,12 +504,24 @@ func (r *Runner) Run(spec *Spec, coupling Coupling) (*Report, error) {
 
 	switch coupling {
 	case CouplingSequential:
-		order, err := spec.TopoOrder()
-		if err != nil {
-			return nil, err
-		}
-		for _, i := range order {
-			if err := runOne(i); err != nil {
+		if r.Serial {
+			// The historical strict-sequential executor: one stage at a
+			// time, topological order, stop at the first failure.
+			order, err := spec.TopoOrder()
+			if err != nil {
+				return nil, err
+			}
+			for _, i := range order {
+				if err := runOne(i); err != nil {
+					return nil, err
+				}
+			}
+		} else {
+			err := r.runDAG(spec, runOne)
+			if eager != nil {
+				eager.drain()
+			}
+			if err != nil {
 				return nil, err
 			}
 		}
