@@ -1,5 +1,14 @@
 package gns
 
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+
+	"griddles/internal/wire"
+)
+
 // Client-side resolve cache. Every FM OPEN pays a GNS round trip; for a
 // long-running component reopening the same handful of files that is pure
 // latency. EnableCache memoises Resolve answers and keeps each cached key
@@ -19,6 +28,12 @@ package gns
 // round trip per interval and never blocks virtual-time progress.
 const cacheWatchTimeoutMS = 30_000
 
+// cacheMaxWatchedKeys bounds the watcher population (one goroutine and one
+// long-poll connection per key). Keys beyond the bound are not cached at
+// all — their Resolves simply go remote — so a client touching an unbounded
+// set of paths cannot grow watchers without bound.
+const cacheMaxWatchedKeys = 512
+
 // EnableCache turns on client-side Resolve memoisation with Watch-based
 // invalidation. Call it before the client is shared across goroutines.
 func (c *Client) EnableCache() {
@@ -27,6 +42,7 @@ func (c *Client) EnableCache() {
 	if c.cache == nil {
 		c.cache = make(map[Key]Mapping)
 		c.watching = make(map[Key]bool)
+		c.watchConns = make(map[net.Conn]struct{})
 	}
 }
 
@@ -58,10 +74,18 @@ func (c *Client) resolveCached(machine, path string) (Mapping, error) {
 }
 
 // cacheInsert stores m for k unless a newer version is already cached, and
-// ensures a watcher is running for the key.
+// ensures a watcher is running for the key. A key that would push the
+// watcher population past cacheMaxWatchedKeys is not cached: an uncached
+// key stays correct (every Resolve goes remote), whereas a cached key
+// without its watcher would serve stale mappings forever.
 func (c *Client) cacheInsert(k Key, m Mapping) {
 	c.cacheMu.Lock()
 	if c.cache == nil || c.closed {
+		c.cacheMu.Unlock()
+		return
+	}
+	start := !c.watching[k]
+	if start && len(c.watching) >= cacheMaxWatchedKeys {
 		c.cacheMu.Unlock()
 		return
 	}
@@ -69,7 +93,6 @@ func (c *Client) cacheInsert(k Key, m Mapping) {
 		c.cache[k] = m
 	}
 	since := c.cache[k].Version
-	start := !c.watching[k]
 	if start {
 		c.watching[k] = true
 	}
@@ -87,18 +110,13 @@ func (c *Client) cacheInvalidate(k Key) {
 }
 
 // watchKey runs the per-key coherence watcher: a long-poll loop that folds
-// every version bump into the cache. On a transport error it invalidates
-// the key and exits; the next Resolve miss re-registers it.
+// every version bump into the cache. On a transport error — including the
+// severed connection from Client.Close — it invalidates the key and exits;
+// the next Resolve miss re-registers it.
 func (c *Client) watchKey(k Key, since uint64) {
 	c.clock.Go("gns-cache-watch "+k.Machine+":"+k.Path, func() {
 		for {
-			c.cacheMu.Lock()
-			stop := c.closed
-			c.cacheMu.Unlock()
-			if stop {
-				return
-			}
-			m, changed, err := c.Watch(k.Machine, k.Path, since, cacheWatchTimeoutMS)
+			m, changed, err := c.watchCancellable(k, since)
 			if err != nil {
 				c.cacheMu.Lock()
 				delete(c.cache, k)
@@ -116,4 +134,48 @@ func (c *Client) watchKey(k Key, since uint64) {
 			}
 		}
 	})
+}
+
+// watchCancellable performs one long-poll like watchOnce, but registers its
+// connection in watchConns so Close can sever it mid-wait and tear the
+// watcher down promptly. Unlike Watch it never retries: any fault drops the
+// key back to remote resolution, which is always correct.
+func (c *Client) watchCancellable(k Key, since uint64) (Mapping, bool, error) {
+	conn, err := c.dialer.Dial(c.addr)
+	if err != nil {
+		return Mapping{}, false, fmt.Errorf("gns: dial %s: %w", c.addr, err)
+	}
+	c.cacheMu.Lock()
+	if c.closed {
+		c.cacheMu.Unlock()
+		conn.Close()
+		return Mapping{}, false, errors.New("gns: client closed")
+	}
+	c.watchConns[conn] = struct{}{}
+	c.cacheMu.Unlock()
+	defer func() {
+		c.cacheMu.Lock()
+		delete(c.watchConns, conn)
+		c.cacheMu.Unlock()
+		conn.Close()
+	}()
+	e := wire.NewEncoder()
+	e.String(k.Machine).String(k.Path).U64(since).I64(cacheWatchTimeoutMS)
+	if err := wire.WriteFrame(conn, msgWatch, e.Bytes()); err != nil {
+		return Mapping{}, false, err
+	}
+	typ, resp, err := wire.ReadFrame(bufio.NewReader(conn))
+	if err != nil {
+		return Mapping{}, false, err
+	}
+	if typ == msgError {
+		return Mapping{}, false, errors.New("gns: " + wire.NewDecoder(resp).String())
+	}
+	if typ != msgWatchResp {
+		return Mapping{}, false, fmt.Errorf("gns: unexpected reply type %d", typ)
+	}
+	d := wire.NewDecoder(resp)
+	changed := d.Bool()
+	m := decodeMapping(d)
+	return m, changed, d.Err()
 }

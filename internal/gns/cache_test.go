@@ -1,6 +1,7 @@
 package gns
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -119,6 +120,63 @@ func TestClientCacheReadYourWritesAndDelete(t *testing.T) {
 		snap = o.Snapshot().Counters
 		if snap["gns.cache.miss.total"] != 1 {
 			t.Errorf("Delete did not invalidate: miss = %d, want 1", snap["gns.cache.miss.total"])
+		}
+	})
+}
+
+func TestClientCacheCloseStopsWatchersPromptly(t *testing.T) {
+	v := simclock.NewVirtualDefault()
+	n := simnet.New(v)
+	n.SetLinkBoth("app", "gns", simnet.LinkSpec{Latency: 5 * time.Millisecond})
+	v.Run(func() {
+		c, store, _ := cacheEnv(t, v, n)
+		store.Set("jagan", "JOB.SF", Mapping{Mode: ModeRemote, RemoteHost: "brecca:6000"})
+		if _, err := c.Resolve("jagan", "JOB.SF"); err != nil { // registers the watcher
+			t.Fatal(err)
+		}
+		c.Close()
+		// Close severs the watcher's long-poll connection, so it unwinds
+		// well inside the 30s poll interval.
+		v.Sleep(100 * time.Millisecond)
+		c.cacheMu.Lock()
+		watching, conns := len(c.watching), len(c.watchConns)
+		c.cacheMu.Unlock()
+		if watching != 0 || conns != 0 {
+			t.Errorf("after Close: %d watchers, %d watch conns still live", watching, conns)
+		}
+	})
+}
+
+func TestClientCacheWatcherBound(t *testing.T) {
+	v := simclock.NewVirtualDefault()
+	n := simnet.New(v)
+	n.SetLinkBoth("app", "gns", simnet.LinkSpec{Latency: time.Millisecond})
+	v.Run(func() {
+		c, store, _ := cacheEnv(t, v, n)
+		defer c.Close()
+		for i := 0; i < cacheMaxWatchedKeys+3; i++ {
+			path := fmt.Sprintf("F%04d.DAT", i)
+			store.Set("jagan", path, Mapping{Mode: ModeRemote, RemoteHost: "brecca:6000"})
+			if _, err := c.Resolve("jagan", path); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c.cacheMu.Lock()
+		watching := len(c.watching)
+		c.cacheMu.Unlock()
+		if watching != cacheMaxWatchedKeys {
+			t.Errorf("watcher population = %d, want capped at %d", watching, cacheMaxWatchedKeys)
+		}
+		// Overflow keys are not cached but still resolve correctly — every
+		// lookup goes remote and sees the latest mapping.
+		over := fmt.Sprintf("F%04d.DAT", cacheMaxWatchedKeys+2)
+		store.Set("jagan", over, Mapping{Mode: ModeCopy, RemoteHost: "dione:6000"})
+		m, err := c.Resolve("jagan", over)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Mode != ModeCopy || m.RemoteHost != "dione:6000" {
+			t.Errorf("overflow-key resolve = %+v, want the latest server mapping", m)
 		}
 	})
 }

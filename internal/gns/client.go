@@ -37,10 +37,11 @@ type Client struct {
 	obs *obs.Observer // nil-safe; receives gns.cache.* counters
 
 	// Resolve cache (see cache.go); nil until EnableCache.
-	cacheMu  sync.Mutex
-	cache    map[Key]Mapping
-	watching map[Key]bool
-	closed   bool
+	cacheMu    sync.Mutex
+	cache      map[Key]Mapping
+	watching   map[Key]bool
+	watchConns map[net.Conn]struct{} // in-flight watcher long-polls, severed on Close
+	closed     bool
 }
 
 // NewClient returns a Client for the GNS at addr.
@@ -266,11 +267,15 @@ func (c *Client) watchOnce(machine, path string, since uint64, timeoutMS int64) 
 	return m, changed, d.Err()
 }
 
-// Close releases the shared connection and stops cache watchers (each
-// exits at its next long-poll interval).
+// Close releases the shared connection and stops cache watchers: severing
+// each watcher's long-poll connection fails its pending read, so watchers
+// exit promptly instead of after a full poll interval.
 func (c *Client) Close() error {
 	c.cacheMu.Lock()
 	c.closed = true
+	for conn := range c.watchConns {
+		conn.Close()
+	}
 	c.cacheMu.Unlock()
 	c.mu.Lock()
 	defer c.mu.Unlock()

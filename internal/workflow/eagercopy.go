@@ -149,6 +149,11 @@ func (t *eagerTracker) Claim(machine, path string, mapping gns.Mapping) (int64, 
 	if !ok {
 		return 0, false
 	}
+	// Settle before deciding, adopt or not: a refused claim makes the FM
+	// fall back to an open-time CopyIn over the mapping's local path, and
+	// that truncate-and-write must never race a still-running eager copy
+	// goroutine writing the same file.
+	e.done.Wait()
 	r := t.runner
 	if e.mapping.Version != mapping.Version ||
 		e.mapping.RemoteHost != mapping.RemoteHost ||
@@ -156,6 +161,7 @@ func (t *eagerTracker) Claim(machine, path string, mapping gns.Mapping) (int64, 
 		e.mapping.LocalPath != mapping.LocalPath {
 		// The GNS was remapped between close and open: the staged bytes may
 		// be from the wrong source or in the wrong place. Discard.
+		t.removeStale(machine, path, e.mapping, mapping)
 		r.Obs.Counter("wf.eagercopy.discard.total").Inc()
 		r.Obs.Emit("wf.eagercopy.discard", machine,
 			obs.KV("path", path),
@@ -163,7 +169,6 @@ func (t *eagerTracker) Claim(machine, path string, mapping gns.Mapping) (int64, 
 			obs.KV("open_version", mapping.Version))
 		return 0, false
 	}
-	e.done.Wait()
 	if e.failed {
 		return 0, false
 	}
@@ -171,6 +176,25 @@ func (t *eagerTracker) Claim(machine, path string, mapping gns.Mapping) (int64, 
 	r.Obs.Emit("wf.eagercopy.adopt", machine,
 		obs.KV("path", path), obs.KV("bytes", e.bytes))
 	return e.bytes, true
+}
+
+// removeStale deletes the bytes a discarded eager copy left at its old
+// mapping's local path. Skipped when the open-time mapping stages to the
+// same path — the fallback CopyIn truncates it anyway. Called only after
+// the copy has settled, so nothing re-creates the file afterwards.
+func (t *eagerTracker) removeStale(machine, path string, copied, open gns.Mapping) {
+	old := copied.LocalPath
+	if old == "" {
+		old = path
+	}
+	cur := open.LocalPath
+	if cur == "" {
+		cur = path
+	}
+	if old == cur {
+		return
+	}
+	t.runner.Grid.Machine(machine).FS().Remove(old)
 }
 
 // drain blocks until every launched copy has settled, claimed or not, so a

@@ -4,11 +4,13 @@ import (
 	"fmt"
 	"io"
 	"testing"
+	"time"
 
 	"griddles/internal/gns"
 	"griddles/internal/obs"
 	"griddles/internal/simclock"
 	"griddles/internal/testbed"
+	"griddles/internal/vfs"
 )
 
 // tailSpec is a two-stage cross-machine pipeline whose producer keeps
@@ -148,6 +150,70 @@ func TestEagerCopyOffByDefaultIsByteIdenticalTiming(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestEagerCopyDiscardMidFlightCleansStalePath remaps while the eager copy
+// is still in flight — no producer tail, multi-MB payload over the slow
+// cross-site link — and moves the consumer's local path. The open must park
+// until the copy settles before discarding it (so the fallback stage-in
+// never races the copy goroutine), land the fallback at the new path, and
+// remove the stale bytes the eager copy left at the old one.
+func TestEagerCopyDiscardMidFlightCleansStalePath(t *testing.T) {
+	const payload = 2 << 20
+	var runner *Runner
+	remap := func(ctx *Ctx) {
+		runner.GNS.Set("dione", "out.dat", gns.Mapping{
+			Mode:       gns.ModeCopy,
+			RemoteHost: "brecca" + FileServicePort,
+			RemotePath: "out.dat",
+			LocalPath:  "staged/out.dat",
+		})
+	}
+	_, c := runTail(t, tailSpec(payload, 0, remap), func(r *Runner) {
+		r.EagerCopy = true
+		runner = r
+	})
+	if c["wf.eagercopy.discard.total"] != 1 {
+		t.Errorf("wf.eagercopy.discard.total = %d, want 1", c["wf.eagercopy.discard.total"])
+	}
+	if c["wf.eagercopy.adopt.total"] != 0 {
+		t.Error("stale eager copy adopted")
+	}
+	fs := runner.Grid.Machine("dione").FS()
+	if vfs.Exists(fs, "out.dat") {
+		t.Error("discarded eager copy left stale bytes at the old local path")
+	}
+	if !vfs.Exists(fs, "staged/out.dat") {
+		t.Error("fallback stage-in did not land at the remapped local path")
+	}
+}
+
+// TestEagerTrackerDiscardWaitsForInFlightCopy pins the rule that even a
+// claim refused for a mapping mismatch waits for the copy to settle: the
+// caller's fallback CopyIn may truncate the very file the copy goroutine is
+// still writing.
+func TestEagerTrackerDiscardWaitsForInFlightCopy(t *testing.T) {
+	v := simclock.NewVirtualDefault()
+	grid := testbed.DefaultGrid(v)
+	r := &Runner{Grid: grid, GNS: gns.NewStore(v)}
+	tr := newEagerTracker(r, tailSpec(1024, 0, nil))
+	started := gns.Mapping{Mode: gns.ModeCopy, RemoteHost: "brecca" + FileServicePort, Version: 1}
+	e := &eagerEntry{mapping: started, done: simclock.NewEvent(v)}
+	tr.entries[eagerKey{"dione", "out.dat"}] = e
+	v.Run(func() {
+		v.Go("eager-copy", func() {
+			v.Sleep(5 * time.Second)
+			e.done.Set()
+		})
+		remapped := started
+		remapped.Version = 2
+		if _, ok := tr.Claim("dione", "out.dat", remapped); ok {
+			t.Error("remapped claim adopted")
+		}
+		if !e.done.IsSet() {
+			t.Error("claim refused while the eager copy was still in flight")
+		}
+	})
 }
 
 func TestEagerTrackerClaimOnce(t *testing.T) {
