@@ -1,11 +1,13 @@
 GO ?= go
 
 # Coverage floors: the pre-PR3 baselines for the packages the buffer
-# overhaul touches, plus the PR5 scheduler floor for internal/workflow.
+# overhaul touches, the PR5 scheduler floor for internal/workflow, and the
+# PR6 floor for the new internal/objstore backend.
 # `make cover` fails when any drops below its floor.
 COVER_FLOOR_CORE       ?= 80.3
 COVER_FLOOR_GRIDBUFFER ?= 84.7
 COVER_FLOOR_WORKFLOW   ?= 91.5
+COVER_FLOOR_OBJSTORE   ?= 84.5
 
 # Per-target fuzz budget for the `make fuzz` smoke pass. The checked-in
 # seed corpora always replay in full under plain `go test`; this adds a
@@ -36,11 +38,12 @@ race:
 cover:
 	$(GO) test -race -shuffle=on -coverprofile=cover.out \
 		./internal/obs/... ./internal/core/... ./internal/gridbuffer/... \
-		./internal/workflow/... \
+		./internal/workflow/... ./internal/objstore/... \
 		| $(GO) run ./cmd/covergate \
 		-floor griddles/internal/core=$(COVER_FLOOR_CORE) \
 		-floor griddles/internal/gridbuffer=$(COVER_FLOOR_GRIDBUFFER) \
-		-floor griddles/internal/workflow=$(COVER_FLOOR_WORKFLOW)
+		-floor griddles/internal/workflow=$(COVER_FLOOR_WORKFLOW) \
+		-floor griddles/internal/objstore=$(COVER_FLOOR_OBJSTORE)
 
 ## chaos: the fault-injection matrix — {IO mechanism} x {fault scenario},
 ## the no-survivor budget tests, and 50 seeded random fault schedules.
@@ -59,23 +62,26 @@ fuzz:
 		internal/gridbuffer:FuzzDecodeGetWin \
 		internal/gridbuffer:FuzzDecodeOptions \
 		internal/xdr:FuzzTranslateTwiceIdentity \
-		internal/xdr:FuzzRecordRoundTrip ; do \
+		internal/xdr:FuzzRecordRoundTrip \
+		internal/objstore:FuzzDecodeGetReq \
+		internal/objstore:FuzzDecodeListResp \
+		internal/objstore:FuzzDecodeStreamHeaders ; do \
 		pkg=$${tgt%%:*}; fn=$${tgt##*:}; \
 		echo "fuzz $$pkg $$fn ($(FUZZTIME))"; \
 		$(GO) test -run '^$$' -fuzz "^$$fn$$" -fuzztime $(FUZZTIME) ./$$pkg/ || exit 1; \
 	done
 
-## bench: run the benchmark suite once and record it as BENCH_pr5.json.
+## bench: run the benchmark suite once and record it as BENCH_pr6.json.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x -timeout 20m . | tee bench.out
-	$(GO) run ./cmd/benchgate -parse bench.out -o BENCH_pr5.json
+	$(GO) run ./cmd/benchgate -parse bench.out -o BENCH_pr6.json
 
 ## bench-gate: re-run the suite and fail on regression vs the checked-in
 ## baseline. Simulated-clock metrics and allocs/op gate at 10%; wall-clock
 ## metrics are compared and reported but don't gate (pure machine noise at
 ## -benchtime 1x) — pass -gate-wall to benchgate to enforce them too.
 bench-gate: bench
-	$(GO) run ./cmd/benchgate BENCH_baseline.json BENCH_pr5.json
+	$(GO) run ./cmd/benchgate BENCH_baseline.json BENCH_pr6.json
 
 build:
 	$(GO) build ./...

@@ -1,21 +1,29 @@
 // Command flowrun demonstrates the File Multiplexer over real TCP: a
 // producer and a consumer exchange a file-shaped stream, and the IO
 // mechanism — local files, a staged copy through the file service, remote
-// block IO, or a direct Grid Buffer — is chosen with a flag by writing
-// different GNS entries. The producer and consumer code never changes:
-// that is the paper's whole point.
+// block IO, a direct Grid Buffer, or a whole object on the object store —
+// is chosen with a flag by writing different GNS entries. The producer and
+// consumer code never changes: that is the paper's whole point.
 //
 // Usage:
 //
-//	flowrun [-mode local|copy|remote|buffer|dag] [-mb 8] [-dir DIR] [-trace FILE]
-//	        [-retries N] [-retry-timeout D]
+//	flowrun [-mode local|copy|remote|buffer|objstore|dag] [-mb 8] [-dir DIR]
+//	        [-trace FILE] [-retries N] [-retry-timeout D] [-scheme NAME]
 //
-// All services (GNS, file service, Grid Buffer) are started in-process on
-// loopback TCP ports. -trace streams the run's JSONL event log (see
-// OBSERVABILITY.md) to FILE. -retries / -retry-timeout configure the
+// All services (GNS, file service, Grid Buffer, object store) are started
+// in-process on loopback TCP ports. -trace streams the run's JSONL event log
+// (see OBSERVABILITY.md) to FILE. -retries / -retry-timeout configure the
 // resilience policy threaded through every transport (DESIGN.md §7);
 // -retries 1 restores the historical fail-fast behaviour. -gns-cache turns
 // on client-side GNS resolve memoisation with Watch-based invalidation.
+//
+// -mode objstore (alias: -mode 7) couples the pair through the object-store
+// service: the producer's close commits one atomic PUT, the consumer polls
+// for the object's visibility and reads it with ranged GETs. -scheme objstore
+// demonstrates registry dispatch by scheme instead of mode: the consumer's
+// GNS entry keeps Mode remote but carries Scheme "objstore", so the FM
+// routes the open to the object-store backend and records an
+// fm.backend.select decision in the trace (see OBSERVABILITY.md).
 //
 // -mode dag runs a diamond workflow on the simulated Table 1 testbed
 // instead of the TCP pipe, demonstrating the DAG scheduler (DESIGN.md §10):
@@ -39,6 +47,7 @@ import (
 	"griddles/internal/gns"
 	"griddles/internal/gridbuffer"
 	"griddles/internal/gridftp"
+	"griddles/internal/objstore"
 	"griddles/internal/obs"
 	"griddles/internal/retry"
 	"griddles/internal/simclock"
@@ -53,7 +62,8 @@ type tcpDialer struct{}
 func (tcpDialer) Dial(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
 
 func main() {
-	mode := flag.String("mode", "buffer", "IO mechanism: local, copy, remote or buffer")
+	mode := flag.String("mode", "buffer", "IO mechanism: local, copy, remote, buffer or objstore (alias: 7)")
+	scheme := flag.String("scheme", "", "dispatch the consumer's mapping by this registry scheme instead of its mode (supported: objstore)")
 	mb := flag.Int("mb", 8, "stream size in MiB")
 	dir := flag.String("dir", "", "working directory (default: a temp dir)")
 	trace := flag.String("trace", "", "stream the JSONL event log to this file")
@@ -116,7 +126,10 @@ func main() {
 		reg := gridbuffer.NewRegistry(clock, vfs.NewOSFS(work+"/cache"))
 		gridbuffer.NewServer(reg, clock).Serve(l)
 	})
-	log.Printf("flowrun: gns=%s gridftp=%s gridbuffer=%s", gnsAddr, ftpAddr, bufAddr)
+	objAddr := serve(func(l net.Listener) {
+		objstore.NewServer(objstore.NewStore(), clock).Serve(l)
+	})
+	log.Printf("flowrun: gns=%s gridftp=%s gridbuffer=%s objstore=%s", gnsAddr, ftpAddr, bufAddr, objAddr)
 
 	// Configure the workflow purely through GNS entries.
 	const file = "pipe.dat"
@@ -140,8 +153,30 @@ func main() {
 		m := gns.Mapping{Mode: gns.ModeBuffer, BufferHost: bufAddr, BufferKey: "flowrun/" + file, CacheEnabled: true}
 		gnsStore.Set("producer", file, m)
 		gnsStore.Set("consumer", file, m)
+	case "objstore", "7":
+		m := gns.Mapping{
+			Mode: gns.ModeObject, RemoteHost: objAddr, RemotePath: "flowrun/" + file, WaitClose: true,
+		}
+		gnsStore.Set("producer", file, m)
+		gnsStore.Set("consumer", file, m)
 	default:
 		log.Fatalf("flowrun: unknown -mode %q", *mode)
+	}
+	if *scheme != "" {
+		// Scheme-over-mode demonstration: the data lives on the object store
+		// (the producer's entry says so by mode), while the consumer's entry
+		// keeps its remote mode and is re-routed purely by Scheme — the FM
+		// emits an fm.backend.select decision record for the override.
+		if *scheme != "objstore" {
+			log.Fatalf("flowrun: unsupported -scheme %q (supported: objstore)", *scheme)
+		}
+		gnsStore.Set("producer", file, gns.Mapping{
+			Mode: gns.ModeObject, RemoteHost: objAddr, RemotePath: "flowrun/" + file, WaitClose: true,
+		})
+		gnsStore.Set("consumer", file, gns.Mapping{
+			Mode: gns.ModeRemote, Scheme: "objstore",
+			RemoteHost: objAddr, RemotePath: "flowrun/" + file, WaitClose: true,
+		})
 	}
 
 	// The resilience policy for every transport (GNS lookups, file-service

@@ -1,7 +1,7 @@
 // Package chaos is the fault-injection test harness for the whole GriddLeS
 // stack: a miniature grid (the paper's Table 1 testbed) with every service
-// running, a shared observer, and workload drivers for each of the six FM IO
-// mechanisms. The chaos test matrix runs {mechanism} x {fault scenario}
+// running, a shared observer, and workload drivers for each of the seven FM
+// IO mechanisms. The chaos test matrix runs {mechanism} x {fault scenario}
 // pairs on it and asserts that a run under faults delivers byte-identical
 // output to the no-fault run — or, when no endpoint survives, that it fails
 // cleanly within the retry policy's budget instead of hanging.
@@ -22,6 +22,7 @@ import (
 	"griddles/internal/gridbuffer"
 	"griddles/internal/gridftp"
 	"griddles/internal/nws"
+	"griddles/internal/objstore"
 	"griddles/internal/obs"
 	"griddles/internal/replica"
 	"griddles/internal/retry"
@@ -34,6 +35,7 @@ import (
 const (
 	FTPPort = ":6000"
 	BufPort = ":7000"
+	ObjPort = ":7100"
 )
 
 // Env is a miniature grid with shared GNS, replica catalogue, NWS and
@@ -45,6 +47,10 @@ type Env struct {
 	Cat   *replica.Catalog
 	NWS   *nws.Service
 	Obs   *obs.Observer
+	// Objs holds each machine's object-store table, created on first use.
+	// Prepare hooks run before V.Run, so they seed objects here directly;
+	// StartServices later serves the same table on ObjPort.
+	Objs map[string]*objstore.Store
 }
 
 // NewEnv builds a fresh world on the paper's Table 1 testbed.
@@ -57,11 +63,22 @@ func NewEnv() *Env {
 		Cat:   replica.NewCatalog(),
 		NWS:   nws.NewService(),
 		Obs:   obs.New(v),
+		Objs:  make(map[string]*objstore.Store),
 	}
 }
 
-// StartServices brings up a file service and a buffer service on each named
-// machine. Must run inside V.Run.
+// ObjStore reports host's object table, creating it on first use.
+func (e *Env) ObjStore(host string) *objstore.Store {
+	s, ok := e.Objs[host]
+	if !ok {
+		s = objstore.NewStore()
+		e.Objs[host] = s
+	}
+	return s
+}
+
+// StartServices brings up a file service, a buffer service and an object
+// store on each named machine. Must run inside V.Run.
 func (e *Env) StartServices(hosts ...string) error {
 	for _, name := range hosts {
 		m := e.Grid.Machine(name)
@@ -76,6 +93,12 @@ func (e *Env) StartServices(hosts ...string) error {
 		}
 		reg := gridbuffer.NewRegistry(e.V, m.FS())
 		e.V.Go(name+"-buf", func() { gridbuffer.NewServer(reg, e.V).Serve(lb) })
+		lo, err := m.Listen(ObjPort)
+		if err != nil {
+			return fmt.Errorf("chaos: %s objstore listen: %w", name, err)
+		}
+		store := e.ObjStore(name)
+		e.V.Go(name+"-obj", func() { objstore.NewServer(store, e.V).Serve(lo) })
 	}
 	return nil
 }
@@ -137,7 +160,7 @@ func Payload(seed int64, n int) []byte {
 	return data
 }
 
-// Mechanism is one of the FM's six IO bindings, with everything the harness
+// Mechanism is one of the FM's seven IO bindings, with everything the harness
 // needs to drive it: Prepare seeds data and GNS state before the run, and
 // the workload is "open File on AppHost and read it to EOF" (mechanism 6
 // additionally runs the producer, see RunProducer).
@@ -203,6 +226,17 @@ var Mechanisms = []Mechanism{
 			m := gns.Mapping{Mode: gns.ModeBuffer, BufferHost: AppHost + BufPort, BufferKey: "chaos-k"}
 			e.Store.Set(AppHost, File, m)
 			e.Store.Set(DataHost, File, m)
+		},
+	},
+	{
+		// The object lives on DataHost's store, so every ranged GET crosses
+		// the faulted link exactly like the other network mechanisms.
+		ID: 7, Name: "objstore",
+		Prepare: func(e *Env, want []byte) {
+			e.ObjStore(DataHost).PutBytes("chaos/f", want)
+			e.Store.Set(AppHost, File, gns.Mapping{
+				Mode: gns.ModeObject, RemoteHost: DataHost + ObjPort, RemotePath: "chaos/f",
+			})
 		},
 	},
 }

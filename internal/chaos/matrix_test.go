@@ -110,7 +110,7 @@ func runCell(t *testing.T, mech Mechanism, actions []fault.Action) ([]byte, stri
 	return got, trace.String()
 }
 
-// TestChaosMatrix is the full {mechanism 1..6} x {fault scenario} grid: every
+// TestChaosMatrix is the full {mechanism 1..7} x {fault scenario} grid: every
 // cell must deliver output byte-identical to the mechanism's no-fault run,
 // and recoverable cells must show the resilience layer in the event trace.
 func TestChaosMatrix(t *testing.T) {

@@ -13,7 +13,7 @@ import (
 	"griddles/internal/vfs"
 )
 
-// The POSIX conformance suite: one op script, six IO mechanisms, byte- and
+// The POSIX conformance suite: one op script, seven IO mechanisms, byte- and
 // position-identical results. A bytes.Reader is the reference
 // implementation; every mechanism's FM handle must match it op for op —
 // seek-back, re-read, short reads at the tail, reads at EOF.
@@ -243,17 +243,35 @@ func confMechanisms() []confMech {
 				writeAll(t, e.fm(t, "brecca", nil), content)
 			},
 		},
+		{
+			// The producer writes through its own FM: the write handle
+			// accumulates the body and commits it as one atomic PUT on Close,
+			// so by the time the (synchronous) reader opens, the object is
+			// visible and ranged GETs serve the script.
+			name:   "7-objstore",
+			reader: "vpac27",
+			configure: func(e *env, _ []byte) {
+				m := gns.Mapping{
+					Mode: gns.ModeObject, RemoteHost: "brecca" + objPort, RemotePath: "conf/obj",
+				}
+				e.store.Set("brecca", file, m)
+				e.store.Set("vpac27", file, m)
+			},
+			produce: func(t *testing.T, e *env, content []byte) {
+				writeAll(t, e.fm(t, "brecca", nil), content)
+			},
+		},
 	}
 }
 
-// TestConformanceSixMechanisms runs the identical op script through every IO
-// mechanism — with the FM block cache off and on, and with the prefetch
+// TestConformanceMechanismMatrix runs the identical op script through every
+// IO mechanism — with the FM block cache off and on, and with the prefetch
 // pipeline off and on — and requires results byte-identical to the
 // bytes.Reader reference. The script is deliberately seek-heavy, so the
 // prefetch rows also pin that the pipeline's self-disable leaves the byte
 // stream untouched. prefetch>0 with no cache is skipped: the pipeline has
 // nowhere to land blocks, so it never engages (see TestPrefetchRequiresBlockCache).
-func TestConformanceSixMechanisms(t *testing.T) {
+func TestConformanceMechanismMatrix(t *testing.T) {
 	content := confContent()
 	want := runConfScript(bytes.NewReader(content))
 	for _, cacheMB := range []int64{0, 4} {
@@ -308,7 +326,9 @@ func TestConformanceSixMechanisms(t *testing.T) {
 
 // TestConformanceInterleavedSeekWrite runs an identical seek+write script
 // through every writable, seekable mechanism and requires the readback to
-// match an in-memory simulation of the same ops.
+// match an in-memory simulation of the same ops. Mechanism 7 is deliberately
+// absent: an object store has no partial overwrite, so a write-handle Seek is
+// a documented divergence (pinned in TestConformanceDocumentedDivergences).
 func TestConformanceInterleavedSeekWrite(t *testing.T) {
 	// The golden result of the write script below, simulated on a slice.
 	golden := make([]byte, 64_000)
@@ -428,7 +448,9 @@ func TestConformanceInterleavedSeekWrite(t *testing.T) {
 
 // TestConformanceDocumentedDivergences pins the behaviours that
 // intentionally differ per mechanism: replicated files reject writes, Grid
-// Buffer writers are sequential, and buffer streams reject SeekEnd.
+// Buffer writers are sequential, buffer streams reject SeekEnd, and
+// object-store files (mechanism 7) have immutable whole-object PUT — no
+// partial overwrite, so write handles reject Seek and O_RDWR is refused.
 func TestConformanceDocumentedDivergences(t *testing.T) {
 	e := newEnv()
 	e.cat.Register("d", replica.Location{Host: "brecca", Addr: "brecca" + ftpPort, Path: "/x"})
@@ -437,6 +459,9 @@ func TestConformanceDocumentedDivergences(t *testing.T) {
 	e.store.Set("jagan", "rc", gns.Mapping{Mode: gns.ModeReplicaCopy, LogicalName: "d", LocalPath: "/l/rc"})
 	bm := gns.Mapping{Mode: gns.ModeBuffer, BufferHost: "jagan" + bufPort, BufferKey: "d/b"}
 	e.store.Set("jagan", "bw", bm)
+	e.store.Set("jagan", "obj", gns.Mapping{
+		Mode: gns.ModeObject, RemoteHost: "jagan" + objPort, RemotePath: "d/obj",
+	})
 	e.v.Run(func() {
 		e.startServices(t)
 		fm := e.fm(t, "jagan", nil)
@@ -446,6 +471,31 @@ func TestConformanceDocumentedDivergences(t *testing.T) {
 		if _, err := fm.Create("rc"); err == nil {
 			t.Error("replica-copy accepted a write open")
 		}
+		if _, err := fm.OpenFile("obj", os.O_RDWR|os.O_CREATE, 0o644); err == nil {
+			t.Error("objstore accepted an O_RDWR open of an immutable object")
+		}
+		ow, err := fm.Create("obj")
+		if err != nil {
+			t.Fatalf("objstore write open: %v", err)
+		}
+		if _, err := ow.Seek(0, io.SeekStart); err == nil {
+			t.Error("objstore writer accepted a seek: objects have no partial overwrite")
+		}
+		if _, err := ow.Write([]byte("object body")); err != nil {
+			t.Fatalf("objstore write: %v", err)
+		}
+		if err := ow.Close(); err != nil {
+			t.Fatalf("objstore close (atomic PUT): %v", err)
+		}
+		// The commit was whole-object and atomic: the body reads back intact.
+		or, err := fm.Open("obj")
+		if err != nil {
+			t.Fatalf("objstore read open: %v", err)
+		}
+		if got, _ := io.ReadAll(or); string(got) != "object body" {
+			t.Errorf("objstore readback = %q", got)
+		}
+		or.Close()
 		w, err := fm.OpenFile("bw", os.O_WRONLY|os.O_CREATE, 0o644)
 		if err != nil {
 			t.Fatalf("buffer write open: %v", err)

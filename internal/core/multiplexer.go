@@ -4,7 +4,8 @@
 // The FM sits between an application and the grid. The application performs
 // ordinary OPEN/READ/WRITE/SEEK/CLOSE calls; on every OPEN the FM consults
 // the GriddLeS Name Service and binds the file — independently of every
-// other file — to one of six IO mechanisms (paper §2):
+// other file — to one of the IO mechanisms, the paper's six (§2) plus the
+// object-store extension:
 //
 //  1. local file IO
 //  2. local IO with stage-in/stage-out copies between machines
@@ -12,6 +13,14 @@
 //  4. remote replicated IO (replica chosen by NWS forecasts)
 //  5. local replicated IO (choose replica, copy, read locally)
 //  6. direct Grid Buffer streaming between writer and reader
+//  7. whole-object access on an object store (immutable PUT, ranged GET)
+//
+// Every mechanism is a Backend implementation behind a scheme-keyed
+// Registry (see backend.go and BACKENDS.md): the mapping's Mode derives the
+// default scheme, and a mapping's explicit Scheme field can re-route an
+// open through any registered backend. The block cache, prefetch pipeline,
+// retry policy and obs instrumentation are threaded through the Backend
+// environment, so they apply to out-of-tree backends unchanged.
 //
 // Because the binding comes from the GNS at run time, the same unmodified
 // application runs with local files, staged copies, or fully pipelined
@@ -23,6 +32,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -162,6 +172,12 @@ type Config struct {
 	// Heuristic tunes ModeAuto's copy-vs-remote decision (§3.1).
 	Heuristic HeuristicConfig
 
+	// Backends is the storage-backend registry OPENs dispatch through; nil
+	// selects DefaultRegistry() (the seven in-tree mechanisms). Pass a
+	// private NewRegistry to run an FM with a restricted or extended
+	// backend set.
+	Backends *Registry
+
 	// Records registers record schemas by open path for §3.3 byte-order
 	// translation; ByteOrder is this machine's order ("le" default, "be").
 	// A read of a file whose GNS mapping declares a different DataOrder is
@@ -181,12 +197,15 @@ const DoneSuffix = ".done"
 
 // Multiplexer is one application's FM instance.
 type Multiplexer struct {
-	cfg   Config
-	obs   *obs.Observer
-	stats Stats
+	cfg      Config
+	obs      *obs.Observer
+	stats    Stats
+	registry *Registry
+	env      Env
 
 	mu      sync.Mutex
 	clients map[string]*gridftp.Client // file-service clients by address
+	pooled  map[string]io.Closer       // backend-owned pooled values (Env.Pooled)
 }
 
 // New returns a Multiplexer for cfg. Machine, Clock, FS, Dialer and GNS are
@@ -220,10 +239,23 @@ func New(cfg Config) (*Multiplexer, error) {
 		cfg.BlockCache = NewBlockCache(cfg.BlockCacheBytes)
 		cfg.BlockCache.SetObserver(cfg.Obs)
 	}
-	m := &Multiplexer{cfg: cfg, obs: cfg.Obs, clients: make(map[string]*gridftp.Client)}
+	if cfg.Backends == nil {
+		cfg.Backends = DefaultRegistry()
+	}
+	m := &Multiplexer{
+		cfg:      cfg,
+		obs:      cfg.Obs,
+		registry: cfg.Backends,
+		clients:  make(map[string]*gridftp.Client),
+		pooled:   make(map[string]io.Closer),
+	}
+	m.env = Env{fm: m}
 	m.stats.init(m.obs, cfg.Machine)
 	return m, nil
 }
+
+// Backends reports the registry this FM dispatches opens through.
+func (m *Multiplexer) Backends() *Registry { return m.registry }
 
 // BlockCache reports the FM's block cache, if one is configured.
 func (m *Multiplexer) BlockCache() *BlockCache { return m.cfg.BlockCache }
@@ -249,7 +281,8 @@ func (m *Multiplexer) client(addr string) *gridftp.Client {
 	return c
 }
 
-// Close releases pooled service connections.
+// Close releases pooled service connections, including values backends
+// pooled through Env.Pooled.
 func (m *Multiplexer) Close() error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -257,6 +290,10 @@ func (m *Multiplexer) Close() error {
 		c.Close()
 	}
 	m.clients = make(map[string]*gridftp.Client)
+	for _, c := range m.pooled {
+		c.Close()
+	}
+	m.pooled = make(map[string]io.Closer)
 	return nil
 }
 
@@ -270,8 +307,23 @@ func (m *Multiplexer) Create(path string) (File, error) {
 	return m.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 }
 
+// backendFor resolves a mapping to its registered backend: the explicit
+// Scheme when the GNS entry carries one, the mode-derived scheme otherwise.
+func (m *Multiplexer) backendFor(path string, mapping gns.Mapping) (Backend, string, error) {
+	scheme := mapping.Scheme
+	if scheme == "" {
+		scheme = SchemeForMode(mapping.Mode)
+	}
+	b, ok := m.registry.Lookup(scheme)
+	if !ok {
+		return nil, scheme, fmt.Errorf("core: %s: no backend registered for scheme %q (mode %d)", path, scheme, mapping.Mode)
+	}
+	return b, scheme, nil
+}
+
 // OpenFile is the intercepted OPEN: it resolves (machine, path) in the GNS
-// and dispatches to the mechanism the mapping selects.
+// and dispatches through the backend registry to the mechanism the mapping
+// selects.
 func (m *Multiplexer) OpenFile(path string, flag int, perm os.FileMode) (File, error) {
 	mapping, err := m.cfg.GNS.Resolve(m.cfg.Machine, path)
 	if err != nil {
@@ -282,25 +334,19 @@ func (m *Multiplexer) OpenFile(path string, flag int, perm os.FileMode) (File, e
 	m.obs.Emit("fm.open", m.cfg.Machine,
 		obs.KV("path", path), obs.KV("mode", mapping.Mode.String()), obs.KV("writing", writing))
 
-	var f File
-	switch mapping.Mode {
-	case gns.ModeLocal:
-		f, err = m.openLocal(path, mapping, flag, perm, writing)
-	case gns.ModeCopy:
-		f, err = m.openCopy(path, mapping, flag, perm, writing)
-	case gns.ModeRemote:
-		f, err = m.openRemote(path, mapping, flag, writing)
-	case gns.ModeReplicaRemote:
-		f, err = m.openReplicaRemote(path, mapping, writing)
-	case gns.ModeReplicaCopy:
-		f, err = m.openReplicaCopy(path, mapping, flag, perm, writing)
-	case gns.ModeBuffer:
-		f, err = m.openBuffer(path, mapping, writing, flag)
-	case gns.ModeAuto:
-		f, err = m.openAuto(path, mapping, flag, perm, writing)
-	default:
-		return nil, fmt.Errorf("core: %s: unknown IO mode %d", path, mapping.Mode)
+	b, scheme, err := m.backendFor(path, mapping)
+	if err != nil {
+		return nil, err
 	}
+	m.obs.Counter(obs.Key("fm.backend.open.total", "scheme", scheme)).Inc()
+	if mapping.Scheme != "" && mapping.Scheme != SchemeForMode(mapping.Mode) {
+		// The GNS entry overrode the mode-derived backend: record the
+		// decision the way the auto heuristic records its choices.
+		m.obs.Emit("fm.backend.select", m.cfg.Machine,
+			obs.KV("path", path), obs.KV("scheme", scheme),
+			obs.KV("over", SchemeForMode(mapping.Mode)), obs.KV("reason", "gns-scheme-override"))
+	}
+	f, err := b.Open(context.Background(), &m.env, OpenRequest{Path: path, Mapping: mapping, Flag: flag, Perm: perm, Writing: writing})
 	if err != nil {
 		return nil, err
 	}
@@ -314,23 +360,19 @@ func (m *Multiplexer) OpenFile(path string, flag int, perm os.FileMode) (File, e
 	return f, nil
 }
 
-// Stat reports metadata for path under its current mapping (local and
-// staged files stat locally; remote modes stat the service).
+// Stat reports metadata for path under its current mapping, through the
+// mapping's backend (local and staged files stat locally; remote modes stat
+// the service; object mappings stat the object).
 func (m *Multiplexer) Stat(path string) (size int64, exists bool, err error) {
 	mapping, err := m.cfg.GNS.Resolve(m.cfg.Machine, path)
 	if err != nil {
 		return 0, false, err
 	}
-	switch mapping.Mode {
-	case gns.ModeRemote, gns.ModeCopy:
-		return m.client(mapping.RemoteHost).Stat(remotePath(mapping, path))
-	default:
-		fi, err := m.cfg.FS.Stat(localPath(mapping, path))
-		if err != nil {
-			return 0, false, nil
-		}
-		return fi.Size(), true, nil
+	b, _, err := m.backendFor(path, mapping)
+	if err != nil {
+		return 0, false, err
 	}
+	return b.Stat(context.Background(), &m.env, path, mapping)
 }
 
 func localPath(mapping gns.Mapping, openPath string) string {

@@ -12,16 +12,18 @@ import (
 	"griddles/internal/gridbuffer"
 	"griddles/internal/gridftp"
 	"griddles/internal/nws"
+	"griddles/internal/objstore"
 	"griddles/internal/replica"
 	"griddles/internal/simclock"
 	"griddles/internal/testbed"
 	"griddles/internal/vfs"
 )
 
-// FileServicePort and BufferServicePort are the well-known ports tests use.
+// The well-known service ports tests use.
 const (
 	ftpPort = ":6000"
 	bufPort = ":7000"
+	objPort = ":7100"
 )
 
 // env is a miniature grid with every GriddLeS service running on it.
@@ -31,17 +33,23 @@ type env struct {
 	store *gns.Store
 	cat   *replica.Catalog
 	nws   *nws.Service
+	objs  map[string]*objstore.Store // per-machine object tables
 }
 
 func newEnv() *env {
 	v := simclock.NewVirtualDefault()
-	return &env{
+	e := &env{
 		v:     v,
 		grid:  testbed.DefaultGrid(v),
 		store: gns.NewStore(v),
 		cat:   replica.NewCatalog(),
 		nws:   nws.NewService(),
+		objs:  make(map[string]*objstore.Store),
 	}
+	for name := range e.grid.Machines() {
+		e.objs[name] = objstore.NewStore()
+	}
+	return e
 }
 
 // startServices must run inside v.Run: it brings up a file service and a
@@ -61,6 +69,12 @@ func (e *env) startServices(t *testing.T) {
 		}
 		reg := gridbuffer.NewRegistry(e.v, m.FS())
 		e.v.Go(name+"-buf", func() { gridbuffer.NewServer(reg, e.v).Serve(lb) })
+		lo, err := m.Listen(objPort)
+		if err != nil {
+			t.Fatalf("%s objstore listen: %v", name, err)
+		}
+		store := e.objs[name]
+		e.v.Go(name+"-obj", func() { objstore.NewServer(store, e.v).Serve(lo) })
 	}
 }
 

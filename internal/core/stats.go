@@ -10,9 +10,9 @@ import (
 	"griddles/internal/obs"
 )
 
-// nModes is the number of gns.Mode values (ModeLocal..ModeAuto) the per-mode
-// open counters cover.
-const nModes = int(gns.ModeAuto) + 1
+// nModes is the number of gns.Mode values (ModeLocal..ModeObject) the
+// per-mode open counters cover.
+const nModes = int(gns.ModeObject) + 1
 
 // Stats accumulates per-FM counters; experiments and tests read them to
 // verify which mechanisms a workflow actually exercised.

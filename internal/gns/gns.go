@@ -2,7 +2,7 @@
 //
 // The GNS is the configuration database the File Multiplexer consults on
 // every OPEN. It matches (machine, full path name) and returns a Mapping
-// that tells the FM which of the six IO mechanisms to use and where the
+// that tells the FM which of the seven IO mechanisms to use and where the
 // data lives. Changing GNS entries — and nothing else — reconfigures a
 // workflow from local files to file copies to direct Grid Buffer streams,
 // which is the paper's headline property ("the changes in configuration
@@ -21,7 +21,8 @@ import (
 	"griddles/internal/wire"
 )
 
-// Mode selects one of the paper's six IO mechanisms (§2).
+// Mode selects an IO mechanism: the paper's six (§2) plus the
+// object-store extension (mechanism 7).
 type Mode uint8
 
 const (
@@ -48,6 +49,11 @@ const (
 	// files on high-latency links are staged local. The mapping carries the
 	// remote location as in ModeRemote plus optional hints.
 	ModeAuto
+	// ModeObject accesses the file as a whole object on an object-store
+	// service (mechanism 7): immutable atomic PUT on close, ranged GET for
+	// reads, no partial overwrite. The mapping carries the service address in
+	// RemoteHost and the object key in RemotePath, as in ModeRemote.
+	ModeObject
 )
 
 // String implements fmt.Stringer.
@@ -67,6 +73,8 @@ func (m Mode) String() string {
 		return "buffer"
 	case ModeAuto:
 		return "auto"
+	case ModeObject:
+		return "objstore"
 	default:
 		return fmt.Sprintf("mode(%d)", uint8(m))
 	}
@@ -133,6 +141,13 @@ type Mapping struct {
 	// Version is the store version at which this mapping was current.
 	// Watch(since) returns when the mapping's version exceeds since.
 	Version uint64
+
+	// Scheme, when non-empty, names the FM storage backend to dispatch this
+	// open through (see core.Registry), overriding the default derived from
+	// Mode. It lets one GNS entry route a mode-3-shaped mapping through,
+	// say, the object-store backend without recompiling anything — the FM
+	// records the override as an fm.backend.select decision.
+	Scheme string
 }
 
 // DefaultBlockSize is the paper's typical block size (§5.3).
@@ -163,6 +178,7 @@ func (m Mapping) encode(e *wire.Encoder) {
 	e.U64(uint64(math.Float64bits(m.ReadFraction)))
 	e.Bool(m.WaitClose)
 	e.U64(m.Version)
+	e.String(m.Scheme)
 }
 
 // decodeMapping reads a mapping from d.
@@ -183,6 +199,7 @@ func decodeMapping(d *wire.Decoder) Mapping {
 	m.ReadFraction = math.Float64frombits(d.U64())
 	m.WaitClose = d.Bool()
 	m.Version = d.U64()
+	m.Scheme = d.String()
 	return m
 }
 

@@ -1,0 +1,327 @@
+package objstore
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+
+	"griddles/internal/obs"
+	"griddles/internal/retry"
+	"griddles/internal/simclock"
+	"griddles/internal/wire"
+)
+
+// Dialer opens connections to service addresses.
+type Dialer interface {
+	Dial(addr string) (net.Conn, error)
+}
+
+// Client talks to one object-store server. In cloud-storage style every
+// operation runs on its own connection — there is no per-client session
+// state, so the Client is safe for concurrent use (the FM's prefetch
+// workers issue ranged Gets in parallel with the reader).
+//
+// With a retry policy set (SetRetry), operations survive transport faults:
+// an interrupted GET stream resumes from the last byte delivered, and an
+// interrupted PUT replays from the start of a seekable source — safe,
+// because the server commits an object only when the complete upload's end
+// frame arrives. Server-reported errors ("no such object") are never
+// retried.
+type Client struct {
+	dialer Dialer
+	addr   string
+	clock  simclock.Clock
+	retry  retry.Policy
+
+	getTotal  *obs.Counter
+	getBytes  *obs.Counter
+	putTotal  *obs.Counter
+	putBytes  *obs.Counter
+	statTotal *obs.Counter
+	listTotal *obs.Counter
+}
+
+// NewClient returns a Client for the object store at addr.
+func NewClient(dialer Dialer, addr string, clock simclock.Clock) *Client {
+	c := &Client{dialer: dialer, addr: addr, clock: clock}
+	c.SetObserver(nil)
+	return c
+}
+
+// SetObserver routes this client's metrics (objstore.* in OBSERVABILITY.md)
+// to o; nil discards them. Call before issuing requests.
+func (c *Client) SetObserver(o *obs.Observer) {
+	c.getTotal = o.Counter("objstore.get.total")
+	c.getBytes = o.Counter("objstore.get.bytes")
+	c.putTotal = o.Counter("objstore.put.total")
+	c.putBytes = o.Counter("objstore.put.bytes")
+	c.statTotal = o.Counter("objstore.stat.total")
+	c.listTotal = o.Counter("objstore.list.total")
+}
+
+// SetRetry installs the resilience policy. The zero policy (the default)
+// preserves fail-fast behaviour.
+func (c *Client) SetRetry(p retry.Policy) { c.retry = p }
+
+// Addr reports the server address.
+func (c *Client) Addr() string { return c.addr }
+
+// Close releases the client. Connections are per-operation, so there is
+// nothing to tear down; Close exists so clients pool cleanly.
+func (c *Client) Close() error { return nil }
+
+// dial opens a fresh connection with the retry policy's idle deadline
+// armed (a later frame read re-arms it, bounding silence, not transfers).
+func (c *Client) dial() (net.Conn, error) {
+	conn, err := c.dialer.Dial(c.addr)
+	if err != nil {
+		return nil, fmt.Errorf("objstore: dial %s: %w", c.addr, err)
+	}
+	if idle := c.retry.Timeout(); idle > 0 {
+		conn.SetDeadline(c.clock.Now().Add(idle))
+	}
+	return conn, nil
+}
+
+// roundTrip performs one request/response on a dedicated connection.
+func (c *Client) roundTrip(reqType uint8, payload []byte, wantType uint8) ([]byte, error) {
+	conn, err := c.dial()
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	if err := wire.WriteFrame(conn, reqType, payload); err != nil {
+		return nil, err
+	}
+	typ, resp, err := wire.ReadFrame(bufio.NewReader(conn))
+	if err != nil {
+		return nil, err
+	}
+	if typ == msgError {
+		return nil, retry.Permanent(errors.New("objstore: " + wire.NewDecoder(resp).String()))
+	}
+	if typ != wantType {
+		return nil, retry.Permanent(fmt.Errorf("objstore: unexpected reply %d", typ))
+	}
+	return resp, nil
+}
+
+// Stat reports whether key exists on the server and its size.
+func (c *Client) Stat(key string) (size int64, exists bool, err error) {
+	c.statTotal.Inc()
+	err = c.retry.Do("objstore.stat", func(int) error {
+		resp, err := c.roundTrip(msgStat, statReq{Key: key}.encode(), msgStatResp)
+		if err != nil {
+			return err
+		}
+		r, err := decodeStatResp(resp)
+		if err != nil {
+			return retry.Permanent(err)
+		}
+		size, exists = r.Size, r.Exists
+		return nil
+	})
+	if err != nil {
+		return 0, false, err
+	}
+	return size, exists, nil
+}
+
+// List reports the objects under prefix, sorted by key.
+func (c *Client) List(prefix string) ([]Meta, error) {
+	c.listTotal.Inc()
+	var out []Meta
+	err := c.retry.Do("objstore.list", func(int) error {
+		resp, err := c.roundTrip(msgList, listReq{Prefix: prefix}.encode(), msgListResp)
+		if err != nil {
+			return err
+		}
+		r, err := decodeListResp(resp)
+		if err != nil {
+			return retry.Permanent(err)
+		}
+		out = r.Objects
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Get streams [off, off+length) of key into w; length < 0 means the rest
+// of the object. It returns the byte count delivered and the full object
+// size. With a retry policy set, a broken stream resumes from the last byte
+// written to w (w only ever sees each byte once).
+func (c *Client) Get(key string, off, length int64, w io.Writer) (n, size int64, err error) {
+	c.getTotal.Inc()
+	var total int64
+	err = c.retry.Do("objstore.get", func(int) error {
+		remaining := length
+		if remaining >= 0 {
+			remaining -= total
+			if remaining <= 0 && total > 0 {
+				// Every byte arrived; only the end-of-stream frame was lost.
+				return nil
+			}
+		}
+		got, sz, gerr := c.getOnce(key, off+total, remaining, w)
+		total += got
+		if sz > 0 || gerr == nil {
+			size = sz
+		}
+		return gerr
+	})
+	c.getBytes.Add(total)
+	if err != nil {
+		return total, size, err
+	}
+	return total, size, nil
+}
+
+func (c *Client) getOnce(key string, off, length int64, w io.Writer) (total, size int64, err error) {
+	conn, err := c.dial()
+	if err != nil {
+		return 0, 0, err
+	}
+	defer conn.Close()
+	idle := c.retry.Timeout()
+	if err := wire.WriteFrame(conn, msgGet, getReq{Key: key, Off: off, Length: length}.encode()); err != nil {
+		return 0, 0, err
+	}
+	br := bufio.NewReader(conn)
+	typ, resp, err := wire.ReadFrame(br)
+	if err != nil {
+		return 0, 0, err
+	}
+	if typ == msgError {
+		return 0, 0, retry.Permanent(errors.New("objstore: " + wire.NewDecoder(resp).String()))
+	}
+	if typ != msgGetHdr {
+		return 0, 0, retry.Permanent(fmt.Errorf("objstore: unexpected reply %d", typ))
+	}
+	hdr, err := decodeGetHdr(resp)
+	if err != nil {
+		return 0, 0, retry.Permanent(err)
+	}
+	size = hdr.Size
+	for {
+		// The deadline is per frame, so it bounds silence, not the whole
+		// transfer.
+		if idle > 0 {
+			conn.SetDeadline(c.clock.Now().Add(idle))
+		}
+		typ, payload, err := wire.ReadFrame(br)
+		if err != nil {
+			return total, size, err
+		}
+		switch typ {
+		case msgGetData:
+			n, werr := w.Write(payload)
+			total += int64(n)
+			if werr != nil {
+				return total, size, retry.Permanent(werr)
+			}
+		case msgGetEnd:
+			if total != hdr.Total {
+				return total, size, retry.Permanent(fmt.Errorf("objstore: get got %d bytes, header said %d", total, hdr.Total))
+			}
+			return total, size, nil
+		case msgError:
+			return total, size, retry.Permanent(errors.New("objstore: " + wire.NewDecoder(payload).String()))
+		default:
+			return total, size, retry.Permanent(fmt.Errorf("objstore: unexpected frame %d during get", typ))
+		}
+	}
+}
+
+// Put uploads r as the complete, immutable body of key, replacing any
+// previous object. It returns the committed size. With a retry policy set,
+// a broken upload replays from the start when r is an io.Seeker — the
+// server commits only complete streams, so a replay never doubles bytes; a
+// non-seekable source fails permanently once bytes have been consumed.
+func (c *Client) Put(key string, r io.Reader) (int64, error) {
+	c.putTotal.Inc()
+	seeker, canSeek := r.(io.Seeker)
+	var consumed bool
+	var total int64
+	err := c.retry.Do("objstore.put", func(int) error {
+		if consumed && canSeek {
+			if _, err := seeker.Seek(0, io.SeekStart); err != nil {
+				return retry.Permanent(err)
+			}
+		}
+		n, readAny, err := c.putOnce(key, r)
+		if readAny {
+			consumed = true
+		}
+		total = n
+		if err != nil && consumed && !canSeek {
+			return retry.Permanent(fmt.Errorf("objstore: put %s: source not seekable, cannot replay: %w", key, err))
+		}
+		return err
+	})
+	if err != nil {
+		return 0, err
+	}
+	c.putBytes.Add(total)
+	return total, nil
+}
+
+func (c *Client) putOnce(key string, r io.Reader) (total int64, readAny bool, err error) {
+	conn, err := c.dial()
+	if err != nil {
+		return 0, false, err
+	}
+	defer conn.Close()
+	idle := c.retry.Timeout()
+	bw := bufio.NewWriter(conn)
+	if err := wire.WriteFrame(bw, msgPutBegin, putBegin{Key: key}.encode()); err != nil {
+		return 0, false, err
+	}
+	buf := make([]byte, streamChunk)
+	for {
+		n, rerr := r.Read(buf)
+		if n > 0 {
+			readAny = true
+			if idle > 0 {
+				conn.SetDeadline(c.clock.Now().Add(idle))
+			}
+			if err := wire.WriteFrame(bw, msgPutData, buf[:n]); err != nil {
+				return 0, readAny, err
+			}
+		}
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			return 0, readAny, retry.Permanent(rerr)
+		}
+	}
+	if err := wire.WriteFrame(bw, msgPutEnd, nil); err != nil {
+		return 0, readAny, err
+	}
+	if err := bw.Flush(); err != nil {
+		return 0, readAny, err
+	}
+	if idle > 0 {
+		conn.SetDeadline(c.clock.Now().Add(idle))
+	}
+	typ, resp, err := wire.ReadFrame(bufio.NewReader(conn))
+	if err != nil {
+		return 0, readAny, err
+	}
+	if typ == msgError {
+		return 0, readAny, retry.Permanent(errors.New("objstore: " + wire.NewDecoder(resp).String()))
+	}
+	if typ != msgPutResp {
+		return 0, readAny, retry.Permanent(fmt.Errorf("objstore: unexpected reply %d", typ))
+	}
+	pr, err := decodePutResp(resp)
+	if err != nil {
+		return 0, readAny, retry.Permanent(err)
+	}
+	return pr.Size, readAny, nil
+}

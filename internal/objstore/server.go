@@ -1,0 +1,161 @@
+package objstore
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+
+	"griddles/internal/simclock"
+	"griddles/internal/wire"
+)
+
+// Server serves one Store to remote File Multiplexers.
+type Server struct {
+	store *Store
+	clock simclock.Clock
+	chunk int
+}
+
+// NewServer returns a Server exporting store.
+func NewServer(store *Store, clock simclock.Clock) *Server {
+	return &Server{store: store, clock: clock, chunk: streamChunk}
+}
+
+// Store reports the object table this server exports (for seeding tests).
+func (s *Server) Store() *Store { return s.store }
+
+// Serve accepts connections until l is closed.
+func (s *Server) Serve(l net.Listener) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		s.clock.Go("objstore-conn", func() { s.handle(conn) })
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	for {
+		typ, payload, err := wire.ReadFrame(br)
+		if err != nil {
+			return
+		}
+		if err := s.dispatch(bw, br, typ, payload); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(w io.Writer, r *bufio.Reader, typ uint8, payload []byte) error {
+	switch typ {
+	case msgStat:
+		req, err := decodeStatReq(payload)
+		if err != nil {
+			return writeError(w, err)
+		}
+		size, exists := s.store.Stat(req.Key)
+		return wire.WriteFrame(w, msgStatResp, statResp{Exists: exists, Size: size}.encode())
+
+	case msgGet:
+		req, err := decodeGetReq(payload)
+		if err != nil {
+			return writeError(w, err)
+		}
+		return s.get(w, req)
+
+	case msgList:
+		req, err := decodeListReq(payload)
+		if err != nil {
+			return writeError(w, err)
+		}
+		return wire.WriteFrame(w, msgListResp, listResp{Objects: s.store.List(req.Prefix)}.encode())
+
+	case msgPutBegin:
+		req, err := decodePutBegin(payload)
+		if err != nil {
+			drainPut(r)
+			return writeError(w, err)
+		}
+		return s.put(w, r, req.Key)
+
+	default:
+		return writeError(w, fmt.Errorf("objstore: unknown message type %d", typ))
+	}
+}
+
+// get streams the requested range as header, data frames, end.
+func (s *Server) get(w io.Writer, req getReq) error {
+	data, ok := s.store.Get(req.Key)
+	if !ok {
+		return writeError(w, fmt.Errorf("objstore: %s: no such object", req.Key))
+	}
+	size := int64(len(data))
+	off := req.Off
+	if off > size {
+		off = size
+	}
+	end := size
+	if req.Length >= 0 && off+req.Length < end {
+		end = off + req.Length
+	}
+	if err := wire.WriteFrame(w, msgGetHdr, getHdr{Total: end - off, Size: size}.encode()); err != nil {
+		return err
+	}
+	for off < end {
+		n := int64(s.chunk)
+		if end-off < n {
+			n = end - off
+		}
+		if err := wire.WriteFrame(w, msgGetData, data[off:off+n]); err != nil {
+			return err
+		}
+		off += n
+	}
+	return wire.WriteFrame(w, msgGetEnd, nil)
+}
+
+// put accumulates the upload stream and commits it atomically when the end
+// frame arrives. A connection that dies mid-stream commits nothing — that
+// is the whole-object atomic PUT contract, and it is what makes a client
+// replay after a transport fault safe (the object appears exactly once,
+// complete).
+func (s *Server) put(w io.Writer, r *bufio.Reader, key string) error {
+	var body []byte
+	for {
+		typ, payload, err := wire.ReadFrame(r)
+		if err != nil {
+			return err
+		}
+		switch typ {
+		case msgPutData:
+			body = append(body, payload...)
+		case msgPutEnd:
+			s.store.Put(key, body)
+			return wire.WriteFrame(w, msgPutResp, putResp{Size: int64(len(body))}.encode())
+		default:
+			return writeError(w, fmt.Errorf("objstore: unexpected frame %d during put", typ))
+		}
+	}
+}
+
+// drainPut consumes a rejected upload stream so the connection stays usable.
+func drainPut(r *bufio.Reader) {
+	for {
+		typ, _, err := wire.ReadFrame(r)
+		if err != nil || typ == msgPutEnd {
+			return
+		}
+	}
+}
+
+func writeError(w io.Writer, err error) error {
+	return wire.WriteFrame(w, msgError, wire.NewEncoder().String(err.Error()).Bytes())
+}

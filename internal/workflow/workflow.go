@@ -22,6 +22,7 @@ import (
 	"griddles/internal/gns"
 	"griddles/internal/gridbuffer"
 	"griddles/internal/gridftp"
+	"griddles/internal/objstore"
 	"griddles/internal/obs"
 	"griddles/internal/simclock"
 	"griddles/internal/soap"
@@ -30,9 +31,10 @@ import (
 
 // Well-known service ports on every testbed machine.
 const (
-	FileServicePort       = ":6000"
-	BufferServicePort     = ":7000"
-	SOAPBufferServicePort = ":7001"
+	FileServicePort        = ":6000"
+	BufferServicePort      = ":7000"
+	SOAPBufferServicePort  = ":7001"
+	ObjectStoreServicePort = ":7100"
 )
 
 // Ctx is what a component body receives: a File Multiplexer plus the
@@ -99,6 +101,12 @@ const (
 	// CouplingBuffers couples writers to readers with Grid Buffers and
 	// co-schedules everything (the paper's "GridFiles"/"Buffers" runs).
 	CouplingBuffers
+	// CouplingObjects couples components through the object-store service
+	// (mechanism 7): each intermediate file becomes a whole object committed
+	// atomically at the producer's close, readers poll for its visibility
+	// (no completion markers needed) and serve themselves with ranged GETs.
+	// Components are co-scheduled like buffer runs.
+	CouplingObjects
 )
 
 // String implements fmt.Stringer.
@@ -110,6 +118,8 @@ func (c Coupling) String() string {
 		return "concurrent-files"
 	case CouplingBuffers:
 		return "buffers"
+	case CouplingObjects:
+		return "objects"
 	default:
 		return fmt.Sprintf("coupling(%d)", int(c))
 	}
@@ -299,6 +309,11 @@ func StartServices(clock simclock.Clock, grid *testbed.Grid) error {
 			return fmt.Errorf("workflow: %s soap buffer service: %w", name, err)
 		}
 		clock.Go(name+"-soapbuffer", func() { soap.ServeBuffer(clock, reg).Serve(ls) })
+		lo, err := m.Listen(ObjectStoreServicePort)
+		if err != nil {
+			return fmt.Errorf("workflow: %s object store service: %w", name, err)
+		}
+		clock.Go(name+"-objstore", func() { objstore.NewServer(objstore.NewStore(), clock).Serve(lo) })
 	}
 	return nil
 }
@@ -407,6 +422,25 @@ func (r *Runner) Configure(spec *Spec, coupling Coupling) error {
 				CacheEnabled: r.CacheFiles[file],
 				Readers:      len(consumers),
 				BlockSize:    r.BlockSize,
+			}
+			r.GNS.Set(producer.Machine, file, mapping)
+			for _, ci := range consumers {
+				r.GNS.Set(spec.Components[ci].Machine, file, mapping)
+			}
+		case CouplingObjects:
+			if len(consumers) == 0 {
+				// Terminal outputs stay plain local files.
+				r.GNS.Set(producer.Machine, file, gns.Mapping{Mode: gns.ModeLocal})
+				continue
+			}
+			// Reader-end placement, as for buffers: the object lands on the
+			// first consumer's store so its ranged GETs stay machine-local.
+			objMachine := spec.Components[consumers[0]].Machine
+			mapping := gns.Mapping{
+				Mode:       gns.ModeObject,
+				RemoteHost: objMachine + ObjectStoreServicePort,
+				RemotePath: spec.Name + "/" + file,
+				WaitClose:  true,
 			}
 			r.GNS.Set(producer.Machine, file, mapping)
 			for _, ci := range consumers {
@@ -525,7 +559,7 @@ func (r *Runner) Run(spec *Spec, coupling Coupling) (*Report, error) {
 				return nil, err
 			}
 		}
-	case CouplingFiles, CouplingBuffers:
+	case CouplingFiles, CouplingBuffers, CouplingObjects:
 		errs := make([]error, len(spec.Components))
 		wg := simclock.NewWaitGroup(clock)
 		for i := range spec.Components {

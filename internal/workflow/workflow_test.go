@@ -320,8 +320,34 @@ func TestReportFormatting(t *testing.T) {
 
 func TestCouplingString(t *testing.T) {
 	if CouplingSequential.String() == "" || CouplingFiles.String() == "" ||
-		CouplingBuffers.String() == "" || Coupling(9).String() == "" {
+		CouplingBuffers.String() == "" || CouplingObjects.String() == "" ||
+		Coupling(9).String() == "" {
 		t.Error("coupling names empty")
+	}
+}
+
+// TestObjectsCouplingDelivers runs the pipeline with every intermediate file
+// as a whole object on the object-store service: components co-launch, each
+// reader's open blocks until the upstream PUT commits (object visibility is
+// the close signal — no markers), and every byte arrives.
+func TestObjectsCouplingDelivers(t *testing.T) {
+	rep := runPipe(t, [3]string{"brecca", "vpac27", "dione"}, CouplingObjects)
+	p, _ := rep.Timing("producer")
+	f, _ := rep.Timing("filter")
+	c, _ := rep.Timing("consumer")
+	// Co-scheduled launch, like buffers...
+	if f.Start > time.Second || c.Start > time.Second {
+		t.Errorf("stages not co-launched:\n%s", rep)
+	}
+	// ...but the data dependency holds: a stage's output object commits at
+	// its close, so each downstream finish follows its upstream's.
+	if f.Finish <= p.Finish || c.Finish <= f.Finish {
+		t.Errorf("object coupling broke stage ordering:\n%s", rep)
+	}
+	// The consumer's internal byte-count check passed (Run returned nil),
+	// so the objects delivered every byte.
+	if rep.Total <= 0 {
+		t.Error("no time elapsed")
 	}
 }
 
