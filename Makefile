@@ -1,24 +1,28 @@
 GO ?= go
 
 # Coverage floors: the pre-PR3 baselines for the packages the buffer
-# overhaul touches, the PR5 scheduler floor for internal/workflow, and the
-# PR6 floor for the new internal/objstore backend.
+# overhaul touches, the PR5 scheduler floor for internal/workflow, the
+# PR6 floor for the new internal/objstore backend, and the PR7 floors for
+# internal/gns and the new admission/stress packages.
 # `make cover` fails when any drops below its floor.
 COVER_FLOOR_CORE       ?= 80.3
 COVER_FLOOR_GRIDBUFFER ?= 84.7
 COVER_FLOOR_WORKFLOW   ?= 91.5
 COVER_FLOOR_OBJSTORE   ?= 84.5
+COVER_FLOOR_GNS        ?= 87.0
+COVER_FLOOR_ADMIT      ?= 92.0
+COVER_FLOOR_STRESS     ?= 85.0
 
 # Per-target fuzz budget for the `make fuzz` smoke pass. The checked-in
 # seed corpora always replay in full under plain `go test`; this adds a
 # short randomized probe on top.
 FUZZTIME ?= 5s
 
-.PHONY: check fmt vet test race chaos build cover fuzz bench bench-gate
+.PHONY: check fmt vet test race chaos build cover fuzz bench bench-gate stress stress-smoke
 
 ## check: gofmt + vet + race coverage gate + chaos matrix + fuzz smoke +
-## bench regression gate
-check: fmt vet cover chaos fuzz bench-gate
+## bench regression gate + overload stress smoke
+check: fmt vet cover chaos fuzz bench-gate stress-smoke
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -38,12 +42,16 @@ race:
 cover:
 	$(GO) test -race -shuffle=on -coverprofile=cover.out \
 		./internal/obs/... ./internal/core/... ./internal/gridbuffer/... \
-		./internal/workflow/... ./internal/objstore/... \
+		./internal/workflow/... ./internal/objstore/... ./internal/gns/... \
+		./internal/admit/... ./internal/stress/... \
 		| $(GO) run ./cmd/covergate \
 		-floor griddles/internal/core=$(COVER_FLOOR_CORE) \
 		-floor griddles/internal/gridbuffer=$(COVER_FLOOR_GRIDBUFFER) \
 		-floor griddles/internal/workflow=$(COVER_FLOOR_WORKFLOW) \
-		-floor griddles/internal/objstore=$(COVER_FLOOR_OBJSTORE)
+		-floor griddles/internal/objstore=$(COVER_FLOOR_OBJSTORE) \
+		-floor griddles/internal/gns=$(COVER_FLOOR_GNS) \
+		-floor griddles/internal/admit=$(COVER_FLOOR_ADMIT) \
+		-floor griddles/internal/stress=$(COVER_FLOOR_STRESS)
 
 ## chaos: the fault-injection matrix — {IO mechanism} x {fault scenario},
 ## the no-survivor budget tests, and 50 seeded random fault schedules.
@@ -65,23 +73,36 @@ fuzz:
 		internal/xdr:FuzzRecordRoundTrip \
 		internal/objstore:FuzzDecodeGetReq \
 		internal/objstore:FuzzDecodeListResp \
-		internal/objstore:FuzzDecodeStreamHeaders ; do \
+		internal/objstore:FuzzDecodeStreamHeaders \
+		internal/admit:FuzzDecodeShed ; do \
 		pkg=$${tgt%%:*}; fn=$${tgt##*:}; \
 		echo "fuzz $$pkg $$fn ($(FUZZTIME))"; \
 		$(GO) test -run '^$$' -fuzz "^$$fn$$" -fuzztime $(FUZZTIME) ./$$pkg/ || exit 1; \
 	done
 
-## bench: run the benchmark suite once and record it as BENCH_pr6.json.
+## bench: run the benchmark suite once and record it as BENCH_pr7.json.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x -timeout 20m . | tee bench.out
-	$(GO) run ./cmd/benchgate -parse bench.out -o BENCH_pr6.json
+	$(GO) run ./cmd/benchgate -parse bench.out -o BENCH_pr7.json
 
 ## bench-gate: re-run the suite and fail on regression vs the checked-in
 ## baseline. Simulated-clock metrics and allocs/op gate at 10%; wall-clock
 ## metrics are compared and reported but don't gate (pure machine noise at
 ## -benchtime 1x) — pass -gate-wall to benchgate to enforce them too.
 bench-gate: bench
-	$(GO) run ./cmd/benchgate BENCH_baseline.json BENCH_pr6.json
+	$(GO) run ./cmd/benchgate BENCH_baseline.json BENCH_pr7.json
+
+## stress: the full ~10k-workflow overload sweep (admission on vs off at
+## x1 x2 x4 x8 offered load), merging the curves into BENCH_pr7.json and
+## failing if goodput collapses. Run after `make bench` so the parse step
+## doesn't clobber the merged curves.
+stress:
+	$(GO) run ./cmd/stress -o BENCH_pr7.json
+
+## stress-smoke: the scaled-down CI shape of the same sweep — same ladder,
+## shorter arrival window, gate only (no JSON record).
+stress-smoke:
+	$(GO) run ./cmd/stress -smoke
 
 build:
 	$(GO) build ./...

@@ -19,6 +19,7 @@ import (
 	"os"
 	"strings"
 
+	"griddles/internal/admit"
 	"griddles/internal/gns"
 	"griddles/internal/simclock"
 )
@@ -26,6 +27,9 @@ import (
 func main() {
 	listen := flag.String("listen", ":5000", "TCP listen address")
 	mappings := flag.String("mappings", "", "optional mapping file to pre-load")
+	admitLimit := flag.Int("admit-limit", 0, "admission concurrency limit (0 = admission off)")
+	admitTarget := flag.Duration("admit-target", 0, "admission AIMD latency target (0 = static limit)")
+	admitQueue := flag.Int("admit-queue", 0, "admission queue depth per priority class")
 	flag.Parse()
 
 	clock := simclock.Real{}
@@ -40,7 +44,12 @@ func main() {
 		log.Fatalf("gnsd: %v", err)
 	}
 	log.Printf("gnsd: serving on %s (%d mappings pre-loaded)", l.Addr(), len(store.List()))
-	gns.NewServer(store, clock).Serve(l)
+	srv := gns.NewServer(store, clock)
+	if c := admit.MaybeController("gnsd", *admitLimit, *admitTarget, *admitQueue, clock, nil); c != nil {
+		log.Printf("gnsd: admission on (limit %d, target %v, queue %d)", *admitLimit, *admitTarget, *admitQueue)
+		srv.SetAdmission(c)
+	}
+	srv.Serve(l)
 }
 
 func loadMappings(store *gns.Store, path string) error {

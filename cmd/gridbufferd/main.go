@@ -9,6 +9,7 @@ import (
 	"net"
 	"os"
 
+	"griddles/internal/admit"
 	"griddles/internal/gridbuffer"
 	"griddles/internal/simclock"
 	"griddles/internal/vfs"
@@ -18,6 +19,8 @@ func main() {
 	listen := flag.String("listen", ":7000", "TCP listen address")
 	cacheDir := flag.String("cache", os.TempDir(), "directory for buffer cache files")
 	shards := flag.Int("shards", 0, "block-table shards per buffer (0 = default, rounded up to a power of two)")
+	admitLimit := flag.Int("admit-limit", 0, "admission stream limit (0 = admission off); slots are per attached stream")
+	admitQueue := flag.Int("admit-queue", 0, "admission queue depth per priority class")
 	flag.Parse()
 
 	if err := os.MkdirAll(*cacheDir, 0o755); err != nil {
@@ -31,5 +34,12 @@ func main() {
 	reg := gridbuffer.NewRegistry(clock, vfs.NewOSFS(*cacheDir))
 	reg.SetDefaultShards(*shards)
 	log.Printf("gridbufferd: serving on %s (cache in %s)", l.Addr(), *cacheDir)
-	gridbuffer.NewServer(reg, clock).Serve(l)
+	srv := gridbuffer.NewServer(reg, clock)
+	// Stream slots are held for a stream's whole life, so the AIMD latency
+	// target does not apply here: the limit is static.
+	if c := admit.MaybeController("gridbufferd", *admitLimit, 0, *admitQueue, clock, nil); c != nil {
+		log.Printf("gridbufferd: admission on (streams %d, queue %d)", *admitLimit, *admitQueue)
+		srv.SetAdmission(c)
+	}
+	srv.Serve(l)
 }

@@ -9,6 +9,7 @@ import (
 	"net"
 	"os"
 
+	"griddles/internal/admit"
 	"griddles/internal/gridftp"
 	"griddles/internal/simclock"
 	"griddles/internal/vfs"
@@ -18,6 +19,9 @@ func main() {
 	listen := flag.String("listen", ":6000", "TCP listen address")
 	root := flag.String("root", ".", "directory to export")
 	chunkKB := flag.Int("chunk-kb", 64, "bulk-stream frame size in KiB (smaller interleaves striped streams better)")
+	admitLimit := flag.Int("admit-limit", 0, "admission concurrency limit (0 = admission off)")
+	admitTarget := flag.Duration("admit-target", 0, "admission AIMD latency target (0 = static limit)")
+	admitQueue := flag.Int("admit-queue", 0, "admission queue depth per priority class")
 	flag.Parse()
 
 	if fi, err := os.Stat(*root); err != nil || !fi.IsDir() {
@@ -30,5 +34,9 @@ func main() {
 	log.Printf("gridftpd: exporting %s on %s", *root, l.Addr())
 	srv := gridftp.NewServer(vfs.NewOSFS(*root), simclock.Real{})
 	srv.SetChunkSize(*chunkKB << 10)
+	if c := admit.MaybeController("gridftpd", *admitLimit, *admitTarget, *admitQueue, simclock.Real{}, nil); c != nil {
+		log.Printf("gridftpd: admission on (limit %d, target %v, queue %d)", *admitLimit, *admitTarget, *admitQueue)
+		srv.SetAdmission(c)
+	}
 	srv.Serve(l)
 }

@@ -12,6 +12,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"griddles/internal/admit"
 	"griddles/internal/objstore"
 	"griddles/internal/simclock"
 )
@@ -19,6 +20,9 @@ import (
 func main() {
 	listen := flag.String("listen", ":7100", "TCP listen address")
 	seed := flag.String("seed", "", "optional directory whose files pre-load the object table (keys are slash-separated relative paths)")
+	admitLimit := flag.Int("admit-limit", 0, "admission concurrency limit (0 = admission off)")
+	admitTarget := flag.Duration("admit-target", 0, "admission AIMD latency target (0 = static limit)")
+	admitQueue := flag.Int("admit-queue", 0, "admission queue depth per priority class")
 	flag.Parse()
 
 	store := objstore.NewStore()
@@ -34,7 +38,12 @@ func main() {
 		log.Fatalf("objstored: %v", err)
 	}
 	log.Printf("objstored: serving on %s", l.Addr())
-	objstore.NewServer(store, simclock.Real{}).Serve(l)
+	srv := objstore.NewServer(store, simclock.Real{})
+	if c := admit.MaybeController("objstored", *admitLimit, *admitTarget, *admitQueue, simclock.Real{}, nil); c != nil {
+		log.Printf("objstored: admission on (limit %d, target %v, queue %d)", *admitLimit, *admitTarget, *admitQueue)
+		srv.SetAdmission(c)
+	}
+	srv.Serve(l)
 }
 
 // seedFrom loads every regular file under root as an object keyed by its

@@ -1,0 +1,103 @@
+// Command stress runs the overload sweep of internal/stress: thousands of
+// simulated workflows (GNS resolve -> GridFTP open -> bulk fetch) offered
+// at x1 x2 x4 x8 of the base rate across the virtual Monash<->VPAC link,
+// once with admission control on the servers and once without. It prints
+// both curves, applies the no-collapse gate (admission-on goodput must be
+// monotone-ish as load doubles and must beat admission-off at the top
+// level), and merges the curves into a BENCH_*.json record.
+//
+//	stress                  # full ~10k-workflow sweep, merge into BENCH_pr7.json
+//	stress -smoke           # scaled-down CI shape, gate only (no file)
+//	stress -o curves.json   # merge into a different record
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"griddles/internal/stress"
+)
+
+func main() {
+	smoke := flag.Bool("smoke", false, "run the scaled-down CI shape and skip the JSON record")
+	out := flag.String("o", "BENCH_pr7.json", "benchmark record to merge the curves into (empty = skip)")
+	seed := flag.Int64("seed", 0, "override the arrival-process seed (0 = config default)")
+	flag.Parse()
+
+	cfg := stress.DefaultConfig()
+	if *smoke {
+		cfg = stress.SmokeConfig()
+		*out = ""
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	arms := make(map[bool]stress.Report, 2)
+	for _, admission := range []bool{false, true} {
+		cfg.Admission = admission
+		rep := stress.Run(cfg)
+		arms[admission] = rep
+		printArm(rep)
+	}
+
+	if *out != "" {
+		if err := merge(*out, stress.BenchMetrics(arms[true], arms[false])); err != nil {
+			fmt.Fprintln(os.Stderr, "stress:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("curves merged into %s\n", *out)
+	}
+
+	if bad := stress.Gate(arms[true], arms[false]); len(bad) > 0 {
+		for _, b := range bad {
+			fmt.Println("GATE FAIL:", b)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("no-collapse gate: PASS")
+}
+
+func printArm(rep stress.Report) {
+	label := "admission off"
+	if rep.Admission {
+		label = "admission on"
+	}
+	fmt.Printf("\n%s\n", label)
+	fmt.Printf("%6s %8s %8s %6s %6s %8s %10s %10s %8s %8s\n",
+		"load", "offered", "done", "late", "fail", "goodput", "open-p50", "open-p99", "sheds", "retries")
+	for _, lv := range rep.Levels {
+		fmt.Printf("%6s %8d %8d %6d %6d %8.2f %9.1fms %9.1fms %8d %8d\n",
+			fmt.Sprintf("x%d", lv.Level), lv.Offered, lv.Completed, lv.Late, lv.Failed,
+			lv.GoodputWPS, lv.OpenP50MS, lv.OpenP99MS, lv.Sheds, lv.Retries)
+	}
+}
+
+// merge overlays the stress curves onto an existing benchgate record,
+// creating it if absent; non-Stress entries (the regular bench suite) are
+// preserved.
+func merge(path string, metrics map[string]map[string]float64) error {
+	rec := struct {
+		Benchmarks map[string]map[string]float64 `json:"benchmarks"`
+	}{Benchmarks: map[string]map[string]float64{}}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &rec); err != nil {
+			return fmt.Errorf("%s: %v", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	if rec.Benchmarks == nil {
+		rec.Benchmarks = map[string]map[string]float64{}
+	}
+	for name, m := range metrics {
+		rec.Benchmarks[name] = m
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,58 @@
+package admit
+
+import (
+	"errors"
+	"net"
+	"time"
+
+	"griddles/internal/simclock"
+)
+
+// Temporary reports whether err is a transient accept failure the server
+// should ride out with backoff rather than die on: anything advertising a
+// Temporary() method that returns true (net.Error timeouts, EMFILE-style
+// conditions). A closed listener is never temporary.
+func Temporary(err error) bool {
+	if err == nil || errors.Is(err, net.ErrClosed) {
+		return false
+	}
+	var t interface{ Temporary() bool }
+	if errors.As(err, &t) {
+		return t.Temporary()
+	}
+	return false
+}
+
+// Backoff bounds for AcceptBackoff.
+const (
+	acceptBackoffMin = 5 * time.Millisecond
+	acceptBackoffMax = time.Second
+)
+
+// AcceptBackoff paces retries of a failing Accept loop: each consecutive
+// failure doubles the sleep from 5ms up to a 1s cap, and a success resets
+// it. It keeps a wedged listener from spinning the CPU while staying
+// responsive once the condition clears.
+type AcceptBackoff struct {
+	clock simclock.Clock
+	next  time.Duration
+}
+
+// NewAcceptBackoff returns a backoff paced by clock.
+func NewAcceptBackoff(clock simclock.Clock) *AcceptBackoff {
+	return &AcceptBackoff{clock: clock}
+}
+
+// Sleep waits the current backoff interval and doubles it for next time.
+func (b *AcceptBackoff) Sleep() {
+	if b.next <= 0 {
+		b.next = acceptBackoffMin
+	}
+	b.clock.Sleep(b.next)
+	if b.next *= 2; b.next > acceptBackoffMax {
+		b.next = acceptBackoffMax
+	}
+}
+
+// Reset clears the backoff after a successful accept.
+func (b *AcceptBackoff) Reset() { b.next = 0 }

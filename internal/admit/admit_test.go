@@ -1,0 +1,430 @@
+package admit
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"griddles/internal/obs"
+	"griddles/internal/simclock"
+)
+
+// run executes fn inside a fresh virtual clock and returns the clock.
+func run(t *testing.T, fn func(v *simclock.Virtual)) *simclock.Virtual {
+	t.Helper()
+	v := simclock.NewVirtualDefault()
+	v.Run(func() { fn(v) })
+	return v
+}
+
+func TestNilControllerAdmitsEverything(t *testing.T) {
+	var c *Controller
+	rel, err := c.Acquire("x", Bulk)
+	if err != nil {
+		t.Fatalf("nil Acquire: %v", err)
+	}
+	rel()
+	rel() // idempotent
+	if crel, ok := c.AdmitConn(); !ok {
+		t.Fatal("nil AdmitConn refused")
+	} else {
+		crel()
+	}
+	if c.Limit() != 0 || c.Inflight() != 0 {
+		t.Fatal("nil introspection not zero")
+	}
+}
+
+func TestAcquireReleaseCounts(t *testing.T) {
+	run(t, func(v *simclock.Virtual) {
+		c := New(Options{Service: "t", MaxConcurrent: 4, Clock: v})
+		var rels []func()
+		for i := 0; i < 3; i++ {
+			rel, err := c.Acquire("a", Bulk)
+			if err != nil {
+				t.Fatalf("acquire %d: %v", i, err)
+			}
+			rels = append(rels, rel)
+		}
+		if got := c.Inflight(); got != 3 {
+			t.Fatalf("inflight = %d, want 3", got)
+		}
+		for _, rel := range rels {
+			rel()
+			rel() // double release must not corrupt counts
+		}
+		if got := c.Inflight(); got != 0 {
+			t.Fatalf("inflight after release = %d, want 0", got)
+		}
+	})
+}
+
+func TestQueueFullSheds(t *testing.T) {
+	run(t, func(v *simclock.Virtual) {
+		c := New(Options{Service: "t", MaxConcurrent: 1, ControlShare: -1, Clock: v})
+		rel, err := c.Acquire("a", Bulk)
+		if err != nil {
+			t.Fatalf("first acquire: %v", err)
+		}
+		defer rel()
+		// QueueDepth 0: the second request sheds immediately.
+		_, err = c.Acquire("b", Bulk)
+		var shed *ShedError
+		if !errors.As(err, &shed) {
+			t.Fatalf("err = %v, want ShedError", err)
+		}
+		if shed.Reason != "queue-full" {
+			t.Fatalf("reason = %q, want queue-full", shed.Reason)
+		}
+		if shed.RetryAfter() <= 0 || shed.RetryAfter() > MaxRetryAfter {
+			t.Fatalf("retry-after out of range: %v", shed.RetryAfter())
+		}
+	})
+}
+
+func TestQueueTimeoutSheds(t *testing.T) {
+	v := simclock.NewVirtualDefault()
+	v.Run(func() {
+		c := New(Options{
+			Service: "t", MaxConcurrent: 1, ControlShare: -1,
+			QueueDepth: 4, MaxQueueWait: 50 * time.Millisecond, Clock: v,
+		})
+		rel, err := c.Acquire("a", Bulk)
+		if err != nil {
+			t.Fatalf("first acquire: %v", err)
+		}
+		start := v.Now()
+		_, err = c.Acquire("b", Bulk)
+		var shed *ShedError
+		if !errors.As(err, &shed) || shed.Reason != "queue-timeout" {
+			t.Fatalf("err = %v, want queue-timeout ShedError", err)
+		}
+		if waited := v.Now().Sub(start); waited < 50*time.Millisecond {
+			t.Fatalf("shed after %v, want >= MaxQueueWait", waited)
+		}
+		rel()
+		// The timed-out waiter left the queue: freed capacity is usable.
+		rel2, err := c.Acquire("b", Bulk)
+		if err != nil {
+			t.Fatalf("post-timeout acquire: %v", err)
+		}
+		rel2()
+	})
+}
+
+func TestQueuedWaiterGrantedOnRelease(t *testing.T) {
+	v := simclock.NewVirtualDefault()
+	v.Run(func() {
+		c := New(Options{
+			Service: "t", MaxConcurrent: 1, ControlShare: -1,
+			QueueDepth: 4, MaxQueueWait: time.Second, Clock: v,
+		})
+		rel, err := c.Acquire("a", Bulk)
+		if err != nil {
+			t.Fatalf("first acquire: %v", err)
+		}
+		done := simclock.NewEvent(v)
+		v.Go("waiter", func() {
+			rel2, err2 := c.Acquire("b", Bulk)
+			if err2 != nil {
+				t.Errorf("queued acquire: %v", err2)
+			} else {
+				rel2()
+			}
+			done.Set()
+		})
+		v.Sleep(10 * time.Millisecond) // let the waiter enqueue
+		rel()
+		done.Wait()
+	})
+}
+
+func TestControlServedBeforeBulk(t *testing.T) {
+	v := simclock.NewVirtualDefault()
+	v.Run(func() {
+		c := New(Options{
+			Service: "t", MaxConcurrent: 1, ControlShare: -1,
+			QueueDepth: 8, MaxQueueWait: time.Minute, Clock: v,
+		})
+		rel, err := c.Acquire("a", Bulk)
+		if err != nil {
+			t.Fatalf("first acquire: %v", err)
+		}
+		var order []string
+		orderMu := simclock.NewMutex(v)
+		wg := simclock.NewWaitGroup(v)
+		spawn := func(name string, class Class) {
+			wg.Add(1)
+			v.Go(name, func() {
+				defer wg.Done()
+				rel2, err2 := c.Acquire("x", class)
+				if err2 != nil {
+					t.Errorf("%s acquire: %v", name, err2)
+					return
+				}
+				orderMu.Lock()
+				order = append(order, name)
+				orderMu.Unlock()
+				rel2()
+			})
+		}
+		spawn("bulk1", Bulk)
+		v.Sleep(time.Millisecond) // bulk1 queues first
+		spawn("ctrl1", Control)
+		v.Sleep(time.Millisecond)
+		rel()
+		wg.Wait()
+		if len(order) != 2 || order[0] != "ctrl1" {
+			t.Fatalf("grant order = %v, want control first", order)
+		}
+	})
+}
+
+func TestBulkReserveLeavesRoomForControl(t *testing.T) {
+	run(t, func(v *simclock.Virtual) {
+		// limit 4, ControlShare 0.25 -> bulk ceiling 3.
+		c := New(Options{Service: "t", MaxConcurrent: 4, ControlShare: 0.25, Clock: v})
+		for i := 0; i < 3; i++ {
+			if _, err := c.Acquire("a", Bulk); err != nil {
+				t.Fatalf("bulk %d: %v", i, err)
+			}
+		}
+		if _, err := c.Acquire("a", Bulk); err == nil {
+			t.Fatal("4th bulk admitted into the control reserve")
+		}
+		if _, err := c.Acquire("a", Control); err != nil {
+			t.Fatalf("control refused its reserved slot: %v", err)
+		}
+	})
+}
+
+func TestPerTenantCap(t *testing.T) {
+	run(t, func(v *simclock.Virtual) {
+		c := New(Options{Service: "t", MaxConcurrent: 8, ControlShare: -1, MaxPerTenant: 2, Clock: v})
+		if _, err := c.Acquire("hog", Bulk); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Acquire("hog", Bulk); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Acquire("hog", Bulk); err == nil {
+			t.Fatal("tenant admitted over its cap")
+		}
+		// Another tenant still gets in.
+		if _, err := c.Acquire("meek", Bulk); err != nil {
+			t.Fatalf("other tenant refused: %v", err)
+		}
+	})
+}
+
+func TestAIMDDecreaseAndRecovery(t *testing.T) {
+	v := simclock.NewVirtualDefault()
+	v.Run(func() {
+		c := New(Options{
+			Service: "t", MaxConcurrent: 10, MinConcurrent: 2,
+			TargetLatency: 10 * time.Millisecond, ControlShare: -1, Clock: v,
+		})
+		slow := func() {
+			rel, err := c.Acquire("a", Bulk)
+			if err != nil {
+				t.Fatalf("acquire: %v", err)
+			}
+			v.Sleep(50 * time.Millisecond) // 5x over target
+			rel()
+		}
+		before := c.Limit()
+		slow()
+		after := c.Limit()
+		if after >= before {
+			t.Fatalf("limit did not shrink: %d -> %d", before, after)
+		}
+		// Cooldown: an immediate second over-target release must not cut again.
+		rel, _ := c.Acquire("a", Bulk)
+		v.Sleep(50 * time.Microsecond)
+		rel() // within cooldown window even if it were slow
+		// Drive the limit to the floor with spaced slow requests.
+		for i := 0; i < 20; i++ {
+			v.Sleep(20 * time.Millisecond) // clear the cooldown
+			slow()
+		}
+		if got := c.Limit(); got != 2 {
+			t.Fatalf("limit floor = %d, want MinConcurrent 2", got)
+		}
+		// Fast requests grow it back.
+		for i := 0; i < 200; i++ {
+			rel, err := c.Acquire("a", Bulk)
+			if err != nil {
+				t.Fatalf("fast acquire: %v", err)
+			}
+			rel()
+		}
+		if got := c.Limit(); got <= 2 {
+			t.Fatalf("limit did not recover: %d", got)
+		}
+	})
+}
+
+func TestStaticLimitWithoutTarget(t *testing.T) {
+	run(t, func(v *simclock.Virtual) {
+		c := New(Options{Service: "t", MaxConcurrent: 5, Clock: v})
+		rel, err := c.Acquire("a", Bulk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v.Sleep(10 * time.Second) // enormous latency; no target -> no adaptation
+		rel()
+		if got := c.Limit(); got != 5 {
+			t.Fatalf("static limit moved: %d", got)
+		}
+	})
+}
+
+func TestAdmitConnBound(t *testing.T) {
+	run(t, func(v *simclock.Virtual) {
+		c := New(Options{Service: "t", MaxConcurrent: 4, MaxConns: 2, Clock: v})
+		rel1, ok := c.AdmitConn()
+		if !ok {
+			t.Fatal("conn 1 refused")
+		}
+		rel2, ok := c.AdmitConn()
+		if !ok {
+			t.Fatal("conn 2 refused")
+		}
+		if _, ok := c.AdmitConn(); ok {
+			t.Fatal("conn 3 admitted over MaxConns")
+		}
+		rel1()
+		rel1() // idempotent
+		if rel3, ok := c.AdmitConn(); !ok {
+			t.Fatal("conn refused after release")
+		} else {
+			rel3()
+		}
+		rel2()
+	})
+}
+
+func TestShedMetricsAndDecisionEvent(t *testing.T) {
+	v := simclock.NewVirtualDefault()
+	o := obs.New(v)
+	v.Run(func() {
+		c := New(Options{Service: "svc", MaxConcurrent: 1, ControlShare: -1, Clock: v, Obs: o})
+		rel, err := c.Acquire("a", Bulk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rel()
+		if _, err := c.Acquire("b", Bulk); err == nil {
+			t.Fatal("expected shed")
+		}
+	})
+	snap := o.Snapshot()
+	shedKey := obs.Key("admit.shed.total", "service", "svc", "class", "bulk", "reason", "queue-full")
+	if snap.Counters[shedKey] != 1 {
+		t.Fatalf("%s = %d, want 1", shedKey, snap.Counters[shedKey])
+	}
+	admitKey := obs.Key("admit.admitted.total", "service", "svc", "class", "bulk")
+	if snap.Counters[admitKey] != 1 {
+		t.Fatalf("%s = %d, want 1", admitKey, snap.Counters[admitKey])
+	}
+	var sawDecision bool
+	for _, ev := range o.Events() {
+		if ev.Type == "admit.decision" {
+			sawDecision = true
+		}
+	}
+	if !sawDecision {
+		t.Fatal("no admit.decision event emitted on shed")
+	}
+}
+
+func TestShedCodecRoundTrip(t *testing.T) {
+	in := &ShedError{Service: "svc", Reason: "queue-full", After: 250 * time.Millisecond}
+	out, err := DecodeShed(EncodeShed(in))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if out.Reason != in.Reason || out.After != in.After {
+		t.Fatalf("round trip = %+v, want %+v", out, in)
+	}
+	if !strings.Contains(out.Error(), "queue-full") {
+		t.Fatalf("error text: %q", out.Error())
+	}
+}
+
+func TestDecodeShedHostileInputs(t *testing.T) {
+	if _, err := DecodeShed(nil); err == nil {
+		t.Fatal("nil payload decoded")
+	}
+	if _, err := DecodeShed([]byte{1, 2, 3}); err == nil {
+		t.Fatal("truncated payload decoded")
+	}
+	// Negative hint clamps to zero, huge hint clamps to MaxRetryAfter.
+	neg := EncodeShed(&ShedError{Reason: "x", After: -time.Second})
+	if out, err := DecodeShed(neg); err != nil || out.After != 0 {
+		t.Fatalf("negative hint: %v %+v", err, out)
+	}
+	big, err := DecodeShed(EncodeShed(&ShedError{Reason: "x", After: time.Hour}))
+	if err != nil || big.After != MaxRetryAfter {
+		t.Fatalf("huge hint: %v %+v", err, big)
+	}
+}
+
+type tempErr struct{ temp bool }
+
+func (e tempErr) Error() string   { return "tempErr" }
+func (e tempErr) Temporary() bool { return e.temp }
+
+func TestTemporary(t *testing.T) {
+	if !Temporary(tempErr{temp: true}) {
+		t.Fatal("temporary error not recognized")
+	}
+	if Temporary(tempErr{temp: false}) {
+		t.Fatal("permanent error marked temporary")
+	}
+	if Temporary(errors.New("plain")) {
+		t.Fatal("plain error marked temporary")
+	}
+	if Temporary(nil) {
+		t.Fatal("nil error marked temporary")
+	}
+}
+
+func TestAcceptBackoffDoublesAndResets(t *testing.T) {
+	v := simclock.NewVirtualDefault()
+	v.Run(func() {
+		b := NewAcceptBackoff(v)
+		start := v.Now()
+		b.Sleep() // 5ms
+		b.Sleep() // 10ms
+		b.Sleep() // 20ms
+		if got := v.Now().Sub(start); got != 35*time.Millisecond {
+			t.Fatalf("backoff slept %v, want 35ms", got)
+		}
+		for i := 0; i < 20; i++ {
+			b.Sleep()
+		}
+		capStart := v.Now()
+		b.Sleep()
+		if got := v.Now().Sub(capStart); got != time.Second {
+			t.Fatalf("capped sleep = %v, want 1s", got)
+		}
+		b.Reset()
+		resetStart := v.Now()
+		b.Sleep()
+		if got := v.Now().Sub(resetStart); got != 5*time.Millisecond {
+			t.Fatalf("post-reset sleep = %v, want 5ms", got)
+		}
+	})
+}
+
+func TestTenantOf(t *testing.T) {
+	// TenantOf strips the port from host:port remote addresses.
+	if got := tenantOfAddr("dione:0"); got != "dione" {
+		t.Fatalf("tenant = %q", got)
+	}
+	if got := tenantOfAddr("noport"); got != "noport" {
+		t.Fatalf("tenant = %q", got)
+	}
+}

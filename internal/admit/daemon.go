@@ -1,0 +1,27 @@
+package admit
+
+import (
+	"time"
+
+	"griddles/internal/obs"
+	"griddles/internal/simclock"
+)
+
+// MaybeController builds the Controller behind the daemons' -admit-* flags:
+// nil when limit <= 0 (admission off, the default — the server behaves
+// exactly as before), otherwise a controller with the given concurrency
+// limit, AIMD latency target (0 keeps the limit static) and per-class
+// queue depth, with everything else at defaults.
+func MaybeController(service string, limit int, target time.Duration, queue int, clock simclock.Clock, o *obs.Observer) *Controller {
+	if limit <= 0 {
+		return nil
+	}
+	return New(Options{
+		Service:       service,
+		MaxConcurrent: limit,
+		TargetLatency: target,
+		QueueDepth:    queue,
+		Clock:         clock,
+		Obs:           o,
+	})
+}

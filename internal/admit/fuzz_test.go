@@ -1,0 +1,42 @@
+package admit
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// FuzzDecodeShed: arbitrary bytes never panic the shed decoder; anything it
+// accepts is in-range (hint within [0, MaxRetryAfter], reason bounded) and
+// survives a re-encode → decode round trip semantically intact.
+func FuzzDecodeShed(f *testing.F) {
+	f.Add(EncodeShed(&ShedError{Reason: "queue-full", After: 100 * time.Millisecond}))
+	f.Add(EncodeShed(&ShedError{Reason: "queue-timeout", After: MaxRetryAfter}))
+	f.Add(EncodeShed(&ShedError{Reason: "conn-limit", After: 0}))
+	f.Add(EncodeShed(&ShedError{Reason: "", After: -time.Second}))
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}) // hint -1, no reason
+	f.Fuzz(func(t *testing.T, data []byte) {
+		shed, err := DecodeShed(data)
+		if err != nil {
+			return
+		}
+		if shed.After < 0 || shed.After > MaxRetryAfter {
+			t.Fatalf("accepted out-of-range hint %v", shed.After)
+		}
+		if len(shed.Reason) > MaxShedReason {
+			t.Fatalf("accepted oversized reason (%d bytes)", len(shed.Reason))
+		}
+		again, err := DecodeShed(EncodeShed(shed))
+		if err != nil {
+			t.Fatalf("re-decode of accepted shed failed: %v", err)
+		}
+		if again.After != shed.After || again.Reason != shed.Reason {
+			t.Fatalf("round trip changed shed: %+v -> %+v", shed, again)
+		}
+		var buf bytes.Buffer
+		if err := WriteShed(&buf, shed); err != nil {
+			t.Fatalf("WriteShed: %v", err)
+		}
+	})
+}

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"griddles/internal/admit"
 	"griddles/internal/obs"
 	"griddles/internal/retry"
 	"griddles/internal/simclock"
@@ -118,6 +119,16 @@ func (c *Client) tripOnce(reqType uint8, payload []byte) (uint8, []byte, error) 
 	}
 	if c.retry.Enabled() {
 		c.conn.SetDeadline(time.Time{})
+	}
+	if typ == admit.MsgShed {
+		// Overload shed: the connection stays good; the retry policy waits
+		// out the server's hint and re-asks.
+		shed, err := admit.DecodeShed(resp)
+		if err != nil {
+			c.dropConnLocked()
+			return 0, nil, err
+		}
+		return 0, nil, shed
 	}
 	if typ == msgError {
 		return 0, nil, retry.Permanent(errors.New("gns: " + wire.NewDecoder(resp).String()))
@@ -254,6 +265,13 @@ func (c *Client) watchOnce(machine, path string, since uint64, timeoutMS int64) 
 	typ, resp, err := wire.ReadFrame(bufio.NewReader(conn))
 	if err != nil {
 		return Mapping{}, false, err
+	}
+	if typ == admit.MsgShed {
+		shed, err := admit.DecodeShed(resp)
+		if err != nil {
+			return Mapping{}, false, err
+		}
+		return Mapping{}, false, shed
 	}
 	if typ == msgError {
 		return Mapping{}, false, retry.Permanent(errors.New("gns: " + wire.NewDecoder(resp).String()))

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 
+	"griddles/internal/admit"
 	"griddles/internal/simclock"
 	"griddles/internal/wire"
 )
@@ -29,6 +30,7 @@ const (
 type Server struct {
 	store *Store
 	clock simclock.Clock
+	adm   *admit.Controller
 }
 
 // NewServer returns a Server for store.
@@ -39,20 +41,42 @@ func NewServer(store *Store, clock simclock.Clock) *Server {
 // Store returns the served store (for embedding administration).
 func (s *Server) Store() *Store { return s.store }
 
+// SetAdmission installs an admission controller; nil (the default) admits
+// everything, preserving the unprotected server's behaviour bit for bit.
+// Every GNS operation is admitted in the Control class — name resolution is
+// the latency-sensitive hot path admission exists to protect.
+func (s *Server) SetAdmission(c *admit.Controller) { s.adm = c }
+
 // Serve accepts connections on l until it is closed. Each connection is
-// handled on its own registered goroutine.
+// handled on its own registered goroutine. Temporary accept failures are
+// ridden out with backoff instead of killing the server.
 func (s *Server) Serve(l net.Listener) {
+	backoff := admit.NewAcceptBackoff(s.clock)
 	for {
 		conn, err := l.Accept()
 		if err != nil {
+			if admit.Temporary(err) {
+				backoff.Sleep()
+				continue
+			}
 			return
 		}
-		s.clock.Go("gns-conn", func() { s.handle(conn) })
+		backoff.Reset()
+		crel, ok := s.adm.AdmitConn()
+		if !ok {
+			conn.Close()
+			continue
+		}
+		s.clock.Go("gns-conn", func() {
+			defer crel()
+			s.handle(conn)
+		})
 	}
 }
 
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
+	tenant := admit.TenantOf(conn)
 	br := bufio.NewReader(conn)
 	bw := bufio.NewWriter(conn)
 	for {
@@ -60,13 +84,32 @@ func (s *Server) handle(conn net.Conn) {
 		if err != nil {
 			return
 		}
-		if err := s.dispatch(bw, typ, payload); err != nil {
-			return
+		rel, aerr := s.adm.Acquire(tenant, admit.Control)
+		if aerr != nil {
+			if err := writeShed(bw, aerr); err != nil {
+				return
+			}
+		} else {
+			derr := s.dispatch(bw, typ, payload)
+			rel()
+			if derr != nil {
+				return
+			}
 		}
 		if err := bw.Flush(); err != nil {
 			return
 		}
 	}
+}
+
+// writeShed answers one request with a shed frame (or a plain error frame
+// when err is not a shed), leaving the connection usable.
+func writeShed(w io.Writer, err error) error {
+	var shed *admit.ShedError
+	if errors.As(err, &shed) {
+		return admit.WriteShed(w, shed)
+	}
+	return writeError(w, err)
 }
 
 func (s *Server) dispatch(w io.Writer, typ uint8, payload []byte) error {

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"griddles/internal/admit"
 	"griddles/internal/retry"
 	"griddles/internal/simclock"
 	"griddles/internal/wire"
@@ -131,6 +132,16 @@ func attach(dialer Dialer, addr string, key string, role uint8, opts Options, pr
 		conn.Close()
 		return nil, nil, nil, 0, 0, err
 	}
+	if typ == admit.MsgShed {
+		// Stream-setup shed: the service is at its stream limit. The
+		// attach-level retry policy waits out the hint and redials.
+		conn.Close()
+		shed, derr := admit.DecodeShed(resp)
+		if derr != nil {
+			return nil, nil, nil, 0, 0, derr
+		}
+		return nil, nil, nil, 0, 0, shed
+	}
 	if typ == msgError {
 		conn.Close()
 		return nil, nil, nil, 0, 0, retry.Permanent(errors.New("gridbuffer: " + wire.NewDecoder(resp).String()))
@@ -236,6 +247,13 @@ func (w *Writer) oneCall(reqType uint8, payload []byte) error {
 	typ, resp, err := wire.ReadFrame(bufio.NewReader(conn))
 	if err != nil {
 		return err
+	}
+	if typ == admit.MsgShed {
+		shed, derr := admit.DecodeShed(resp)
+		if derr != nil {
+			return derr
+		}
+		return shed
 	}
 	if typ == msgError {
 		return retry.Permanent(errors.New("gridbuffer: " + wire.NewDecoder(resp).String()))

@@ -2,12 +2,14 @@ package gridbuffer
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
 	"sync/atomic"
 
+	"griddles/internal/admit"
 	"griddles/internal/obs"
 	"griddles/internal/simclock"
 	"griddles/internal/vfs"
@@ -148,6 +150,7 @@ func (r *Registry) Len() int {
 type Server struct {
 	reg   *Registry
 	clock simclock.Clock
+	adm   *admit.Controller
 }
 
 // NewServer returns a Server for reg.
@@ -158,25 +161,73 @@ func NewServer(reg *Registry, clock simclock.Clock) *Server {
 // Registry returns the served registry.
 func (s *Server) Registry() *Registry { return s.reg }
 
-// Serve accepts connections until l is closed.
+// SetAdmission installs an admission controller; nil (the default) admits
+// everything, preserving the unprotected server's behaviour bit for bit.
+//
+// Buffer admission is per stream, not per request: a connection's first
+// Attach acquires one Bulk slot that is held until the connection closes.
+// Mid-stream requests (put, get, acks) are never shed — shedding them would
+// tear holes in the keep-until-ack replay protocol — so overload is pushed
+// to stream setup, where a shed composes cleanly with the client's
+// attach-level retry.
+func (s *Server) SetAdmission(c *admit.Controller) { s.adm = c }
+
+// Serve accepts connections until l is closed. Temporary accept failures
+// are ridden out with backoff instead of killing the server.
 func (s *Server) Serve(l net.Listener) {
+	backoff := admit.NewAcceptBackoff(s.clock)
 	for {
 		conn, err := l.Accept()
 		if err != nil {
+			if admit.Temporary(err) {
+				backoff.Sleep()
+				continue
+			}
 			return
 		}
-		s.clock.Go("gridbuffer-conn", func() { s.handle(conn) })
+		backoff.Reset()
+		crel, ok := s.adm.AdmitConn()
+		if !ok {
+			conn.Close()
+			continue
+		}
+		s.clock.Go("gridbuffer-conn", func() {
+			defer crel()
+			s.handle(conn)
+		})
 	}
 }
 
 func (s *Server) handle(conn net.Conn) {
-	defer conn.Close()
+	// admitted is the stream slot taken by this connection's first Attach,
+	// released when the connection goes away.
+	var admitted func()
+	defer func() {
+		conn.Close()
+		if admitted != nil {
+			admitted()
+		}
+	}()
+	tenant := admit.TenantOf(conn)
 	br := bufio.NewReader(conn)
 	bw := bufio.NewWriter(conn)
 	for {
 		typ, payload, err := wire.ReadFrame(br)
 		if err != nil {
 			return
+		}
+		if typ == msgAttach && admitted == nil {
+			rel, aerr := s.adm.Acquire(tenant, admit.Bulk)
+			if aerr != nil {
+				if err := writeShed(bw, aerr); err != nil {
+					return
+				}
+				if err := bw.Flush(); err != nil {
+					return
+				}
+				continue
+			}
+			admitted = rel
 		}
 		if err := s.dispatch(bw, typ, payload); err != nil {
 			return
@@ -185,6 +236,16 @@ func (s *Server) handle(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// writeShed answers one request with a shed frame (or a plain error frame
+// when err is not a shed), leaving the connection usable.
+func writeShed(w io.Writer, err error) error {
+	var shed *admit.ShedError
+	if errors.As(err, &shed) {
+		return admit.WriteShed(w, shed)
+	}
+	return writeError(w, err)
 }
 
 func decodeOptions(d *wire.Decoder) Options {

@@ -1,0 +1,101 @@
+package gridftp
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"griddles/internal/admit"
+	"griddles/internal/retry"
+	"griddles/internal/simnet"
+	"griddles/internal/vfs"
+)
+
+// tempAcceptErr mimics an EMFILE-style transient accept failure.
+type tempAcceptErr struct{}
+
+func (tempAcceptErr) Error() string   { return "accept: resource temporarily unavailable" }
+func (tempAcceptErr) Temporary() bool { return true }
+
+// flakyListener fails its first `fails` Accepts with a temporary error.
+type flakyListener struct {
+	net.Listener
+	fails int
+}
+
+func (l *flakyListener) Accept() (net.Conn, error) {
+	if l.fails > 0 {
+		l.fails--
+		return nil, tempAcceptErr{}
+	}
+	return l.Listener.Accept()
+}
+
+func TestServeSurvivesFlakyAccept(t *testing.T) {
+	r := newRig(simnet.LinkSpec{Latency: time.Millisecond})
+	vfs.WriteFile(r.fs, "data.bin", []byte("hello"))
+	r.v.Run(func() {
+		l, err := r.net.Host("srv").Listen("srv:6000")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		srv := NewServer(r.fs, r.v)
+		r.v.Go("gridftp-serve", func() { srv.Serve(&flakyListener{Listener: l, fails: 3}) })
+		size, exists, err := r.client.Stat("data.bin")
+		if err != nil || !exists || size != 5 {
+			t.Fatalf("stat through flaky listener: %d %v %v", size, exists, err)
+		}
+	})
+}
+
+func TestBulkShedControlAdmitted(t *testing.T) {
+	r := newRig(simnet.LinkSpec{Latency: time.Millisecond})
+	vfs.WriteFile(r.fs, "data.bin", []byte("payload"))
+	r.v.Run(func() {
+		l, err := r.net.Host("srv").Listen("srv:6000")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		srv := NewServer(r.fs, r.v)
+		// Limit 2 with half reserved for control: one bulk slot total.
+		ctl := admit.New(admit.Options{Service: "ftp", MaxConcurrent: 2, ControlShare: 0.5, Clock: r.v})
+		srv.SetAdmission(ctl)
+		r.v.Go("gridftp-serve", func() { srv.Serve(l) })
+
+		// Saturate the bulk share.
+		rel, err := ctl.Acquire("other", admit.Bulk)
+		if err != nil {
+			t.Fatalf("pre-acquire: %v", err)
+		}
+
+		// Bulk transfer sheds...
+		var buf bytes.Buffer
+		_, err = r.client.Fetch("data.bin", 0, -1, &buf)
+		var shed *admit.ShedError
+		if !errors.As(err, &shed) {
+			t.Fatalf("fetch err = %v, want ShedError", err)
+		}
+		// ...while control traffic rides the reserved slot.
+		size, exists, err := r.client.Stat("data.bin")
+		if err != nil || !exists || size != 7 {
+			t.Fatalf("stat under bulk saturation: %d %v %v", size, exists, err)
+		}
+
+		// With retry, the shed transfer completes once the slot frees.
+		r.client.SetRetry(retry.Policy{
+			MaxAttempts: 5, BaseDelay: 50 * time.Millisecond,
+			AttemptTimeout: time.Second, Clock: r.v,
+		})
+		r.v.Go("releaser", func() {
+			r.v.Sleep(120 * time.Millisecond)
+			rel()
+		})
+		buf.Reset()
+		n, err := r.client.Fetch("data.bin", 0, -1, &buf)
+		if err != nil || n != 7 || buf.String() != "payload" {
+			t.Fatalf("fetch after release: n=%d err=%v body=%q", n, err, buf.String())
+		}
+	})
+}

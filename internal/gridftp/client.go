@@ -9,6 +9,7 @@ import (
 	"os"
 	"time"
 
+	"griddles/internal/admit"
 	"griddles/internal/obs"
 	"griddles/internal/retry"
 	"griddles/internal/simclock"
@@ -155,6 +156,16 @@ func (c *Client) roundTripLocked(reqType uint8, payload []byte) (uint8, []byte, 
 	if c.retry.Enabled() {
 		c.conn.SetDeadline(time.Time{})
 	}
+	if typ == admit.MsgShed {
+		// Overload shed: the connection stays good; the retry policy waits
+		// out the server's hint and re-asks.
+		shed, err := admit.DecodeShed(resp)
+		if err != nil {
+			c.dropConnLocked()
+			return 0, nil, err
+		}
+		return 0, nil, shed
+	}
 	if typ == msgError {
 		return 0, nil, retry.Permanent(errors.New("gridftp: " + wire.NewDecoder(resp).String()))
 	}
@@ -264,6 +275,13 @@ func (c *Client) fetchOnce(path string, off, length int64, w io.Writer) (int64, 
 	typ, resp, err := wire.ReadFrame(br)
 	if err != nil {
 		return 0, err
+	}
+	if typ == admit.MsgShed {
+		shed, err := admit.DecodeShed(resp)
+		if err != nil {
+			return 0, err
+		}
+		return 0, shed
 	}
 	if typ == msgError {
 		return 0, retry.Permanent(errors.New("gridftp: " + wire.NewDecoder(resp).String()))
@@ -378,6 +396,13 @@ func (c *Client) putOnce(path string, r io.Reader) (total int64, readAny bool, e
 	typ, resp, err := wire.ReadFrame(bufio.NewReader(conn))
 	if err != nil {
 		return 0, readAny, err
+	}
+	if typ == admit.MsgShed {
+		shed, err := admit.DecodeShed(resp)
+		if err != nil {
+			return 0, readAny, err
+		}
+		return 0, readAny, shed
 	}
 	if typ == msgError {
 		return 0, readAny, retry.Permanent(errors.New("gridftp: " + wire.NewDecoder(resp).String()))

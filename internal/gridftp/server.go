@@ -18,6 +18,7 @@ import (
 	"os"
 	"sync"
 
+	"griddles/internal/admit"
 	"griddles/internal/simclock"
 	"griddles/internal/vfs"
 	"griddles/internal/wire"
@@ -54,6 +55,7 @@ type Server struct {
 	fs    vfs.FS
 	clock simclock.Clock
 	chunk int
+	adm   *admit.Controller
 }
 
 // NewServer returns a Server exporting fsys.
@@ -70,14 +72,44 @@ func (s *Server) SetChunkSize(n int) {
 	}
 }
 
-// Serve accepts connections until l is closed.
+// SetAdmission installs an admission controller; nil (the default) admits
+// everything, preserving the unprotected server's behaviour bit for bit.
+// Control-plane operations (open, close, stat) are admitted in the Control
+// class; reads, writes and the streaming fetch/put transfers are Bulk.
+func (s *Server) SetAdmission(c *admit.Controller) { s.adm = c }
+
+// classOf maps a request type to its admission class.
+func classOf(typ uint8) admit.Class {
+	switch typ {
+	case msgOpen, msgClose, msgStat:
+		return admit.Control
+	}
+	return admit.Bulk
+}
+
+// Serve accepts connections until l is closed. Temporary accept failures
+// are ridden out with backoff instead of killing the server.
 func (s *Server) Serve(l net.Listener) {
+	backoff := admit.NewAcceptBackoff(s.clock)
 	for {
 		conn, err := l.Accept()
 		if err != nil {
+			if admit.Temporary(err) {
+				backoff.Sleep()
+				continue
+			}
 			return
 		}
-		s.clock.Go("gridftp-conn", func() { s.handle(conn) })
+		backoff.Reset()
+		crel, ok := s.adm.AdmitConn()
+		if !ok {
+			conn.Close()
+			continue
+		}
+		s.clock.Go("gridftp-conn", func() {
+			defer crel()
+			s.handle(conn)
+		})
 	}
 }
 
@@ -99,6 +131,7 @@ func (s *Server) handle(conn net.Conn) {
 		}
 		sess.mu.Unlock()
 	}()
+	tenant := admit.TenantOf(conn)
 	br := bufio.NewReader(conn)
 	bw := bufio.NewWriter(conn)
 	for {
@@ -106,10 +139,44 @@ func (s *Server) handle(conn net.Conn) {
 		if err != nil {
 			return
 		}
-		if err := sess.dispatch(bw, br, typ, payload); err != nil {
-			return
+		rel, aerr := s.adm.Acquire(tenant, classOf(typ))
+		if aerr != nil {
+			if typ == msgPut {
+				// The client streams the upload regardless; drain it so the
+				// connection stays usable after the shed.
+				drainPutStream(br)
+			}
+			if err := writeShed(bw, aerr); err != nil {
+				return
+			}
+		} else {
+			derr := sess.dispatch(bw, br, typ, payload)
+			rel()
+			if derr != nil {
+				return
+			}
 		}
 		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// writeShed answers one request with a shed frame (or a plain error frame
+// when err is not a shed), leaving the connection usable.
+func writeShed(w io.Writer, err error) error {
+	var shed *admit.ShedError
+	if errors.As(err, &shed) {
+		return admit.WriteShed(w, shed)
+	}
+	return writeError(w, err)
+}
+
+// drainPutStream consumes a rejected upload stream up to its end frame.
+func drainPutStream(r *bufio.Reader) {
+	for {
+		typ, _, err := wire.ReadFrame(r)
+		if err != nil || typ == msgPutEnd {
 			return
 		}
 	}
@@ -293,12 +360,7 @@ func (sess *session) put(w io.Writer, r *bufio.Reader, path string) error {
 	f, err := sess.srv.fs.OpenFile(path, vfs.CreateTruncFlag, 0o644)
 	if err != nil {
 		// Drain the incoming stream so the connection stays usable.
-		for {
-			typ, _, rerr := wire.ReadFrame(r)
-			if rerr != nil || typ == msgPutEnd {
-				break
-			}
-		}
+		drainPutStream(r)
 		return writeError(w, err)
 	}
 	var total int64

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 
+	"griddles/internal/admit"
 	"griddles/internal/obs"
 	"griddles/internal/retry"
 	"griddles/internal/simclock"
@@ -98,6 +99,15 @@ func (c *Client) roundTrip(reqType uint8, payload []byte, wantType uint8) ([]byt
 	typ, resp, err := wire.ReadFrame(bufio.NewReader(conn))
 	if err != nil {
 		return nil, err
+	}
+	if typ == admit.MsgShed {
+		// Overload shed: the retry policy waits out the server's hint and
+		// re-asks.
+		shed, err := admit.DecodeShed(resp)
+		if err != nil {
+			return nil, err
+		}
+		return nil, shed
 	}
 	if typ == msgError {
 		return nil, retry.Permanent(errors.New("objstore: " + wire.NewDecoder(resp).String()))
@@ -195,6 +205,13 @@ func (c *Client) getOnce(key string, off, length int64, w io.Writer) (total, siz
 	typ, resp, err := wire.ReadFrame(br)
 	if err != nil {
 		return 0, 0, err
+	}
+	if typ == admit.MsgShed {
+		shed, err := admit.DecodeShed(resp)
+		if err != nil {
+			return 0, 0, err
+		}
+		return 0, 0, shed
 	}
 	if typ == msgError {
 		return 0, 0, retry.Permanent(errors.New("objstore: " + wire.NewDecoder(resp).String()))
@@ -312,6 +329,13 @@ func (c *Client) putOnce(key string, r io.Reader) (total int64, readAny bool, er
 	typ, resp, err := wire.ReadFrame(bufio.NewReader(conn))
 	if err != nil {
 		return 0, readAny, err
+	}
+	if typ == admit.MsgShed {
+		shed, err := admit.DecodeShed(resp)
+		if err != nil {
+			return 0, readAny, err
+		}
+		return 0, readAny, shed
 	}
 	if typ == msgError {
 		return 0, readAny, retry.Permanent(errors.New("objstore: " + wire.NewDecoder(resp).String()))

@@ -2,10 +2,12 @@ package objstore
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 
+	"griddles/internal/admit"
 	"griddles/internal/simclock"
 	"griddles/internal/wire"
 )
@@ -15,6 +17,7 @@ type Server struct {
 	store *Store
 	clock simclock.Clock
 	chunk int
+	adm   *admit.Controller
 }
 
 // NewServer returns a Server exporting store.
@@ -25,19 +28,49 @@ func NewServer(store *Store, clock simclock.Clock) *Server {
 // Store reports the object table this server exports (for seeding tests).
 func (s *Server) Store() *Store { return s.store }
 
-// Serve accepts connections until l is closed.
+// SetAdmission installs an admission controller; nil (the default) admits
+// everything, preserving the unprotected server's behaviour bit for bit.
+// Stat and list are Control class; object gets and puts are Bulk.
+func (s *Server) SetAdmission(c *admit.Controller) { s.adm = c }
+
+// classOf maps a request type to its admission class.
+func classOf(typ uint8) admit.Class {
+	switch typ {
+	case msgStat, msgList:
+		return admit.Control
+	}
+	return admit.Bulk
+}
+
+// Serve accepts connections until l is closed. Temporary accept failures
+// are ridden out with backoff instead of killing the server.
 func (s *Server) Serve(l net.Listener) {
+	backoff := admit.NewAcceptBackoff(s.clock)
 	for {
 		conn, err := l.Accept()
 		if err != nil {
+			if admit.Temporary(err) {
+				backoff.Sleep()
+				continue
+			}
 			return
 		}
-		s.clock.Go("objstore-conn", func() { s.handle(conn) })
+		backoff.Reset()
+		crel, ok := s.adm.AdmitConn()
+		if !ok {
+			conn.Close()
+			continue
+		}
+		s.clock.Go("objstore-conn", func() {
+			defer crel()
+			s.handle(conn)
+		})
 	}
 }
 
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
+	tenant := admit.TenantOf(conn)
 	br := bufio.NewReader(conn)
 	bw := bufio.NewWriter(conn)
 	for {
@@ -45,13 +78,37 @@ func (s *Server) handle(conn net.Conn) {
 		if err != nil {
 			return
 		}
-		if err := s.dispatch(bw, br, typ, payload); err != nil {
-			return
+		rel, aerr := s.adm.Acquire(tenant, classOf(typ))
+		if aerr != nil {
+			if typ == msgPutBegin {
+				// The client streams the upload regardless; drain it so the
+				// connection stays usable after the shed.
+				drainPut(br)
+			}
+			if err := writeShed(bw, aerr); err != nil {
+				return
+			}
+		} else {
+			derr := s.dispatch(bw, br, typ, payload)
+			rel()
+			if derr != nil {
+				return
+			}
 		}
 		if err := bw.Flush(); err != nil {
 			return
 		}
 	}
+}
+
+// writeShed answers one request with a shed frame (or a plain error frame
+// when err is not a shed), leaving the connection usable.
+func writeShed(w io.Writer, err error) error {
+	var shed *admit.ShedError
+	if errors.As(err, &shed) {
+		return admit.WriteShed(w, shed)
+	}
+	return writeError(w, err)
 }
 
 func (s *Server) dispatch(w io.Writer, r *bufio.Reader, typ uint8, payload []byte) error {

@@ -165,6 +165,19 @@ func IsPermanent(err error) bool {
 	return errors.As(err, &p)
 }
 
+// retryAfterHint extracts a server-suggested retry delay from err, if any.
+// The interface is structural so retry does not import the packages whose
+// errors carry hints (admit.ShedError implements it).
+func retryAfterHint(err error) (time.Duration, bool) {
+	var h interface{ RetryAfter() time.Duration }
+	if errors.As(err, &h) {
+		if d := h.RetryAfter(); d > 0 {
+			return d, true
+		}
+	}
+	return 0, false
+}
+
 // Do runs op until it succeeds, returns a Permanent error, or the attempt
 // budget is spent. op receives the 1-based attempt number. Between failed
 // attempts Do emits a "retry.attempt" event and sleeps the backoff delay.
@@ -186,6 +199,11 @@ func (p Policy) Do(op string, fn func(attempt int) error) error {
 			break
 		}
 		d := p.delay(attempt, true)
+		if hint, ok := retryAfterHint(err); ok && hint > d {
+			// The server told us when it wants us back (a load shed);
+			// waiting less would only get us shed again.
+			d = hint
+		}
 		if p.Obs != nil {
 			p.Obs.Counter(obs.Key("retry.attempt.total", "op", op)).Inc()
 			p.Obs.Emit("retry.attempt", p.Src,

@@ -186,3 +186,52 @@ func TestMaxElapsedBudget(t *testing.T) {
 		}
 	})
 }
+
+// hintedErr is a stand-in for admit.ShedError: an error carrying a
+// server-suggested retry delay.
+type hintedErr struct{ after time.Duration }
+
+func (e *hintedErr) Error() string             { return "shed" }
+func (e *hintedErr) RetryAfter() time.Duration { return e.after }
+
+func TestRetryAfterHintStretchesBackoff(t *testing.T) {
+	v := simclock.NewVirtualDefault()
+	v.Run(func() {
+		p := Default(v) // base backoff 50ms before attempt 2
+		calls := 0
+		start := v.Now()
+		err := p.Do("op", func(int) error {
+			calls++
+			if calls == 1 {
+				return &hintedErr{after: 700 * time.Millisecond}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("Do: %v", err)
+		}
+		// The hint (700ms) dominates the 50ms backoff.
+		if el := v.Now().Sub(start); el != 700*time.Millisecond {
+			t.Fatalf("elapsed %v, want the 700ms server hint", el)
+		}
+	})
+}
+
+func TestRetryAfterHintNeverShortensBackoff(t *testing.T) {
+	v := simclock.NewVirtualDefault()
+	v.Run(func() {
+		p := Default(v)
+		calls := 0
+		start := v.Now()
+		p.Do("op", func(int) error {
+			calls++
+			if calls == 1 {
+				return &hintedErr{after: time.Millisecond} // below the 50ms base
+			}
+			return nil
+		})
+		if el := v.Now().Sub(start); el != 50*time.Millisecond {
+			t.Fatalf("elapsed %v, want the normal 50ms backoff", el)
+		}
+	})
+}

@@ -1,0 +1,82 @@
+package stress
+
+import "fmt"
+
+// Gate tolerances. The curves are deterministic for a fixed seed, but the
+// thresholds leave room so a reseeded or rescaled run still expresses the
+// same physics rather than one exact trajectory.
+const (
+	// MonotoneTolerance bounds how far goodput may sag when offered load
+	// doubles on the admission arm: each level must keep at least
+	// (1 - tol) of the previous level's goodput. Rising goodput always
+	// passes; what this catches is collapse — goodput falling off a cliff
+	// once the service is past saturation.
+	MonotoneTolerance = 0.15
+	// MinAdvantage is how much better admission-on goodput must be than
+	// admission-off at the highest offered load.
+	MinAdvantage = 1.2
+)
+
+// Gate applies the issue's no-collapse acceptance to a matched pair of
+// sweep arms and reports every violation (nil means the gate passes):
+//
+//   - on the admission arm, goodput must be monotone-ish within
+//     MonotoneTolerance as offered load doubles, and
+//   - at the highest level, admission-on must beat admission-off by at
+//     least MinAdvantage.
+func Gate(on, off Report) []string {
+	var bad []string
+	if !on.Admission || off.Admission {
+		bad = append(bad, "gate needs one admission-on and one admission-off arm")
+		return bad
+	}
+	if len(on.Levels) == 0 || len(on.Levels) != len(off.Levels) {
+		bad = append(bad, fmt.Sprintf("arms have mismatched levels: on=%d off=%d",
+			len(on.Levels), len(off.Levels)))
+		return bad
+	}
+	for i := 1; i < len(on.Levels); i++ {
+		prev, cur := on.Levels[i-1], on.Levels[i]
+		if floor := prev.GoodputWPS * (1 - MonotoneTolerance); cur.GoodputWPS < floor {
+			bad = append(bad, fmt.Sprintf(
+				"admission-on goodput collapsed at x%d: %.2f wf/s after %.2f wf/s at x%d (floor %.2f)",
+				cur.Level, cur.GoodputWPS, prev.GoodputWPS, prev.Level, floor))
+		}
+	}
+	top := len(on.Levels) - 1
+	onTop, offTop := on.Levels[top], off.Levels[top]
+	if onTop.GoodputWPS < offTop.GoodputWPS*MinAdvantage {
+		bad = append(bad, fmt.Sprintf(
+			"admission-on does not beat admission-off at x%d: %.2f vs %.2f wf/s (need %.1fx)",
+			onTop.Level, onTop.GoodputWPS, offTop.GoodputWPS, MinAdvantage))
+	}
+	return bad
+}
+
+// BenchMetrics flattens a pair of sweep arms into benchgate's schema
+// (benchmark name -> unit -> value) so the curves can be merged into the
+// checked-in BENCH_*.json record. Simulated-clock latencies use the
+// "virt-" unit prefix benchgate treats as deterministic.
+func BenchMetrics(on, off Report) map[string]map[string]float64 {
+	out := make(map[string]map[string]float64)
+	add := func(rep Report) {
+		arm := "off"
+		if rep.Admission {
+			arm = "on"
+		}
+		for _, lv := range rep.Levels {
+			name := fmt.Sprintf("Stress/admit=%s/load=x%d", arm, lv.Level)
+			out[name] = map[string]float64{
+				"goodput-wf/s":     lv.GoodputWPS,
+				"virt-ms/open-p50": lv.OpenP50MS,
+				"virt-ms/open-p99": lv.OpenP99MS,
+				"offered-wf":       float64(lv.Offered),
+				"failed-wf":        float64(lv.Failed + lv.Late),
+				"sheds":            float64(lv.Sheds),
+			}
+		}
+	}
+	add(on)
+	add(off)
+	return out
+}

@@ -1,0 +1,115 @@
+package stress
+
+import (
+	"testing"
+	"time"
+)
+
+// tinyConfig keeps unit tests fast: two levels, a short window, small
+// payloads. Physics still apply — x8 of the base rate is well past what
+// the Monash<->VPAC link carries.
+func tinyConfig(admission bool) Config {
+	return Config{
+		Seed:      7,
+		BaseRate:  4,
+		Levels:    []int{1, 8},
+		Duration:  8 * time.Second,
+		Deadline:  10 * time.Second,
+		Payload:   48 << 10,
+		Admission: admission,
+	}
+}
+
+func TestSweepUncontendedLevelCompletesEverything(t *testing.T) {
+	rep := Run(tinyConfig(false))
+	lv := rep.Levels[0]
+	if lv.Offered == 0 {
+		t.Fatalf("no arrivals at x1")
+	}
+	if lv.Completed != lv.Offered || lv.Failed != 0 || lv.Late != 0 {
+		t.Fatalf("x1 should be comfortable: %+v", lv)
+	}
+	if lv.OpenP99MS <= 0 || lv.OpenP99MS > 500 {
+		t.Fatalf("x1 open p99 out of range: %.1fms", lv.OpenP99MS)
+	}
+	if lv.Sheds != 0 {
+		t.Fatalf("admission off must never shed, got %d", lv.Sheds)
+	}
+}
+
+// The arrival schedule is a pure function of the seed and uncontended
+// levels reproduce exactly; contended levels wobble with goroutine
+// scheduling at equal virtual instants, so they are held to a tight
+// relative band instead of bit-equality.
+func TestSweepIsReproducibleForFixedSeed(t *testing.T) {
+	a := Run(tinyConfig(true))
+	b := Run(tinyConfig(true))
+	for i := range a.Levels {
+		if a.Levels[i].Offered != b.Levels[i].Offered {
+			t.Fatalf("arrival schedule diverged at level %d: %d vs %d arrivals",
+				i, a.Levels[i].Offered, b.Levels[i].Offered)
+		}
+	}
+	if a.Levels[0] != b.Levels[0] {
+		t.Fatalf("uncontended level diverged across identical runs:\n%+v\n%+v",
+			a.Levels[0], b.Levels[0])
+	}
+	top := len(a.Levels) - 1
+	ga, gb := a.Levels[top].GoodputWPS, b.Levels[top].GoodputWPS
+	if ga == 0 || gb/ga > 1.05 || ga/gb > 1.05 {
+		t.Fatalf("contended goodput unstable across identical runs: %.2f vs %.2f", ga, gb)
+	}
+}
+
+func TestAdmissionShedsAndProtectsOpensUnderOverload(t *testing.T) {
+	on := Run(tinyConfig(true))
+	top := on.Levels[len(on.Levels)-1]
+	if top.Sheds == 0 {
+		t.Fatalf("x8 with admission should shed, got %+v", top)
+	}
+	if top.Completed == 0 {
+		t.Fatalf("x8 with admission should still complete work, got %+v", top)
+	}
+}
+
+func TestGateVerdicts(t *testing.T) {
+	mk := func(adm bool, goodputs ...float64) Report {
+		r := Report{Admission: adm}
+		for i, g := range goodputs {
+			r.Levels = append(r.Levels, LevelResult{Level: 1 << i, GoodputWPS: g})
+		}
+		return r
+	}
+	if bad := Gate(mk(true, 4, 8, 15, 16), mk(false, 4, 8, 14, 6)); bad != nil {
+		t.Fatalf("healthy pair should pass, got %v", bad)
+	}
+	if bad := Gate(mk(true, 4, 8, 15, 4), mk(false, 4, 8, 14, 1)); len(bad) != 1 {
+		t.Fatalf("collapsing on-arm should fail monotonicity once, got %v", bad)
+	}
+	if bad := Gate(mk(true, 4, 8, 15, 16), mk(false, 4, 8, 14, 15)); len(bad) != 1 {
+		t.Fatalf("weak advantage should fail the ratio check, got %v", bad)
+	}
+	if bad := Gate(mk(false, 1), mk(true, 1)); len(bad) == 0 {
+		t.Fatalf("swapped arms must be rejected")
+	}
+}
+
+func TestBenchMetricsShape(t *testing.T) {
+	on := Run(Config{Seed: 3, BaseRate: 2, Levels: []int{1}, Duration: 2 * time.Second,
+		Deadline: 10 * time.Second, Payload: 8 << 10, Admission: true})
+	off := on
+	off.Admission = false
+	m := BenchMetrics(on, off)
+	for _, name := range []string{"Stress/admit=on/load=x1", "Stress/admit=off/load=x1"} {
+		got, ok := m[name]
+		if !ok {
+			t.Fatalf("missing %s in %v", name, m)
+		}
+		if got["goodput-wf/s"] <= 0 {
+			t.Fatalf("%s has no goodput: %v", name, got)
+		}
+		if _, ok := got["virt-ms/open-p99"]; !ok {
+			t.Fatalf("%s missing open p99: %v", name, got)
+		}
+	}
+}
