@@ -1007,6 +1007,34 @@ func BenchmarkDAGParallelStages(b *testing.B) {
 	}
 }
 
+// BenchmarkJournalOverhead is the PR 8 durability gate: the climate
+// pipeline with every coordinator transition journaled (SyncEvery=1, the
+// strictest setting) versus journal-off. Journal appends cost no simulated
+// time — the sink is I/O outside the modelled grid — so the virtual-time
+// overhead must stay within 2%.
+func BenchmarkJournalOverhead(b *testing.B) {
+	var off, on time.Duration
+	var journalBytes int
+	for i := 0; i < b.N; i++ {
+		p := benchClimate()
+		assign := climate.Split("brecca", "dione")
+		off = dagBenchRun(b, climate.WorkflowSpec(p, assign), nil).Total
+		sink := &workflow.MemSink{}
+		on = dagBenchRun(b, climate.WorkflowSpec(p, assign), func(r *workflow.Runner) {
+			r.Journal = workflow.NewJournal(sink, r.Grid.Clock())
+		}).Total
+		journalBytes = len(sink.Bytes())
+	}
+	b.ReportMetric(off.Seconds(), "virt-s/journal-off")
+	b.ReportMetric(on.Seconds(), "virt-s/journal-on")
+	b.ReportMetric(float64(journalBytes), "journal-bytes")
+	overhead := (on.Seconds() - off.Seconds()) / off.Seconds() * 100
+	b.ReportMetric(overhead, "overhead-pct")
+	if overhead > 2 {
+		b.Errorf("journaling added %.2f%% virtual time to the climate pipeline, ceiling 2%%", overhead)
+	}
+}
+
 // eagerTail is the eager stage-in workload: a producer on brecca writes
 // payload bytes, closes, then keeps computing for `tail` units — the window
 // the eager copy hides the transfer in — before a consumer on dione reads

@@ -30,10 +30,21 @@
 // -max-parallel sets the per-machine admission cap, -eager-copy overlaps
 // staging copies with upstream compute, and -serial forces the historical
 // strict-sequential executor for comparison.
+//
+// The durable-coordinator flags (DESIGN.md §14) compose with -mode dag:
+// -journal FILE appends the coordinator's transition log; -kill-after N
+// kills the coordinator after N dispatches; -resume replays the journal,
+// truncates any torn tail, and finishes the DAG without recomputing
+// journal-done stages; -speculate enables straggler speculation (and lands
+// one transform on the slow jagan box so a backup attempt visibly wins):
+//
+//	flowrun -mode dag -journal /tmp/j.bin -kill-after 2
+//	flowrun -mode dag -journal /tmp/j.bin -resume
 package main
 
 import (
 	"crypto/sha256"
+	"errors"
 	"flag"
 	"fmt"
 	"hash"
@@ -79,10 +90,14 @@ func main() {
 	maxParallel := flag.Int("max-parallel", 1, "stages allowed concurrently per machine under -mode dag")
 	eagerCopy := flag.Bool("eager-copy", false, "start staging copies at producer close under -mode dag")
 	serial := flag.Bool("serial", false, "force the strict-sequential executor under -mode dag")
+	journal := flag.String("journal", "", "append the coordinator journal to FILE under -mode dag")
+	resume := flag.Bool("resume", false, "replay -journal and resume the interrupted run instead of starting fresh")
+	speculate := flag.Bool("speculate", false, "enable straggler speculation under -mode dag (moves one transform to the slow jagan box)")
+	killAfter := flag.Int("kill-after", 0, "kill the coordinator after N stage dispatches (demonstrates -resume)")
 	flag.Parse()
 
 	if *mode == "dag" {
-		runDAGDemo(*mb, *maxParallel, *eagerCopy, *serial)
+		runDAGDemo(*mb, *maxParallel, *eagerCopy, *serial, *journal, *resume, *speculate, *killAfter)
 		return
 	}
 
@@ -306,7 +321,14 @@ func serve(fn func(net.Listener)) string {
 // runDAGDemo runs a diamond workflow (source -> two independent transforms
 // -> sink) on the simulated Table 1 testbed under the requested scheduler
 // settings and prints the resulting schedule.
-func runDAGDemo(mb, maxParallel int, eagerCopy, serial bool) {
+//
+// With -journal FILE the coordinator appends its transition log there;
+// -kill-after N kills the coordinator mid-run, and a second invocation with
+// -resume replays the journal (truncating any torn tail) and finishes the
+// DAG without recomputing journal-done stages. -speculate lands transform2
+// on jagan (the testbed's slowest box) so the straggler monitor visibly
+// launches, wins and repoints a backup attempt.
+func runDAGDemo(mb, maxParallel int, eagerCopy, serial bool, journalPath string, resume, speculate bool, killAfter int) {
 	payload := mb << 20
 	write := func(ctx *workflow.Ctx, path string) error {
 		w, err := ctx.FM.Create(path)
@@ -356,28 +378,116 @@ func runDAGDemo(mb, maxParallel int, eagerCopy, serial bool) {
 				return nil
 			}},
 	}}
+	if speculate {
+		// Give the straggler monitor something to rescue: the slowest box
+		// on the testbed needs ~6x dione's time for the same transform.
+		spec.Components[2].Machine = "jagan"
+	}
 	v := simclock.NewVirtualDefault()
 	grid := testbed.DefaultGrid(v)
 	observer := obs.New(v)
 	runner := &workflow.Runner{
 		Grid: grid, GNS: gns.NewStore(v), Obs: observer,
 		MaxPerMachine: maxParallel, EagerCopy: eagerCopy, Serial: serial,
+		Speculate: speculate, SpecMinSamples: 2,
 	}
+	if killAfter > 0 {
+		runner.Kill = &workflow.KillSwitch{Point: workflow.KillDispatch, After: killAfter}
+	}
+
+	// The durable-coordinator path: an on-disk journal of scheduler
+	// transitions (DESIGN.md §14). *os.File is the Sink; on -resume the
+	// file is replayed and truncated to its clean prefix before this
+	// session appends.
+	var img *workflow.RunImage
+	if journalPath != "" {
+		if resume {
+			data, err := os.ReadFile(journalPath)
+			if err != nil {
+				log.Fatalf("flowrun: resume: %v", err)
+			}
+			img, err = workflow.Replay(data)
+			if err != nil {
+				log.Fatalf("flowrun: resume: %v", err)
+			}
+			fmt.Printf("journal: replayed %d records, %d/%d stages done, torn=%v\n",
+				img.Records, img.Done(), img.NStages, img.Torn)
+		}
+		jf, err := os.OpenFile(journalPath, os.O_RDWR|os.O_CREATE, 0o644)
+		if err != nil {
+			log.Fatalf("flowrun: journal: %v", err)
+		}
+		defer jf.Close()
+		if img != nil {
+			// Drop the torn tail a crash mid-append left behind, or the
+			// fragment would mask this session's records from the next
+			// replay.
+			if err := jf.Truncate(int64(img.CleanLen)); err != nil {
+				log.Fatalf("flowrun: journal: %v", err)
+			}
+		}
+		if _, err := jf.Seek(0, io.SeekEnd); err != nil {
+			log.Fatalf("flowrun: journal: %v", err)
+		}
+		runner.Journal = workflow.NewJournal(jf, v)
+	} else if resume {
+		log.Fatal("flowrun: -resume needs -journal FILE")
+	}
+
 	var report *workflow.Report
+	killed := false
 	v.Run(func() {
 		if err := workflow.StartServices(v, grid); err != nil {
 			log.Fatalf("flowrun: %v", err)
 		}
 		var err error
-		report, err = runner.Run(spec, workflow.CouplingSequential)
-		if err != nil {
+		if img != nil {
+			// On a real grid only the coordinator dies — machine disks keep
+			// the done stages' outputs. The demo's simulated filesystems
+			// live in this process, so re-materialize what would have
+			// survived: each journal-done stage's outputs on its configured
+			// machine (dropping any speculation home, whose namespaced
+			// files died with the previous process too).
+			for i, st := range img.States {
+				if st != workflow.StageDone {
+					continue
+				}
+				delete(img.Home, i)
+				comp := spec.Components[i]
+				for _, out := range comp.Outputs {
+					if err := vfs.WriteFile(grid.Machine(comp.Machine).RawFS(), out, make([]byte, payload)); err != nil {
+						log.Fatalf("flowrun: reseed %s: %v", out, err)
+					}
+				}
+			}
+			report, err = runner.Resume(spec, workflow.CouplingSequential, img)
+		} else {
+			report, err = runner.Run(spec, workflow.CouplingSequential)
+		}
+		if errors.Is(err, workflow.ErrCoordinatorKilled) {
+			killed = true
+		} else if err != nil {
 			log.Fatalf("flowrun: %v", err)
 		}
 	})
-	fmt.Print(report)
+	if killed {
+		fmt.Printf("coordinator killed after %d dispatches; rerun with -journal %s -resume to finish\n",
+			killAfter, journalPath)
+	} else {
+		fmt.Print(report)
+	}
 	c := observer.Snapshot().Counters
 	fmt.Printf("scheduler: dispatched=%d eager started=%d adopted=%d discarded=%d failed=%d\n",
 		c["wf.sched.dispatch.total"], c["wf.eagercopy.start.total"],
 		c["wf.eagercopy.adopt.total"], c["wf.eagercopy.discard.total"],
 		c["wf.eagercopy.fail.total"])
+	if speculate {
+		fmt.Printf("speculation: launched=%d won=%d lost=%d\n",
+			c["wf.spec.launch.total"], c["wf.spec.win.total"], c["wf.spec.lose.total"])
+	}
+	if journalPath != "" {
+		fmt.Printf("journal: appended=%d synced=%d snapshots=%d -> %s\n",
+			c["wf.journal.append.total"], c["wf.journal.sync.total"],
+			c["wf.journal.snapshot.total"], journalPath)
+	}
 }

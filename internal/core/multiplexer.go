@@ -161,6 +161,14 @@ type Config struct {
 	// downstream consumers while the producer is still computing.
 	CloseNotify func(path string)
 
+	// Interrupt, if set, is polled at the top of every OPEN (and Stat); a
+	// non-nil error aborts the call with that error before any GNS or
+	// transport work. The workflow scheduler points it at a stage attempt's
+	// lost-speculation flag: an attempt that lost the first-writer-wins
+	// commit race is cut off at its next IO, so it can never stage out over
+	// — or publish markers for — outputs the winner already committed.
+	Interrupt func() error
+
 	// Retry is the resilience policy threaded into every transport this FM
 	// opens (file-service clients and Grid Buffer endpoints). When enabled it
 	// also arms replica failover: a replicated read whose transport dies —
@@ -325,6 +333,9 @@ func (m *Multiplexer) backendFor(path string, mapping gns.Mapping) (Backend, str
 // and dispatches through the backend registry to the mechanism the mapping
 // selects.
 func (m *Multiplexer) OpenFile(path string, flag int, perm os.FileMode) (File, error) {
+	if err := m.interrupted(path); err != nil {
+		return nil, err
+	}
 	mapping, err := m.cfg.GNS.Resolve(m.cfg.Machine, path)
 	if err != nil {
 		return nil, fmt.Errorf("core: resolving %s on %s: %w", path, m.cfg.Machine, err)
@@ -364,6 +375,9 @@ func (m *Multiplexer) OpenFile(path string, flag int, perm os.FileMode) (File, e
 // mapping's backend (local and staged files stat locally; remote modes stat
 // the service; object mappings stat the object).
 func (m *Multiplexer) Stat(path string) (size int64, exists bool, err error) {
+	if err := m.interrupted(path); err != nil {
+		return 0, false, err
+	}
 	mapping, err := m.cfg.GNS.Resolve(m.cfg.Machine, path)
 	if err != nil {
 		return 0, false, err
@@ -373,6 +387,21 @@ func (m *Multiplexer) Stat(path string) (size int64, exists bool, err error) {
 		return 0, false, err
 	}
 	return b.Stat(context.Background(), &m.env, path, mapping)
+}
+
+// interrupted polls the Interrupt hook and records a refused call.
+func (m *Multiplexer) interrupted(path string) error {
+	if m.cfg.Interrupt == nil {
+		return nil
+	}
+	err := m.cfg.Interrupt()
+	if err == nil {
+		return nil
+	}
+	m.obs.Counter("fm.interrupt.total").Inc()
+	m.obs.Emit("fm.interrupt", m.cfg.Machine,
+		obs.KV("path", path), obs.KV("error", err.Error()))
+	return err
 }
 
 func localPath(mapping gns.Mapping, openPath string) string {

@@ -186,6 +186,33 @@ func (c *Client) Set(machine, path string, m Mapping) (uint64, error) {
 	return v, nil
 }
 
+// SetIfAbsent installs m for (machine, path) only if the key is unmapped,
+// returning the mapping now in force and whether this client installed it
+// (the first-writer-wins commit primitive; see Store.SetIfAbsent).
+func (c *Client) SetIfAbsent(machine, path string, m Mapping) (Mapping, bool, error) {
+	e := wire.NewEncoder()
+	e.String(machine).String(path)
+	m.encode(e)
+	typ, resp, err := c.roundTrip(msgSetIfAbsent, e.Bytes())
+	if err != nil {
+		return Mapping{}, false, err
+	}
+	if typ != msgSetIfAbsentResp {
+		return Mapping{}, false, fmt.Errorf("gns: unexpected reply type %d", typ)
+	}
+	d := wire.NewDecoder(resp)
+	won := d.Bool()
+	cur := decodeMapping(d)
+	if err := d.Err(); err != nil {
+		return Mapping{}, false, err
+	}
+	if c.CacheEnabled() {
+		// The server's answer is authoritative either way: fold it in.
+		c.cacheInsert(Key{Machine: machine, Path: path}, cur)
+	}
+	return cur, won, nil
+}
+
 // Delete removes a mapping.
 func (c *Client) Delete(machine, path string) error {
 	e := wire.NewEncoder()

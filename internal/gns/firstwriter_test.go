@@ -1,0 +1,113 @@
+package gns
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"griddles/internal/simclock"
+	"griddles/internal/simnet"
+)
+
+// The double-commit race behind stage-level speculation, pinned under
+// -race: many concurrent writers all claim the same commit key with
+// SetIfAbsent and exactly one must land; every caller — winner and losers
+// alike — must observe the same winning mapping.
+func TestStoreSetIfAbsentFirstWriterWins(t *testing.T) {
+	s := NewStore(simclock.Real{})
+	before := s.Version()
+
+	const writers = 32
+	type outcome struct {
+		got Mapping
+		won bool
+	}
+	outcomes := make([]outcome, writers)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, won := s.SetIfAbsent("wf!spec", "commit!straggler", Mapping{
+				Mode: ModeLocal, LocalPath: fmt.Sprintf("machine-%d", w),
+			})
+			outcomes[w] = outcome{got, won}
+		}()
+	}
+	wg.Wait()
+
+	winners := 0
+	var winner Mapping
+	for _, o := range outcomes {
+		if o.won {
+			winners++
+			winner = o.got
+		}
+	}
+	if winners != 1 {
+		t.Fatalf("%d writers won the commit race, want exactly 1", winners)
+	}
+	for w, o := range outcomes {
+		if o.got.LocalPath != winner.LocalPath || o.got.Version != winner.Version {
+			t.Errorf("writer %d observed %+v, want the winner %+v", w, o.got, winner)
+		}
+	}
+	if v := s.Version(); v != before+1 {
+		t.Errorf("store version advanced by %d, want 1 (one install)", v-before)
+	}
+	// The committed mapping wins all later claims too.
+	if _, won := s.SetIfAbsent("wf!spec", "commit!straggler", Mapping{Mode: ModeLocal}); won {
+		t.Error("SetIfAbsent on a committed key reported a win")
+	}
+	// And Delete reopens the key — the resume path's stale-claim cleanup.
+	s.Delete("wf!spec", "commit!straggler")
+	if _, won := s.SetIfAbsent("wf!spec", "commit!straggler", Mapping{Mode: ModeLocal}); !won {
+		t.Error("SetIfAbsent after Delete did not win")
+	}
+}
+
+// Lookup is exact-key: no wildcard entry, no local-passthrough synthesis.
+func TestStoreLookupExactKey(t *testing.T) {
+	s := NewStore(simclock.Real{})
+	s.Set("*", "F.DAT", Mapping{Mode: ModeRemote, RemoteHost: "brecca:6000"})
+	if _, ok := s.Lookup("dione", "F.DAT"); ok {
+		t.Error("Lookup honoured the wildcard entry; Resolve-only behaviour expected")
+	}
+	s.Set("dione", "F.DAT", Mapping{Mode: ModeCopy, RemoteHost: "brecca:6000"})
+	m, ok := s.Lookup("dione", "F.DAT")
+	if !ok || m.Mode != ModeCopy {
+		t.Errorf("Lookup = %+v %v, want the stored copy mapping", m, ok)
+	}
+}
+
+// SetIfAbsent over the framed protocol: two clients race, the server
+// serializes, both see the same winner.
+func TestClientSetIfAbsentOverNetwork(t *testing.T) {
+	v := simclock.NewVirtualDefault()
+	n := simnet.New(v)
+	v.Run(func() {
+		c, store := startServer(t, v, n)
+		defer c.Close()
+		cur, won, err := c.SetIfAbsent("wf!w", "commit!s", Mapping{Mode: ModeLocal, LocalPath: "dione"})
+		if err != nil || !won {
+			t.Fatalf("first SetIfAbsent: won=%v err=%v", won, err)
+		}
+		if cur.LocalPath != "dione" || cur.Version == 0 {
+			t.Fatalf("winning mapping = %+v", cur)
+		}
+		cur2, won2, err := c.SetIfAbsent("wf!w", "commit!s", Mapping{Mode: ModeLocal, LocalPath: "jagan"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if won2 {
+			t.Error("second claim won over the committed key")
+		}
+		if cur2.LocalPath != "dione" || cur2.Version != cur.Version {
+			t.Errorf("loser observed %+v, want the winner %+v", cur2, cur)
+		}
+		if got, _ := store.Lookup("wf!w", "commit!s"); got.LocalPath != "dione" {
+			t.Errorf("store holds %+v", got)
+		}
+	})
+}

@@ -13,17 +13,19 @@ import (
 
 // Protocol message types.
 const (
-	msgResolve     = 1
-	msgResolveResp = 2
-	msgSet         = 3
-	msgSetResp     = 4
-	msgDelete      = 5
-	msgDeleteResp  = 6
-	msgList        = 7
-	msgListResp    = 8
-	msgWatch       = 9
-	msgWatchResp   = 10
-	msgError       = 255
+	msgResolve         = 1
+	msgResolveResp     = 2
+	msgSet             = 3
+	msgSetResp         = 4
+	msgDelete          = 5
+	msgDeleteResp      = 6
+	msgList            = 7
+	msgListResp        = 8
+	msgWatch           = 9
+	msgWatchResp       = 10
+	msgSetIfAbsent     = 11
+	msgSetIfAbsentResp = 12
+	msgError           = 255
 )
 
 // Server exposes a Store over the framed binary protocol.
@@ -136,6 +138,18 @@ func (s *Server) dispatch(w io.Writer, typ uint8, payload []byte) error {
 		}
 		v := s.store.Set(machine, path, m)
 		return wire.WriteFrame(w, msgSetResp, wire.NewEncoder().U64(v).Bytes())
+
+	case msgSetIfAbsent:
+		machine, path := d.String(), d.String()
+		m := decodeMapping(d)
+		if err := d.Err(); err != nil {
+			return writeError(w, err)
+		}
+		cur, won := s.store.SetIfAbsent(machine, path, m)
+		e := wire.NewEncoder()
+		e.Bool(won)
+		cur.encode(e)
+		return wire.WriteFrame(w, msgSetIfAbsentResp, e.Bytes())
 
 	case msgDelete:
 		machine, path := d.String(), d.String()

@@ -79,6 +79,37 @@ func (s *Store) Set(machine, path string, m Mapping) uint64 {
 	return s.version
 }
 
+// SetIfAbsent installs m for (machine, path) only when no mapping is stored
+// for that exact key, and reports the mapping now in force plus whether this
+// call installed it. It is the first-writer-wins commit primitive behind
+// stage-level speculation: every finishing attempt of a speculated stage
+// claims the stage's commit key, exactly one claim lands, and the losers see
+// the winner's mapping instead of their own.
+func (s *Store) SetIfAbsent(machine, path string, m Mapping) (Mapping, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cur, ok := s.entries[Key{machine, path}]; ok {
+		return cur, false
+	}
+	s.sets.Inc()
+	s.version++
+	m.Version = s.version
+	s.entries[Key{machine, path}] = m
+	s.cond.Broadcast()
+	return m, true
+}
+
+// Lookup reports the mapping stored for exactly (machine, path), without the
+// wildcard and local-passthrough fallbacks Resolve applies. The workflow
+// scheduler uses it to save entries it is about to override for a
+// speculative attempt, so a losing attempt can be rolled back precisely.
+func (s *Store) Lookup(machine, path string) (Mapping, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.entries[Key{machine, path}]
+	return m, ok
+}
+
 // Delete removes the mapping for (machine, path); subsequent resolves fall
 // back to local IO.
 func (s *Store) Delete(machine, path string) {

@@ -99,6 +99,7 @@ func (t *eagerTracker) start(consumerMachine, path, producerMachine string) {
 	t.mu.Unlock()
 
 	r := t.runner
+	r.Journal.Eager(EagerLaunch, consumerMachine, path)
 	r.Obs.Counter("wf.eagercopy.start.total").Inc()
 	r.Obs.Emit("wf.eagercopy.start", consumerMachine,
 		obs.KV("workflow", t.spec.Name),
@@ -162,6 +163,7 @@ func (t *eagerTracker) Claim(machine, path string, mapping gns.Mapping) (int64, 
 		// The GNS was remapped between close and open: the staged bytes may
 		// be from the wrong source or in the wrong place. Discard.
 		t.removeStale(machine, path, e.mapping, mapping)
+		r.Journal.Eager(EagerDiscard, machine, path)
 		r.Obs.Counter("wf.eagercopy.discard.total").Inc()
 		r.Obs.Emit("wf.eagercopy.discard", machine,
 			obs.KV("path", path),
@@ -172,6 +174,7 @@ func (t *eagerTracker) Claim(machine, path string, mapping gns.Mapping) (int64, 
 	if e.failed {
 		return 0, false
 	}
+	r.Journal.Eager(EagerAdopt, machine, path)
 	r.Obs.Counter("wf.eagercopy.adopt.total").Inc()
 	r.Obs.Emit("wf.eagercopy.adopt", machine,
 		obs.KV("path", path), obs.KV("bytes", e.bytes))

@@ -1,0 +1,129 @@
+package workflow
+
+import (
+	"bytes"
+	"testing"
+
+	"griddles/internal/wire"
+)
+
+// fuzzJournalSeed builds a small valid journal: header, a few state and
+// speculation records, a snapshot.
+func fuzzJournalSeed() []byte {
+	var b []byte
+	b = append(b, frameBytes(encodeRec(headerRec("fuzz", 3)))...)
+	b = append(b, frameBytes(encodeRec(&record{kind: recState, stage: 0, state: StageRunning, attempt: 1}))...)
+	b = append(b, frameBytes(encodeRec(&record{kind: recState, stage: 0, state: StageDone, attempt: 1}))...)
+	b = append(b, frameBytes(encodeRec(&record{kind: recSpec, op: SpecLaunch, stage: 1, attempt: 2, machine: "brecca"}))...)
+	b = append(b, frameBytes(encodeRec(&record{kind: recSpec, op: SpecWin, stage: 1, attempt: 2, machine: "brecca"}))...)
+	b = append(b, frameBytes(encodeRec(&record{kind: recEager, op: EagerLaunch, machine: "dione", path: "F.DAT"}))...)
+	b = append(b, frameBytes(encodeRec(&record{kind: recSnapshot, states: []uint8{StageDone, StageDone, StageReady}}))...)
+	return b
+}
+
+// FuzzJournalDecode: Replay never panics on arbitrary bytes, never applies
+// a record from past the clean prefix, and the CleanLen it reports is
+// self-consistent — replaying exactly the clean prefix reproduces the same
+// image with no torn flag. This is the crash-safety contract: a torn tail
+// (the normal shape of a crash mid-append) must be indistinguishable from
+// truncating at the last whole record.
+func FuzzJournalDecode(f *testing.F) {
+	seed := fuzzJournalSeed()
+	f.Add(seed)
+	f.Add(seed[:len(seed)-3]) // torn tail: last frame cut mid-payload
+	f.Add(seed[:5])           // torn header
+	flip := append([]byte(nil), seed...)
+	flip[len(flip)/2] ^= 0x40 // CRC-bad record mid-file
+	f.Add(flip)
+	f.Add([]byte{})
+	f.Add([]byte("not a journal at all"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		img, err := Replay(data)
+		if err != nil {
+			if img != nil {
+				t.Fatal("Replay returned both an image and an error")
+			}
+			return
+		}
+		if img.CleanLen < 0 || img.CleanLen > len(data) {
+			t.Fatalf("CleanLen %d outside [0,%d]", img.CleanLen, len(data))
+		}
+		if !img.Torn && img.CleanLen != len(data) {
+			t.Fatalf("untorn journal but CleanLen %d != %d", img.CleanLen, len(data))
+		}
+		again, err := Replay(data[:img.CleanLen])
+		if err != nil {
+			t.Fatalf("clean prefix failed to replay: %v", err)
+		}
+		if again.Torn {
+			t.Fatal("clean prefix replayed as torn")
+		}
+		if again.Records != img.Records || !bytes.Equal(again.States, img.States) {
+			t.Fatal("clean prefix replays to a different image: a torn record leaked into the state")
+		}
+		for i, h := range img.Home {
+			if again.Home[i] != h {
+				t.Fatal("clean prefix replays to a different speculation home")
+			}
+		}
+	})
+}
+
+// FuzzJournalRoundTrip: every record the journal can write survives
+// encode → decodeRecord unchanged, whatever the field values.
+func FuzzJournalRoundTrip(f *testing.F) {
+	f.Add(uint8(recHeader), uint32(0), uint8(0), uint32(3), "climate", "brecca", "OUT.DAT", int64(42))
+	f.Add(uint8(recState), uint32(7), uint8(StageDone), uint32(1), "", "", "", int64(-1))
+	f.Add(uint8(recEager), uint32(0), uint8(EagerAdopt), uint32(0), "", "dione", "F.DAT", int64(0))
+	f.Add(uint8(recSpec), uint32(2), uint8(SpecWin), uint32(2), "", "freak", "", int64(1<<40))
+	f.Add(uint8(recSnapshot), uint32(0), uint8(0), uint32(0), "\x00\x03\x01", "", "", int64(9))
+	f.Fuzz(func(t *testing.T, kind uint8, stage uint32, op uint8, attempt uint32,
+		workflow, machine, path string, nanos int64) {
+		rec := &record{nanos: nanos}
+		switch kind % 5 {
+		case 0:
+			rec.kind = recHeader
+			rec.format = journalFormat
+			rec.workflow = workflow
+			copy(rec.specHash[:], path)
+			rec.nstages = stage
+			rec.coupling = op
+		case 1:
+			rec.kind = recState
+			rec.stage = stage
+			rec.state = op
+			rec.attempt = attempt
+		case 2:
+			rec.kind = recEager
+			rec.op = op
+			rec.machine = machine
+			rec.path = path
+		case 3:
+			rec.kind = recSpec
+			rec.op = op
+			rec.stage = stage
+			rec.attempt = attempt
+			rec.machine = machine
+		case 4:
+			rec.kind = recSnapshot
+			rec.states = []uint8(workflow)
+		}
+		enc := encodeRec(rec)
+		if len(enc) > wire.MaxFrame {
+			t.Skip()
+		}
+		got, err := decodeRecord(enc)
+		if err != nil {
+			t.Fatalf("decode of a freshly encoded record failed: %v", err)
+		}
+		if got.kind != rec.kind || got.nanos != rec.nanos ||
+			got.format != rec.format || got.workflow != rec.workflow ||
+			got.specHash != rec.specHash || got.nstages != rec.nstages ||
+			got.coupling != rec.coupling || got.stage != rec.stage ||
+			got.state != rec.state || got.attempt != rec.attempt ||
+			got.op != rec.op || got.machine != rec.machine || got.path != rec.path ||
+			!bytes.Equal(got.states, rec.states) {
+			t.Fatalf("round trip changed the record:\n  in  %+v\n  out %+v", rec, got)
+		}
+	})
+}

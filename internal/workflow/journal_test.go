@@ -1,0 +1,348 @@
+package workflow
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"testing"
+	"time"
+
+	"griddles/internal/obs"
+	"griddles/internal/simclock"
+	"griddles/internal/wire"
+)
+
+// frameBytes frames one encoded record payload the way Journal.append does.
+func frameBytes(payload []byte) []byte {
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	return append(hdr[:], payload...)
+}
+
+func encodeRec(rec *record) []byte {
+	e := wire.NewEncoder()
+	rec.encode(e)
+	return append([]byte(nil), e.Bytes()...)
+}
+
+func headerRec(workflow string, nstages int) *record {
+	return &record{kind: recHeader, format: journalFormat, workflow: workflow,
+		specHash: [32]byte{1, 2, 3}, nstages: uint32(nstages), coupling: uint8(CouplingSequential)}
+}
+
+func TestJournalAppendReplayRoundTrip(t *testing.T) {
+	v := simclock.NewVirtualDefault()
+	sink := &MemSink{}
+	j := NewJournal(sink, v)
+	o := obs.New(v)
+	j.SetObserver(o)
+
+	j.Header("demo", [32]byte{9}, 4, CouplingSequential)
+	if due := j.State(0, StageRunning, 1); due {
+		t.Error("snapshot due after one state record (cadence is 64)")
+	}
+	j.Eager(EagerLaunch, "dione", "F.DAT")
+	j.Eager(EagerAdopt, "dione", "F.DAT")
+	j.State(0, StageDone, 1)
+	j.Spec(SpecLaunch, 2, 2, "brecca")
+	j.Spec(SpecWin, 2, 2, "brecca")
+	j.State(2, StageDone, 2)
+	j.Snapshot([]uint8{StageDone, StagePending, StageDone, StageReady})
+
+	img, err := Replay(sink.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Workflow != "demo" || img.NStages != 4 || img.SpecHash != ([32]byte{9}) {
+		t.Errorf("header fields wrong: %+v", img)
+	}
+	if img.Torn {
+		t.Error("clean journal reported torn")
+	}
+	if img.Done() != 2 {
+		t.Errorf("Done() = %d, want 2", img.Done())
+	}
+	want := []uint8{StageDone, StagePending, StageDone, StageReady}
+	for i, st := range want {
+		if img.States[i] != st {
+			t.Errorf("state[%d] = %d, want %d", i, img.States[i], st)
+		}
+	}
+	if img.Home[2] != "brecca" {
+		t.Errorf("Home[2] = %q, want brecca (the speculation winner)", img.Home[2])
+	}
+	if img.Records != 9 {
+		t.Errorf("Records = %d, want 9", img.Records)
+	}
+	c := o.Snapshot().Counters
+	if c["wf.journal.append.total"] != 9 {
+		t.Errorf("wf.journal.append.total = %d, want 9", c["wf.journal.append.total"])
+	}
+	if c["wf.journal.sync.total"] == 0 || c["wf.journal.bytes"] == 0 {
+		t.Errorf("sync/bytes counters not advanced: %v", c)
+	}
+	if c["wf.journal.snapshot.total"] != 1 {
+		t.Errorf("wf.journal.snapshot.total = %d, want 1", c["wf.journal.snapshot.total"])
+	}
+}
+
+func TestJournalSnapshotCadence(t *testing.T) {
+	v := simclock.NewVirtualDefault()
+	j := NewJournal(&MemSink{}, v)
+	j.SnapshotEvery = 3
+	j.Header("demo", [32]byte{}, 8, CouplingSequential)
+	due := 0
+	for k := 0; k < 9; k++ {
+		if j.State(k%8, StageRunning, 1) {
+			due++
+			j.Snapshot(make([]uint8, 8))
+		}
+	}
+	if due != 3 {
+		t.Errorf("snapshot came due %d times over 9 state records at cadence 3, want 3", due)
+	}
+}
+
+func TestJournalSyncEveryBatches(t *testing.T) {
+	v := simclock.NewVirtualDefault()
+	sink := &MemSink{}
+	j := NewJournal(sink, v)
+	j.SyncEvery = 100 // nothing below forces a barrier
+	j.Header("demo", [32]byte{}, 2, CouplingSequential)
+	persisted := len(sink.Bytes()) // header is a barrier: always synced
+	j.State(0, StageRunning, 1)
+	j.Eager(EagerLaunch, "dione", "F.DAT")
+	if got := len(sink.Bytes()); got != persisted {
+		t.Errorf("non-barrier records synced eagerly: %d > %d persisted bytes", got, persisted)
+	}
+	if sink.Buffered() == 0 {
+		t.Error("no bytes buffered")
+	}
+	// Done records are barriers regardless of SyncEvery.
+	j.State(0, StageDone, 1)
+	if sink.Buffered() != 0 {
+		t.Errorf("%d bytes still buffered after a done barrier", sink.Buffered())
+	}
+}
+
+func TestMemSinkCrashTearsTail(t *testing.T) {
+	v := simclock.NewVirtualDefault()
+	sink := &MemSink{}
+	j := NewJournal(sink, v)
+	j.SyncEvery = 100
+	j.Header("demo", [32]byte{}, 2, CouplingSequential)
+	j.State(0, StageRunning, 1)
+	j.State(1, StageRunning, 1) // both buffered, unsynced
+
+	data := sink.Crash(5) // 5 bytes of the first buffered frame "reach disk"
+	img, err := Replay(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !img.Torn {
+		t.Error("torn tail not reported")
+	}
+	if img.States[0] != StagePending || img.States[1] != StagePending {
+		t.Errorf("unsynced records were replayed: %v", img.States)
+	}
+	if img.Records != 1 {
+		t.Errorf("Records = %d, want just the header", img.Records)
+	}
+}
+
+func TestJournalStopsAfterSinkError(t *testing.T) {
+	v := simclock.NewVirtualDefault()
+	j := NewJournal(failSink{}, v)
+	j.Header("demo", [32]byte{}, 1, CouplingSequential)
+	if j.Err() == nil {
+		t.Fatal("sink failure not reported")
+	}
+	j.State(0, StageDone, 1) // must not panic, must stay failed
+	if j.Err() == nil {
+		t.Error("error cleared by later append")
+	}
+}
+
+type failSink struct{}
+
+func (failSink) Write([]byte) (int, error) { return 0, errors.New("disk gone") }
+func (failSink) Sync() error               { return errors.New("disk gone") }
+
+func TestNilJournalIsSafe(t *testing.T) {
+	var j *Journal
+	j.Header("demo", [32]byte{}, 1, CouplingSequential)
+	if j.State(0, StageDone, 1) {
+		t.Error("nil journal reported a snapshot due")
+	}
+	j.Eager(EagerLaunch, "m", "p")
+	j.Spec(SpecLaunch, 0, 2, "m")
+	j.Snapshot(nil)
+	j.SetObserver(nil)
+	j.disable()
+	if j.Err() != nil {
+		t.Error("nil journal reported an error")
+	}
+}
+
+func TestReplayErrors(t *testing.T) {
+	stateRec := func(stage uint32, st uint8) []byte {
+		return frameBytes(encodeRec(&record{kind: recState, stage: stage, state: st, attempt: 1}))
+	}
+	hdr := frameBytes(encodeRec(headerRec("demo", 2)))
+
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"no header first", stateRec(0, StageDone)},
+		{"stage out of range", append(append([]byte(nil), hdr...), stateRec(7, StageDone)...)},
+		{"unknown state", append(append([]byte(nil), hdr...), stateRec(0, 99)...)},
+		{"snapshot length mismatch", append(append([]byte(nil), hdr...),
+			frameBytes(encodeRec(&record{kind: recSnapshot, states: []uint8{0}}))...)},
+		{"spec stage out of range", append(append([]byte(nil), hdr...),
+			frameBytes(encodeRec(&record{kind: recSpec, op: SpecWin, stage: 9, attempt: 2, machine: "m"}))...)},
+		{"conflicting second header", append(append([]byte(nil), hdr...),
+			frameBytes(encodeRec(headerRec("other", 2)))...)},
+		{"future format", frameBytes(encodeRec(&record{kind: recHeader, format: 99, workflow: "demo",
+			nstages: 1, coupling: 0}))},
+		{"giant header", frameBytes(encodeRec(&record{kind: recHeader, format: journalFormat,
+			workflow: "demo", nstages: MaxStages + 1, coupling: 0}))},
+	}
+	for _, tc := range cases {
+		if _, err := Replay(tc.data); err == nil {
+			t.Errorf("%s: Replay accepted damaged journal", tc.name)
+		}
+	}
+	if _, err := Replay(nil); !errors.Is(err, ErrNoHeader) {
+		t.Errorf("empty journal: err = %v, want ErrNoHeader", err)
+	}
+}
+
+func TestReplayTornVariantsStopCleanly(t *testing.T) {
+	hdr := frameBytes(encodeRec(headerRec("demo", 2)))
+	done := frameBytes(encodeRec(&record{kind: recState, stage: 0, state: StageDone, attempt: 1}))
+	clean := append(append([]byte(nil), hdr...), done...)
+
+	variants := map[string][]byte{
+		"truncated header":  clean[:len(clean)-len(done)+4],
+		"truncated payload": clean[:len(clean)-3],
+		"bit flip in tail": func() []byte {
+			b := append([]byte(nil), clean...)
+			b[len(b)-1] ^= 0x40 // CRC mismatch on the last record
+			return b
+		}(),
+		"garbage tail": append(append([]byte(nil), clean...), 0xde, 0xad),
+	}
+	for name, data := range variants {
+		img, err := Replay(data)
+		if err != nil {
+			t.Errorf("%s: Replay returned error %v, want torn image", name, err)
+			continue
+		}
+		if !img.Torn {
+			t.Errorf("%s: torn tail not flagged", name)
+		}
+	}
+	// The bit-flipped record must not have been applied.
+	img, _ := Replay(variants["bit flip in tail"])
+	if img != nil && img.States[0] == StageDone {
+		t.Error("corrupt done record was replayed")
+	}
+	// A second session appended after a clean first one replays fine.
+	resumed := append(append([]byte(nil), clean...), hdr...)
+	img, err := Replay(resumed)
+	if err != nil || img.Torn || img.Records != 3 {
+		t.Errorf("two-session journal: img=%+v err=%v", img, err)
+	}
+}
+
+func TestKillSwitchSemantics(t *testing.T) {
+	var nilKill *KillSwitch
+	if nilKill.at(KillDispatch) || nilKill.Killed() {
+		t.Error("nil kill switch fired")
+	}
+	k := &KillSwitch{Point: KillDispatch, After: 3}
+	if k.at(KillPreSync) {
+		t.Error("fired on the wrong point")
+	}
+	if k.at(KillDispatch) || k.at(KillDispatch) {
+		t.Error("fired before the After-th occurrence")
+	}
+	if !k.at(KillDispatch) {
+		t.Error("did not fire on the 3rd occurrence")
+	}
+	if !k.Killed() {
+		t.Error("Killed() false after firing")
+	}
+	if k.at(KillDispatch) {
+		t.Error("fired twice")
+	}
+	// After 0 and 1 both mean the first occurrence.
+	k0 := &KillSwitch{Point: KillRecord}
+	if !k0.at(KillRecord) {
+		t.Error("After=0 did not fire on the first occurrence")
+	}
+}
+
+func TestSpecHashSensitivity(t *testing.T) {
+	mk := func() *Spec {
+		return &Spec{Name: "w", Components: []Component{
+			{Name: "a", Machine: "brecca", Outputs: []string{"f"}, WorkHint: 2},
+			{Name: "b", Machine: "dione", Inputs: []string{"f"}},
+		}}
+	}
+	base := SpecHash(mk(), CouplingSequential)
+	if SpecHash(mk(), CouplingSequential) != base {
+		t.Error("hash not deterministic")
+	}
+	mut := mk()
+	mut.Components[1].Machine = "freak"
+	if SpecHash(mut, CouplingSequential) == base {
+		t.Error("machine change not reflected in hash")
+	}
+	mut = mk()
+	mut.Components[0].Outputs = []string{"g"}
+	if SpecHash(mut, CouplingSequential) == base {
+		t.Error("edge change not reflected in hash")
+	}
+	mut = mk()
+	mut.Components[0].WorkHint = 3
+	if SpecHash(mut, CouplingSequential) == base {
+		t.Error("work hint change not reflected in hash")
+	}
+	if SpecHash(mk(), CouplingFiles) == base {
+		t.Error("coupling change not reflected in hash")
+	}
+}
+
+func TestRecordEncodeDecodeIdentity(t *testing.T) {
+	recs := []*record{
+		headerRec("climate", 12),
+		{kind: recState, stage: 3, state: StageFailed, attempt: 2, nanos: 77},
+		{kind: recEager, op: EagerDiscard, machine: "koume00", path: "X.DAT", nanos: -1},
+		{kind: recSpec, op: SpecLose, stage: 1, attempt: 2, machine: "jagan"},
+		{kind: recSnapshot, states: []uint8{0, 1, 2, 3, 4}, nanos: time.Hour.Nanoseconds()},
+	}
+	for _, rec := range recs {
+		got, err := decodeRecord(encodeRec(rec))
+		if err != nil {
+			t.Fatalf("kind %d: %v", rec.kind, err)
+		}
+		if got.kind != rec.kind || got.nanos != rec.nanos || got.stage != rec.stage ||
+			got.state != rec.state || got.attempt != rec.attempt || got.op != rec.op ||
+			got.machine != rec.machine || got.path != rec.path ||
+			got.workflow != rec.workflow || got.nstages != rec.nstages ||
+			got.specHash != rec.specHash || !bytes.Equal(got.states, rec.states) {
+			t.Errorf("kind %d: round trip mismatch\n got %+v\nwant %+v", rec.kind, got, *rec)
+		}
+	}
+	if _, err := decodeRecord([]byte{42}); err == nil {
+		t.Error("unknown kind decoded")
+	}
+	if _, err := decodeRecord(append(encodeRec(recs[1]), 0)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}

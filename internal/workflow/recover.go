@@ -1,0 +1,74 @@
+package workflow
+
+import (
+	"fmt"
+)
+
+// Coordinator recovery: a restarted coordinator replays the journal
+// (Replay), checks that the workflow it was handed is the one the journal
+// describes (the spec hash), and resumes the DAG from the replayed image.
+//
+// Recovery invariants:
+//
+//   - A stage whose done record is on disk is never recomputed: its
+//     outputs exist on its home machine and consumers re-resolve them
+//     through the GNS. The chaos matrix pins this with
+//     wf.sched.dispatch.total deltas.
+//   - A stage the journal saw running (or whose done record was appended
+//     but not synced — the pre-sync crash window) is re-dispatched.
+//     Re-dispatch is idempotent: stage-out creates and copy-in truncates,
+//     so a half-written output from the first attempt is simply
+//     overwritten, and deterministic bodies produce the same bytes.
+//   - A speculation win recorded in the journal survives the restart: the
+//     winner's machine is the stage's home and consumers are re-pointed
+//     at it after Configure rewrites the default entries. A win that was
+//     journaled whose stage's done record was lost is rolled back — the
+//     stage recomputes on its primary machine, which is safe because the
+//     commit claim is deleted and bodies are deterministic.
+
+// Resume validates img against spec and continues the run: done stages
+// stay done, everything else is re-derived from the dependency edges and
+// re-dispatched. The same Runner configuration that produced the journal
+// should be used; Resume appends a fresh session header (and snapshot) to
+// r.Journal if one is set, so a file can carry many crash/resume rounds.
+//
+// The resumed report covers only this session: stages completed before
+// the crash keep zero Timings.
+func (r *Runner) Resume(spec *Spec, coupling Coupling, img *RunImage) (*Report, error) {
+	if img == nil {
+		return nil, fmt.Errorf("workflow: Resume needs a replayed journal image")
+	}
+	if img.NStages != len(spec.Components) {
+		return nil, fmt.Errorf("workflow: journal describes %d stages, spec %q has %d",
+			img.NStages, spec.Name, len(spec.Components))
+	}
+	if got := SpecHash(spec, coupling); got != img.SpecHash {
+		return nil, fmt.Errorf("workflow: spec hash mismatch: journal was written for a different %q", img.Workflow)
+	}
+	return r.run(spec, coupling, img)
+}
+
+// cleanupResume reconciles the GNS with the replayed image, after
+// Configure has rewritten the default coupling entries:
+//
+//   - done stages whose outputs live on a speculation winner's machine
+//     get their consumers re-pointed there (Configure just pointed them
+//     back at the primary machine);
+//   - non-done stages lose any commit claim and speculation home the
+//     crashed session recorded, so their re-run starts from a clean
+//     slate and a fresh speculation race can commit.
+func (r *Runner) cleanupResume(spec *Spec, img *RunImage) {
+	prod, _ := spec.producers()
+	cons := spec.consumers()
+	for i := range spec.Components {
+		comp := &spec.Components[i]
+		if img.States[i] == StageDone {
+			if h, ok := img.Home[i]; ok && h != comp.Machine {
+				repoint(r, spec, prod, cons, i, h)
+			}
+			continue
+		}
+		r.GNS.Delete(commitScope(spec), commitKey(comp.Name))
+		delete(img.Home, i)
+	}
+}

@@ -365,6 +365,31 @@ type Runner struct {
 	// CouplingSequential (one stage at a time in topological order),
 	// ignoring MaxPerMachine and EagerCopy. Mainly for A/B benchmarks.
 	Serial bool
+	// Journal, if set, appends every coordinator transition to a durable
+	// log so a crashed run can be resumed (Resume). Only the sequential-
+	// files DAG scheduler journals; nil (the default) keeps the executor
+	// byte-identical to the unjournaled one.
+	Journal *Journal
+	// Kill is the chaos harness's coordinator crash switch: when its named
+	// point fires, the coordinator stops dispatching and journaling,
+	// in-flight stages drain, and Run returns ErrCoordinatorKilled.
+	Kill *KillSwitch
+	// Speculate enables stage-level speculative re-execution: a running
+	// stage that exceeds a percentile-based straggler threshold is
+	// re-launched on an idle machine; the first attempt to finish commits
+	// its outputs through a first-writer-wins GNS claim and the loser's
+	// partial outputs are discarded. Requires deterministic stage bodies.
+	Speculate bool
+	// SpecFactor scales the straggler threshold: a stage is a straggler
+	// once its runtime exceeds SpecFactor × the p75 of completed stage
+	// durations (default 1.5).
+	SpecFactor float64
+	// SpecMinSamples is how many stages must complete before the
+	// straggler threshold is trusted (default 3).
+	SpecMinSamples int
+	// SpecInterval paces the speculation monitor's scans (default 5s of
+	// virtual time).
+	SpecInterval time.Duration
 	// Obs, if set, is shared by every component's File Multiplexer and
 	// receives per-stage "wf.stage" events (wall time and IO volume per
 	// component) plus the GNS store's metrics. nil keeps each FM on its own
@@ -457,6 +482,16 @@ func (r *Runner) Configure(spec *Spec, coupling Coupling) error {
 // returns per-component timings. Services must already be running
 // (StartServices) and the caller must be inside the clock's Run.
 func (r *Runner) Run(spec *Spec, coupling Coupling) (*Report, error) {
+	return r.run(spec, coupling, nil)
+}
+
+// run is the shared body behind Run and Resume; img is the replayed journal
+// image when resuming, nil for a fresh run.
+func (r *Runner) run(spec *Spec, coupling Coupling, img *RunImage) (*Report, error) {
+	durable := coupling == CouplingSequential && !r.Serial
+	if (r.Journal != nil || r.Speculate || img != nil) && !durable {
+		return nil, fmt.Errorf("workflow: journaling, speculation and resume require the sequential-files DAG scheduler (got %s, serial=%v)", coupling, r.Serial)
+	}
 	if err := r.Configure(spec, coupling); err != nil {
 		return nil, err
 	}
@@ -464,6 +499,24 @@ func (r *Runner) Run(spec *Spec, coupling Coupling) (*Report, error) {
 		r.GNS.SetObserver(r.Obs)
 	}
 	clock := r.Grid.Clock()
+	if r.Journal != nil {
+		r.Journal.kill = r.Kill
+		if r.Journal.clock == nil {
+			r.Journal.clock = clock
+		}
+		r.Journal.SetObserver(r.Obs)
+	}
+	if img != nil {
+		// Configure re-wrote the default coupling entries; now undo what
+		// the crashed session's speculation wins and commit claims left
+		// behind, and re-point consumers of speculated-done stages.
+		r.cleanupResume(spec, img)
+	}
+	if r.Journal != nil {
+		// Each coordinator session appends its own header; a resumed file
+		// reads as a sequence of sessions over one run.
+		r.Journal.Header(spec.Name, SpecHash(spec, coupling), len(spec.Components), coupling)
+	}
 	start := clock.Now()
 	report := &Report{
 		Workflow: spec.Name, Coupling: coupling,
@@ -477,13 +530,17 @@ func (r *Runner) Run(spec *Spec, coupling Coupling) (*Report, error) {
 		eager = newEagerTracker(r, spec)
 	}
 
-	runOne := func(i int) error {
+	// exec runs one attempt of stage i on att.machine and returns its
+	// timing. The DAG scheduler may run two attempts of a straggler stage
+	// concurrently; att carries which one this is and its lost-race
+	// interrupt.
+	exec := func(i int, att *attempt) (Timing, error) {
 		comp := spec.Components[i]
-		machine := r.Grid.Machine(comp.Machine)
+		machine := r.Grid.Machine(att.machine)
 		release := machine.Attach()
 		defer release()
 		cfg := core.Config{
-			Machine:           comp.Machine,
+			Machine:           att.machine,
 			Clock:             clock,
 			FS:                machine.FS(),
 			Dialer:            machine,
@@ -495,18 +552,19 @@ func (r *Runner) Run(spec *Spec, coupling Coupling) (*Report, error) {
 			BufferConnPerCall: r.ConnPerCall,
 			BufferTransport:   bufferTransport(r.SOAP),
 			CopyStreams:       r.CopyStreams,
+			Interrupt:         att.interrupt,
 			Obs:               r.Obs,
 		}
 		if eager != nil {
 			cfg.Prestage = eager
-			cfg.CloseNotify = func(path string) { eager.produced(comp.Machine, path) }
+			cfg.CloseNotify = func(path string) { eager.produced(att.machine, path) }
 		}
 		fm, err := core.New(cfg)
 		if err != nil {
-			return err
+			return Timing{}, err
 		}
 		defer fm.Close()
-		report.Timings[i] = Timing{Name: comp.Name, Machine: comp.Machine, Start: clock.Now().Sub(start)}
+		t := Timing{Name: comp.Name, Machine: att.machine, Start: clock.Now().Sub(start)}
 		ctx := &Ctx{Name: comp.Name, FM: fm, Machine: machine, Clock: clock,
 			mark: func(name string) {
 				markMu.Lock()
@@ -518,13 +576,13 @@ func (r *Runner) Run(spec *Spec, coupling Coupling) (*Report, error) {
 		st := fm.Stats()
 		readBefore, writeBefore, pollsBefore := st.BytesRead(), st.BytesWritten(), st.Polls()
 		if err := comp.Run(ctx); err != nil {
-			return fmt.Errorf("workflow: component %s: %w", comp.Name, err)
+			return t, fmt.Errorf("workflow: component %s: %w", comp.Name, err)
 		}
-		report.Timings[i].Finish = clock.Now().Sub(start)
+		t.Finish = clock.Now().Sub(start)
 		if r.Obs != nil {
-			wall := report.Timings[i].Finish - report.Timings[i].Start
+			wall := t.Finish - t.Start
 			r.Obs.Histogram("wf.stage.wall_ms").ObserveDuration(wall)
-			r.Obs.Emit("wf.stage", comp.Machine,
+			r.Obs.Emit("wf.stage", att.machine,
 				obs.KV("workflow", spec.Name),
 				obs.KV("component", comp.Name),
 				obs.KV("coupling", coupling.String()),
@@ -533,8 +591,16 @@ func (r *Runner) Run(spec *Spec, coupling Coupling) (*Report, error) {
 				obs.KV("write_bytes", st.BytesWritten()-writeBefore),
 				obs.KV("polls", st.Polls()-pollsBefore))
 		}
-		return nil
+		return t, nil
 	}
+	runOne := func(i int) error {
+		t, err := exec(i, &attempt{stage: i, n: 1, machine: spec.Components[i].Machine})
+		if err == nil {
+			report.Timings[i] = t
+		}
+		return err
+	}
+	record := func(i int, t Timing) { report.Timings[i] = t }
 
 	switch coupling {
 	case CouplingSequential:
@@ -551,7 +617,7 @@ func (r *Runner) Run(spec *Spec, coupling Coupling) (*Report, error) {
 				}
 			}
 		} else {
-			err := r.runDAG(spec, runOne)
+			err := r.runDAG(spec, exec, record, img)
 			if eager != nil {
 				eager.drain()
 			}
