@@ -69,8 +69,10 @@ fuzz:
 		internal/gridbuffer:FuzzDecodePutBatch \
 		internal/gridbuffer:FuzzDecodeGetWin \
 		internal/gridbuffer:FuzzDecodeOptions \
+		internal/wire:FuzzCodecRoundTrip \
 		internal/xdr:FuzzTranslateTwiceIdentity \
 		internal/xdr:FuzzRecordRoundTrip \
+		internal/xdr:FuzzColumnarXDR \
 		internal/objstore:FuzzDecodeGetReq \
 		internal/objstore:FuzzDecodeListResp \
 		internal/objstore:FuzzDecodeStreamHeaders \
@@ -82,24 +84,24 @@ fuzz:
 		$(GO) test -run '^$$' -fuzz "^$$fn$$" -fuzztime $(FUZZTIME) ./$$pkg/ || exit 1; \
 	done
 
-## bench: run the benchmark suite once and record it as BENCH_pr8.json.
+## bench: run the benchmark suite once and record it as BENCH_pr9.json.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x -timeout 20m . | tee bench.out
-	$(GO) run ./cmd/benchgate -parse bench.out -o BENCH_pr8.json
+	$(GO) run ./cmd/benchgate -parse bench.out -o BENCH_pr9.json
 
 ## bench-gate: re-run the suite and fail on regression vs the checked-in
 ## baseline. Simulated-clock metrics and allocs/op gate at 10%; wall-clock
 ## metrics are compared and reported but don't gate (pure machine noise at
 ## -benchtime 1x) — pass -gate-wall to benchgate to enforce them too.
 bench-gate: bench
-	$(GO) run ./cmd/benchgate BENCH_baseline.json BENCH_pr8.json
+	$(GO) run ./cmd/benchgate BENCH_baseline.json BENCH_pr9.json
 
 ## stress: the full ~10k-workflow overload sweep (admission on vs off at
-## x1 x2 x4 x8 offered load), merging the curves into BENCH_pr8.json and
+## x1 x2 x4 x8 offered load), merging the curves into BENCH_pr9.json and
 ## failing if goodput collapses. Run after `make bench` so the parse step
 ## doesn't clobber the merged curves.
 stress:
-	$(GO) run ./cmd/stress -o BENCH_pr8.json
+	$(GO) run ./cmd/stress -o BENCH_pr9.json
 
 ## stress-smoke: the scaled-down CI shape of the same sweep — same ladder,
 ## shorter arrival window, gate only (no JSON record).

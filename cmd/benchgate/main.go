@@ -167,11 +167,15 @@ func higherIsBetter(unit string) bool {
 }
 
 // deterministic reports whether the metric is noise-free (simulated clock,
-// allocation counts, ratios of simulated readings) and so gets the strict
-// tolerance.
+// allocation counts, exact wire-byte counts, ratios of simulated readings)
+// and so gets the strict tolerance. Plain "bytes" is the simulated wire's
+// exact transfer volume — deterministic and lower-better; "journal-bytes"
+// keeps its historical wall-metric slack (journal size varies with retry
+// timing).
 func deterministic(unit string) bool {
 	return strings.HasPrefix(unit, "virt-") ||
 		unit == "allocs/op" ||
+		unit == "bytes" ||
 		strings.Contains(unit, "overhead") ||
 		strings.Contains(unit, "speedup-x") ||
 		strings.Contains(unit, "hit-%") ||

@@ -13,6 +13,7 @@ import (
 	"griddles/internal/gridbuffer"
 	"griddles/internal/simclock"
 	"griddles/internal/vfs"
+	"griddles/internal/wire"
 )
 
 func main() {
@@ -21,8 +22,13 @@ func main() {
 	shards := flag.Int("shards", 0, "block-table shards per buffer (0 = default, rounded up to a power of two)")
 	admitLimit := flag.Int("admit-limit", 0, "admission stream limit (0 = admission off); slots are per attached stream")
 	admitQueue := flag.Int("admit-queue", 0, "admission queue depth per priority class")
+	codecs := flag.String("codecs", "", "comma-separated stream codecs this server will negotiate (e.g. raw,lzb; empty = all supported)")
 	flag.Parse()
 
+	accept, err := wire.ParseCodecList(*codecs)
+	if err != nil {
+		log.Fatalf("gridbufferd: %v", err)
+	}
 	if err := os.MkdirAll(*cacheDir, 0o755); err != nil {
 		log.Fatalf("gridbufferd: %v", err)
 	}
@@ -35,6 +41,10 @@ func main() {
 	reg.SetDefaultShards(*shards)
 	log.Printf("gridbufferd: serving on %s (cache in %s)", l.Addr(), *cacheDir)
 	srv := gridbuffer.NewServer(reg, clock)
+	if *codecs != "" {
+		log.Printf("gridbufferd: negotiable codecs restricted to %v", accept)
+		srv.SetCodecs(accept)
+	}
 	// Stream slots are held for a stream's whole life, so the AIMD latency
 	// target does not apply here: the limit is static.
 	if c := admit.MaybeController("gridbufferd", *admitLimit, 0, *admitQueue, clock, nil); c != nil {

@@ -13,6 +13,7 @@ import (
 	"griddles/internal/gridftp"
 	"griddles/internal/simclock"
 	"griddles/internal/vfs"
+	"griddles/internal/wire"
 )
 
 func main() {
@@ -22,10 +23,15 @@ func main() {
 	admitLimit := flag.Int("admit-limit", 0, "admission concurrency limit (0 = admission off)")
 	admitTarget := flag.Duration("admit-target", 0, "admission AIMD latency target (0 = static limit)")
 	admitQueue := flag.Int("admit-queue", 0, "admission queue depth per priority class")
+	codecs := flag.String("codecs", "", "comma-separated stream codecs this server will negotiate (e.g. raw,lzb; empty = all supported)")
 	flag.Parse()
 
 	if fi, err := os.Stat(*root); err != nil || !fi.IsDir() {
 		log.Fatalf("gridftpd: -root %q is not a directory", *root)
+	}
+	accept, err := wire.ParseCodecList(*codecs)
+	if err != nil {
+		log.Fatalf("gridftpd: %v", err)
 	}
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -34,6 +40,10 @@ func main() {
 	log.Printf("gridftpd: exporting %s on %s", *root, l.Addr())
 	srv := gridftp.NewServer(vfs.NewOSFS(*root), simclock.Real{})
 	srv.SetChunkSize(*chunkKB << 10)
+	if *codecs != "" {
+		log.Printf("gridftpd: negotiable codecs restricted to %v", accept)
+		srv.SetCodecs(accept)
+	}
 	if c := admit.MaybeController("gridftpd", *admitLimit, *admitTarget, *admitQueue, simclock.Real{}, nil); c != nil {
 		log.Printf("gridftpd: admission on (limit %d, target %v, queue %d)", *admitLimit, *admitTarget, *admitQueue)
 		srv.SetAdmission(c)

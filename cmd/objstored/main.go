@@ -15,6 +15,7 @@ import (
 	"griddles/internal/admit"
 	"griddles/internal/objstore"
 	"griddles/internal/simclock"
+	"griddles/internal/wire"
 )
 
 func main() {
@@ -23,8 +24,13 @@ func main() {
 	admitLimit := flag.Int("admit-limit", 0, "admission concurrency limit (0 = admission off)")
 	admitTarget := flag.Duration("admit-target", 0, "admission AIMD latency target (0 = static limit)")
 	admitQueue := flag.Int("admit-queue", 0, "admission queue depth per priority class")
+	codecs := flag.String("codecs", "", "comma-separated stream codecs this server will negotiate (e.g. raw,lzb; empty = all supported)")
 	flag.Parse()
 
+	accept, err := wire.ParseCodecList(*codecs)
+	if err != nil {
+		log.Fatalf("objstored: %v", err)
+	}
 	store := objstore.NewStore()
 	if *seed != "" {
 		n, err := seedFrom(store, *seed)
@@ -39,6 +45,10 @@ func main() {
 	}
 	log.Printf("objstored: serving on %s", l.Addr())
 	srv := objstore.NewServer(store, simclock.Real{})
+	if *codecs != "" {
+		log.Printf("objstored: negotiable codecs restricted to %v", accept)
+		srv.SetCodecs(accept)
+	}
 	if c := admit.MaybeController("objstored", *admitLimit, *admitTarget, *admitQueue, simclock.Real{}, nil); c != nil {
 		log.Printf("objstored: admission on (limit %d, target %v, queue %d)", *admitLimit, *admitTarget, *admitQueue)
 		srv.SetAdmission(c)

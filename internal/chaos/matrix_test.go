@@ -3,10 +3,12 @@ package chaos
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"strings"
 	"testing"
 	"time"
 
+	"griddles/internal/core"
 	"griddles/internal/fault"
 	"griddles/internal/simclock"
 )
@@ -72,6 +74,12 @@ var scenarios = []scenario{
 // runCell executes one (mechanism, schedule) cell in a fresh world and
 // returns the bytes the consumer read plus the run's JSONL event trace.
 func runCell(t *testing.T, mech Mechanism, actions []fault.Action) ([]byte, string) {
+	return runCellWith(t, mech, actions, nil)
+}
+
+// runCellWith is runCell with a consumer-side Config mutation (the codec
+// matrix turns on wire compression this way).
+func runCellWith(t *testing.T, mech Mechanism, actions []fault.Action, mut func(*core.Config)) ([]byte, string) {
 	t.Helper()
 	e := NewEnv()
 	want := Payload(1, dataSize)
@@ -94,7 +102,16 @@ func runCell(t *testing.T, mech Mechanism, actions []fault.Action) ([]byte, stri
 				perr = RunProducer(e, DataHost, p, want)
 			})
 		}
-		got, rerr = RunConsumer(e, AppHost, p)
+		var fm *core.Multiplexer
+		fm, rerr = e.FMWith(AppHost, p, mut)
+		if rerr == nil {
+			var f core.File
+			f, rerr = fm.Open(File)
+			if rerr == nil {
+				got, rerr = io.ReadAll(f)
+				f.Close()
+			}
+		}
 		wg.Wait()
 	})
 	if perr != nil {

@@ -185,6 +185,11 @@ func (e *Env) Observer() *obs.Observer { return e.fm.obs }
 // and observer. Thread it into every transport the backend opens.
 func (e *Env) Retry() retry.Policy { return e.fm.cfg.Retry }
 
+// WireCodec reports the FM's stream-codec decision for a link to addr:
+// a codec name to negotiate, or "" to stay raw (the historical wire).
+// Backends thread it into transports that support negotiated encodings.
+func (e *Env) WireCodec(addr string) string { return e.fm.codecFor(addr) }
+
 // BlockCache reports the FM's shared block cache, or nil when caching is
 // disabled. Prefer ReaderFile, which composes it automatically.
 func (e *Env) BlockCache() *BlockCache { return e.fm.cfg.BlockCache }

@@ -37,6 +37,9 @@ func objstoreClient(env *Env, addr string) *objstore.Client {
 		c := objstore.NewClient(env.Dialer(), addr, env.Clock())
 		c.SetObserver(env.Observer())
 		c.SetRetry(env.Retry())
+		if codec := env.WireCodec(addr); codec != "" {
+			c.SetCodec(codec)
+		}
 		return c
 	})
 	return c.(*objstore.Client)

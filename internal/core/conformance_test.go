@@ -11,6 +11,7 @@ import (
 	"griddles/internal/replica"
 	"griddles/internal/simclock"
 	"griddles/internal/vfs"
+	"griddles/internal/xdr"
 )
 
 // The POSIX conformance suite: one op script, seven IO mechanisms, byte- and
@@ -320,6 +321,72 @@ func TestConformanceMechanismMatrix(t *testing.T) {
 					})
 				})
 			}
+		}
+	}
+}
+
+// TestConformanceCodecMatrix re-runs the op script through every mechanism
+// under the negotiated wire encodings: explicitly raw, block-compressed, and
+// compressed with the columnar XDR transform armed by a record schema. The
+// reader's FM negotiates; producers stay on the default raw wire, so every
+// row also exercises mixed-codec access to the same data. Results must stay
+// byte-identical to the bytes.Reader reference — the codec is transport-only.
+func TestConformanceCodecMatrix(t *testing.T) {
+	content := confContent()
+	want := runConfScript(bytes.NewReader(content))
+	// 96 000 bytes = 6 000 whole 16-byte records.
+	confSchema := xdr.Schema{Fields: []xdr.Field{
+		{Name: "a", Kind: xdr.KindUint32},
+		{Name: "b", Kind: xdr.KindUint32},
+		{Name: "v", Kind: xdr.KindFloat64},
+	}}
+	codecs := []struct {
+		name  string
+		extra func(c *Config)
+	}{
+		{"raw", func(c *Config) { c.WireCodec = "raw" }},
+		{"lzb", func(c *Config) { c.WireCodec = "lzb" }},
+		{"lzb-columnar", func(c *Config) {
+			c.WireCodec = "lzb"
+			c.Records = map[string]RecordSpec{"conf.dat": {Schema: confSchema}}
+		}},
+	}
+	for _, cd := range codecs {
+		for _, m := range confMechanisms() {
+			cd, m := cd, m
+			t.Run(fmt.Sprintf("%s/%s", m.name, cd.name), func(t *testing.T) {
+				e := newEnv()
+				m.configure(e, content)
+				e.v.Run(func() {
+					e.startServices(t)
+					var done *simclock.WaitGroup
+					if m.produce != nil {
+						if m.async {
+							done = simclock.NewWaitGroup(e.v)
+							done.Add(1)
+							e.v.Go("producer", func() {
+								defer done.Done()
+								m.produce(t, e, content)
+							})
+						} else {
+							m.produce(t, e, content)
+						}
+					}
+					fm := e.fm(t, m.reader, cd.extra)
+					f, err := fm.Open("conf.dat")
+					if err != nil {
+						t.Fatalf("open: %v", err)
+					}
+					got := runConfScript(f)
+					if err := f.Close(); err != nil {
+						t.Errorf("close: %v", err)
+					}
+					if done != nil {
+						done.Wait()
+					}
+					compareConf(t, got, want)
+				})
+			})
 		}
 	}
 }

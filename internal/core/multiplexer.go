@@ -138,6 +138,21 @@ type Config struct {
 	// (every write is a synchronous round trip).
 	WriteBehindBytes int64
 
+	// CompressThresholdKbps arms per-link wire compression: when this FM
+	// creates a transport to a remote service it asks the NWS for a
+	// bandwidth forecast and negotiates block compression ("lzb") on links
+	// below this many kilobits per second; faster links — and links with no
+	// forecast — stay raw, so LAN transfers never pay compression CPU. 0
+	// (the default) disables negotiation entirely and keeps the wire
+	// byte-identical to the historical protocol. When Records declares a
+	// schema for a transferred path, the compressed stream additionally
+	// applies the columnar XDR transform to those records.
+	CompressThresholdKbps int
+	// WireCodec overrides the bandwidth heuristic deterministically: "raw"
+	// pins every link raw, any other supported codec name ("lzb") is
+	// negotiated on every link. Empty defers to CompressThresholdKbps.
+	WireCodec string
+
 	// RemapInterval is how often a read-only replicated file re-evaluates
 	// its replica choice mid-read; 0 disables dynamic re-binding.
 	RemapInterval time.Duration
@@ -284,6 +299,7 @@ func (m *Multiplexer) client(addr string) *gridftp.Client {
 		c.SetObserver(m.obs)
 		c.SetRetry(m.cfg.Retry)
 		c.SetWriteBehind(m.cfg.WriteBehindBytes)
+		m.configureCodec(c, addr)
 		m.clients[addr] = c
 	}
 	return c
@@ -467,6 +483,7 @@ func (m *Multiplexer) openCopy(path string, mapping gns.Mapping, flag int, perm 
 	lp := localPath(mapping, path)
 	rp := remotePath(mapping, path)
 	c := m.client(mapping.RemoteHost)
+	m.registerRemoteSchema(c, path, rp, mapping)
 	if !writing {
 		if mapping.WaitClose {
 			if err := m.waitRemoteClose(c, rp); err != nil {
@@ -516,6 +533,7 @@ func (m *Multiplexer) openCopy(path string, mapping gns.Mapping, flag int, perm 
 func (m *Multiplexer) openRemote(path string, mapping gns.Mapping, flag int, writing bool) (File, error) {
 	c := m.client(mapping.RemoteHost)
 	rp := remotePath(mapping, path)
+	m.registerRemoteSchema(c, path, rp, mapping)
 	if mapping.WaitClose && !writing {
 		if err := m.waitRemoteClose(c, rp); err != nil {
 			return nil, err
@@ -767,16 +785,17 @@ func (m *Multiplexer) openBuffer(path string, mapping gns.Mapping, writing bool,
 		}
 		return &soapReaderFile{r: r, name: path, fm: m}, nil
 	}
+	codec := m.codecFor(mapping.BufferHost)
 	if writing {
 		w, err := gridbuffer.NewWriter(m.cfg.Dialer, mapping.BufferHost, m.cfg.Clock, key, opts,
-			gridbuffer.WriterOptions{Window: m.cfg.WriterWindow, Batch: m.cfg.WriterBatch, ConnPerCall: m.cfg.BufferConnPerCall, Retry: m.cfg.Retry})
+			gridbuffer.WriterOptions{Window: m.cfg.WriterWindow, Batch: m.cfg.WriterBatch, ConnPerCall: m.cfg.BufferConnPerCall, Retry: m.cfg.Retry, Codec: codec})
 		if err != nil {
 			return nil, err
 		}
 		return &bufferWriterFile{w: w, name: path, fm: m}, nil
 	}
 	r, err := gridbuffer.NewReader(m.cfg.Dialer, mapping.BufferHost, m.cfg.Clock, key, opts,
-		gridbuffer.ReaderOptions{Depth: m.cfg.ReaderDepth, Retry: m.cfg.Retry})
+		gridbuffer.ReaderOptions{Depth: m.cfg.ReaderDepth, Retry: m.cfg.Retry, Codec: codec})
 	if err != nil {
 		return nil, err
 	}

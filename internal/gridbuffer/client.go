@@ -60,6 +60,11 @@ type Writer struct {
 	addr        string
 	opts        Options
 
+	// codecName is the codec proposed at every attach; cs is the state the
+	// current connection actually negotiated.
+	codecName string
+	cs        *codecState
+
 	window  *simclock.Semaphore
 	winSize int64
 	done    *simclock.Event
@@ -89,6 +94,10 @@ type WriterOptions struct {
 	// clamped to the window. Blocks are held client-side until the batch
 	// fills (Close flushes a partial batch).
 	Batch int
+	// Codec names the block codec proposed at attach ("" or "raw" keeps the
+	// stream raw and the attach bytes identical to the historical protocol).
+	// Connection-per-call mode never negotiates and ignores this.
+	Codec string
 	// ConnPerCall reproduces the paper's Web-Services transport behaviour:
 	// every block is delivered on a fresh, politely closed connection (TCP
 	// handshake + request round trip + serialized teardown, ~3 RTTs per
@@ -103,12 +112,14 @@ type WriterOptions struct {
 
 // attach dials addr and performs one Attach handshake, returning the open
 // connection and the negotiated parameters. prev is the reader ID a
-// reconnecting reader resumes (-1 for writers and first attaches); dl, if
+// reconnecting reader resumes (-1 for writers and first attaches); codec,
+// if non-raw, is proposed for the stream (see codec.go — the returned name
+// is what the server settled on, "" against an old server); dl, if
 // non-zero, bounds the whole handshake.
-func attach(dialer Dialer, addr string, key string, role uint8, opts Options, prev int, dl time.Time) (net.Conn, *bufio.Reader, *bufio.Writer, int, int, error) {
+func attach(dialer Dialer, addr string, key string, role uint8, opts Options, prev int, codec string, dl time.Time) (net.Conn, *bufio.Reader, *bufio.Writer, int, int, string, error) {
 	conn, err := dialer.Dial(addr)
 	if err != nil {
-		return nil, nil, nil, 0, 0, fmt.Errorf("gridbuffer: dial %s: %w", addr, err)
+		return nil, nil, nil, 0, 0, "", fmt.Errorf("gridbuffer: dial %s: %w", addr, err)
 	}
 	if !dl.IsZero() {
 		conn.SetDeadline(dl)
@@ -118,19 +129,22 @@ func attach(dialer Dialer, addr string, key string, role uint8, opts Options, pr
 	e.String(key).U8(role)
 	encodeOptions(e, opts)
 	e.I64(int64(prev))
+	if codec != "" && codec != wire.CodecRaw {
+		e.String(codec)
+	}
 	if err := wire.WriteFrame(bw, msgAttach, e.Bytes()); err != nil {
 		conn.Close()
-		return nil, nil, nil, 0, 0, err
+		return nil, nil, nil, 0, 0, "", err
 	}
 	if err := bw.Flush(); err != nil {
 		conn.Close()
-		return nil, nil, nil, 0, 0, err
+		return nil, nil, nil, 0, 0, "", err
 	}
 	br := bufio.NewReader(conn)
 	typ, resp, err := wire.ReadFrame(br)
 	if err != nil {
 		conn.Close()
-		return nil, nil, nil, 0, 0, err
+		return nil, nil, nil, 0, 0, "", err
 	}
 	if typ == admit.MsgShed {
 		// Stream-setup shed: the service is at its stream limit. The
@@ -138,40 +152,68 @@ func attach(dialer Dialer, addr string, key string, role uint8, opts Options, pr
 		conn.Close()
 		shed, derr := admit.DecodeShed(resp)
 		if derr != nil {
-			return nil, nil, nil, 0, 0, derr
+			return nil, nil, nil, 0, 0, "", derr
 		}
-		return nil, nil, nil, 0, 0, shed
+		return nil, nil, nil, 0, 0, "", shed
 	}
 	if typ == msgError {
 		conn.Close()
-		return nil, nil, nil, 0, 0, retry.Permanent(errors.New("gridbuffer: " + wire.NewDecoder(resp).String()))
+		return nil, nil, nil, 0, 0, "", retry.Permanent(errors.New("gridbuffer: " + wire.NewDecoder(resp).String()))
 	}
 	d := wire.NewDecoder(resp)
 	readerID := int(d.I64())
 	blockSize := int(d.U32())
+	// A codec-capable server echoes its choice; an old server's response
+	// ends at blockSize, which means the stream is raw.
+	chosen := ""
+	if d.Err() == nil && d.Remaining() > 0 {
+		chosen = d.String()
+	}
 	if err := d.Err(); err != nil {
 		conn.Close()
-		return nil, nil, nil, 0, 0, retry.Permanent(err)
+		return nil, nil, nil, 0, 0, "", retry.Permanent(err)
 	}
 	if !dl.IsZero() {
 		conn.SetDeadline(time.Time{})
 	}
-	return conn, br, bw, readerID, blockSize, nil
+	return conn, br, bw, readerID, blockSize, chosen, nil
+}
+
+// newCodecState turns the server's negotiated codec name into a
+// connection's codec state (inactive for ""/"raw").
+func newCodecState(chosen string) (*codecState, error) {
+	codec, err := wire.ForName(chosen)
+	if err != nil {
+		return nil, retry.Permanent(fmt.Errorf("gridbuffer: server chose %w", err))
+	}
+	return &codecState{codec: codec}, nil
 }
 
 // NewWriter attaches to (or creates) the buffer key on the service at addr
 // and returns a Writer.
 func NewWriter(dialer Dialer, addr string, clock simclock.Clock, key string, opts Options, wopts WriterOptions) (*Writer, error) {
+	codecName := wopts.Codec
+	if wopts.ConnPerCall {
+		// Conn-per-call data connections skip the Attach exchange, so there
+		// is nowhere to negotiate; the paper's SOAP discipline stays raw.
+		codecName = ""
+	}
 	var conn net.Conn
 	var br *bufio.Reader
 	var bw *bufio.Writer
 	var blockSize int
+	var chosen string
 	err := wopts.Retry.Do("gb.attach", func(int) error {
 		var err error
-		conn, br, bw, _, blockSize, err = attach(dialer, addr, key, roleWriter, opts, -1, wopts.Retry.Deadline())
+		conn, br, bw, _, blockSize, chosen, err = attach(dialer, addr, key, roleWriter, opts, -1, codecName, wopts.Retry.Deadline())
 		return err
 	})
 	if err != nil {
+		return nil, err
+	}
+	cs, err := newCodecState(chosen)
+	if err != nil {
+		conn.Close()
 		return nil, err
 	}
 	win := wopts.Window
@@ -196,6 +238,8 @@ func NewWriter(dialer Dialer, addr string, clock simclock.Clock, key string, opt
 		dialer:      dialer,
 		addr:        addr,
 		opts:        opts,
+		codecName:   codecName,
+		cs:          cs,
 		window:      simclock.NewSemaphore(clock, int64(win)),
 		winSize:     int64(win),
 		done:        simclock.NewEvent(clock),
@@ -265,8 +309,9 @@ func (w *Writer) oneCall(reqType uint8, payload []byte) error {
 // runs per connection generation; window/done belong to that generation, so
 // a stale loop can never release permits of a successor connection.
 func (w *Writer) ackLoop(br *bufio.Reader, window *simclock.Semaphore, done *simclock.Event, gen uint64) {
+	var frameBuf []byte
 	for {
-		typ, payload, err := wire.ReadFrame(br)
+		typ, payload, err := wire.ReadFrameInto(br, &frameBuf)
 		if err != nil {
 			w.noteTransport(gen, err)
 			window.Release(w.winSize)
@@ -480,9 +525,7 @@ func (w *Writer) flushPending() error {
 		w.unacked = append(w.unacked, blocks...)
 		w.mu.Unlock()
 		appended = true
-		e := wire.NewEncoder()
-		typ := putFrame(e, w.key, blocks)
-		return w.writeFrame(typ, e.Bytes())
+		return w.writeBlocks(blocks)
 	})
 }
 
@@ -495,14 +538,29 @@ func (w *Writer) sendOnce(blocks []wblock) error {
 	w.mu.Lock()
 	w.unacked = append(w.unacked, blocks...)
 	w.mu.Unlock()
-	e := wire.NewEncoder()
-	typ := putFrame(e, w.key, blocks)
-	if err := wire.WriteFrame(w.bw, typ, e.Bytes()); err != nil {
+	if err := writePutFrame(w.bw, w.key, blocks, w.cs); err != nil {
 		w.fail(err)
 		return err
 	}
 	if err := w.bw.Flush(); err != nil {
 		w.fail(err)
+		return err
+	}
+	return nil
+}
+
+// writeBlocks sends one put frame on the persistent connection under the
+// per-attempt write deadline, marking the connection broken on failure.
+func (w *Writer) writeBlocks(blocks []wblock) error {
+	if t := w.retry.Timeout(); t > 0 {
+		w.conn.SetWriteDeadline(w.clock.Now().Add(t))
+	}
+	if err := writePutFrame(w.bw, w.key, blocks, w.cs); err != nil {
+		w.setBroken()
+		return err
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.setBroken()
 		return err
 	}
 	return nil
@@ -533,8 +591,15 @@ func (w *Writer) reconnect() error {
 		w.conn.Close()
 		w.conn = nil
 	}
-	conn, br, bw, _, _, err := attach(w.dialer, w.addr, w.key, roleWriter, w.opts, -1, w.retry.Deadline())
+	conn, br, bw, _, _, chosen, err := attach(w.dialer, w.addr, w.key, roleWriter, w.opts, -1, w.codecName, w.retry.Deadline())
 	if err != nil {
+		return err
+	}
+	// The replacement connection renegotiates from scratch — a failover to
+	// an older server build downgrades the stream to raw mid-flight.
+	cs, err := newCodecState(chosen)
+	if err != nil {
+		conn.Close()
 		return err
 	}
 	w.mu.Lock()
@@ -551,9 +616,7 @@ func (w *Writer) reconnect() error {
 		if end > len(replay) {
 			end = len(replay)
 		}
-		e := wire.NewEncoder()
-		typ := putFrame(e, w.key, replay[start:end])
-		if err := wire.WriteFrame(bw, typ, e.Bytes()); err != nil {
+		if err := writePutFrame(bw, w.key, replay[start:end], cs); err != nil {
 			conn.Close()
 			w.setBroken()
 			return err
@@ -564,7 +627,7 @@ func (w *Writer) reconnect() error {
 		w.setBroken()
 		return err
 	}
-	w.conn, w.bw = conn, bw
+	w.conn, w.bw, w.cs = conn, bw, cs
 	avail := w.winSize - int64(len(replay))
 	if avail < 0 {
 		avail = 0
@@ -693,6 +756,10 @@ type Reader struct {
 	opts      Options
 	broken    bool
 
+	codecName string
+	cs        *codecState
+	frameBuf  []byte
+
 	inflight []int64 // block indices with pending responses, in order
 	nextReq  int64
 	acked    int64 // every block < acked has been delivered to the app
@@ -707,6 +774,9 @@ type Reader struct {
 type ReaderOptions struct {
 	// Depth is the prefetch pipeline depth (0 selects DefaultReaderDepth).
 	Depth int
+	// Codec names the block codec proposed at attach ("" or "raw" keeps the
+	// stream raw and the attach bytes identical to the historical protocol).
+	Codec string
 	// Retry is the resilience policy; the zero policy fails fast.
 	Retry retry.Policy
 }
@@ -717,12 +787,18 @@ func NewReader(dialer Dialer, addr string, clock simclock.Clock, key string, opt
 	var br *bufio.Reader
 	var bw *bufio.Writer
 	var readerID, blockSize int
+	var chosen string
 	err := ropts.Retry.Do("gb.attach", func(int) error {
 		var err error
-		conn, br, bw, readerID, blockSize, err = attach(dialer, addr, key, roleReader, opts, -1, ropts.Retry.Deadline())
+		conn, br, bw, readerID, blockSize, chosen, err = attach(dialer, addr, key, roleReader, opts, -1, ropts.Codec, ropts.Retry.Deadline())
 		return err
 	})
 	if err != nil {
+		return nil, err
+	}
+	cs, err := newCodecState(chosen)
+	if err != nil {
+		conn.Close()
 		return nil, err
 	}
 	depth := ropts.Depth
@@ -734,6 +810,7 @@ func NewReader(dialer Dialer, addr string, clock simclock.Clock, key string, opt
 		key: key, blockSize: blockSize, readerID: readerID,
 		depth: depth, retry: ropts.Retry,
 		dialer: dialer, addr: addr, opts: opts,
+		codecName: ropts.Codec, cs: cs,
 		total: -1,
 	}, nil
 }
@@ -758,11 +835,17 @@ func (r *Reader) reconnect() error {
 	if r.conn != nil {
 		r.conn.Close()
 	}
-	conn, br, bw, id, _, err := attach(r.dialer, r.addr, r.key, roleReader, r.opts, r.readerID, r.retry.Deadline())
+	conn, br, bw, id, _, chosen, err := attach(r.dialer, r.addr, r.key, roleReader, r.opts, r.readerID, r.codecName, r.retry.Deadline())
 	if err != nil {
 		return err
 	}
+	cs, err := newCodecState(chosen)
+	if err != nil {
+		conn.Close()
+		return err
+	}
 	r.conn, r.br, r.bw = conn, br, bw
+	r.cs = cs
 	r.readerID = id
 	r.inflight = nil
 	r.broken = false
@@ -803,7 +886,7 @@ func (r *Reader) recvOne() (idx int64, data []byte, eof bool, err error) {
 	if t := r.retry.Timeout(); t > 0 {
 		r.conn.SetReadDeadline(r.clock.Now().Add(t))
 	}
-	typ, payload, err := wire.ReadFrame(r.br)
+	typ, payload, err := wire.ReadFrameInto(r.br, &r.frameBuf)
 	if err != nil {
 		return idx, nil, false, err
 	}
@@ -813,10 +896,15 @@ func (r *Reader) recvOne() (idx int64, data []byte, eof bool, err error) {
 		d := wire.NewDecoder(payload)
 		gotIdx := d.I64()
 		eof = d.Bool()
-		data = append([]byte(nil), d.Bytes32()...)
+		raw := d.Bytes32()
 		if err := d.Err(); err != nil {
 			return idx, nil, false, err
 		}
+		block, derr := r.cs.dec(raw)
+		if derr != nil {
+			return idx, nil, false, retry.Permanent(derr)
+		}
+		data = append([]byte(nil), block...)
 		if gotIdx != idx {
 			return idx, nil, false, retry.Permanent(fmt.Errorf("gridbuffer: response for block %d, expected %d", gotIdx, idx))
 		}

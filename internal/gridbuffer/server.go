@@ -148,9 +148,10 @@ func (r *Registry) Len() int {
 
 // Server exposes a Registry over the framed binary protocol.
 type Server struct {
-	reg   *Registry
-	clock simclock.Clock
-	adm   *admit.Controller
+	reg    *Registry
+	clock  simclock.Clock
+	adm    *admit.Controller
+	codecs []string
 }
 
 // NewServer returns a Server for reg.
@@ -171,6 +172,11 @@ func (s *Server) Registry() *Registry { return s.reg }
 // to stream setup, where a shed composes cleanly with the client's
 // attach-level retry.
 func (s *Server) SetAdmission(c *admit.Controller) { s.adm = c }
+
+// SetCodecs restricts the block codecs this server will negotiate (the
+// daemon's -codecs flag). Empty (the default) accepts everything this build
+// supports; raw is always available regardless.
+func (s *Server) SetCodecs(names []string) { s.codecs = names }
 
 // Serve accepts connections until l is closed. Temporary accept failures
 // are ridden out with backoff instead of killing the server.
@@ -211,8 +217,10 @@ func (s *Server) handle(conn net.Conn) {
 	tenant := admit.TenantOf(conn)
 	br := bufio.NewReader(conn)
 	bw := bufio.NewWriter(conn)
+	cs := &codecState{}
+	var frameBuf []byte
 	for {
-		typ, payload, err := wire.ReadFrame(br)
+		typ, payload, err := wire.ReadFrameInto(br, &frameBuf)
 		if err != nil {
 			return
 		}
@@ -229,7 +237,7 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			admitted = rel
 		}
-		if err := s.dispatch(bw, typ, payload); err != nil {
+		if err := s.dispatch(bw, typ, payload, cs); err != nil {
 			return
 		}
 		if err := bw.Flush(); err != nil {
@@ -344,7 +352,7 @@ func decodeGetWin(d *wire.Decoder) (getWinReq, error) {
 	return r, nil
 }
 
-func (s *Server) dispatch(bw *bufio.Writer, typ uint8, payload []byte) error {
+func (s *Server) dispatch(bw *bufio.Writer, typ uint8, payload []byte, cs *codecState) error {
 	var w io.Writer = bw
 	d := wire.NewDecoder(payload)
 	switch typ {
@@ -356,6 +364,12 @@ func (s *Server) dispatch(bw *bufio.Writer, typ uint8, payload []byte) error {
 		// (-1 for a first attach), so a reconnected reader keeps its
 		// identity in broadcast accounting.
 		prev := int(d.I64())
+		// A codec-capable client appends the codec it wants; the historical
+		// request ends at prev, so absence means a raw stream.
+		reqCodec := ""
+		if d.Err() == nil && d.Remaining() > 0 {
+			reqCodec = d.String()
+		}
 		if err := d.Err(); err != nil {
 			return writeError(w, err)
 		}
@@ -366,6 +380,15 @@ func (s *Server) dispatch(bw *bufio.Writer, typ uint8, payload []byte) error {
 		}
 		e := wire.NewEncoder()
 		e.I64(int64(readerID)).U32(uint32(b.BlockSize()))
+		if reqCodec != "" {
+			chosen := wire.NegotiateCodec(reqCodec, s.codecs)
+			codec, err := wire.ForName(chosen)
+			if err != nil {
+				return writeError(w, err)
+			}
+			cs.codec = codec
+			e.String(chosen)
+		}
 		return wire.WriteFrame(w, msgAttachResp, e.Bytes())
 
 	case msgPut:
@@ -374,6 +397,10 @@ func (s *Server) dispatch(bw *bufio.Writer, typ uint8, payload []byte) error {
 		data := d.Bytes32()
 		if err := d.Err(); err != nil {
 			return writeError(w, err)
+		}
+		data, derr := cs.dec(data)
+		if derr != nil {
+			return writeError(w, derr)
 		}
 		b, ok := s.reg.Lookup(key)
 		if !ok {
@@ -394,7 +421,11 @@ func (s *Server) dispatch(bw *bufio.Writer, typ uint8, payload []byte) error {
 			return writeError(w, fmt.Errorf("gridbuffer: no buffer %q", req.key))
 		}
 		for _, blk := range req.blocks {
-			if err := b.Put(blk.idx, blk.data); err != nil {
+			data, derr := cs.dec(blk.data)
+			if derr != nil {
+				return writeError(w, derr)
+			}
+			if err := b.Put(blk.idx, data); err != nil {
 				return writeError(w, err)
 			}
 		}
@@ -424,9 +455,10 @@ func (s *Server) dispatch(bw *bufio.Writer, typ uint8, payload []byte) error {
 		if err != nil {
 			return writeError(w, err)
 		}
+		out := cs.enc(data)
 		e := wire.NewEncoder()
-		e.Bool(eof).Bytes32(data)
-		err = wire.WriteFrame(w, msgGetResp, e.Bytes())
+		e.Bool(eof).U32(uint32(len(out)))
+		err = wire.WriteFrameV(w, msgGetResp, e.Bytes(), out)
 		b.Recycle(data)
 		return err
 
@@ -446,15 +478,20 @@ func (s *Server) dispatch(bw *bufio.Writer, typ uint8, payload []byte) error {
 		// One response frame per block, flushed as the block becomes
 		// available: the blocking read of block k overlaps the delivery of
 		// blocks < k, which is what kills the one-block-per-RTT ceiling.
+		// The block payload is written vectored, straight from the buffer
+		// (or the connection's compression arena) — no per-block assembly
+		// copy, no per-block allocation.
+		e := wire.NewEncoder()
 		for i := 0; i < req.count; i++ {
 			idx := req.first + int64(i)
 			data, eof, err := b.GetKeep(req.readerID, idx)
 			if err != nil {
 				return writeError(w, err)
 			}
-			e := wire.NewEncoder()
-			e.I64(idx).Bool(eof).Bytes32(data)
-			err = wire.WriteFrame(bw, msgGetWinResp, e.Bytes())
+			out := cs.enc(data)
+			e.Reset()
+			e.I64(idx).Bool(eof).U32(uint32(len(out)))
+			err = wire.WriteFrameV(bw, msgGetWinResp, e.Bytes(), out)
 			b.Recycle(data)
 			if err != nil {
 				return err

@@ -2,11 +2,13 @@ package gridftp
 
 import (
 	"bufio"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"os"
+	"sync"
 	"time"
 
 	"griddles/internal/admit"
@@ -15,6 +17,7 @@ import (
 	"griddles/internal/simclock"
 	"griddles/internal/vfs"
 	"griddles/internal/wire"
+	"griddles/internal/xdr"
 )
 
 // Dialer opens connections to service addresses.
@@ -57,6 +60,18 @@ type Client struct {
 	// flushed asynchronously (see writebehind.go).
 	writeBehind int64
 
+	// codecName is the stream codec requested for bulk Fetch/Put transfers
+	// ("" or "raw" = no negotiation frame at all, byte-identical wire).
+	codecName string
+	// schemas maps remote paths to their registered record layout for
+	// columnar encoding.
+	schemaMu sync.RWMutex
+	schemas  map[string]schemaEntry
+
+	o              *obs.Observer
+	codecRawBytes  *obs.Counter
+	codecWireBytes *obs.Counter
+
 	mu   *simclock.Mutex
 	conn net.Conn
 	br   *bufio.Reader
@@ -79,6 +94,9 @@ func NewClient(dialer Dialer, addr string, clock simclock.Clock) *Client {
 // issuing requests; the File Multiplexer sets it on every pooled client it
 // creates.
 func (c *Client) SetObserver(o *obs.Observer) {
+	c.o = o
+	c.codecRawBytes = o.Counter("wire.codec.raw.bytes")
+	c.codecWireBytes = o.Counter("wire.codec.wire.bytes")
 	c.readaheadHit = o.Counter("ftp.readahead.hit.total")
 	c.readaheadMiss = o.Counter("ftp.readahead.miss.total")
 	c.copyinBytes = o.Counter("ftp.copyin.bytes")
@@ -98,6 +116,117 @@ func (c *Client) SetWriteBehind(n int64) { c.writeBehind = n }
 // SetRetry installs the resilience policy. The zero policy (the default)
 // preserves the historical fail-fast behaviour.
 func (c *Client) SetRetry(p retry.Policy) { c.retry = p }
+
+// SetCodec requests a stream codec for bulk Fetch/Put transfers. "" or
+// "raw" (the default) sends no negotiation frame at all, so the wire bytes
+// are identical to the historical protocol; any other codec is proposed to
+// the server at stream open and transparently dropped to raw when the peer
+// does not speak it.
+func (c *Client) SetCodec(name string) { c.codecName = name }
+
+// Codec reports the codec SetCodec configured.
+func (c *Client) Codec() string { return c.codecName }
+
+type schemaEntry struct {
+	schema xdr.Schema
+	order  binary.ByteOrder
+}
+
+// RegisterSchema declares the fixed record layout of a remote path (and
+// the byte order its bytes are in), enabling the columnar transform on
+// codec-negotiated transfers of that path. Paths without a schema still
+// compress; they just skip the columnar reorder.
+func (c *Client) RegisterSchema(remotePath string, s xdr.Schema, order binary.ByteOrder) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	if _, err := orderToCode(order); err != nil {
+		return err
+	}
+	c.schemaMu.Lock()
+	defer c.schemaMu.Unlock()
+	if c.schemas == nil {
+		c.schemas = make(map[string]schemaEntry)
+	}
+	c.schemas[remotePath] = schemaEntry{schema: s, order: order}
+	return nil
+}
+
+func (c *Client) schemaFor(path string) (*xdr.Schema, binary.ByteOrder) {
+	c.schemaMu.RLock()
+	defer c.schemaMu.RUnlock()
+	if e, ok := c.schemas[path]; ok {
+		s := e.schema
+		return &s, e.order
+	}
+	return nil, nil
+}
+
+// negotiateStream runs the capability exchange on a dedicated bulk
+// connection. It returns nil (raw) when no codec is configured, when the
+// server answers raw, or when an old server rejects the unknown message
+// type — the transparent-fallback path proven by the mixed-version tests.
+func (c *Client) negotiateStream(w io.Writer, br *bufio.Reader, path string) (*streamCodec, error) {
+	if c.codecName == "" || c.codecName == wire.CodecRaw {
+		return nil, nil
+	}
+	schema, order := c.schemaFor(path)
+	payload, err := encodeNegotiate(c.codecName, schema, order)
+	if err != nil {
+		return nil, err
+	}
+	if err := wire.WriteFrame(w, msgNegotiate, payload); err != nil {
+		return nil, err
+	}
+	if f, ok := w.(interface{ Flush() error }); ok {
+		if err := f.Flush(); err != nil {
+			return nil, err
+		}
+	}
+	typ, resp, err := wire.ReadFrame(br)
+	if err != nil {
+		return nil, err
+	}
+	switch typ {
+	case msgError:
+		// Old peer: it rejected the message type but kept the connection.
+		c.noteNegotiate(wire.CodecRaw, "old-peer")
+		return nil, nil
+	case admit.MsgShed:
+		shed, err := admit.DecodeShed(resp)
+		if err != nil {
+			return nil, err
+		}
+		return nil, shed
+	case msgNegotiateResp:
+		d := wire.NewDecoder(resp)
+		chosen := d.String()
+		columnar := d.Bool()
+		if err := d.Err(); err != nil {
+			return nil, retry.Permanent(err)
+		}
+		codec, err := wire.ForName(chosen)
+		if err != nil {
+			return nil, retry.Permanent(fmt.Errorf("gridftp: server chose %w", err))
+		}
+		if codec == nil {
+			c.noteNegotiate(wire.CodecRaw, "server-raw")
+			return nil, nil
+		}
+		sc := &streamCodec{codec: codec}
+		if columnar && schema != nil {
+			sc.schema, sc.order = schema, order
+		}
+		c.noteNegotiate(chosen, "negotiated")
+		return sc, nil
+	default:
+		return nil, retry.Permanent(fmt.Errorf("gridftp: unexpected negotiation reply %d", typ))
+	}
+}
+
+func (c *Client) noteNegotiate(codec, how string) {
+	c.o.Counter(obs.Key("wire.codec.negotiate.total", "codec", codec, "how", how)).Inc()
+}
 
 // Addr reports the server address.
 func (c *Client) Addr() string { return c.addr }
@@ -267,11 +396,15 @@ func (c *Client) fetchOnce(path string, off, length int64, w io.Writer) (int64, 
 	if idle > 0 {
 		conn.SetDeadline(c.clock.Now().Add(idle))
 	}
+	br := bufio.NewReader(conn)
+	sc, err := c.negotiateStream(conn, br, path)
+	if err != nil {
+		return 0, err
+	}
 	e := wire.NewEncoder().String(path).I64(off).I64(length)
 	if err := wire.WriteFrame(conn, msgFetch, e.Bytes()); err != nil {
 		return 0, err
 	}
-	br := bufio.NewReader(conn)
 	typ, resp, err := wire.ReadFrame(br)
 	if err != nil {
 		return 0, err
@@ -291,6 +424,7 @@ func (c *Client) fetchOnce(path string, off, length int64, w io.Writer) (int64, 
 	}
 	want := wire.NewDecoder(resp).I64()
 	var total int64
+	var frameBuf []byte
 	for {
 		// The deadline is per frame, so it bounds silence, not the whole
 		// transfer: a multi-second bulk stream keeps extending it as long as
@@ -298,13 +432,22 @@ func (c *Client) fetchOnce(path string, off, length int64, w io.Writer) (int64, 
 		if idle > 0 {
 			conn.SetDeadline(c.clock.Now().Add(idle))
 		}
-		typ, payload, err := wire.ReadFrame(br)
+		typ, payload, err := wire.ReadFrameInto(br, &frameBuf)
 		if err != nil {
 			return total, err
 		}
 		switch typ {
 		case msgFetchData:
-			n, werr := w.Write(payload)
+			data := payload
+			if sc.active() {
+				data, err = sc.decode(payload)
+				if err != nil {
+					return total, retry.Permanent(err)
+				}
+				c.codecWireBytes.Add(int64(len(payload)))
+				c.codecRawBytes.Add(int64(len(data)))
+			}
+			n, werr := w.Write(data)
 			total += int64(n)
 			if werr != nil {
 				return total, retry.Permanent(werr)
@@ -362,10 +505,16 @@ func (c *Client) putOnce(path string, r io.Reader) (total int64, readAny bool, e
 	defer conn.Close()
 	idle := c.retry.Timeout()
 	bw := bufio.NewWriter(conn)
+	br := bufio.NewReader(conn)
+	sc, err := c.negotiateStream(bw, br, path)
+	if err != nil {
+		return 0, false, err
+	}
 	if err := wire.WriteFrame(bw, msgPut, wire.NewEncoder().String(path).Bytes()); err != nil {
 		return 0, false, err
 	}
-	buf := make([]byte, streamChunk)
+	buf := chunkBufPool.Get(streamChunk)
+	defer chunkBufPool.Put(buf)
 	for {
 		n, rerr := r.Read(buf)
 		if n > 0 {
@@ -373,7 +522,16 @@ func (c *Client) putOnce(path string, r io.Reader) (total int64, readAny bool, e
 			if idle > 0 {
 				conn.SetDeadline(c.clock.Now().Add(idle))
 			}
-			if err := wire.WriteFrame(bw, msgPutData, buf[:n]); err != nil {
+			frame := buf[:n]
+			if sc.active() {
+				frame, err = sc.encode(frame)
+				if err != nil {
+					return 0, readAny, retry.Permanent(err)
+				}
+				c.codecRawBytes.Add(int64(n))
+				c.codecWireBytes.Add(int64(len(frame)))
+			}
+			if err := wire.WriteFrame(bw, msgPutData, frame); err != nil {
 				return 0, readAny, err
 			}
 		}
@@ -393,7 +551,7 @@ func (c *Client) putOnce(path string, r io.Reader) (total int64, readAny bool, e
 	if idle > 0 {
 		conn.SetDeadline(c.clock.Now().Add(idle))
 	}
-	typ, resp, err := wire.ReadFrame(bufio.NewReader(conn))
+	typ, resp, err := wire.ReadFrame(br)
 	if err != nil {
 		return 0, readAny, err
 	}

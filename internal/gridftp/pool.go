@@ -1,0 +1,28 @@
+package gridftp
+
+import "sync"
+
+// chunkBufPool recycles bulk-stream copy buffers: the per-call 64 KiB
+// allocation in the client's Put/CopyOut upload loop and the per-fetch
+// chunk buffer in the server, mirroring the gridbuffer payload pool.
+var chunkBufPool bufPool
+
+type bufPool struct{ p sync.Pool }
+
+// Get returns an n-byte buffer, reusing a pooled one when it is large
+// enough.
+func (bp *bufPool) Get(n int) []byte {
+	if v := bp.p.Get(); v != nil {
+		if b := v.([]byte); cap(b) >= n {
+			return b[:n]
+		}
+	}
+	return make([]byte, n)
+}
+
+// Put returns a buffer obtained from Get.
+func (bp *bufPool) Put(b []byte) {
+	if cap(b) > 0 {
+		bp.p.Put(b[:cap(b)]) //nolint:staticcheck // slice headers are small
+	}
+}

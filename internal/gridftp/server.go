@@ -44,7 +44,12 @@ const (
 	msgPutData   = 16
 	msgPutEnd    = 17
 	msgPutResp   = 18
-	msgError     = 255
+	// Stream-encoding negotiation (see codec.go). Old servers answer the
+	// unknown type with msgError and keep the connection usable, which is
+	// exactly the raw fallback the client needs.
+	msgNegotiate     = 19
+	msgNegotiateResp = 20
+	msgError         = 255
 )
 
 // streamChunk is the frame size used by Fetch/Put bulk streaming.
@@ -52,10 +57,11 @@ const streamChunk = 64 * 1024
 
 // Server serves one machine's file system to remote File Multiplexers.
 type Server struct {
-	fs    vfs.FS
-	clock simclock.Clock
-	chunk int
-	adm   *admit.Controller
+	fs     vfs.FS
+	clock  simclock.Clock
+	chunk  int
+	adm    *admit.Controller
+	codecs []string
 }
 
 // NewServer returns a Server exporting fsys.
@@ -78,10 +84,15 @@ func (s *Server) SetChunkSize(n int) {
 // class; reads, writes and the streaming fetch/put transfers are Bulk.
 func (s *Server) SetAdmission(c *admit.Controller) { s.adm = c }
 
+// SetCodecs restricts the stream codecs this server will negotiate (the
+// daemon's -codecs flag). Empty (the default) accepts everything this
+// build supports; raw is always available regardless.
+func (s *Server) SetCodecs(names []string) { s.codecs = names }
+
 // classOf maps a request type to its admission class.
 func classOf(typ uint8) admit.Class {
 	switch typ {
-	case msgOpen, msgClose, msgStat:
+	case msgOpen, msgClose, msgStat, msgNegotiate:
 		return admit.Control
 	}
 	return admit.Bulk
@@ -113,12 +124,14 @@ func (s *Server) Serve(l net.Listener) {
 	}
 }
 
-// session is the per-connection handle table.
+// session is the per-connection handle table plus the negotiated stream
+// encoding state.
 type session struct {
 	srv     *Server
 	mu      sync.Mutex
 	next    uint64
 	handles map[uint64]vfs.File
+	sc      *streamCodec
 }
 
 func (s *Server) handle(conn net.Conn) {
@@ -303,6 +316,29 @@ func (sess *session) dispatch(w io.Writer, r *bufio.Reader, typ uint8, payload [
 		}
 		return sess.put(w, r, path)
 
+	case msgNegotiate:
+		req, schema, order, err := decodeNegotiate(payload)
+		if err != nil {
+			return writeError(w, err)
+		}
+		chosen := wire.NegotiateCodec(req, sess.srv.codecs)
+		codec, err := wire.ForName(chosen)
+		if err != nil {
+			return writeError(w, err)
+		}
+		columnar := false
+		if codec != nil {
+			sess.sc = &streamCodec{codec: codec}
+			if schema != nil {
+				sess.sc.schema, sess.sc.order = schema, order
+				columnar = true
+			}
+		} else {
+			sess.sc = nil
+		}
+		e := wire.NewEncoder().String(chosen).Bool(columnar)
+		return wire.WriteFrame(w, msgNegotiateResp, e.Bytes())
+
 	default:
 		return writeError(w, fmt.Errorf("gridftp: unknown message type %d", typ))
 	}
@@ -332,7 +368,8 @@ func (sess *session) fetch(w io.Writer, path string, off, length int64) error {
 	if err := wire.WriteFrame(w, msgFetchHdr, wire.NewEncoder().I64(end-off).Bytes()); err != nil {
 		return err
 	}
-	buf := make([]byte, sess.srv.chunk)
+	buf := chunkBufPool.Get(sess.srv.chunk)
+	defer chunkBufPool.Put(buf)
 	for off < end {
 		n := int64(len(buf))
 		if end-off < n {
@@ -340,7 +377,14 @@ func (sess *session) fetch(w io.Writer, path string, off, length int64) error {
 		}
 		got, rerr := f.ReadAt(buf[:n], off)
 		if got > 0 {
-			if err := wire.WriteFrame(w, msgFetchData, buf[:got]); err != nil {
+			frame := buf[:got]
+			if sess.sc.active() {
+				frame, err = sess.sc.encode(frame)
+				if err != nil {
+					return writeError(w, err)
+				}
+			}
+			if err := wire.WriteFrame(w, msgFetchData, frame); err != nil {
 				return err
 			}
 			off += int64(got)
@@ -364,14 +408,22 @@ func (sess *session) put(w io.Writer, r *bufio.Reader, path string) error {
 		return writeError(w, err)
 	}
 	var total int64
+	var frameBuf []byte
 	for {
-		typ, payload, rerr := wire.ReadFrame(r)
+		typ, payload, rerr := wire.ReadFrameInto(r, &frameBuf)
 		if rerr != nil {
 			f.Close()
 			return rerr
 		}
 		switch typ {
 		case msgPutData:
+			if sess.sc.active() {
+				payload, rerr = sess.sc.decode(payload)
+				if rerr != nil {
+					f.Close()
+					return writeError(w, rerr)
+				}
+			}
 			n, werr := f.Write(payload)
 			total += int64(n)
 			if werr != nil {

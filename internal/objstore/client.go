@@ -36,6 +36,10 @@ type Client struct {
 	clock  simclock.Clock
 	retry  retry.Policy
 
+	// codecName is the stream codec proposed for bulk Get/Put transfers
+	// ("" or "raw" = no negotiation frame at all, byte-identical wire).
+	codecName string
+
 	getTotal  *obs.Counter
 	getBytes  *obs.Counter
 	putTotal  *obs.Counter
@@ -65,6 +69,51 @@ func (c *Client) SetObserver(o *obs.Observer) {
 // SetRetry installs the resilience policy. The zero policy (the default)
 // preserves fail-fast behaviour.
 func (c *Client) SetRetry(p retry.Policy) { c.retry = p }
+
+// SetCodec requests a stream codec for bulk Get/Put transfers. "" or "raw"
+// (the default) sends no negotiation frame at all; any other codec is
+// proposed per connection and transparently dropped to raw when the peer
+// does not speak it.
+func (c *Client) SetCodec(name string) { c.codecName = name }
+
+// Codec reports the codec SetCodec configured.
+func (c *Client) Codec() string { return c.codecName }
+
+// readNegotiateReply consumes the server's answer to a capability frame:
+// the negotiated state, nil for raw (including the msgError an old server
+// answers for the unknown message type).
+func readNegotiateReply(br *bufio.Reader) (*connCodec, error) {
+	typ, resp, err := wire.ReadFrame(br)
+	if err != nil {
+		return nil, err
+	}
+	switch typ {
+	case msgError:
+		return nil, nil // old peer: rejected the type, connection usable
+	case admit.MsgShed:
+		shed, err := admit.DecodeShed(resp)
+		if err != nil {
+			return nil, err
+		}
+		return nil, shed
+	case msgNegotiateResp:
+		d := wire.NewDecoder(resp)
+		chosen := d.String()
+		if err := d.Err(); err != nil {
+			return nil, retry.Permanent(err)
+		}
+		codec, err := wire.ForName(chosen)
+		if err != nil {
+			return nil, retry.Permanent(fmt.Errorf("objstore: server chose %w", err))
+		}
+		if codec == nil {
+			return nil, nil
+		}
+		return &connCodec{codec: codec}, nil
+	default:
+		return nil, retry.Permanent(fmt.Errorf("objstore: unexpected negotiation reply %d", typ))
+	}
+}
 
 // Addr reports the server address.
 func (c *Client) Addr() string { return c.addr }
@@ -198,10 +247,28 @@ func (c *Client) getOnce(key string, off, length int64, w io.Writer) (total, siz
 	}
 	defer conn.Close()
 	idle := c.retry.Timeout()
+	br := bufio.NewReader(conn)
+	var cc *connCodec
+	wantCodec := c.codecName != "" && c.codecName != wire.CodecRaw
+	if wantCodec {
+		// The capability frame pipelines ahead of the GET: both requests go
+		// out together and the replies arrive in order, so negotiation costs
+		// no extra round trip even on this per-operation connection.
+		neg := wire.NewEncoder().String(c.codecName).Bytes()
+		if err := wire.WriteFrame(conn, msgNegotiate, neg); err != nil {
+			return 0, 0, err
+		}
+	}
 	if err := wire.WriteFrame(conn, msgGet, getReq{Key: key, Off: off, Length: length}.encode()); err != nil {
 		return 0, 0, err
 	}
-	br := bufio.NewReader(conn)
+	if wantCodec {
+		var err error
+		cc, err = readNegotiateReply(br)
+		if err != nil {
+			return 0, 0, err
+		}
+	}
 	typ, resp, err := wire.ReadFrame(br)
 	if err != nil {
 		return 0, 0, err
@@ -224,19 +291,24 @@ func (c *Client) getOnce(key string, off, length int64, w io.Writer) (total, siz
 		return 0, 0, retry.Permanent(err)
 	}
 	size = hdr.Size
+	var frameBuf []byte
 	for {
 		// The deadline is per frame, so it bounds silence, not the whole
 		// transfer.
 		if idle > 0 {
 			conn.SetDeadline(c.clock.Now().Add(idle))
 		}
-		typ, payload, err := wire.ReadFrame(br)
+		typ, payload, err := wire.ReadFrameInto(br, &frameBuf)
 		if err != nil {
 			return total, size, err
 		}
 		switch typ {
 		case msgGetData:
-			n, werr := w.Write(payload)
+			data, derr := cc.dec(payload)
+			if derr != nil {
+				return total, size, retry.Permanent(derr)
+			}
+			n, werr := w.Write(data)
 			total += int64(n)
 			if werr != nil {
 				return total, size, retry.Permanent(werr)
@@ -295,6 +367,25 @@ func (c *Client) putOnce(key string, r io.Reader) (total int64, readAny bool, er
 	defer conn.Close()
 	idle := c.retry.Timeout()
 	bw := bufio.NewWriter(conn)
+	br := bufio.NewReader(conn)
+	var cc *connCodec
+	if c.codecName != "" && c.codecName != wire.CodecRaw {
+		// Uploads must know the answer before encoding any data (an old
+		// server would store compressed frames verbatim), so the capability
+		// exchange completes before the begin frame.
+		neg := wire.NewEncoder().String(c.codecName).Bytes()
+		if err := wire.WriteFrame(bw, msgNegotiate, neg); err != nil {
+			return 0, false, err
+		}
+		if err := bw.Flush(); err != nil {
+			return 0, false, err
+		}
+		var err error
+		cc, err = readNegotiateReply(br)
+		if err != nil {
+			return 0, false, err
+		}
+	}
 	if err := wire.WriteFrame(bw, msgPutBegin, putBegin{Key: key}.encode()); err != nil {
 		return 0, false, err
 	}
@@ -306,7 +397,7 @@ func (c *Client) putOnce(key string, r io.Reader) (total int64, readAny bool, er
 			if idle > 0 {
 				conn.SetDeadline(c.clock.Now().Add(idle))
 			}
-			if err := wire.WriteFrame(bw, msgPutData, buf[:n]); err != nil {
+			if err := wire.WriteFrame(bw, msgPutData, cc.enc(buf[:n])); err != nil {
 				return 0, readAny, err
 			}
 		}
@@ -326,7 +417,7 @@ func (c *Client) putOnce(key string, r io.Reader) (total int64, readAny bool, er
 	if idle > 0 {
 		conn.SetDeadline(c.clock.Now().Add(idle))
 	}
-	typ, resp, err := wire.ReadFrame(bufio.NewReader(conn))
+	typ, resp, err := wire.ReadFrame(br)
 	if err != nil {
 		return 0, readAny, err
 	}

@@ -26,8 +26,47 @@ const (
 	msgPutResp  = 10
 	msgList     = 11
 	msgListResp = 12
-	msgError    = 255
+	// Stream-encoding negotiation: a client that wants a compressed
+	// connection sends one capability frame (the codec name) before its
+	// operation; a new server answers with the codec it settled on, while an
+	// old server answers msgError for the unknown type and keeps the
+	// connection usable, so the client transparently falls back to raw. A
+	// client configured raw sends nothing at all — byte-identical wire.
+	msgNegotiate     = 13
+	msgNegotiateResp = 14
+	msgError         = 255
 )
+
+// connCodec is one connection's negotiated block codec plus reusable
+// transform buffers, so a steady transfer allocates nothing per frame.
+type connCodec struct {
+	codec  wire.Codec
+	encBuf []byte
+	decBuf []byte
+}
+
+func (cc *connCodec) active() bool { return cc != nil && cc.codec != nil }
+
+// enc compresses one data chunk; the result aliases an internal buffer
+// valid until the next enc. Raw state passes data through untouched.
+func (cc *connCodec) enc(data []byte) []byte {
+	if !cc.active() {
+		return data
+	}
+	cc.encBuf = cc.codec.Encode(cc.encBuf[:0], data)
+	return cc.encBuf
+}
+
+// dec reverses enc; the result aliases an internal buffer valid until the
+// next dec.
+func (cc *connCodec) dec(data []byte) ([]byte, error) {
+	if !cc.active() {
+		return data, nil
+	}
+	var err error
+	cc.decBuf, err = cc.codec.Decode(cc.decBuf[:0], data)
+	return cc.decBuf, err
+}
 
 // streamChunk is the frame size GET/PUT bulk streaming uses.
 const streamChunk = 64 * 1024

@@ -14,10 +14,11 @@ import (
 
 // Server serves one Store to remote File Multiplexers.
 type Server struct {
-	store *Store
-	clock simclock.Clock
-	chunk int
-	adm   *admit.Controller
+	store  *Store
+	clock  simclock.Clock
+	chunk  int
+	adm    *admit.Controller
+	codecs []string
 }
 
 // NewServer returns a Server exporting store.
@@ -33,10 +34,15 @@ func (s *Server) Store() *Store { return s.store }
 // Stat and list are Control class; object gets and puts are Bulk.
 func (s *Server) SetAdmission(c *admit.Controller) { s.adm = c }
 
+// SetCodecs restricts the stream codecs this server will negotiate (the
+// daemon's -codecs flag). Empty (the default) accepts everything this build
+// supports; raw is always available regardless.
+func (s *Server) SetCodecs(names []string) { s.codecs = names }
+
 // classOf maps a request type to its admission class.
 func classOf(typ uint8) admit.Class {
 	switch typ {
-	case msgStat, msgList:
+	case msgStat, msgList, msgNegotiate:
 		return admit.Control
 	}
 	return admit.Bulk
@@ -73,6 +79,7 @@ func (s *Server) handle(conn net.Conn) {
 	tenant := admit.TenantOf(conn)
 	br := bufio.NewReader(conn)
 	bw := bufio.NewWriter(conn)
+	cc := &connCodec{}
 	for {
 		typ, payload, err := wire.ReadFrame(br)
 		if err != nil {
@@ -89,7 +96,7 @@ func (s *Server) handle(conn net.Conn) {
 				return
 			}
 		} else {
-			derr := s.dispatch(bw, br, typ, payload)
+			derr := s.dispatch(bw, br, typ, payload, cc)
 			rel()
 			if derr != nil {
 				return
@@ -111,8 +118,22 @@ func writeShed(w io.Writer, err error) error {
 	return writeError(w, err)
 }
 
-func (s *Server) dispatch(w io.Writer, r *bufio.Reader, typ uint8, payload []byte) error {
+func (s *Server) dispatch(w io.Writer, r *bufio.Reader, typ uint8, payload []byte, cc *connCodec) error {
 	switch typ {
+	case msgNegotiate:
+		d := wire.NewDecoder(payload)
+		req := d.String()
+		if err := d.Err(); err != nil {
+			return writeError(w, err)
+		}
+		chosen := wire.NegotiateCodec(req, s.codecs)
+		codec, err := wire.ForName(chosen)
+		if err != nil {
+			return writeError(w, err)
+		}
+		cc.codec = codec
+		return wire.WriteFrame(w, msgNegotiateResp, wire.NewEncoder().String(chosen).Bytes())
+
 	case msgStat:
 		req, err := decodeStatReq(payload)
 		if err != nil {
@@ -126,7 +147,7 @@ func (s *Server) dispatch(w io.Writer, r *bufio.Reader, typ uint8, payload []byt
 		if err != nil {
 			return writeError(w, err)
 		}
-		return s.get(w, req)
+		return s.get(w, req, cc)
 
 	case msgList:
 		req, err := decodeListReq(payload)
@@ -141,7 +162,7 @@ func (s *Server) dispatch(w io.Writer, r *bufio.Reader, typ uint8, payload []byt
 			drainPut(r)
 			return writeError(w, err)
 		}
-		return s.put(w, r, req.Key)
+		return s.put(w, r, req.Key, cc)
 
 	default:
 		return writeError(w, fmt.Errorf("objstore: unknown message type %d", typ))
@@ -149,7 +170,7 @@ func (s *Server) dispatch(w io.Writer, r *bufio.Reader, typ uint8, payload []byt
 }
 
 // get streams the requested range as header, data frames, end.
-func (s *Server) get(w io.Writer, req getReq) error {
+func (s *Server) get(w io.Writer, req getReq, cc *connCodec) error {
 	data, ok := s.store.Get(req.Key)
 	if !ok {
 		return writeError(w, fmt.Errorf("objstore: %s: no such object", req.Key))
@@ -171,7 +192,7 @@ func (s *Server) get(w io.Writer, req getReq) error {
 		if end-off < n {
 			n = end - off
 		}
-		if err := wire.WriteFrame(w, msgGetData, data[off:off+n]); err != nil {
+		if err := wire.WriteFrame(w, msgGetData, cc.enc(data[off:off+n])); err != nil {
 			return err
 		}
 		off += n
@@ -184,16 +205,21 @@ func (s *Server) get(w io.Writer, req getReq) error {
 // is the whole-object atomic PUT contract, and it is what makes a client
 // replay after a transport fault safe (the object appears exactly once,
 // complete).
-func (s *Server) put(w io.Writer, r *bufio.Reader, key string) error {
+func (s *Server) put(w io.Writer, r *bufio.Reader, key string, cc *connCodec) error {
 	var body []byte
+	var frameBuf []byte
 	for {
-		typ, payload, err := wire.ReadFrame(r)
+		typ, payload, err := wire.ReadFrameInto(r, &frameBuf)
 		if err != nil {
 			return err
 		}
 		switch typ {
 		case msgPutData:
-			body = append(body, payload...)
+			chunk, derr := cc.dec(payload)
+			if derr != nil {
+				return writeError(w, derr)
+			}
+			body = append(body, chunk...)
 		case msgPutEnd:
 			s.store.Put(key, body)
 			return wire.WriteFrame(w, msgPutResp, putResp{Size: int64(len(body))}.encode())

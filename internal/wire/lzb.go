@@ -1,0 +1,179 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// lzb is a byte-oriented LZ77 compressor in the LZ4 mould, implemented
+// natively so the wire layer carries no dependencies. The token stream is:
+//
+//	[token][litExt...][literals][offset u16 BE][matchExt...] ...
+//
+// token high nibble = literal count, low nibble = match length - 4; a
+// nibble of 15 continues into 255-valued extension bytes. The final
+// sequence is literals only — the decoder knows it is last because the
+// input is exhausted after the literals. Matches reference a sliding
+// window of up to 64 KiB - 1 and may overlap their own output (run
+// encoding). The decoder is fully bounds-checked: hostile input yields an
+// error, never a panic or out-of-bounds read.
+const (
+	lzbMinMatch  = 4
+	lzbTableBits = 13
+	lzbTableSize = 1 << lzbTableBits
+	lzbMaxOffset = 1<<16 - 1
+)
+
+func lzbHash(v uint32) uint32 { return (v * 2654435761) >> (32 - lzbTableBits) }
+
+// lzbCompress appends the compressed form of src to dst.
+func lzbCompress(dst, src []byte) []byte {
+	if len(src) < lzbMinMatch+1 {
+		return lzbEmitTail(dst, src)
+	}
+	// Positions are stored +1 so the zero value means "empty".
+	var table [lzbTableSize]uint32
+	s, anchor := 0, 0
+	limit := len(src) - lzbMinMatch
+	for s <= limit {
+		v := binary.LittleEndian.Uint32(src[s:])
+		h := lzbHash(v)
+		cand := int(table[h]) - 1
+		table[h] = uint32(s + 1)
+		if cand >= 0 && s-cand <= lzbMaxOffset &&
+			binary.LittleEndian.Uint32(src[cand:]) == v {
+			mlen := lzbMinMatch
+			for s+mlen < len(src) && src[cand+mlen] == src[s+mlen] {
+				mlen++
+			}
+			dst = lzbEmitSeq(dst, src[anchor:s], s-cand, mlen)
+			s += mlen
+			anchor = s
+		} else {
+			s++
+		}
+	}
+	return lzbEmitTail(dst, src[anchor:])
+}
+
+func lzbEmitSeq(dst, lits []byte, offset, mlen int) []byte {
+	litLen := len(lits)
+	ml := mlen - lzbMinMatch
+	tok := byte(min(litLen, 15)) << 4
+	tok |= byte(min(ml, 15))
+	dst = append(dst, tok)
+	dst = lzbAppendExt(dst, litLen)
+	dst = append(dst, lits...)
+	dst = append(dst, byte(offset>>8), byte(offset))
+	return lzbAppendExt(dst, ml)
+}
+
+func lzbEmitTail(dst, lits []byte) []byte {
+	if len(lits) == 0 {
+		// A stream may end right after a match; emitting an empty tail
+		// token would make truncation of that token undetectable.
+		return dst
+	}
+	tok := byte(min(len(lits), 15)) << 4
+	dst = append(dst, tok)
+	dst = lzbAppendExt(dst, len(lits))
+	return append(dst, lits...)
+}
+
+// lzbAppendExt emits the extension bytes for a nibble that saturated at 15.
+func lzbAppendExt(dst []byte, n int) []byte {
+	if n < 15 {
+		return dst
+	}
+	n -= 15
+	for n >= 255 {
+		dst = append(dst, 255)
+		n -= 255
+	}
+	return append(dst, byte(n))
+}
+
+// lzbReadExt extends a saturated nibble from 255-continuation bytes.
+func lzbReadExt(src []byte, i, n int) (int, int, error) {
+	for {
+		if i >= len(src) {
+			return 0, 0, fmt.Errorf("%w: truncated length extension", ErrBadBlock)
+		}
+		b := src[i]
+		i++
+		n += int(b)
+		if n > MaxFrame {
+			return 0, 0, fmt.Errorf("%w: length extension exceeds frame bound", ErrBadBlock)
+		}
+		if b != 255 {
+			return n, i, nil
+		}
+	}
+}
+
+// lzbDecompress appends exactly rawLen decoded bytes to dst or reports why
+// it cannot.
+func lzbDecompress(dst, src []byte, rawLen int) ([]byte, error) {
+	base := len(dst)
+	if cap(dst)-base < rawLen {
+		grown := make([]byte, base, base+rawLen)
+		copy(grown, dst)
+		dst = grown
+	}
+	i := 0
+	for i < len(src) {
+		tok := src[i]
+		i++
+		litLen := int(tok >> 4)
+		if litLen == 15 {
+			var err error
+			litLen, i, err = lzbReadExt(src, i, litLen)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if i+litLen > len(src) {
+			return nil, fmt.Errorf("%w: truncated literals", ErrBadBlock)
+		}
+		if len(dst)-base+litLen > rawLen {
+			return nil, fmt.Errorf("%w: output exceeds declared raw length", ErrBadBlock)
+		}
+		dst = append(dst, src[i:i+litLen]...)
+		i += litLen
+		if i == len(src) {
+			break // final, literal-only sequence
+		}
+		if i+2 > len(src) {
+			return nil, fmt.Errorf("%w: truncated match offset", ErrBadBlock)
+		}
+		offset := int(src[i])<<8 | int(src[i+1])
+		i += 2
+		mlen := int(tok & 15)
+		if mlen == 15 {
+			var err error
+			mlen, i, err = lzbReadExt(src, i, mlen)
+			if err != nil {
+				return nil, err
+			}
+		}
+		mlen += lzbMinMatch
+		if offset == 0 || offset > len(dst)-base {
+			return nil, fmt.Errorf("%w: match offset %d outside %d-byte window", ErrBadBlock, offset, len(dst)-base)
+		}
+		if len(dst)-base+mlen > rawLen {
+			return nil, fmt.Errorf("%w: output exceeds declared raw length", ErrBadBlock)
+		}
+		if offset >= mlen {
+			from := len(dst) - offset
+			dst = append(dst, dst[from:from+mlen]...)
+		} else {
+			for k := 0; k < mlen; k++ { // overlapping run copy
+				dst = append(dst, dst[len(dst)-offset])
+			}
+		}
+	}
+	if len(dst)-base != rawLen {
+		return nil, fmt.Errorf("%w: decoded %d bytes, header says %d", ErrBadBlock, len(dst)-base, rawLen)
+	}
+	return dst, nil
+}

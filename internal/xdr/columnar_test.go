@@ -1,0 +1,216 @@
+package xdr
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+var columnarSchemas = map[string]Schema{
+	"ints": {Fields: []Field{
+		{Name: "step", Kind: KindInt32},
+		{Name: "seq", Kind: KindUint64},
+	}},
+	"floats": {Fields: []Field{
+		{Name: "t", Kind: KindFloat32},
+		{Name: "vals", Kind: KindFloat64, Count: 3},
+	}},
+	"mixed": {Fields: []Field{
+		{Name: "ts", Kind: KindInt64},
+		{Name: "count", Kind: KindUint32},
+		{Name: "temp", Kind: KindFloat64, Count: 2},
+		{Name: "tag", Kind: KindBytes, Count: 5},
+	}},
+	"bytes-only": {Fields: []Field{
+		{Name: "blob", Kind: KindBytes, Count: 7},
+	}},
+}
+
+func columnarData(t *testing.T, s Schema, records int, extraTail int) []byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(int64(records) + int64(extraTail)))
+	data := make([]byte, records*s.Size()+extraTail)
+	rng.Read(data)
+	return data
+}
+
+func TestColumnarRoundTrip(t *testing.T) {
+	orders := []binary.ByteOrder{binary.LittleEndian, binary.BigEndian}
+	for name, s := range columnarSchemas {
+		for _, records := range []int{0, 1, 5, 64} {
+			for _, tail := range []int{0, 1, s.Size() - 1} {
+				for _, order := range orders {
+					data := columnarData(t, s, records, tail)
+					enc, err := EncodeColumnar(nil, data, s, order)
+					if err != nil {
+						t.Fatalf("%s: encode: %v", name, err)
+					}
+					if len(enc) != len(data)+ColumnarOverhead {
+						t.Fatalf("%s: encoded %d bytes to %d, want exactly +%d",
+							name, len(data), len(enc), ColumnarOverhead)
+					}
+					dec, err := DecodeColumnar(nil, enc, s, order)
+					if err != nil {
+						t.Fatalf("%s: decode: %v", name, err)
+					}
+					if !bytes.Equal(dec, data) {
+						t.Fatalf("%s (%d rec, %d tail, %v): round trip changed the data",
+							name, records, tail, order)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestColumnarDecodeTranslates: decoding with the opposite byte order must
+// equal the row-form Translate of the original records.
+func TestColumnarDecodeTranslates(t *testing.T) {
+	for name, s := range columnarSchemas {
+		data := columnarData(t, s, 32, 0)
+		enc, err := EncodeColumnar(nil, data, s, binary.LittleEndian)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeColumnar(nil, enc, s, binary.BigEndian)
+		if err != nil {
+			t.Fatalf("%s: decode-as-BE: %v", name, err)
+		}
+		want := append([]byte(nil), data...)
+		if err := Translate(want, s, binary.LittleEndian, binary.BigEndian); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s: columnar translation differs from row Translate", name)
+		}
+	}
+}
+
+// TestTranslateColumnar: translating in columnar form then decoding must
+// match translating the rows, and a double translation is the identity.
+func TestTranslateColumnar(t *testing.T) {
+	for name, s := range columnarSchemas {
+		data := columnarData(t, s, 48, 0)
+		enc, err := EncodeColumnar(nil, data, s, binary.LittleEndian)
+		if err != nil {
+			t.Fatal(err)
+		}
+		orig := append([]byte(nil), enc...)
+		if err := TranslateColumnar(enc, s, binary.LittleEndian, binary.BigEndian); err != nil {
+			t.Fatalf("%s: translate: %v", name, err)
+		}
+		got, err := DecodeColumnar(nil, enc, s, binary.BigEndian)
+		if err != nil {
+			t.Fatalf("%s: decode translated: %v", name, err)
+		}
+		want := append([]byte(nil), data...)
+		if err := Translate(want, s, binary.LittleEndian, binary.BigEndian); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s: TranslateColumnar+decode differs from row Translate", name)
+		}
+		if err := TranslateColumnar(enc, s, binary.BigEndian, binary.LittleEndian); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, orig) {
+			t.Fatalf("%s: double columnar translation is not the identity", name)
+		}
+	}
+}
+
+func TestTranslateColumnarRejectsTail(t *testing.T) {
+	s := columnarSchemas["mixed"]
+	data := columnarData(t, s, 4, 3)
+	enc, err := EncodeColumnar(nil, data, s, binary.LittleEndian)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := TranslateColumnar(enc, s, binary.LittleEndian, binary.BigEndian); err == nil {
+		t.Fatal("translated a chunk with a partial-record tail")
+	}
+	if _, err := DecodeColumnar(nil, enc, s, binary.BigEndian); err == nil {
+		t.Fatal("cross-order decode accepted a partial-record tail")
+	}
+	// Same-order decode of the same chunk is fine.
+	if _, err := DecodeColumnar(nil, enc, s, binary.LittleEndian); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestColumnarDecodeRejectsMalformed(t *testing.T) {
+	s := columnarSchemas["mixed"]
+	good, err := EncodeColumnar(nil, columnarData(t, s, 8, 0), s, binary.LittleEndian)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":        {},
+		"short-header": good[:6],
+		"bad-version":  append([]byte{9}, good[1:]...),
+		"bad-order":    append([]byte{columnarVersion, 7}, good[2:]...),
+		"truncated":    good[:len(good)-1],
+		"oversized-n":  {columnarVersion, 0, 0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0},
+		"tail-ge-rec": func() []byte {
+			b := append([]byte(nil), good...)
+			binary.BigEndian.PutUint32(b[6:10], uint32(s.Size()))
+			return b
+		}(),
+	}
+	for name, in := range cases {
+		if _, err := DecodeColumnar(nil, in, s, binary.LittleEndian); err == nil {
+			t.Errorf("%s: malformed chunk decoded without error", name)
+		}
+	}
+}
+
+// TestColumnarGroupsMonotoneInts: the delta transform must turn a monotone
+// int64 column into mostly zero bytes.
+func TestColumnarGroupsMonotoneInts(t *testing.T) {
+	s := Schema{Fields: []Field{{Name: "ts", Kind: KindInt64}}}
+	var buf bytes.Buffer
+	w := NewWriter(&buf, s, binary.LittleEndian)
+	for i := 0; i < 1000; i++ {
+		if err := w.WriteRecord(int64(1_700_000_000 + i*60)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	enc, err := EncodeColumnar(nil, buf.Bytes(), s, binary.LittleEndian)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeros := 0
+	for _, b := range enc[ColumnarOverhead:] {
+		if b == 0 {
+			zeros++
+		}
+	}
+	if frac := float64(zeros) / float64(len(enc)-ColumnarOverhead); frac < 0.8 {
+		t.Fatalf("delta-coded monotone column is only %.0f%% zero bytes", frac*100)
+	}
+}
+
+// TestColumnarGroupsFloatPlanes: byte-plane transposition must gather the
+// near-constant exponent bytes of a smooth float64 series into runs.
+func TestColumnarGroupsFloatPlanes(t *testing.T) {
+	s := Schema{Fields: []Field{{Name: "v", Kind: KindFloat64}}}
+	n := 512
+	data := make([]byte, 8*n)
+	for i := 0; i < n; i++ {
+		v := 280.0 + 15.0*math.Sin(float64(i)/40)
+		binary.LittleEndian.PutUint64(data[i*8:], math.Float64bits(v))
+	}
+	enc, err := EncodeColumnar(nil, data, s, binary.LittleEndian)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The top plane (byte 7 in LE = sign+exponent) must be constant.
+	top := enc[ColumnarOverhead+7*n : ColumnarOverhead+8*n]
+	for i := 1; i < n; i++ {
+		if top[i] != top[0] {
+			t.Fatalf("exponent plane varies at %d: %x vs %x", i, top[i], top[0])
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package xdr
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// fuzzSchema derives a valid schema from arbitrary seed bytes: two bytes
+// per field select kind (all seven, including KindBytes) and count.
+func fuzzSchema(seed []byte) Schema {
+	var s Schema
+	for i := 0; i+1 < len(seed) && len(s.Fields) < 8; i += 2 {
+		s.Fields = append(s.Fields, Field{
+			Name:  "f",
+			Kind:  Kind(seed[i] % 7),
+			Count: 1 + int(seed[i+1]%4),
+		})
+	}
+	if len(s.Fields) == 0 {
+		s.Fields = []Field{{Name: "f", Kind: KindUint32}}
+	}
+	return s
+}
+
+// FuzzColumnarXDR: for any derived schema and any data bytes, the columnar
+// shuffle/delta transform round-trips exactly (aligned or not), cross-order
+// decode matches the row-form Translate, and hostile encoded input never
+// panics the decoder.
+func FuzzColumnarXDR(f *testing.F) {
+	f.Add([]byte{0, 0}, []byte("0123456789abcdef"))
+	f.Add([]byte{5, 1, 6, 3}, bytes.Repeat([]byte{1, 2, 3}, 50))
+	f.Add([]byte{2, 0}, []byte{})
+	f.Add([]byte{4, 2, 3, 0, 6, 1}, bytes.Repeat([]byte{0xFF}, 97))
+	f.Fuzz(func(t *testing.T, seed, data []byte) {
+		if len(data) > 1<<16 {
+			t.Skip()
+		}
+		s := fuzzSchema(seed)
+		enc, err := EncodeColumnar(nil, data, s, binary.LittleEndian)
+		if err != nil {
+			t.Fatalf("encode rejected a valid schema: %v", err)
+		}
+		if len(enc) != len(data)+ColumnarOverhead {
+			t.Fatalf("encoded %d bytes to %d", len(data), len(enc))
+		}
+		dec, err := DecodeColumnar(nil, enc, s, binary.LittleEndian)
+		if err != nil {
+			t.Fatalf("decode of a fresh encode failed: %v", err)
+		}
+		if !bytes.Equal(dec, data) {
+			t.Fatal("columnar round trip changed the data")
+		}
+
+		// Cross-order decode must agree with the row translator whenever
+		// the data is record-aligned.
+		if len(data)%s.Size() == 0 {
+			got, err := DecodeColumnar(nil, enc, s, binary.BigEndian)
+			if err != nil {
+				t.Fatalf("cross-order decode: %v", err)
+			}
+			want := append([]byte(nil), data...)
+			if err := Translate(want, s, binary.LittleEndian, binary.BigEndian); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatal("columnar translation differs from row Translate")
+			}
+		}
+
+		// Hostile input: the data bytes as an encoded chunk must never
+		// panic, and an accepted chunk must decode to the declared size.
+		if out, err := DecodeColumnar(nil, data, s, binary.LittleEndian); err == nil {
+			if len(out) != len(data)-ColumnarOverhead {
+				t.Fatalf("accepted chunk decoded to %d bytes from %d", len(out), len(data))
+			}
+		}
+	})
+}
