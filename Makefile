@@ -78,30 +78,31 @@ fuzz:
 		internal/objstore:FuzzDecodeStreamHeaders \
 		internal/admit:FuzzDecodeShed \
 		internal/workflow:FuzzJournalDecode \
-		internal/workflow:FuzzJournalRoundTrip ; do \
+		internal/workflow:FuzzJournalRoundTrip \
+		internal/gns:FuzzShardLeaseWire ; do \
 		pkg=$${tgt%%:*}; fn=$${tgt##*:}; \
 		echo "fuzz $$pkg $$fn ($(FUZZTIME))"; \
 		$(GO) test -run '^$$' -fuzz "^$$fn$$" -fuzztime $(FUZZTIME) ./$$pkg/ || exit 1; \
 	done
 
-## bench: run the benchmark suite once and record it as BENCH_pr9.json.
+## bench: run the benchmark suite once and record it as BENCH_pr10.json.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x -timeout 20m . | tee bench.out
-	$(GO) run ./cmd/benchgate -parse bench.out -o BENCH_pr9.json
+	$(GO) run ./cmd/benchgate -parse bench.out -o BENCH_pr10.json
 
 ## bench-gate: re-run the suite and fail on regression vs the checked-in
 ## baseline. Simulated-clock metrics and allocs/op gate at 10%; wall-clock
 ## metrics are compared and reported but don't gate (pure machine noise at
 ## -benchtime 1x) — pass -gate-wall to benchgate to enforce them too.
 bench-gate: bench
-	$(GO) run ./cmd/benchgate BENCH_baseline.json BENCH_pr9.json
+	$(GO) run ./cmd/benchgate BENCH_baseline.json BENCH_pr10.json
 
 ## stress: the full ~10k-workflow overload sweep (admission on vs off at
-## x1 x2 x4 x8 offered load), merging the curves into BENCH_pr9.json and
+## x1 x2 x4 x8 offered load), merging the curves into BENCH_pr10.json and
 ## failing if goodput collapses. Run after `make bench` so the parse step
 ## doesn't clobber the merged curves.
 stress:
-	$(GO) run ./cmd/stress -o BENCH_pr9.json
+	$(GO) run ./cmd/stress -o BENCH_pr10.json
 
 ## stress-smoke: the scaled-down CI shape of the same sweep — same ladder,
 ## shorter arrival window, gate only (no JSON record).

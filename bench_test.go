@@ -17,6 +17,7 @@ import (
 	"io"
 	"math"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -1338,5 +1339,230 @@ func BenchmarkObjstoreRereadScan(b *testing.B) {
 	b.ReportMetric(speedup, "speedup-x")
 	if speedup < 1.5 {
 		b.Errorf("cache+prefetch re-read speedup %.2fx on mode 7, floor 1.5x", speedup)
+	}
+}
+
+// gnsBenchCluster boots one single-member gns shard server per entry of
+// spec with a serialized per-request service time charged in virtual time —
+// the classic M/D/1 shape: each server can work one request at a time, so
+// aggregate throughput is bounded by how many servers share the key space.
+// Returns the seed addresses and a closer. Must run inside v.Run.
+func gnsBenchCluster(b *testing.B, v *simclock.Virtual, n *simnet.Network, sm gns.ShardMap, service time.Duration) (seeds []string, closeAll func()) {
+	b.Helper()
+	var servers []*gns.Server
+	for _, s := range sm.Shards {
+		seeds = append(seeds, s.Addrs...)
+		for _, addr := range s.Addrs {
+			host := addr[:strings.IndexByte(addr, ':')]
+			srv := gns.NewServer(gns.NewStore(v), v)
+			mu := simclock.NewMutex(v)
+			srv.SetRequestCost(func() {
+				mu.Lock()
+				v.Sleep(service)
+				mu.Unlock()
+			})
+			l, err := n.Host(host).Listen(addr)
+			if err != nil {
+				b.Fatalf("listen %s: %v", addr, err)
+			}
+			if err := srv.EnableShard(gns.ShardConfig{
+				Map: sm, ID: s.ID, Self: addr, Dialer: n.Host(host),
+			}); err != nil {
+				b.Fatalf("enable shard %s: %v", addr, err)
+			}
+			v.Go("gns-serve-"+addr, func() { srv.Serve(l) })
+			servers = append(servers, srv)
+		}
+	}
+	return seeds, func() {
+		for _, srv := range servers {
+			srv.Close()
+		}
+	}
+}
+
+// gnsBenchPolicy is the client retry policy for the resolve benchmarks:
+// generous enough that queueing behind the serialized service time never
+// trips an attempt timeout.
+func gnsBenchPolicy(v *simclock.Virtual) retry.Policy {
+	p := retry.Default(v)
+	p.BaseDelay = 100 * time.Millisecond
+	p.MaxDelay = time.Second
+	p.AttemptTimeout = 30 * time.Second
+	return p
+}
+
+// gnsShardedResolveRate measures aggregate resolve throughput (resolves per
+// simulated second) against a cluster of the given ring spec. The key set is
+// balanced across shards by construction (equal per-shard counts chosen via
+// the same ring the servers use), so the measured speedup isolates the
+// sharding mechanism rather than hash luck on a small key sample.
+func gnsShardedResolveRate(b *testing.B, spec string, service time.Duration) float64 {
+	b.Helper()
+	const (
+		clients   = 32
+		perShard  = 32
+		perClient = 256
+	)
+	sm, err := gns.ParseRing(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ring := gns.NewRing(sm)
+	// Pick perShard keys owned by each shard.
+	keys := make([]string, 0, perShard*len(sm.Shards))
+	fill := make(map[uint32]int)
+	for i := 0; len(keys) < cap(keys); i++ {
+		path := fmt.Sprintf("/bench/key-%04d", i)
+		if s := ring.ShardFor("bench", path); fill[s] < perShard {
+			fill[s]++
+			keys = append(keys, path)
+		}
+	}
+	v := simclock.NewVirtualDefault()
+	n := simnet.New(v)
+	var rate float64
+	v.Run(func() {
+		seeds, closeAll := gnsBenchCluster(b, v, n, sm, service)
+		defer closeAll()
+		admin := gns.NewShardedClient(n.Host("admin"), seeds, v)
+		admin.SetRetry(gnsBenchPolicy(v))
+		defer admin.Close()
+		for _, path := range keys {
+			if _, err := admin.Set("bench", path, gns.Mapping{Mode: gns.ModeLocal, LocalPath: path}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		start := v.Now()
+		wg := simclock.NewWaitGroup(v)
+		for c := 0; c < clients; c++ {
+			cl := gns.NewShardedClient(n.Host(fmt.Sprintf("app%d", c)), seeds, v)
+			cl.SetRetry(gnsBenchPolicy(v))
+			defer cl.Close()
+			off := c
+			wg.Add(1)
+			v.Go(fmt.Sprintf("bench-resolver-%d", c), func() {
+				defer wg.Done()
+				for i := 0; i < perClient; i++ {
+					path := keys[(off*perClient+i)%len(keys)]
+					if _, err := cl.Resolve("bench", path); err != nil {
+						b.Errorf("resolve %s: %v", path, err)
+						return
+					}
+				}
+			})
+		}
+		wg.Wait()
+		rate = float64(clients*perClient) / v.Now().Sub(start).Seconds()
+	})
+	return rate
+}
+
+// BenchmarkGNSResolveSharded prices the PR 10 tentpole: aggregate resolve
+// throughput against one shard versus four, with a 1 ms serialized service
+// time per request modeling the store's critical section. The key set is
+// shard-balanced by construction, so four single-threaded shards should
+// serve very nearly four times the load. The speedup-x metric is gated: the
+// ISSUE acceptance floor is 3x.
+func BenchmarkGNSResolveSharded(b *testing.B) {
+	b.ReportAllocs()
+	const service = time.Millisecond
+	var one, four float64
+	for i := 0; i < b.N; i++ {
+		one = gnsShardedResolveRate(b, "0=gns0:5000", service)
+		four = gnsShardedResolveRate(b, "0=gns0:5000;1=gns1:5000;2=gns2:5000;3=gns3:5000", service)
+	}
+	b.ReportMetric(one, "resolves/s/1shard")
+	b.ReportMetric(four, "resolves/s/4shard")
+	speedup := four / one
+	b.ReportMetric(speedup, "speedup-x")
+	if speedup < 3 {
+		b.Errorf("4-shard resolve throughput %.2fx of 1-shard, floor 3x", speedup)
+	}
+}
+
+// BenchmarkGNSResolveLeaseCached prices the lease cache: a client resolves
+// a small working set far more often than its lease TTL expires. Every
+// resolve must be answered from the
+// local lease cache — and since Set folds its own write into the cache,
+// even the cold miss disappears. The rpcs metric counts server requests
+// during the resolve phase, and its floor is exactly zero. The
+// uncached rate pays the wire and the serialized service time every time,
+// so the cached/uncached ratio is also reported as speedup-x.
+func BenchmarkGNSResolveLeaseCached(b *testing.B) {
+	b.ReportAllocs()
+	const (
+		keys    = 32
+		rounds  = 64
+		service = 200 * time.Microsecond
+	)
+	run := func(cache bool) (elapsed time.Duration, rate float64, extra int64) {
+		v := simclock.NewVirtualDefault()
+		n := simnet.New(v)
+		var rpcs atomic.Int64
+		v.Run(func() {
+			srv := gns.NewServer(gns.NewStore(v), v)
+			mu := simclock.NewMutex(v)
+			srv.SetRequestCost(func() {
+				rpcs.Add(1)
+				mu.Lock()
+				v.Sleep(service)
+				mu.Unlock()
+			})
+			l, err := n.Host("gns0").Listen("gns0:5000")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			v.Go("gns-serve", func() { srv.Serve(l) })
+			c := gns.NewClient(n.Host("app"), "gns0:5000", v)
+			c.SetRetry(gnsBenchPolicy(v))
+			defer c.Close()
+			if cache {
+				c.EnableCache()
+			}
+			for k := 0; k < keys; k++ {
+				if _, err := c.Set("bench", fmt.Sprintf("/c/%02d", k), gns.Mapping{Mode: gns.ModeLocal}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			rpcs.Store(0)
+			start := v.Now()
+			for r := 0; r < rounds; r++ {
+				for k := 0; k < keys; k++ {
+					if _, err := c.Resolve("bench", fmt.Sprintf("/c/%02d", k)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			elapsed = v.Now().Sub(start)
+			if elapsed > 0 {
+				rate = float64(rounds*keys) / elapsed.Seconds()
+			}
+			// With the cache on there are no cold misses either: Set folds
+			// the client's own write into the cache (read-your-writes), so
+			// the resolve phase must not touch the server at all.
+			extra = rpcs.Load()
+		})
+		return elapsed, rate, extra
+	}
+	var cachedTime time.Duration
+	var uncached float64
+	var extra int64
+	for i := 0; i < b.N; i++ {
+		cachedTime, _, extra = run(true)
+		_, uncached, _ = run(false)
+	}
+	// Cache hits are answered locally with no virtual-time cost at all, so
+	// the cached phase is reported as its (zero) simulated duration rather
+	// than a rate — a rate would divide by zero.
+	b.ReportMetric(cachedTime.Seconds()*1e3, "virt-ms/cached")
+	b.ReportMetric(uncached, "resolves/s/uncached")
+	b.ReportMetric(float64(extra), "rpcs")
+	if extra != 0 {
+		b.Errorf("%d resolve RPCs within the lease TTL, want 0", extra)
+	}
+	if cachedTime != 0 {
+		b.Errorf("cached resolve phase took %v of simulated time, want 0", cachedTime)
 	}
 }

@@ -171,11 +171,15 @@ func higherIsBetter(unit string) bool {
 // and so gets the strict tolerance. Plain "bytes" is the simulated wire's
 // exact transfer volume — deterministic and lower-better; "journal-bytes"
 // keeps its historical wall-metric slack (journal size varies with retry
-// timing).
+// timing). "resolves/s" rates are derived from the virtual clock
+// (higher-better via the "/s" rule) and "rpcs" is an exact request count,
+// so both gate strictly.
 func deterministic(unit string) bool {
 	return strings.HasPrefix(unit, "virt-") ||
+		strings.HasPrefix(unit, "resolves/s") ||
 		unit == "allocs/op" ||
 		unit == "bytes" ||
+		unit == "rpcs" ||
 		strings.Contains(unit, "overhead") ||
 		strings.Contains(unit, "speedup-x") ||
 		strings.Contains(unit, "hit-%") ||

@@ -24,12 +24,22 @@ import (
 	"griddles/internal/simclock"
 )
 
+// tcpDialer adapts net.Dial to the gns.Dialer the shard replication loop
+// uses to reach its peers.
+type tcpDialer struct{}
+
+func (tcpDialer) Dial(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+
 func main() {
 	listen := flag.String("listen", ":5000", "TCP listen address")
 	mappings := flag.String("mappings", "", "optional mapping file to pre-load")
 	admitLimit := flag.Int("admit-limit", 0, "admission concurrency limit (0 = admission off)")
 	admitTarget := flag.Duration("admit-target", 0, "admission AIMD latency target (0 = static limit)")
 	admitQueue := flag.Int("admit-queue", 0, "admission queue depth per priority class")
+	ring := flag.String("ring", "", "shard ring spec '<id>=<primary>[,<replica>...];...' (empty = unsharded)")
+	shardID := flag.Uint("shard-id", 0, "this member's shard id (with -ring)")
+	self := flag.String("self", "", "this member's address exactly as written in -ring (with -ring)")
+	leaseTTL := flag.Duration("lease-ttl", 0, "client cache lease TTL granted on resolves (0 = default)")
 	flag.Parse()
 
 	clock := simclock.Real{}
@@ -45,9 +55,32 @@ func main() {
 	}
 	log.Printf("gnsd: serving on %s (%d mappings pre-loaded)", l.Addr(), len(store.List()))
 	srv := gns.NewServer(store, clock)
+	if *leaseTTL > 0 {
+		srv.SetLeaseTTL(*leaseTTL)
+	}
 	if c := admit.MaybeController("gnsd", *admitLimit, *admitTarget, *admitQueue, clock, nil); c != nil {
 		log.Printf("gnsd: admission on (limit %d, target %v, queue %d)", *admitLimit, *admitTarget, *admitQueue)
 		srv.SetAdmission(c)
+	}
+	if *ring != "" {
+		sm, err := gns.ParseRing(*ring)
+		if err != nil {
+			log.Fatalf("gnsd: %v", err)
+		}
+		if *self == "" {
+			log.Fatalf("gnsd: -ring requires -self (this member's address as written in the ring)")
+		}
+		err = srv.EnableShard(gns.ShardConfig{
+			Map:      sm,
+			ID:       uint32(*shardID),
+			Self:     *self,
+			Dialer:   tcpDialer{},
+			LeaseTTL: *leaseTTL,
+		})
+		if err != nil {
+			log.Fatalf("gnsd: %v", err)
+		}
+		log.Printf("gnsd: sharded — member %s of shard %d (%d shards)", *self, *shardID, len(sm.Shards))
 	}
 	srv.Serve(l)
 }

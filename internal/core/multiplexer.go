@@ -496,6 +496,23 @@ func (m *Multiplexer) openCopy(path string, mapping gns.Mapping, flag int, perm 
 				m.stats.prestaged(n)
 				m.stats.stagedIn(n)
 				adopted = true
+			} else if fr, isFresh := m.cfg.GNS.(gns.FreshResolver); isFresh {
+				// The claim was refused — one cause is that this FM's resolve
+				// came from a lease cache and the GNS was remapped behind it
+				// (the eager copy was started under a newer mapping). Bypass
+				// the cache once and, if the store really has moved on for
+				// this mode, stage from the fresh coordinates instead of
+				// paying a copy from the stale ones.
+				if fresh, err := fr.ResolveFresh(m.cfg.Machine, path); err == nil &&
+					fresh.Version > mapping.Version && fresh.Mode == mapping.Mode {
+					m.obs.Emit("fm.remap", m.cfg.Machine,
+						obs.KV("path", path), obs.KV("from", mapping.RemoteHost),
+						obs.KV("to", fresh.RemoteHost), obs.KV("offset", int64(0)))
+					mapping = fresh
+					lp = localPath(mapping, path)
+					rp = remotePath(mapping, path)
+					c = m.client(mapping.RemoteHost)
+				}
 			}
 		}
 		if !adopted {

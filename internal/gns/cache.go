@@ -1,49 +1,81 @@
 package gns
 
 import (
-	"bufio"
-	"errors"
-	"fmt"
-	"net"
-
-	"griddles/internal/wire"
+	"time"
 )
 
-// Client-side resolve cache. Every FM OPEN pays a GNS round trip; for a
-// long-running component reopening the same handful of files that is pure
-// latency. EnableCache memoises Resolve answers and keeps each cached key
-// coherent through the GNS's own Watch protocol: a per-key watcher holds a
-// long-poll against the server and folds every version bump back into the
-// cache, so a remap becomes visible after one server push rather than
-// being discovered on the next (cached, stale) open.
+// Client-side resolve cache, lease/TTL edition. Every FM OPEN pays a GNS
+// round trip; for a long-running component reopening the same handful of
+// files that is pure latency. EnableCache memoises Resolve answers under
+// the server's lease grant: each miss goes remote once (msgResolveLease)
+// and the reply's TTL says how long the answer may be served locally —
+// zero RPCs, zero connections, zero server-side state per cached key. The
+// PR 5 design kept one Watch long-poll connection per cached key instead;
+// at "millions of clients" that is a connection per client per key, which
+// is exactly what the Globus replica-catalogue soft-state model exists to
+// avoid.
 //
-// The cache is opt-in because it trades the store's read-your-writes
-// guarantee across clients for latency: after another client's Set, this
-// client serves the old mapping until the watch push lands (one network
-// round trip later). This client's own Set/Delete calls update the cache
-// synchronously, so a single-client workflow never observes staleness.
+// Coherence is three rules, checked in this order on every cache read:
+//
+//   - Term: a lease granted under shard term t dies the moment the client
+//     observes term > t for that shard (a replica was promoted; the old
+//     primary's grants are void). Counted as gns.lease.invalidate.total.
+//   - TTL: past the expiry instant the entry is dead and the next resolve
+//     goes remote. Staleness after another client's Set is bounded by the
+//     TTL. Counted as gns.lease.expire.total.
+//   - Epoch: a grant carries the store version its answer was read at. If
+//     the client already holds a newer version for the key — its own Set
+//     raced the grant's flight — the grant is rejected, keeping
+//     read-your-writes. Counted as gns.lease.reject.total.
+//
+// This client's own Set/Delete still update the cache synchronously, so a
+// single-client workflow never observes staleness; the FM's stale-claim
+// re-resolve (core: ResolveFresh) closes the cross-client remap window
+// without waiting out the TTL.
 
-// cacheWatchTimeoutMS is the long-poll interval for cache watchers. The
-// server parks the watch in a timed wait, so an idle watcher costs one
-// round trip per interval and never blocks virtual-time progress.
-const cacheWatchTimeoutMS = 30_000
+// DefaultCacheMaxEntries bounds the cache population when CacheOptions
+// leaves MaxEntries zero. Unlike the PR 5 watcher bound, overflowing it
+// does not bypass the cache: the soonest-expiring entry is evicted (it has
+// the least lease value left) and the overflow is counted.
+const DefaultCacheMaxEntries = 512
 
-// cacheMaxWatchedKeys bounds the watcher population (one goroutine and one
-// long-poll connection per key). Keys beyond the bound are not cached at
-// all — their Resolves simply go remote — so a client touching an unbounded
-// set of paths cannot grow watchers without bound.
-const cacheMaxWatchedKeys = 512
+// CacheOptions tunes EnableCacheWith.
+type CacheOptions struct {
+	// MaxEntries bounds cached entries; 0 selects DefaultCacheMaxEntries.
+	MaxEntries int
+	// TTL is the lease duration to request from servers; the server may
+	// grant less, never more. 0 accepts the server's default.
+	TTL time.Duration
+}
 
-// EnableCache turns on client-side Resolve memoisation with Watch-based
-// invalidation. Call it before the client is shared across goroutines.
-func (c *Client) EnableCache() {
+// cacheEntry is one leased answer.
+type cacheEntry struct {
+	m      Mapping
+	expire time.Time
+	term   uint64 // granting term; dead once the shard's observed term passes it
+	shard  uint32
+}
+
+// EnableCache turns on lease-based Resolve memoisation with the default
+// options. Call it before the client is shared across goroutines.
+func (c *Client) EnableCache() { c.EnableCacheWith(CacheOptions{}) }
+
+// EnableCacheWith is EnableCache with an explicit entry bound and TTL.
+func (c *Client) EnableCacheWith(opts CacheOptions) {
 	c.cacheMu.Lock()
 	defer c.cacheMu.Unlock()
-	if c.cache == nil {
-		c.cache = make(map[Key]Mapping)
-		c.watching = make(map[Key]bool)
-		c.watchConns = make(map[net.Conn]struct{})
+	if c.cache != nil {
+		return
 	}
+	c.cache = make(map[Key]cacheEntry)
+	if c.terms == nil {
+		c.terms = make(map[uint32]uint64)
+	}
+	c.cacheMax = opts.MaxEntries
+	if c.cacheMax <= 0 {
+		c.cacheMax = DefaultCacheMaxEntries
+	}
+	c.cacheTTL = opts.TTL
 }
 
 // CacheEnabled reports whether EnableCache has been called.
@@ -53,53 +85,94 @@ func (c *Client) CacheEnabled() bool {
 	return c.cache != nil
 }
 
-// resolveCached serves machine/path from the cache, fetching and
-// registering a watcher on a miss.
+// resolveCached serves machine/path from the cache while its lease holds,
+// re-leasing remotely otherwise.
 func (c *Client) resolveCached(machine, path string) (Mapping, error) {
 	k := Key{Machine: machine, Path: path}
+	now := c.clock.Now()
 	c.cacheMu.Lock()
-	if m, ok := c.cache[k]; ok {
+	if ent, ok := c.cache[k]; ok {
+		switch {
+		case ent.term < c.terms[ent.shard]:
+			// The granting primary was deposed; its leases are void.
+			delete(c.cache, k)
+			c.cacheMu.Unlock()
+			c.obs.Counter("gns.lease.invalidate.total").Inc()
+		case now.Before(ent.expire):
+			c.cacheMu.Unlock()
+			c.obs.Counter("gns.cache.hit.total").Inc()
+			return ent.m, nil
+		default:
+			delete(c.cache, k)
+			c.cacheMu.Unlock()
+			c.obs.Counter("gns.lease.expire.total").Inc()
+		}
+	} else {
 		c.cacheMu.Unlock()
-		c.obs.Counter("gns.cache.hit.total").Inc()
-		return m, nil
 	}
-	c.cacheMu.Unlock()
 	c.obs.Counter("gns.cache.miss.total").Inc()
-	m, err := c.resolveRemote(machine, path)
+	m, l, err := c.resolveLease(machine, path)
 	if err != nil {
 		return m, err
 	}
-	c.cacheInsert(k, m)
-	return m, nil
+	return c.cacheStore(k, m, l), nil
 }
 
-// cacheInsert stores m for k unless a newer version is already cached, and
-// ensures a watcher is running for the key. A key that would push the
-// watcher population past cacheMaxWatchedKeys is not cached: an uncached
-// key stays correct (every Resolve goes remote), whereas a cached key
-// without its watcher would serve stale mappings forever.
-func (c *Client) cacheInsert(k Key, m Mapping) {
+// cacheStore installs a leased answer, subject to epoch rejection: a grant
+// older than what the client already knows for the key (its own Set raced
+// the grant) is discarded and the newer cached mapping returned instead.
+func (c *Client) cacheStore(k Key, m Mapping, l Lease) Mapping {
 	c.cacheMu.Lock()
+	defer c.cacheMu.Unlock()
 	if c.cache == nil || c.closed {
-		c.cacheMu.Unlock()
+		return m
+	}
+	if cur, ok := c.cache[k]; ok && cur.m.Version > l.Epoch {
+		c.obs.Counter("gns.lease.reject.total").Inc()
+		return cur.m
+	}
+	c.reserveLocked(k)
+	c.cache[k] = cacheEntry{m: m, expire: c.clock.Now().Add(l.TTL), term: l.Term, shard: l.Shard}
+	return m
+}
+
+// cacheFoldWrite folds this client's own Set/SetIfAbsent answer in
+// directly (read-your-writes), leased under the shard's current term for
+// the client's TTL.
+func (c *Client) cacheFoldWrite(k Key, m Mapping) {
+	shard := c.shardIDFor(k.Machine, k.Path)
+	ttl := c.cacheTTL
+	if ttl <= 0 {
+		ttl = DefaultLeaseTTL
+	}
+	c.cacheMu.Lock()
+	defer c.cacheMu.Unlock()
+	if c.cache == nil || c.closed {
 		return
 	}
-	start := !c.watching[k]
-	if start && len(c.watching) >= cacheMaxWatchedKeys {
-		c.cacheMu.Unlock()
+	if cur, ok := c.cache[k]; ok && cur.m.Version > m.Version {
 		return
 	}
-	if cur, ok := c.cache[k]; !ok || m.Version >= cur.Version {
-		c.cache[k] = m
+	c.reserveLocked(k)
+	c.cache[k] = cacheEntry{m: m, expire: c.clock.Now().Add(ttl), term: c.terms[shard], shard: shard}
+}
+
+// reserveLocked makes room for k under the entry bound, evicting the
+// soonest-expiring entry (the least lease value left) when full.
+func (c *Client) reserveLocked(k Key) {
+	if _, ok := c.cache[k]; ok || len(c.cache) < c.cacheMax {
+		return
 	}
-	since := c.cache[k].Version
-	if start {
-		c.watching[k] = true
+	var victim Key
+	var soonest time.Time
+	first := true
+	for vk, ent := range c.cache {
+		if first || ent.expire.Before(soonest) {
+			victim, soonest, first = vk, ent.expire, false
+		}
 	}
-	c.cacheMu.Unlock()
-	if start {
-		c.watchKey(k, since)
-	}
+	delete(c.cache, victim)
+	c.obs.Counter("gns.cache.overflow.total").Inc()
 }
 
 // cacheInvalidate drops k from the cache (used after Delete).
@@ -109,73 +182,19 @@ func (c *Client) cacheInvalidate(k Key) {
 	c.cacheMu.Unlock()
 }
 
-// watchKey runs the per-key coherence watcher: a long-poll loop that folds
-// every version bump into the cache. On a transport error — including the
-// severed connection from Client.Close — it invalidates the key and exits;
-// the next Resolve miss re-registers it.
-func (c *Client) watchKey(k Key, since uint64) {
-	c.clock.Go("gns-cache-watch "+k.Machine+":"+k.Path, func() {
-		for {
-			m, changed, err := c.watchCancellable(k, since)
-			if err != nil {
-				c.cacheMu.Lock()
-				delete(c.cache, k)
-				delete(c.watching, k)
-				c.cacheMu.Unlock()
-				return
-			}
-			if changed && m.Version > since {
-				since = m.Version
-				c.cacheMu.Lock()
-				if cur, ok := c.cache[k]; !ok || m.Version >= cur.Version {
-					c.cache[k] = m
-				}
-				c.cacheMu.Unlock()
-			}
-		}
-	})
-}
-
-// watchCancellable performs one long-poll like watchOnce, but registers its
-// connection in watchConns so Close can sever it mid-wait and tear the
-// watcher down promptly. Unlike Watch it never retries: any fault drops the
-// key back to remote resolution, which is always correct.
-func (c *Client) watchCancellable(k Key, since uint64) (Mapping, bool, error) {
-	conn, err := c.dialer.Dial(c.addr)
-	if err != nil {
-		return Mapping{}, false, fmt.Errorf("gns: dial %s: %w", c.addr, err)
+// noteTerm folds an observed shard term into the client's view; raising it
+// voids every cached lease granted under a lower term (checked lazily at
+// the next cache read).
+func (c *Client) noteTerm(shard uint32, term uint64) {
+	if term == 0 {
+		return
 	}
 	c.cacheMu.Lock()
-	if c.closed {
-		c.cacheMu.Unlock()
-		conn.Close()
-		return Mapping{}, false, errors.New("gns: client closed")
+	defer c.cacheMu.Unlock()
+	if c.terms == nil {
+		c.terms = make(map[uint32]uint64)
 	}
-	c.watchConns[conn] = struct{}{}
-	c.cacheMu.Unlock()
-	defer func() {
-		c.cacheMu.Lock()
-		delete(c.watchConns, conn)
-		c.cacheMu.Unlock()
-		conn.Close()
-	}()
-	e := wire.NewEncoder()
-	e.String(k.Machine).String(k.Path).U64(since).I64(cacheWatchTimeoutMS)
-	if err := wire.WriteFrame(conn, msgWatch, e.Bytes()); err != nil {
-		return Mapping{}, false, err
+	if term > c.terms[shard] {
+		c.terms[shard] = term
 	}
-	typ, resp, err := wire.ReadFrame(bufio.NewReader(conn))
-	if err != nil {
-		return Mapping{}, false, err
-	}
-	if typ == msgError {
-		return Mapping{}, false, errors.New("gns: " + wire.NewDecoder(resp).String())
-	}
-	if typ != msgWatchResp {
-		return Mapping{}, false, fmt.Errorf("gns: unexpected reply type %d", typ)
-	}
-	d := wire.NewDecoder(resp)
-	changed := d.Bool()
-	m := decodeMapping(d)
-	return m, changed, d.Err()
 }

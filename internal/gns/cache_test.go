@@ -2,6 +2,7 @@ package gns
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -10,23 +11,33 @@ import (
 	"griddles/internal/simnet"
 )
 
-// cacheEnv dials a client with the cache and an observer enabled.
-func cacheEnv(t *testing.T, v *simclock.Virtual, n *simnet.Network) (*Client, *Store, *obs.Observer) {
+// cacheServer is startServer plus the *Server handle (for request counting)
+// and an enabled cache + observer on the client.
+func cacheServer(t *testing.T, v *simclock.Virtual, n *simnet.Network) (*Client, *Store, *Server, *obs.Observer) {
 	t.Helper()
-	c, store := startServer(t, v, n)
+	store := NewStore(v)
+	srv := NewServer(store, v)
+	l, err := n.Host("gns").Listen("gns:5000")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	v.Go("gns-serve", func() { srv.Serve(l) })
+	c := NewClient(n.Host("app"), "gns:5000", v)
 	o := obs.New(v)
 	c.SetObserver(o)
 	c.EnableCache()
-	return c, store, o
+	return c, store, srv, o
 }
 
-func TestClientCacheHitMissCounters(t *testing.T) {
+func TestClientCacheHitMissCountersAndZeroRPC(t *testing.T) {
 	v := simclock.NewVirtualDefault()
 	n := simnet.New(v)
 	n.SetLinkBoth("app", "gns", simnet.LinkSpec{Latency: 5 * time.Millisecond})
 	v.Run(func() {
-		c, store, o := cacheEnv(t, v, n)
+		c, store, srv, o := cacheServer(t, v, n)
 		defer c.Close()
+		var rpcs atomic.Int64
+		srv.SetRequestCost(func() { rpcs.Add(1) })
 		want := Mapping{Mode: ModeRemote, RemoteHost: "brecca:6000", RemotePath: "/d/JOB.SF"}
 		store.Set("jagan", "JOB.SF", want)
 
@@ -34,51 +45,68 @@ func TestClientCacheHitMissCounters(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		second, err := c.Resolve("jagan", "JOB.SF")
-		if err != nil {
-			t.Fatal(err)
+		after := rpcs.Load()
+		// Every further resolve inside the lease TTL is served locally:
+		// zero RPCs, not just fewer.
+		for i := 0; i < 10; i++ {
+			m, err := c.Resolve("jagan", "JOB.SF")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m != first {
+				t.Errorf("cached resolve = %+v, want %+v", m, first)
+			}
 		}
-		if first.RemoteHost != want.RemoteHost || second != first {
-			t.Errorf("cached resolve = %+v, want %+v", second, first)
+		if got := rpcs.Load(); got != after {
+			t.Errorf("cached resolves cost %d RPCs, want 0", got-after)
 		}
 		snap := o.Snapshot().Counters
-		if snap["gns.cache.miss.total"] != 1 || snap["gns.cache.hit.total"] != 1 {
-			t.Errorf("miss/hit = %d/%d, want 1/1",
+		if snap["gns.cache.miss.total"] != 1 || snap["gns.cache.hit.total"] != 10 {
+			t.Errorf("miss/hit = %d/%d, want 1/10",
 				snap["gns.cache.miss.total"], snap["gns.cache.hit.total"])
 		}
 	})
 }
 
-func TestClientCacheWatchInvalidation(t *testing.T) {
+func TestClientCacheLeaseExpiry(t *testing.T) {
 	v := simclock.NewVirtualDefault()
 	n := simnet.New(v)
 	n.SetLinkBoth("app", "gns", simnet.LinkSpec{Latency: 5 * time.Millisecond})
 	v.Run(func() {
-		c, store, o := cacheEnv(t, v, n)
+		c, store, _, o := cacheServer(t, v, n)
 		defer c.Close()
 		store.Set("jagan", "JOB.SF", Mapping{Mode: ModeRemote, RemoteHost: "brecca:6000", RemotePath: "/d/JOB.SF"})
-		if _, err := c.Resolve("jagan", "JOB.SF"); err != nil { // miss: registers the watcher
+		if _, err := c.Resolve("jagan", "JOB.SF"); err != nil {
 			t.Fatal(err)
 		}
 
-		// A remap by some other party, visible to this client only through
-		// the watch push.
+		// A remap by some other party. Within the lease TTL the cache keeps
+		// serving the old answer — that bounded staleness is the contract.
 		store.Set("jagan", "JOB.SF", Mapping{Mode: ModeCopy, RemoteHost: "dione:6000", RemotePath: "/x/JOB.SF"})
-		v.Sleep(100 * time.Millisecond) // let the push land
-
 		m, err := c.Resolve("jagan", "JOB.SF")
 		if err != nil {
 			t.Fatal(err)
 		}
+		if m.Mode != ModeRemote {
+			t.Errorf("mid-lease resolve = %+v, want the leased (old) mapping", m)
+		}
+
+		// Past the TTL the lease is dead: the next resolve re-leases remotely
+		// and sees the remap.
+		v.Sleep(DefaultLeaseTTL + time.Second)
+		m, err = c.Resolve("jagan", "JOB.SF")
+		if err != nil {
+			t.Fatal(err)
+		}
 		if m.Mode != ModeCopy || m.RemoteHost != "dione:6000" {
-			t.Errorf("post-remap resolve = %+v, want the pushed mapping", m)
+			t.Errorf("post-TTL resolve = %+v, want the remapped mapping", m)
 		}
 		snap := o.Snapshot().Counters
-		// The remapped answer still comes from the cache — the watcher folded
-		// it in — so it counts as a hit, not a second miss.
-		if snap["gns.cache.miss.total"] != 1 || snap["gns.cache.hit.total"] != 1 {
-			t.Errorf("miss/hit = %d/%d, want 1/1",
-				snap["gns.cache.miss.total"], snap["gns.cache.hit.total"])
+		if snap["gns.lease.expire.total"] != 1 {
+			t.Errorf("lease expiries = %d, want 1", snap["gns.lease.expire.total"])
+		}
+		if snap["gns.cache.miss.total"] != 2 {
+			t.Errorf("misses = %d, want 2 (initial + post-expiry)", snap["gns.cache.miss.total"])
 		}
 	})
 }
@@ -88,7 +116,7 @@ func TestClientCacheReadYourWritesAndDelete(t *testing.T) {
 	n := simnet.New(v)
 	n.SetLinkBoth("app", "gns", simnet.LinkSpec{Latency: 5 * time.Millisecond})
 	v.Run(func() {
-		c, _, o := cacheEnv(t, v, n)
+		c, _, _, o := cacheServer(t, v, n)
 		defer c.Close()
 		ver, err := c.Set("jagan", "A.DAT", Mapping{Mode: ModeRemote, RemoteHost: "brecca:6000", RemotePath: "/d/A.DAT"})
 		if err != nil {
@@ -124,37 +152,89 @@ func TestClientCacheReadYourWritesAndDelete(t *testing.T) {
 	})
 }
 
-func TestClientCacheCloseStopsWatchersPromptly(t *testing.T) {
+func TestClientCacheEpochRejection(t *testing.T) {
+	// A Set racing a lease grant: the client resolves (the grant is in
+	// flight, stamped with the pre-Set store version), its own Set lands and
+	// folds the newer mapping into the cache, then the stale grant arrives.
+	// The grant's epoch is older than the cached version, so it must be
+	// rejected — installing it would un-do the client's own write.
 	v := simclock.NewVirtualDefault()
 	n := simnet.New(v)
 	n.SetLinkBoth("app", "gns", simnet.LinkSpec{Latency: 5 * time.Millisecond})
 	v.Run(func() {
-		c, store, _ := cacheEnv(t, v, n)
-		store.Set("jagan", "JOB.SF", Mapping{Mode: ModeRemote, RemoteHost: "brecca:6000"})
-		if _, err := c.Resolve("jagan", "JOB.SF"); err != nil { // registers the watcher
+		c, _, _, o := cacheServer(t, v, n)
+		defer c.Close()
+		ver, err := c.Set("jagan", "R.DAT", Mapping{Mode: ModeCopy, RemoteHost: "dione:6000"})
+		if err != nil {
 			t.Fatal(err)
 		}
-		c.Close()
-		// Close severs the watcher's long-poll connection, so it unwinds
-		// well inside the 30s poll interval.
-		v.Sleep(100 * time.Millisecond)
-		c.cacheMu.Lock()
-		watching, conns := len(c.watching), len(c.watchConns)
-		c.cacheMu.Unlock()
-		if watching != 0 || conns != 0 {
-			t.Errorf("after Close: %d watchers, %d watch conns still live", watching, conns)
+		k := Key{Machine: "jagan", Path: "R.DAT"}
+		stale := Mapping{Mode: ModeRemote, RemoteHost: "brecca:6000", Version: ver - 1}
+		got := c.cacheStore(k, stale, Lease{TTL: DefaultLeaseTTL, Epoch: ver - 1})
+		if got.Mode != ModeCopy || got.Version != ver {
+			t.Errorf("stale grant won: cacheStore = %+v, want the newer cached mapping", got)
+		}
+		m, err := c.Resolve("jagan", "R.DAT")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Mode != ModeCopy {
+			t.Errorf("post-race resolve = %+v, want the client's own write", m)
+		}
+		snap := o.Snapshot().Counters
+		if snap["gns.lease.reject.total"] != 1 {
+			t.Errorf("epoch rejections = %d, want 1", snap["gns.lease.reject.total"])
 		}
 	})
 }
 
-func TestClientCacheWatcherBound(t *testing.T) {
+func TestClientCacheTermInvalidation(t *testing.T) {
+	// A lease granted under shard term t is void once the client observes a
+	// higher term for that shard (failover: the grantor was deposed).
+	v := simclock.NewVirtualDefault()
+	n := simnet.New(v)
+	n.SetLinkBoth("app", "gns", simnet.LinkSpec{Latency: 5 * time.Millisecond})
+	v.Run(func() {
+		c, store, _, o := cacheServer(t, v, n)
+		defer c.Close()
+		store.Set("jagan", "T.DAT", Mapping{Mode: ModeRemote, RemoteHost: "brecca:6000"})
+		k := Key{Machine: "jagan", Path: "T.DAT"}
+		c.cacheStore(k, Mapping{Mode: ModeCopy, RemoteHost: "old-primary:6000", Version: 1},
+			Lease{TTL: time.Hour, Term: 1, Shard: 0, Epoch: 1})
+		c.noteTerm(0, 2)
+		m, err := c.Resolve("jagan", "T.DAT")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.RemoteHost != "brecca:6000" {
+			t.Errorf("post-failover resolve = %+v, want the authoritative mapping", m)
+		}
+		snap := o.Snapshot().Counters
+		if snap["gns.lease.invalidate.total"] != 1 {
+			t.Errorf("term invalidations = %d, want 1", snap["gns.lease.invalidate.total"])
+		}
+	})
+}
+
+func TestClientCacheEntryBound(t *testing.T) {
 	v := simclock.NewVirtualDefault()
 	n := simnet.New(v)
 	n.SetLinkBoth("app", "gns", simnet.LinkSpec{Latency: time.Millisecond})
 	v.Run(func() {
-		c, store, _ := cacheEnv(t, v, n)
+		store := NewStore(v)
+		srv := NewServer(store, v)
+		l, err := n.Host("gns").Listen("gns:5000")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		v.Go("gns-serve", func() { srv.Serve(l) })
+		c := NewClient(n.Host("app"), "gns:5000", v)
 		defer c.Close()
-		for i := 0; i < cacheMaxWatchedKeys+3; i++ {
+		o := obs.New(v)
+		c.SetObserver(o)
+		const max = 4
+		c.EnableCacheWith(CacheOptions{MaxEntries: max})
+		for i := 0; i < max+3; i++ {
 			path := fmt.Sprintf("F%04d.DAT", i)
 			store.Set("jagan", path, Mapping{Mode: ModeRemote, RemoteHost: "brecca:6000"})
 			if _, err := c.Resolve("jagan", path); err != nil {
@@ -162,21 +242,25 @@ func TestClientCacheWatcherBound(t *testing.T) {
 			}
 		}
 		c.cacheMu.Lock()
-		watching := len(c.watching)
+		population := len(c.cache)
 		c.cacheMu.Unlock()
-		if watching != cacheMaxWatchedKeys {
-			t.Errorf("watcher population = %d, want capped at %d", watching, cacheMaxWatchedKeys)
+		if population != max {
+			t.Errorf("cache population = %d, want capped at %d", population, max)
 		}
-		// Overflow keys are not cached but still resolve correctly — every
-		// lookup goes remote and sees the latest mapping.
-		over := fmt.Sprintf("F%04d.DAT", cacheMaxWatchedKeys+2)
-		store.Set("jagan", over, Mapping{Mode: ModeCopy, RemoteHost: "dione:6000"})
-		m, err := c.Resolve("jagan", over)
+		snap := o.Snapshot().Counters
+		if snap["gns.cache.overflow.total"] != 3 {
+			t.Errorf("overflow evictions = %d, want 3", snap["gns.cache.overflow.total"])
+		}
+		// Evicted keys still resolve correctly — the next lookup just pays
+		// the round trip again and sees the latest mapping.
+		first := "F0000.DAT"
+		store.Set("jagan", first, Mapping{Mode: ModeCopy, RemoteHost: "dione:6000"})
+		m, err := c.Resolve("jagan", first)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if m.Mode != ModeCopy || m.RemoteHost != "dione:6000" {
-			t.Errorf("overflow-key resolve = %+v, want the latest server mapping", m)
+			t.Errorf("evicted-key resolve = %+v, want the latest server mapping", m)
 		}
 	})
 }
@@ -192,7 +276,7 @@ func TestClientCacheDisabledByDefault(t *testing.T) {
 			t.Fatal("cache on without EnableCache")
 		}
 		// Every resolve goes to the server: a server-side change is visible
-		// immediately, with no watch delay.
+		// immediately, with no lease delay.
 		store.Set("jagan", "B.DAT", Mapping{Mode: ModeRemote, RemoteHost: "brecca:6000"})
 		m, err := c.Resolve("jagan", "B.DAT")
 		if err != nil {
@@ -205,6 +289,34 @@ func TestClientCacheDisabledByDefault(t *testing.T) {
 		}
 		if m.Mode != ModeCopy {
 			t.Errorf("uncached resolve = %+v, want the latest mapping", m)
+		}
+	})
+}
+
+func TestServerLeaseTTLConfigurable(t *testing.T) {
+	v := simclock.NewVirtualDefault()
+	n := simnet.New(v)
+	n.SetLinkBoth("app", "gns", simnet.LinkSpec{Latency: time.Millisecond})
+	v.Run(func() {
+		c, store, srv, o := cacheServer(t, v, n)
+		defer c.Close()
+		if srv.Store() != store {
+			t.Fatal("Store() accessor mismatch")
+		}
+		srv.SetLeaseTTL(500 * time.Millisecond)
+		store.Set("jagan", "T.DAT", Mapping{Mode: ModeRemote, RemoteHost: "brecca:6000"})
+		if _, err := c.Resolve("jagan", "T.DAT"); err != nil {
+			t.Fatal(err)
+		}
+		// The shortened grant dies after 500ms, well inside the default 5s.
+		v.Sleep(600 * time.Millisecond)
+		if _, err := c.Resolve("jagan", "T.DAT"); err != nil {
+			t.Fatal(err)
+		}
+		snap := o.Snapshot().Counters
+		if snap["gns.lease.expire.total"] != 1 || snap["gns.cache.miss.total"] != 2 {
+			t.Errorf("expire/miss = %d/%d, want 1/2",
+				snap["gns.lease.expire.total"], snap["gns.cache.miss.total"])
 		}
 	})
 }

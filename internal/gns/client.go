@@ -2,7 +2,6 @@ package gns
 
 import (
 	"bufio"
-	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -21,9 +20,18 @@ type Dialer interface {
 	Dial(addr string) (net.Conn, error)
 }
 
+// serverError marks an error the server answered with (msgError): the
+// request reached a live server and the answer is final, so neither the
+// retry policy nor a sharded member walk should re-ask elsewhere.
+type serverError struct{ msg string }
+
+func (e *serverError) Error() string { return e.msg }
+
 // Client is the GNS client used by the File Multiplexer. It keeps one
 // persistent connection for request/response calls; Watch calls, which can
-// block for a long time, each get a dedicated connection.
+// block for a long time, each get a dedicated connection. A client built
+// with NewShardedClient additionally routes every call to the shard owning
+// the key (see shardclient.go).
 type Client struct {
 	dialer Dialer
 	addr   string
@@ -35,14 +43,29 @@ type Client struct {
 	br   *bufio.Reader
 	bw   *bufio.Writer
 
-	obs *obs.Observer // nil-safe; receives gns.cache.* counters
+	// callTimeout bounds one round trip even when the retry policy is
+	// disabled. Sharded member sub-clients set it so a blackholed member
+	// fails the walk over to the next replica instead of hanging.
+	callTimeout time.Duration
 
-	// Resolve cache (see cache.go); nil until EnableCache.
-	cacheMu    sync.Mutex
-	cache      map[Key]Mapping
-	watching   map[Key]bool
-	watchConns map[net.Conn]struct{} // in-flight watcher long-polls, severed on Close
-	closed     bool
+	obs *obs.Observer // nil-safe; receives gns.cache.* / gns.lease.* counters
+
+	// Sharded routing state (see shardclient.go); seeds empty means the
+	// historical single-server client.
+	seeds   []string
+	shardMu sync.Mutex
+	smap    ShardMap
+	ring    *Ring
+	members map[string]*Client
+	lead    map[uint32]string // believed leaseholder per shard
+
+	// Lease cache (see cache.go); nil until EnableCache.
+	cacheMu  sync.Mutex
+	cache    map[Key]cacheEntry
+	terms    map[uint32]uint64 // highest term observed per shard
+	cacheMax int
+	cacheTTL time.Duration // TTL to request; 0 accepts the server default
+	closed   bool
 }
 
 // NewClient returns a Client for the GNS at addr.
@@ -103,6 +126,8 @@ func (c *Client) tripOnce(reqType uint8, payload []byte) (uint8, []byte, error) 
 	}
 	if dl := c.retry.Deadline(); !dl.IsZero() {
 		c.conn.SetDeadline(dl)
+	} else if c.callTimeout > 0 {
+		c.conn.SetDeadline(c.clock.Now().Add(c.callTimeout))
 	}
 	if err := wire.WriteFrame(c.bw, reqType, payload); err != nil {
 		c.dropConnLocked()
@@ -117,7 +142,7 @@ func (c *Client) tripOnce(reqType uint8, payload []byte) (uint8, []byte, error) 
 		c.dropConnLocked()
 		return 0, nil, err
 	}
-	if c.retry.Enabled() {
+	if c.retry.Enabled() || c.callTimeout > 0 {
 		c.conn.SetDeadline(time.Time{})
 	}
 	if typ == admit.MsgShed {
@@ -131,18 +156,125 @@ func (c *Client) tripOnce(reqType uint8, payload []byte) (uint8, []byte, error) 
 		return 0, nil, shed
 	}
 	if typ == msgError {
-		return 0, nil, retry.Permanent(errors.New("gns: " + wire.NewDecoder(resp).String()))
+		return 0, nil, retry.Permanent(&serverError{msg: "gns: " + wire.NewDecoder(resp).String()})
+	}
+	if typ == msgRedirect {
+		// Not the leaseholder: surface who is (sharded writes re-route;
+		// see shardclient.go). Not Permanent — during an election the
+		// right move is to back off and re-ask.
+		leader, term, derr := decodeRedirect(resp)
+		if derr != nil {
+			return 0, nil, derr
+		}
+		return 0, nil, &redirectError{leader: leader, term: term}
 	}
 	return typ, resp, nil
 }
 
 // Resolve implements Resolver over the network; with EnableCache it serves
-// repeated lookups from the watch-coherent cache.
+// repeated lookups from the lease-coherent cache.
 func (c *Client) Resolve(machine, path string) (Mapping, error) {
 	if c.CacheEnabled() {
 		return c.resolveCached(machine, path)
 	}
+	return c.resolveUncached(machine, path)
+}
+
+// resolveUncached always pays the network round trip, routed to the owning
+// shard when sharded.
+func (c *Client) resolveUncached(machine, path string) (Mapping, error) {
+	if c.sharded() {
+		return c.shardResolve(machine, path)
+	}
 	return c.resolveRemote(machine, path)
+}
+
+// ResolveFresh bypasses the lease cache: it resolves remotely and — when
+// the cache is on — refreshes the cached entry with the new grant. The FM
+// calls it when evidence says its cached view went stale mid-lease (an
+// eager-copy claim refused on a version mismatch), converting bounded
+// staleness into immediate coherence exactly where it matters.
+func (c *Client) ResolveFresh(machine, path string) (Mapping, error) {
+	if !c.CacheEnabled() {
+		return c.resolveUncached(machine, path)
+	}
+	m, l, err := c.resolveLease(machine, path)
+	if err != nil {
+		return Mapping{}, err
+	}
+	return c.cacheStore(Key{Machine: machine, Path: path}, m, l), nil
+}
+
+// resolveLease resolves with a cache grant attached, routed when sharded.
+// It also folds the granting shard's term into the client's view, which is
+// what invalidates cached leases from a deposed primary.
+func (c *Client) resolveLease(machine, path string) (Mapping, Lease, error) {
+	var (
+		m   Mapping
+		l   Lease
+		err error
+	)
+	if c.sharded() {
+		m, l, err = c.shardResolveLease(machine, path)
+	} else {
+		m, l, err = c.resolveLeaseRemote(machine, path, c.cacheTTL)
+	}
+	if err != nil {
+		return Mapping{}, Lease{}, err
+	}
+	c.noteTerm(l.Shard, l.Term)
+	return m, l, nil
+}
+
+// resolveLeaseRemote performs the msgResolveLease round trip.
+func (c *Client) resolveLeaseRemote(machine, path string, reqTTL time.Duration) (Mapping, Lease, error) {
+	e := wire.NewEncoder()
+	e.String(machine).String(path).U32(uint32(reqTTL / time.Millisecond))
+	typ, resp, err := c.roundTrip(msgResolveLease, e.Bytes())
+	if err != nil {
+		return Mapping{}, Lease{}, err
+	}
+	if typ != msgResolveLeaseRsp {
+		return Mapping{}, Lease{}, fmt.Errorf("gns: unexpected reply type %d", typ)
+	}
+	return decodeLeaseResp(resp)
+}
+
+// Lookup reports the mapping stored for exactly (machine, path), without
+// Resolve's wildcard and local-default fallbacks (see Store.Lookup).
+func (c *Client) Lookup(machine, path string) (Mapping, bool, error) {
+	if c.sharded() {
+		return c.shardLookup(machine, path)
+	}
+	return c.lookupRemote(machine, path)
+}
+
+func (c *Client) lookupRemote(machine, path string) (Mapping, bool, error) {
+	e := wire.NewEncoder()
+	e.String(machine).String(path)
+	typ, resp, err := c.roundTrip(msgLookup, e.Bytes())
+	if err != nil {
+		return Mapping{}, false, err
+	}
+	if typ != msgLookupResp {
+		return Mapping{}, false, fmt.Errorf("gns: unexpected reply type %d", typ)
+	}
+	d := wire.NewDecoder(resp)
+	found := d.Bool()
+	m := decodeMapping(d)
+	return m, found, d.Err()
+}
+
+// shardMapRemote fetches the server's cluster description (msgShardMap).
+func (c *Client) shardMapRemote() (ShardMap, error) {
+	typ, resp, err := c.roundTrip(msgShardMap, nil)
+	if err != nil {
+		return ShardMap{}, err
+	}
+	if typ != msgShardMapResp {
+		return ShardMap{}, fmt.Errorf("gns: unexpected reply type %d", typ)
+	}
+	return DecodeShardMap(resp)
 }
 
 // resolveRemote performs the actual network round trip.
@@ -161,8 +293,27 @@ func (c *Client) resolveRemote(machine, path string) (Mapping, error) {
 	return m, d.Err()
 }
 
-// Set installs a mapping and returns the new store version.
+// Set installs a mapping and returns the new store version. Sharded, the
+// write is routed to the owning shard's leaseholder.
 func (c *Client) Set(machine, path string, m Mapping) (uint64, error) {
+	var v uint64
+	err := c.writeOp(machine, path, func(mc *Client) error {
+		var err error
+		v, err = mc.setRemote(machine, path, m)
+		return err
+	})
+	if err != nil {
+		return 0, err
+	}
+	if c.CacheEnabled() {
+		// Read-your-writes: fold this client's own update in directly.
+		m.Version = v
+		c.cacheFoldWrite(Key{Machine: machine, Path: path}, m)
+	}
+	return v, nil
+}
+
+func (c *Client) setRemote(machine, path string, m Mapping) (uint64, error) {
 	e := wire.NewEncoder()
 	e.String(machine).String(path)
 	m.encode(e)
@@ -175,21 +326,33 @@ func (c *Client) Set(machine, path string, m Mapping) (uint64, error) {
 	}
 	d := wire.NewDecoder(resp)
 	v := d.U64()
-	if err := d.Err(); err != nil {
-		return 0, err
-	}
-	if c.CacheEnabled() {
-		// Read-your-writes: fold this client's own update in directly.
-		m.Version = v
-		c.cacheInsert(Key{Machine: machine, Path: path}, m)
-	}
-	return v, nil
+	return v, d.Err()
 }
 
 // SetIfAbsent installs m for (machine, path) only if the key is unmapped,
 // returning the mapping now in force and whether this client installed it
 // (the first-writer-wins commit primitive; see Store.SetIfAbsent).
 func (c *Client) SetIfAbsent(machine, path string, m Mapping) (Mapping, bool, error) {
+	var (
+		cur Mapping
+		won bool
+	)
+	err := c.writeOp(machine, path, func(mc *Client) error {
+		var err error
+		cur, won, err = mc.setIfAbsentRemote(machine, path, m)
+		return err
+	})
+	if err != nil {
+		return Mapping{}, false, err
+	}
+	if c.CacheEnabled() {
+		// The server's answer is authoritative either way: fold it in.
+		c.cacheFoldWrite(Key{Machine: machine, Path: path}, cur)
+	}
+	return cur, won, nil
+}
+
+func (c *Client) setIfAbsentRemote(machine, path string, m Mapping) (Mapping, bool, error) {
 	e := wire.NewEncoder()
 	e.String(machine).String(path)
 	m.encode(e)
@@ -206,15 +369,24 @@ func (c *Client) SetIfAbsent(machine, path string, m Mapping) (Mapping, bool, er
 	if err := d.Err(); err != nil {
 		return Mapping{}, false, err
 	}
-	if c.CacheEnabled() {
-		// The server's answer is authoritative either way: fold it in.
-		c.cacheInsert(Key{Machine: machine, Path: path}, cur)
-	}
 	return cur, won, nil
 }
 
 // Delete removes a mapping.
 func (c *Client) Delete(machine, path string) error {
+	err := c.writeOp(machine, path, func(mc *Client) error {
+		return mc.deleteRemote(machine, path)
+	})
+	if err != nil {
+		return err
+	}
+	if c.CacheEnabled() {
+		c.cacheInvalidate(Key{Machine: machine, Path: path})
+	}
+	return nil
+}
+
+func (c *Client) deleteRemote(machine, path string) error {
 	e := wire.NewEncoder()
 	e.String(machine).String(path)
 	typ, _, err := c.roundTrip(msgDelete, e.Bytes())
@@ -224,14 +396,27 @@ func (c *Client) Delete(machine, path string) error {
 	if typ != msgDeleteResp {
 		return fmt.Errorf("gns: unexpected reply type %d", typ)
 	}
-	if c.CacheEnabled() {
-		c.cacheInvalidate(Key{Machine: machine, Path: path})
-	}
 	return nil
 }
 
-// List reports all mappings in the store.
+// writeOp runs one write against the right server: directly for a
+// single-server client, through leaseholder routing when sharded.
+func (c *Client) writeOp(machine, path string, do func(*Client) error) error {
+	if c.sharded() {
+		return c.shardWrite(machine, path, do)
+	}
+	return do(c)
+}
+
+// List reports all mappings in the store (merged across shards).
 func (c *Client) List() ([]Entry, error) {
+	if c.sharded() {
+		return c.shardList()
+	}
+	return c.listRemote()
+}
+
+func (c *Client) listRemote() ([]Entry, error) {
 	typ, resp, err := c.roundTrip(msgList, nil)
 	if err != nil {
 		return nil, err
@@ -264,7 +449,11 @@ func (c *Client) Watch(machine, path string, since uint64, timeoutMS int64) (Map
 	var changed bool
 	err := c.retry.Do("gns.watch", func(int) error {
 		var err error
-		m, changed, err = c.watchOnce(machine, path, since, timeoutMS)
+		if c.sharded() {
+			m, changed, err = c.shardWatchOnce(machine, path, since, timeoutMS)
+		} else {
+			m, changed, err = c.watchOnce(c.addr, machine, path, since, timeoutMS)
+		}
 		return err
 	})
 	if err != nil {
@@ -273,10 +462,10 @@ func (c *Client) Watch(machine, path string, since uint64, timeoutMS int64) (Map
 	return m, changed, nil
 }
 
-func (c *Client) watchOnce(machine, path string, since uint64, timeoutMS int64) (Mapping, bool, error) {
-	conn, err := c.dialer.Dial(c.addr)
+func (c *Client) watchOnce(addr, machine, path string, since uint64, timeoutMS int64) (Mapping, bool, error) {
+	conn, err := c.dialer.Dial(addr)
 	if err != nil {
-		return Mapping{}, false, fmt.Errorf("gns: dial %s: %w", c.addr, err)
+		return Mapping{}, false, fmt.Errorf("gns: dial %s: %w", addr, err)
 	}
 	defer conn.Close()
 	if t := c.retry.Timeout(); t > 0 {
@@ -301,7 +490,7 @@ func (c *Client) watchOnce(machine, path string, since uint64, timeoutMS int64) 
 		return Mapping{}, false, shed
 	}
 	if typ == msgError {
-		return Mapping{}, false, retry.Permanent(errors.New("gns: " + wire.NewDecoder(resp).String()))
+		return Mapping{}, false, retry.Permanent(&serverError{msg: "gns: " + wire.NewDecoder(resp).String()})
 	}
 	if typ != msgWatchResp {
 		return Mapping{}, false, retry.Permanent(fmt.Errorf("gns: unexpected reply type %d", typ))
@@ -312,16 +501,23 @@ func (c *Client) watchOnce(machine, path string, since uint64, timeoutMS int64) 
 	return m, changed, d.Err()
 }
 
-// Close releases the shared connection and stops cache watchers: severing
-// each watcher's long-poll connection fails its pending read, so watchers
-// exit promptly instead of after a full poll interval.
+// Close releases the shared connection (and, sharded, every member
+// sub-client's). The lease cache needs no teardown: there are no watcher
+// goroutines or standing connections to stop — that is the point of
+// leases.
 func (c *Client) Close() error {
 	c.cacheMu.Lock()
 	c.closed = true
-	for conn := range c.watchConns {
-		conn.Close()
-	}
 	c.cacheMu.Unlock()
+	c.shardMu.Lock()
+	members := make([]*Client, 0, len(c.members))
+	for _, m := range c.members {
+		members = append(members, m)
+	}
+	c.shardMu.Unlock()
+	for _, m := range members {
+		m.Close()
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.dropConnLocked()
@@ -330,3 +526,5 @@ func (c *Client) Close() error {
 
 var _ Resolver = (*Client)(nil)
 var _ Resolver = (*Store)(nil)
+var _ FreshResolver = (*Client)(nil)
+var _ FreshResolver = (*Store)(nil)

@@ -1,0 +1,96 @@
+package gns
+
+import (
+	"sync"
+
+	"griddles/internal/obs"
+)
+
+// DirectoryClient adapts the network *Client to the Directory interface
+// the workflow coordinator programs against. The Store's mutation methods
+// cannot fail, so the adapter converts transport errors into counters plus
+// a sticky Err() the coordinator checks at run end: a failed Set leaves
+// the key unmapped (the FM's local-passthrough default), a failed
+// SetIfAbsent reports "lost" — both degrade a run, neither corrupts it
+// (a losing attempt's outputs are discarded, never adopted).
+type DirectoryClient struct {
+	C *Client
+
+	mu  sync.Mutex
+	err error
+}
+
+// NewDirectoryClient wraps c.
+func NewDirectoryClient(c *Client) *DirectoryClient {
+	return &DirectoryClient{C: c}
+}
+
+// Err reports the first mutation error swallowed by the adapter, if any.
+func (d *DirectoryClient) Err() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.err
+}
+
+func (d *DirectoryClient) note(err error) {
+	if err == nil {
+		return
+	}
+	d.C.obs.Counter("gns.directory.error.total").Inc()
+	d.mu.Lock()
+	if d.err == nil {
+		d.err = err
+	}
+	d.mu.Unlock()
+}
+
+// Resolve implements Resolver.
+func (d *DirectoryClient) Resolve(machine, path string) (Mapping, error) {
+	return d.C.Resolve(machine, path)
+}
+
+// Watch implements Resolver.
+func (d *DirectoryClient) Watch(machine, path string, since uint64, timeoutMS int64) (Mapping, bool, error) {
+	return d.C.Watch(machine, path, since, timeoutMS)
+}
+
+// ResolveFresh implements FreshResolver.
+func (d *DirectoryClient) ResolveFresh(machine, path string) (Mapping, error) {
+	return d.C.ResolveFresh(machine, path)
+}
+
+// SetObserver implements Directory.
+func (d *DirectoryClient) SetObserver(o *obs.Observer) { d.C.SetObserver(o) }
+
+// Lookup implements Directory.
+func (d *DirectoryClient) Lookup(machine, path string) (Mapping, bool) {
+	m, found, err := d.C.Lookup(machine, path)
+	d.note(err)
+	return m, found && err == nil
+}
+
+// Set implements Directory.
+func (d *DirectoryClient) Set(machine, path string, m Mapping) uint64 {
+	v, err := d.C.Set(machine, path, m)
+	d.note(err)
+	return v
+}
+
+// SetIfAbsent implements Directory. The commit is routed to the owning
+// shard's leaseholder (Client.SetIfAbsent), so first-writer-wins holds
+// across every speculating coordinator in the grid, not just in one
+// process. On a transport error the attempt is reported as lost — safe,
+// because only a confirmed winner's outputs are adopted.
+func (d *DirectoryClient) SetIfAbsent(machine, path string, m Mapping) (Mapping, bool) {
+	cur, won, err := d.C.SetIfAbsent(machine, path, m)
+	d.note(err)
+	return cur, won && err == nil
+}
+
+// Delete implements Directory.
+func (d *DirectoryClient) Delete(machine, path string) {
+	d.note(d.C.Delete(machine, path))
+}
+
+var _ Directory = (*DirectoryClient)(nil)
+var _ Directory = (*Store)(nil)

@@ -1,0 +1,131 @@
+package gns
+
+import (
+	"testing"
+	"time"
+
+	"griddles/internal/obs"
+	"griddles/internal/simclock"
+	"griddles/internal/simnet"
+)
+
+func TestDirectoryClientOverShardedCluster(t *testing.T) {
+	v := simclock.NewVirtualDefault()
+	n := simnet.New(v)
+	v.Run(func() {
+		cl := startCluster(t, v, n, "0=gns0:5000;1=gns1:5000", nil)
+		defer cl.close()
+		c := shardedClient(n, v, "gns0:5000")
+		defer c.Close()
+		d := NewDirectoryClient(c)
+		o := obs.New(v)
+		d.SetObserver(o)
+
+		want := Mapping{Mode: ModeRemote, RemoteHost: "brecca:6000", RemotePath: "/d/A.DAT"}
+		ver := d.Set("jagan", "A.DAT", want)
+		if ver == 0 {
+			t.Fatal("Set returned version 0")
+		}
+		if m, ok := d.Lookup("jagan", "A.DAT"); !ok || m.RemoteHost != want.RemoteHost {
+			t.Errorf("Lookup = %+v (%v)", m, ok)
+		}
+		if m, err := d.Resolve("jagan", "A.DAT"); err != nil || m.Mode != ModeRemote {
+			t.Errorf("Resolve = %+v, %v", m, err)
+		}
+		if m, err := d.ResolveFresh("jagan", "A.DAT"); err != nil || m.Mode != ModeRemote {
+			t.Errorf("ResolveFresh = %+v, %v", m, err)
+		}
+		if _, won := d.SetIfAbsent("jagan", "A.DAT", Mapping{Mode: ModeLocal}); won {
+			t.Error("SetIfAbsent won over an existing key")
+		}
+		if _, won := d.SetIfAbsent("jagan", "FRESH.DAT", Mapping{Mode: ModeLocal}); !won {
+			t.Error("SetIfAbsent lost on a fresh key")
+		}
+		d.Delete("jagan", "A.DAT")
+		if _, ok := d.Lookup("jagan", "A.DAT"); ok {
+			t.Error("Lookup found a deleted key")
+		}
+		done := make(chan bool, 1)
+		v.Go("watch", func() {
+			_, changed, err := d.Watch("jagan", "W.DAT", 0, 5000)
+			done <- changed && err == nil
+		})
+		v.Sleep(20 * time.Millisecond)
+		d.Set("jagan", "W.DAT", Mapping{Mode: ModeLocal, LocalPath: "w"})
+		if !<-done {
+			t.Error("Watch did not wake on Set")
+		}
+		if err := d.Err(); err != nil {
+			t.Errorf("sticky error after healthy run: %v", err)
+		}
+	})
+}
+
+func TestDirectoryClientStickyErrorOnDeadService(t *testing.T) {
+	v := simclock.NewVirtualDefault()
+	n := simnet.New(v)
+	v.Run(func() {
+		// No server listening: every mutation fails at dial time. The
+		// adapter must degrade — loss reported, error counted and sticky —
+		// rather than panic or pretend success.
+		c := NewClient(n.Host("app"), "gns:5000", v)
+		defer c.Close()
+		d := NewDirectoryClient(c)
+		o := obs.New(v)
+		d.SetObserver(o)
+		if v := d.Set("jagan", "A.DAT", Mapping{Mode: ModeLocal}); v != 0 {
+			t.Errorf("Set against dead service returned version %d", v)
+		}
+		if _, won := d.SetIfAbsent("jagan", "A.DAT", Mapping{Mode: ModeLocal}); won {
+			t.Error("SetIfAbsent against dead service reported a win")
+		}
+		if _, ok := d.Lookup("jagan", "A.DAT"); ok {
+			t.Error("Lookup against dead service reported found")
+		}
+		d.Delete("jagan", "A.DAT")
+		if d.Err() == nil {
+			t.Fatal("no sticky error after failed mutations")
+		}
+		if got := o.Snapshot().Counters["gns.directory.error.total"]; got != 4 {
+			t.Errorf("gns.directory.error.total = %d, want 4", got)
+		}
+	})
+}
+
+func TestShardedClientList(t *testing.T) {
+	v := simclock.NewVirtualDefault()
+	n := simnet.New(v)
+	v.Run(func() {
+		cl := startCluster(t, v, n, "0=gns0:5000;1=gns1:5000;2=gns2:5000", nil)
+		defer cl.close()
+		c := shardedClient(n, v, "gns1:5000")
+		defer c.Close()
+		const total = 30
+		for i := 0; i < total; i++ {
+			path := listPath(i)
+			if _, err := c.Set("jagan", path, Mapping{Mode: ModeLocal, LocalPath: path}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		entries, err := c.List()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(entries) != total {
+			t.Fatalf("List merged %d entries, want %d", len(entries), total)
+		}
+		seen := make(map[string]bool)
+		for _, e := range entries {
+			seen[e.Key.Path] = true
+		}
+		for i := 0; i < total; i++ {
+			if !seen[listPath(i)] {
+				t.Errorf("List missing %s", listPath(i))
+			}
+		}
+	})
+}
+
+func listPath(i int) string {
+	return "/list/" + string(rune('A'+i/10)) + string(rune('0'+i%10)) + ".DAT"
+}

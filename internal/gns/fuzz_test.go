@@ -1,0 +1,114 @@
+package gns
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// FuzzShardLeaseWire throws arbitrary bytes at every decoder the sharded
+// protocol added (messages 13-23): the shard map, the lease-stamped resolve
+// reply, the leader redirect, and the three replication records. The first
+// byte selects the decoder; the rest is the payload. No input may panic or
+// over-allocate, and any value a decoder accepts must survive an
+// encode/decode round trip unchanged (struct-level, so decoders that
+// tolerate trailing bytes are not forced to reproduce them) — the property
+// the shard map hands to every client and replicas hand to each other.
+func FuzzShardLeaseWire(f *testing.F) {
+	seed := func(sel byte, payload []byte) {
+		f.Add(append([]byte{sel}, payload...))
+	}
+	sm := ShardMap{Epoch: 3, VNodes: 64, Shards: []ShardInfo{
+		{ID: 0, Addrs: []string{"gns0:5000", "gns0r:5000"}},
+		{ID: 1, Addrs: []string{"gns1:5000"}},
+	}}
+	seed(0, EncodeShardMap(sm))
+	seed(1, encodeLeaseResp(
+		Mapping{Mode: ModeRemote, RemoteHost: "brecca:6000", RemotePath: "/d/X.DAT", Version: 7},
+		Lease{TTL: 5 * time.Second, Term: 2, Shard: 1, Epoch: 7}))
+	seed(2, encodeRedirect("gns0:5000", 9))
+	seed(3, encodeReplAppend(replRecord{
+		Term: 2, Leader: "gns0:5000", PrevVersion: 4, Version: 5, HasEntry: true,
+		Machine: "jagan", Path: "/d/A.DAT", M: Mapping{Mode: ModeCopy, Version: 5},
+	}))
+	seed(4, encodeReplSnapshot(replSnapshot{
+		Term: 2, Leader: "gns0:5000", Version: 5,
+		Entries: []Entry{{Key: Key{Machine: "*", Path: "/d/B.DAT"}, Mapping: Mapping{Mode: ModeLocal, Version: 5}}},
+	}))
+	seed(5, encodeReplAck(replAck{OK: true, Term: 2, Version: 5}))
+	f.Add([]byte{})
+	f.Add([]byte{0})
+
+	// nan reports a mapping whose ReadFraction decoded as NaN — the bits
+	// round-trip exactly, but NaN is never equal to itself, so DeepEqual
+	// cannot certify those values.
+	nan := func(m Mapping) bool { return math.IsNaN(m.ReadFraction) }
+
+	// roundTrip asserts the decode -> encode -> decode fixed point.
+	roundTrip := func(t *testing.T, what string, first interface{}, again interface{}, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("%s: re-decode of canonical encoding failed: %v", what, err)
+		}
+		if !reflect.DeepEqual(first, again) {
+			t.Fatalf("%s round trip changed value:\n first %+v\nsecond %+v", what, first, again)
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		sel, payload := data[0]%6, data[1:]
+		switch sel {
+		case 0:
+			sm, err := DecodeShardMap(payload)
+			if err != nil {
+				return
+			}
+			again, err := DecodeShardMap(EncodeShardMap(sm))
+			roundTrip(t, "shard map", sm, again, err)
+		case 1:
+			m, l, err := decodeLeaseResp(payload)
+			if err != nil || nan(m) {
+				return
+			}
+			m2, l2, err := decodeLeaseResp(encodeLeaseResp(m, l))
+			roundTrip(t, "lease resp", [2]interface{}{m, l}, [2]interface{}{m2, l2}, err)
+		case 2:
+			leader, term, err := decodeRedirect(payload)
+			if err != nil {
+				return
+			}
+			leader2, term2, err := decodeRedirect(encodeRedirect(leader, term))
+			roundTrip(t, "redirect", [2]interface{}{leader, term}, [2]interface{}{leader2, term2}, err)
+		case 3:
+			rec, err := decodeReplAppend(payload)
+			if err != nil || nan(rec.M) {
+				return
+			}
+			again, err := decodeReplAppend(encodeReplAppend(rec))
+			roundTrip(t, "repl append", rec, again, err)
+		case 4:
+			snap, err := decodeReplSnapshot(payload)
+			if err != nil {
+				return
+			}
+			for _, ent := range snap.Entries {
+				if nan(ent.Mapping) {
+					return
+				}
+			}
+			again, err := decodeReplSnapshot(encodeReplSnapshot(snap))
+			roundTrip(t, "repl snapshot", snap, again, err)
+		case 5:
+			ack, err := decodeReplAck(payload)
+			if err != nil {
+				return
+			}
+			again, err := decodeReplAck(encodeReplAck(ack))
+			roundTrip(t, "repl ack", ack, again, err)
+		}
+	})
+}

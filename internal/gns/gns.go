@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 
+	"griddles/internal/obs"
 	"griddles/internal/wire"
 )
 
@@ -227,4 +228,34 @@ type Resolver interface {
 	// since, then returns it. It returns changed=false if the (optional)
 	// timeout in milliseconds elapses first; timeoutMS <= 0 waits forever.
 	Watch(machine, path string, since uint64, timeoutMS int64) (Mapping, bool, error)
+}
+
+// FreshResolver is the optional bypass around any client-side caching: a
+// resolve guaranteed to reflect the authoritative store right now. The FM
+// probes for it when it has evidence its view is stale (a prestage claim
+// refused on a version mismatch) — a resolver without caching just answers
+// Resolve again.
+type FreshResolver interface {
+	ResolveFresh(machine, path string) (Mapping, error)
+}
+
+// ResolveFresh implements FreshResolver; the Store is its own authority.
+func (s *Store) ResolveFresh(machine, path string) (Mapping, error) {
+	return s.Resolve(machine, path)
+}
+
+// Directory is the full read-write GNS surface the workflow coordinator
+// drives: Resolve/Watch for the FM side plus the exact-key mutations the
+// scheduler, speculation rollback and journal recovery use. The embedded
+// *Store satisfies it directly (the historical in-process deployment); a
+// *DirectoryClient adapts the network *Client, which routes every write —
+// including the SetIfAbsent speculation commit — to the owning shard's
+// leaseholder.
+type Directory interface {
+	Resolver
+	SetObserver(o *obs.Observer)
+	Lookup(machine, path string) (Mapping, bool)
+	Set(machine, path string, m Mapping) uint64
+	SetIfAbsent(machine, path string, m Mapping) (Mapping, bool)
+	Delete(machine, path string)
 }

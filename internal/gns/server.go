@@ -5,8 +5,10 @@ import (
 	"errors"
 	"io"
 	"net"
+	"time"
 
 	"griddles/internal/admit"
+	"griddles/internal/obs"
 	"griddles/internal/simclock"
 	"griddles/internal/wire"
 )
@@ -30,18 +32,40 @@ const (
 
 // Server exposes a Store over the framed binary protocol.
 type Server struct {
-	store *Store
-	clock simclock.Clock
-	adm   *admit.Controller
+	store    *Store
+	clock    simclock.Clock
+	adm      *admit.Controller
+	obs      *obs.Observer // nil-safe; gns.shard.* instruments
+	leaseTTL time.Duration
+	reqCost  func()
+	shard    *shardRun
 }
 
 // NewServer returns a Server for store.
 func NewServer(store *Store, clock simclock.Clock) *Server {
-	return &Server{store: store, clock: clock}
+	return &Server{store: store, clock: clock, leaseTTL: DefaultLeaseTTL}
 }
 
 // Store returns the served store (for embedding administration).
 func (s *Server) Store() *Store { return s.store }
+
+// SetObserver routes the server's shard/replication metrics to o; nil (the
+// default) discards them.
+func (s *Server) SetObserver(o *obs.Observer) { s.obs = o }
+
+// SetLeaseTTL overrides the TTL stamped on lease grants (see
+// DefaultLeaseTTL). Must be set before Serve/EnableShard.
+func (s *Server) SetLeaseTTL(ttl time.Duration) {
+	if ttl > 0 {
+		s.leaseTTL = ttl
+	}
+}
+
+// SetRequestCost installs a per-request cost hook, charged before every
+// dispatched message. Benchmarks use it to model the CPU a real server
+// spends per RPC — the simulated network alone would let one server answer
+// unbounded load — so shard scaling measures what sharding actually buys.
+func (s *Server) SetRequestCost(fn func()) { s.reqCost = fn }
 
 // SetAdmission installs an admission controller; nil (the default) admits
 // everything, preserving the unprotected server's behaviour bit for bit.
@@ -92,6 +116,9 @@ func (s *Server) handle(conn net.Conn) {
 				return
 			}
 		} else {
+			if s.reqCost != nil {
+				s.reqCost()
+			}
 			derr := s.dispatch(bw, typ, payload)
 			rel()
 			if derr != nil {
@@ -122,6 +149,9 @@ func (s *Server) dispatch(w io.Writer, typ uint8, payload []byte) error {
 		if err := d.Err(); err != nil {
 			return writeError(w, err)
 		}
+		if err := s.checkOwned(machine, path); err != nil {
+			return writeError(w, err)
+		}
 		m, err := s.store.Resolve(machine, path)
 		if err != nil {
 			return writeError(w, err)
@@ -136,7 +166,20 @@ func (s *Server) dispatch(w io.Writer, typ uint8, payload []byte) error {
 		if err := d.Err(); err != nil {
 			return writeError(w, err)
 		}
-		v := s.store.Set(machine, path, m)
+		if err := s.checkOwned(machine, path); err != nil {
+			return writeError(w, err)
+		}
+		if ok, leader, term := s.writeState(); !ok {
+			return wire.WriteFrame(w, msgRedirect, encodeRedirect(leader, term))
+		}
+		applied, prev, v := s.store.setDelta(machine, path, m)
+		if s.shard != nil {
+			s.shard.replicate(replRecord{
+				Term: s.shard.currentTerm(), Leader: s.shard.cfg.Self,
+				PrevVersion: prev, Version: v,
+				HasEntry: true, Machine: machine, Path: path, M: applied,
+			})
+		}
 		return wire.WriteFrame(w, msgSetResp, wire.NewEncoder().U64(v).Bytes())
 
 	case msgSetIfAbsent:
@@ -145,7 +188,20 @@ func (s *Server) dispatch(w io.Writer, typ uint8, payload []byte) error {
 		if err := d.Err(); err != nil {
 			return writeError(w, err)
 		}
-		cur, won := s.store.SetIfAbsent(machine, path, m)
+		if err := s.checkOwned(machine, path); err != nil {
+			return writeError(w, err)
+		}
+		if ok, leader, term := s.writeState(); !ok {
+			return wire.WriteFrame(w, msgRedirect, encodeRedirect(leader, term))
+		}
+		cur, won, prev, v := s.store.setIfAbsentDelta(machine, path, m)
+		if won && s.shard != nil {
+			s.shard.replicate(replRecord{
+				Term: s.shard.currentTerm(), Leader: s.shard.cfg.Self,
+				PrevVersion: prev, Version: v,
+				HasEntry: true, Machine: machine, Path: path, M: cur,
+			})
+		}
 		e := wire.NewEncoder()
 		e.Bool(won)
 		cur.encode(e)
@@ -156,8 +212,77 @@ func (s *Server) dispatch(w io.Writer, typ uint8, payload []byte) error {
 		if err := d.Err(); err != nil {
 			return writeError(w, err)
 		}
-		s.store.Delete(machine, path)
+		if err := s.checkOwned(machine, path); err != nil {
+			return writeError(w, err)
+		}
+		if ok, leader, term := s.writeState(); !ok {
+			return wire.WriteFrame(w, msgRedirect, encodeRedirect(leader, term))
+		}
+		existed, prev, v := s.store.deleteDelta(machine, path)
+		if existed && s.shard != nil {
+			s.shard.replicate(replRecord{
+				Term: s.shard.currentTerm(), Leader: s.shard.cfg.Self,
+				PrevVersion: prev, Version: v,
+				HasEntry: true, Tombstone: true, Machine: machine, Path: path,
+			})
+		}
 		return wire.WriteFrame(w, msgDeleteResp, nil)
+
+	case msgLookup:
+		machine, path := d.String(), d.String()
+		if err := d.Err(); err != nil {
+			return writeError(w, err)
+		}
+		if err := s.checkOwned(machine, path); err != nil {
+			return writeError(w, err)
+		}
+		m, found := s.store.Lookup(machine, path)
+		e := wire.NewEncoder()
+		e.Bool(found)
+		m.encode(e)
+		return wire.WriteFrame(w, msgLookupResp, e.Bytes())
+
+	case msgResolveLease:
+		machine, path := d.String(), d.String()
+		reqTTL := d.U32()
+		if err := d.Err(); err != nil {
+			return writeError(w, err)
+		}
+		if err := s.checkOwned(machine, path); err != nil {
+			return writeError(w, err)
+		}
+		m, epoch := s.store.ResolveVersioned(machine, path)
+		l := s.leaseFor(epoch)
+		if req := time.Duration(reqTTL) * time.Millisecond; req > 0 && req < l.TTL {
+			l.TTL = req
+		}
+		return wire.WriteFrame(w, msgResolveLeaseRsp, encodeLeaseResp(m, l))
+
+	case msgShardMap:
+		if s.shard == nil {
+			return writeError(w, errors.New("gns: server is not sharded"))
+		}
+		return wire.WriteFrame(w, msgShardMapResp, EncodeShardMap(s.shard.cfg.Map))
+
+	case msgReplAppend:
+		if s.shard == nil {
+			return writeError(w, errors.New("gns: server is not sharded"))
+		}
+		rec, err := decodeReplAppend(payload)
+		if err != nil {
+			return writeError(w, err)
+		}
+		return wire.WriteFrame(w, msgReplAppendResp, encodeReplAck(s.shard.onAppend(rec)))
+
+	case msgReplSnapshot:
+		if s.shard == nil {
+			return writeError(w, errors.New("gns: server is not sharded"))
+		}
+		snap, err := decodeReplSnapshot(payload)
+		if err != nil {
+			return writeError(w, err)
+		}
+		return wire.WriteFrame(w, msgReplSnapResp, encodeReplAck(s.shard.onSnapshot(snap)))
 
 	case msgList:
 		entries := s.store.List()
@@ -175,6 +300,9 @@ func (s *Server) dispatch(w io.Writer, typ uint8, payload []byte) error {
 		since := d.U64()
 		timeoutMS := d.I64()
 		if err := d.Err(); err != nil {
+			return writeError(w, err)
+		}
+		if err := s.checkOwned(machine, path); err != nil {
 			return writeError(w, err)
 		}
 		m, changed, err := s.store.Watch(machine, path, since, timeoutMS)

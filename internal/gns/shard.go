@@ -1,0 +1,365 @@
+package gns
+
+import (
+	"bufio"
+	"fmt"
+	"sync"
+	"time"
+
+	"griddles/internal/obs"
+	"griddles/internal/wire"
+)
+
+// Shard-side replication: each shard is a small replica group under a
+// leader-lease protocol. The configured primary (Addrs[0]) starts as the
+// leader of term 1 and heartbeats its replicas every Heartbeat; a replica
+// that misses heartbeats for LeaseTTL plus a rank-proportional stagger
+// promotes itself with a higher term. Writes go through the leader
+// (followers answer msgRedirect), are applied locally, then pushed to
+// every replica as a version-prefix-checked append; a replica that lagged
+// (crash, partition) is caught up with a full snapshot — the GNS is a
+// configuration database of at most a few thousand entries, so snapshot
+// catch-up beats carrying a log (the Globus replica-catalogue soft-state
+// shape).
+//
+// The election timeout floor of one LeaseTTL means every lease the old
+// leader granted has expired (quiesced) by the time a replica can take
+// over; the rank stagger keeps two replicas from promoting in the same
+// window. Term fencing does the rest: a deposed leader steps down the
+// moment it sees a higher term in any reply, and clients discard cached
+// leases granted under a term lower than the highest they have observed.
+
+// ShardConfig configures one member of one shard's replica group.
+type ShardConfig struct {
+	// Map is the full cluster description (all shards).
+	Map ShardMap
+	// ID is this member's shard.
+	ID uint32
+	// Self is this member's address exactly as it appears in Map.
+	Self string
+	// Dialer reaches the other members of the shard.
+	Dialer Dialer
+	// LeaseTTL is the grant stamped on resolve replies and the election
+	// timeout floor; 0 selects DefaultLeaseTTL.
+	LeaseTTL time.Duration
+	// Heartbeat is the replication heartbeat interval; 0 selects
+	// DefaultHeartbeat.
+	Heartbeat time.Duration
+}
+
+// shardRun is the per-member replication state machine.
+type shardRun struct {
+	srv  *Server
+	cfg  ShardConfig
+	ring *Ring
+	rank int // index of Self in the member list; rank 0 is the configured primary
+
+	mu       sync.Mutex
+	stopped  bool
+	term     uint64
+	leader   string // "" while unknown (between stepdown and the next heartbeat)
+	lastBeat time.Time
+
+	// repMu serializes the leader's replication fan-out so appends reach
+	// each replica in version order.
+	repMu sync.Mutex
+}
+
+// EnableShard turns the server into one member of a sharded deployment.
+// Must be called before Serve. The configured primary starts as leader of
+// term 1; replicas start as followers with a fresh election window.
+func (s *Server) EnableShard(cfg ShardConfig) error {
+	if err := cfg.Map.Validate(); err != nil {
+		return err
+	}
+	info, ok := cfg.Map.Shard(cfg.ID)
+	if !ok {
+		return fmt.Errorf("gns: shard %d not in map", cfg.ID)
+	}
+	rank := -1
+	for i, a := range info.Addrs {
+		if a == cfg.Self {
+			rank = i
+			break
+		}
+	}
+	if rank < 0 {
+		return fmt.Errorf("gns: member %q not in shard %d", cfg.Self, cfg.ID)
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = s.leaseTTL
+	}
+	s.leaseTTL = cfg.LeaseTTL
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = DefaultHeartbeat
+	}
+	r := &shardRun{
+		srv:      s,
+		cfg:      cfg,
+		ring:     NewRing(cfg.Map),
+		rank:     rank,
+		term:     1,
+		leader:   info.Addrs[0],
+		lastBeat: s.clock.Now(),
+	}
+	s.shard = r
+	s.clock.Go(fmt.Sprintf("gns-shard-%d@%s", cfg.ID, cfg.Self), r.loop)
+	return nil
+}
+
+// Close stops the shard replication loop. Safe on an unsharded server.
+// Virtual-clock tests must call it: a leaked heartbeat loop keeps sleeping
+// on timers and spins simulated time after the test root exits.
+func (s *Server) Close() {
+	if s.shard == nil {
+		return
+	}
+	s.shard.mu.Lock()
+	s.shard.stopped = true
+	s.shard.mu.Unlock()
+}
+
+// checkOwned rejects keys the ring places on another shard — a misrouted
+// request means client and server disagree on the map, and answering it
+// (an empty local store resolves to the ModeLocal default) would silently
+// serve wrong data. Unsharded servers own everything.
+func (s *Server) checkOwned(machine, path string) error {
+	if s.shard == nil {
+		return nil
+	}
+	if sid := s.shard.ring.ShardFor(machine, path); sid != s.shard.cfg.ID {
+		return fmt.Errorf("gns: shard %d does not own (%s, %s) (shard %d does)",
+			s.shard.cfg.ID, machine, path, sid)
+	}
+	return nil
+}
+
+// Leader reports whether this member currently holds the write lease for
+// its shard. Unsharded servers trivially do.
+func (s *Server) Leader() bool {
+	if s.shard == nil {
+		return true
+	}
+	s.shard.mu.Lock()
+	defer s.shard.mu.Unlock()
+	return s.shard.leader == s.shard.cfg.Self
+}
+
+// currentTerm reports the member's term.
+func (r *shardRun) currentTerm() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.term
+}
+
+// leaseFor stamps a grant for a resolve answered at store version epoch.
+func (s *Server) leaseFor(epoch uint64) Lease {
+	l := Lease{TTL: s.leaseTTL, Epoch: epoch}
+	if s.shard != nil {
+		s.shard.mu.Lock()
+		l.Term = s.shard.term
+		l.Shard = s.shard.cfg.ID
+		s.shard.mu.Unlock()
+	}
+	return l
+}
+
+// writeState reports whether this member currently accepts writes, and if
+// not, the leader to redirect to (possibly "" mid-election) and the term.
+func (s *Server) writeState() (leader bool, redirect string, term uint64) {
+	if s.shard == nil {
+		return true, "", 0
+	}
+	r := s.shard
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.leader == r.cfg.Self {
+		return true, "", r.term
+	}
+	return false, r.leader, r.term
+}
+
+// loop is the per-member timer: leaders heartbeat, followers watch for a
+// silent leader and promote.
+func (r *shardRun) loop() {
+	for {
+		r.mu.Lock()
+		if r.stopped {
+			r.mu.Unlock()
+			return
+		}
+		now := r.srv.clock.Now()
+		isLeader := r.leader == r.cfg.Self
+		if !isLeader {
+			// Stagger: rank k waits k extra heartbeats past the lease
+			// quiesce floor, so the surviving member with the lowest rank
+			// wins the election alone.
+			wait := r.cfg.LeaseTTL + time.Duration(r.rank)*r.cfg.Heartbeat
+			if now.Sub(r.lastBeat) >= wait {
+				r.term++
+				r.leader = r.cfg.Self
+				r.lastBeat = now
+				isLeader = true
+				r.srv.obs.Counter("gns.shard.promote.total").Inc()
+				r.srv.obs.Emit("gns.shard.failover", r.cfg.Self,
+					obs.KV("shard", r.cfg.ID), obs.KV("term", r.term))
+			}
+		}
+		term := r.term
+		r.mu.Unlock()
+		if isLeader {
+			r.heartbeat(term)
+		}
+		r.srv.clock.Sleep(r.cfg.Heartbeat)
+	}
+}
+
+// peers lists the other members of this shard.
+func (r *shardRun) peers() []string {
+	info, _ := r.cfg.Map.Shard(r.cfg.ID)
+	out := make([]string, 0, len(info.Addrs)-1)
+	for _, a := range info.Addrs {
+		if a != r.cfg.Self {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// heartbeat sends an empty append (the version check) to every peer and
+// snapshots any replica whose state diverged.
+func (r *shardRun) heartbeat(term uint64) {
+	r.repMu.Lock()
+	defer r.repMu.Unlock()
+	version := r.srv.store.Version()
+	rec := replRecord{Term: term, Leader: r.cfg.Self, PrevVersion: version, Version: version}
+	for _, p := range r.peers() {
+		r.appendTo(p, rec)
+	}
+}
+
+// replicate pushes one applied write to every peer, in order (repMu).
+// Best-effort: a peer that cannot be reached is caught up by the next
+// heartbeat's version check; reads it serves meanwhile are stale by at
+// most one heartbeat interval, within the lease-staleness contract.
+func (r *shardRun) replicate(rec replRecord) {
+	r.repMu.Lock()
+	defer r.repMu.Unlock()
+	for _, p := range r.peers() {
+		r.appendTo(p, rec)
+	}
+}
+
+// appendTo sends one append to one peer, falling back to a snapshot when
+// the peer's prefix check fails, and stepping down on a higher term.
+func (r *shardRun) appendTo(peer string, rec replRecord) {
+	ack, err := r.call(peer, msgReplAppend, encodeReplAppend(rec))
+	if err != nil {
+		r.srv.obs.Counter("gns.shard.repl.fail.total").Inc()
+		return
+	}
+	if ack.Term > rec.Term {
+		r.stepDown(ack.Term)
+		return
+	}
+	if ack.OK {
+		return
+	}
+	// Prefix mismatch: the peer missed appends (or has a divergent
+	// minority history). Replace its state wholesale.
+	entries, version := r.srv.store.Snapshot()
+	snap := replSnapshot{Term: rec.Term, Leader: r.cfg.Self, Version: version, Entries: entries}
+	r.srv.obs.Counter("gns.shard.snapshot.total").Inc()
+	if ack, err := r.call(peer, msgReplSnapshot, encodeReplSnapshot(snap)); err == nil && ack.Term > rec.Term {
+		r.stepDown(ack.Term)
+	}
+}
+
+// stepDown abandons leadership after observing a higher term. The leader
+// for the new term is learned from its next heartbeat; the election window
+// restarts so this member does not immediately contest it.
+func (r *shardRun) stepDown(term uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if term <= r.term {
+		return
+	}
+	r.term = term
+	r.leader = ""
+	r.lastBeat = r.srv.clock.Now()
+	r.srv.obs.Counter("gns.shard.stepdown.total").Inc()
+	r.srv.obs.Emit("gns.shard.stepdown", r.cfg.Self, obs.KV("shard", r.cfg.ID), obs.KV("term", term))
+}
+
+// call performs one replication RPC on a fresh connection. The deadline
+// bounds the exchange so a blackholed peer cannot park the timer loop.
+func (r *shardRun) call(peer string, typ uint8, payload []byte) (replAck, error) {
+	conn, err := r.cfg.Dialer.Dial(peer)
+	if err != nil {
+		return replAck{}, err
+	}
+	defer conn.Close()
+	conn.SetDeadline(r.srv.clock.Now().Add(3 * r.cfg.Heartbeat))
+	if err := wire.WriteFrame(conn, typ, payload); err != nil {
+		return replAck{}, err
+	}
+	rtyp, resp, err := wire.ReadFrame(bufio.NewReader(conn))
+	if err != nil {
+		return replAck{}, err
+	}
+	if rtyp != msgReplAppendResp && rtyp != msgReplSnapResp {
+		return replAck{}, fmt.Errorf("gns: unexpected repl reply type %d", rtyp)
+	}
+	return decodeReplAck(resp)
+}
+
+// onAppend handles msgReplAppend on a replica: term fencing, leadership
+// bookkeeping, then the prefix-checked apply (or the bare version check
+// for a heartbeat).
+func (r *shardRun) onAppend(rec replRecord) replAck {
+	r.mu.Lock()
+	if rec.Term < r.term {
+		ack := replAck{Term: r.term, Version: r.srv.store.Version()}
+		r.mu.Unlock()
+		return ack
+	}
+	if rec.Term > r.term || r.leader != rec.Leader {
+		if r.leader == r.cfg.Self {
+			r.srv.obs.Counter("gns.shard.stepdown.total").Inc()
+		}
+		r.term = rec.Term
+		r.leader = rec.Leader
+	}
+	r.lastBeat = r.srv.clock.Now()
+	term := r.term
+	r.mu.Unlock()
+	var ok bool
+	if rec.HasEntry {
+		ok = r.srv.store.ApplyReplicated(rec.Machine, rec.Path, rec.M, rec.Tombstone, rec.PrevVersion, rec.Version)
+	} else {
+		ok = r.srv.store.Version() == rec.Version
+	}
+	return replAck{OK: ok, Term: term, Version: r.srv.store.Version()}
+}
+
+// onSnapshot handles msgReplSnapshot on a replica.
+func (r *shardRun) onSnapshot(snap replSnapshot) replAck {
+	r.mu.Lock()
+	if snap.Term < r.term {
+		ack := replAck{Term: r.term, Version: r.srv.store.Version()}
+		r.mu.Unlock()
+		return ack
+	}
+	if snap.Term > r.term || r.leader != snap.Leader {
+		if r.leader == r.cfg.Self {
+			r.srv.obs.Counter("gns.shard.stepdown.total").Inc()
+		}
+		r.term = snap.Term
+		r.leader = snap.Leader
+	}
+	r.lastBeat = r.srv.clock.Now()
+	term := r.term
+	r.mu.Unlock()
+	r.srv.store.Restore(snap.Entries, snap.Version)
+	return replAck{OK: true, Term: term, Version: snap.Version}
+}

@@ -66,17 +66,36 @@ func (s *Store) resolveLocked(machine, path string) Mapping {
 	return Mapping{Mode: ModeLocal, LocalPath: path}
 }
 
+// ResolveVersioned is Resolve plus the store version the answer was read
+// at, under one lock: any Set serialized before the read is reflected in
+// the mapping, so the version is a sound lease epoch (see Lease.Epoch).
+func (s *Store) ResolveVersioned(machine, path string) (Mapping, uint64) {
+	s.resolves.Inc()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.resolveLocked(machine, path), s.version
+}
+
 // Set installs or replaces the mapping for (machine, path) and returns the
 // new store version. Watchers of that key are woken.
 func (s *Store) Set(machine, path string, m Mapping) uint64 {
+	_, _, v := s.setDelta(machine, path, m)
+	return v
+}
+
+// setDelta is Set returning the applied mapping and the (previous, new)
+// version pair a shard leader needs to replicate the write as a
+// prefix-checked append.
+func (s *Store) setDelta(machine, path string, m Mapping) (Mapping, uint64, uint64) {
 	s.sets.Inc()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	prev := s.version
 	s.version++
 	m.Version = s.version
 	s.entries[Key{machine, path}] = m
 	s.cond.Broadcast()
-	return s.version
+	return m, prev, s.version
 }
 
 // SetIfAbsent installs m for (machine, path) only when no mapping is stored
@@ -86,17 +105,24 @@ func (s *Store) Set(machine, path string, m Mapping) uint64 {
 // claims the stage's commit key, exactly one claim lands, and the losers see
 // the winner's mapping instead of their own.
 func (s *Store) SetIfAbsent(machine, path string, m Mapping) (Mapping, bool) {
+	cur, won, _, _ := s.setIfAbsentDelta(machine, path, m)
+	return cur, won
+}
+
+// setIfAbsentDelta is SetIfAbsent plus the version delta for replication.
+func (s *Store) setIfAbsentDelta(machine, path string, m Mapping) (Mapping, bool, uint64, uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if cur, ok := s.entries[Key{machine, path}]; ok {
-		return cur, false
+		return cur, false, s.version, s.version
 	}
 	s.sets.Inc()
+	prev := s.version
 	s.version++
 	m.Version = s.version
 	s.entries[Key{machine, path}] = m
 	s.cond.Broadcast()
-	return m, true
+	return m, true, prev, s.version
 }
 
 // Lookup reports the mapping stored for exactly (machine, path), without the
@@ -113,14 +139,22 @@ func (s *Store) Lookup(machine, path string) (Mapping, bool) {
 // Delete removes the mapping for (machine, path); subsequent resolves fall
 // back to local IO.
 func (s *Store) Delete(machine, path string) {
+	s.deleteDelta(machine, path)
+}
+
+// deleteDelta is Delete reporting whether an entry existed and the version
+// delta for replication.
+func (s *Store) deleteDelta(machine, path string) (bool, uint64, uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.entries[Key{machine, path}]; !ok {
-		return
+		return false, s.version, s.version
 	}
+	prev := s.version
 	s.version++
 	delete(s.entries, Key{machine, path})
 	s.cond.Broadcast()
+	return true, prev, s.version
 }
 
 // List reports all entries (order unspecified).
@@ -139,6 +173,52 @@ func (s *Store) Version() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.version
+}
+
+// Snapshot reports every entry plus the version they are consistent at,
+// under one lock. Shard leaders use it to catch a lagging replica up.
+func (s *Store) Snapshot() ([]Entry, uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Entry, 0, len(s.entries))
+	for k, m := range s.entries {
+		out = append(out, Entry{Key: k, Mapping: m})
+	}
+	return out, s.version
+}
+
+// Restore replaces the whole store with a snapshot. Watchers are woken so
+// a long-poll parked across a failover re-checks against the new state.
+func (s *Store) Restore(entries []Entry, version uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.entries = make(map[Key]Mapping, len(entries))
+	for _, ent := range entries {
+		s.entries[ent.Key] = ent.Mapping
+	}
+	s.version = version
+	s.cond.Broadcast()
+}
+
+// ApplyReplicated applies one leader append on a replica: the write lands
+// only when the replica's version equals the leader's pre-write version
+// (the prefix check), keeping replicas byte-identical to the leader's
+// history. A false return means the replica lagged; the leader follows up
+// with a Snapshot/Restore.
+func (s *Store) ApplyReplicated(machine, path string, m Mapping, tombstone bool, prevVersion, version uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.version != prevVersion {
+		return false
+	}
+	if tombstone {
+		delete(s.entries, Key{machine, path})
+	} else {
+		s.entries[Key{machine, path}] = m
+	}
+	s.version = version
+	s.cond.Broadcast()
+	return true
 }
 
 // Watch implements Resolver. It blocks until the mapping resolved for

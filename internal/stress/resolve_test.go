@@ -1,0 +1,166 @@
+package stress
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"griddles/internal/gns"
+)
+
+// tinyResolveConfig keeps the resolve sweep fast in unit tests: two levels,
+// a short window, small bursts. Neither level saturates even one shard
+// (x8 of 4 bursts/s of 5 resolves is 160 resolves/s against a 1000/s cap),
+// so every burst must complete on time.
+func tinyResolveConfig(shards int) ResolveConfig {
+	return ResolveConfig{
+		Seed:     7,
+		BaseRate: 4,
+		Levels:   []int{1, 8},
+		Duration: 4 * time.Second,
+		Deadline: 2 * time.Second,
+		Burst:    5,
+		Keys:     8,
+		Shards:   shards,
+		Service:  time.Millisecond,
+	}
+}
+
+func TestResolveSweepUncontendedCompletesEverything(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		rep := RunResolve(tinyResolveConfig(shards))
+		if rep.Shards != shards || len(rep.Levels) != 2 {
+			t.Fatalf("report shape wrong: %+v", rep)
+		}
+		for _, lv := range rep.Levels {
+			if lv.Offered == 0 {
+				t.Fatalf("shards=%d x%d: no arrivals", shards, lv.Level)
+			}
+			if lv.Completed != lv.Offered || lv.Failed != 0 || lv.Late != 0 {
+				t.Fatalf("shards=%d x%d should be comfortable: %+v", shards, lv.Level, lv)
+			}
+			if lv.ResolvesPS <= 0 || lv.GoodputBPS <= 0 {
+				t.Fatalf("shards=%d x%d has no throughput: %+v", shards, lv.Level, lv)
+			}
+			if lv.BurstP99MS <= 0 || lv.BurstP99MS > float64(tinyResolveConfig(shards).Deadline/time.Millisecond) {
+				t.Fatalf("shards=%d x%d burst p99 out of range: %.1fms", shards, lv.Level, lv.BurstP99MS)
+			}
+		}
+	}
+}
+
+// The arrival schedule and key offsets are pure functions of the seed.
+func TestResolveSweepIsReproducibleForFixedSeed(t *testing.T) {
+	a := RunResolve(tinyResolveConfig(1))
+	b := RunResolve(tinyResolveConfig(1))
+	for i := range a.Levels {
+		if a.Levels[i].Offered != b.Levels[i].Offered {
+			t.Fatalf("arrival schedule diverged at level %d: %d vs %d",
+				i, a.Levels[i].Offered, b.Levels[i].Offered)
+		}
+	}
+}
+
+func TestResolveRingSpec(t *testing.T) {
+	if got := resolveRing(1); got != "0=gns0:5000" {
+		t.Fatalf("1-shard spec: %q", got)
+	}
+	if got := resolveRing(3); got != "0=gns0:5000;1=gns1:5000;2=gns2:5000" {
+		t.Fatalf("3-shard spec: %q", got)
+	}
+}
+
+func TestResolveKeysBalancedAcrossRing(t *testing.T) {
+	cfg := tinyResolveConfig(4)
+	sm, err := gns.ParseRing(resolveRing(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := resolveKeys(cfg, sm)
+	if len(keys) != cfg.Keys {
+		t.Fatalf("want %d keys, got %d", cfg.Keys, len(keys))
+	}
+	ring := gns.NewRing(sm)
+	count := map[uint32]int{}
+	for _, k := range keys {
+		count[ring.ShardFor("stress", k)]++
+	}
+	for s, c := range count {
+		if c != cfg.Keys/cfg.Shards {
+			t.Fatalf("shard %d got %d keys, want %d (dist %v)", s, c, cfg.Keys/cfg.Shards, count)
+		}
+	}
+	// Fewer keys than shards still yields one key per shard.
+	cfg.Keys = 2
+	if got := resolveKeys(cfg, sm); len(got) != cfg.Shards {
+		t.Fatalf("perShard floor: want %d keys, got %d", cfg.Shards, len(got))
+	}
+}
+
+func TestResolveGateVerdicts(t *testing.T) {
+	mk := func(shards int, pts ...[2]float64) ResolveReport {
+		r := ResolveReport{Shards: shards}
+		for i, p := range pts {
+			r.Levels = append(r.Levels, ResolveLevelResult{
+				Level: 1 << i, GoodputBPS: p[0], ResolvesPS: p[1],
+			})
+		}
+		return r
+	}
+	healthy := mk(4, [2]float64{10, 50}, [2]float64{20, 100}, [2]float64{38, 190}, [2]float64{40, 200})
+	single := mk(1, [2]float64{10, 50}, [2]float64{18, 50}, [2]float64{18, 50}, [2]float64{16, 50})
+	if bad := ResolveGate(healthy, single); bad != nil {
+		t.Fatalf("healthy pair should pass, got %v", bad)
+	}
+	if bad := ResolveGate(single, single); len(bad) != 1 || !strings.Contains(bad[0], "wider") {
+		t.Fatalf("equal-width arms must be rejected, got %v", bad)
+	}
+	if bad := ResolveGate(mk(4, [2]float64{10, 50}), single); len(bad) != 1 || !strings.Contains(bad[0], "mismatched") {
+		t.Fatalf("mismatched level counts must be rejected, got %v", bad)
+	}
+	collapsed := mk(4, [2]float64{40, 200}, [2]float64{5, 200}, [2]float64{5, 200}, [2]float64{5, 200})
+	if bad := ResolveGate(collapsed, single); len(bad) != 1 || !strings.Contains(bad[0], "collapsed") {
+		t.Fatalf("collapsing sharded arm should fail monotonicity once, got %v", bad)
+	}
+	weak := mk(4, [2]float64{10, 50}, [2]float64{20, 100}, [2]float64{20, 100}, [2]float64{20, 100})
+	if bad := ResolveGate(weak, single); len(bad) != 1 || !strings.Contains(bad[0], "does not beat") {
+		t.Fatalf("weak speedup should fail the ratio check, got %v", bad)
+	}
+	// Goodput collapsing only at levels offered past the ring's capacity is
+	// exempt from the monotone check: resolves carry no admission control.
+	saturated := mk(4, [2]float64{40, 200}, [2]float64{80, 400}, [2]float64{100, 500}, [2]float64{50, 400})
+	saturated.CapacityRPS = 4000
+	for i := range saturated.Levels {
+		saturated.Levels[i].OfferedRPS = float64(uint(1000) << uint(i)) // x8 offers 8000 > capacity
+	}
+	if bad := ResolveGate(saturated, single); bad != nil {
+		t.Fatalf("past-capacity collapse must be exempt, got %v", bad)
+	}
+}
+
+func TestResolveBenchMetricsShape(t *testing.T) {
+	sharded := ResolveReport{Shards: 4, Levels: []ResolveLevelResult{
+		{Level: 1, GoodputBPS: 10, ResolvesPS: 50, BurstP50MS: 5, BurstP99MS: 9, Offered: 80},
+	}}
+	single := ResolveReport{Shards: 1, Levels: []ResolveLevelResult{
+		{Level: 1, GoodputBPS: 10, ResolvesPS: 50, BurstP50MS: 5, BurstP99MS: 9, Offered: 80, Failed: 2, Late: 1},
+	}}
+	m := ResolveBenchMetrics(sharded, single)
+	for _, name := range []string{"StressResolve/shards=4/load=x1", "StressResolve/shards=1/load=x1"} {
+		got, ok := m[name]
+		if !ok {
+			t.Fatalf("missing %s in %v", name, m)
+		}
+		if got["resolves/s"] <= 0 {
+			t.Fatalf("%s has no resolve rate: %v", name, got)
+		}
+		for _, unit := range []string{"goodput-bursts/s", "virt-ms/burst-p50", "virt-ms/burst-p99", "offered-bursts", "failed-bursts"} {
+			if _, ok := got[unit]; !ok {
+				t.Fatalf("%s missing %s: %v", name, unit, got)
+			}
+		}
+	}
+	if m["StressResolve/shards=1/load=x1"]["failed-bursts"] != 3 {
+		t.Fatalf("failed-bursts should fold late in: %v", m)
+	}
+}

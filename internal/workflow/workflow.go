@@ -321,7 +321,11 @@ func StartServices(clock simclock.Clock, grid *testbed.Grid) error {
 // Runner executes workflows on a grid.
 type Runner struct {
 	Grid *testbed.Grid
-	GNS  *gns.Store
+	// GNS is the name service the coordinator programs: the embedded *Store
+	// (historical, workflow-private) or a *DirectoryClient over a shared —
+	// possibly sharded — gnsd cluster, whose writes (including the
+	// SetIfAbsent speculation commit) route to each shard's leaseholder.
+	GNS gns.Directory
 
 	// PollInterval paces WaitClose polling (default 200ms).
 	PollInterval time.Duration
