@@ -168,6 +168,16 @@ func (c *Client) tripOnce(reqType uint8, payload []byte) (uint8, []byte, error) 
 		}
 		return 0, nil, &redirectError{leader: leader, term: term}
 	}
+	if typ == msgWrongShard {
+		// The server's ring places the key elsewhere: this client's map is
+		// stale. Not Permanent — a sharded client drops its map, refetches
+		// from the seeds and re-routes (see shardclient.go).
+		epoch, owner, derr := decodeWrongShard(resp)
+		if derr != nil {
+			return 0, nil, derr
+		}
+		return 0, nil, &wrongShardError{epoch: epoch, owner: owner}
+	}
 	return typ, resp, nil
 }
 
@@ -491,6 +501,13 @@ func (c *Client) watchOnce(addr, machine, path string, since uint64, timeoutMS i
 	}
 	if typ == msgError {
 		return Mapping{}, false, retry.Permanent(&serverError{msg: "gns: " + wire.NewDecoder(resp).String()})
+	}
+	if typ == msgWrongShard {
+		epoch, owner, derr := decodeWrongShard(resp)
+		if derr != nil {
+			return Mapping{}, false, derr
+		}
+		return Mapping{}, false, &wrongShardError{epoch: epoch, owner: owner}
 	}
 	if typ != msgWatchResp {
 		return Mapping{}, false, retry.Permanent(fmt.Errorf("gns: unexpected reply type %d", typ))

@@ -8,9 +8,10 @@ import (
 )
 
 // FuzzShardLeaseWire throws arbitrary bytes at every decoder the sharded
-// protocol added (messages 13-23): the shard map, the lease-stamped resolve
-// reply, the leader redirect, and the three replication records. The first
-// byte selects the decoder; the rest is the payload. No input may panic or
+// protocol added (messages 13-24): the shard map, the lease-stamped resolve
+// reply, the leader redirect, the three replication records, and the
+// wrong-shard answer. The first byte selects the decoder; the rest is the
+// payload. No input may panic or
 // over-allocate, and any value a decoder accepts must survive an
 // encode/decode round trip unchanged (struct-level, so decoders that
 // tolerate trailing bytes are not forced to reproduce them) — the property
@@ -36,7 +37,8 @@ func FuzzShardLeaseWire(f *testing.F) {
 		Term: 2, Leader: "gns0:5000", Version: 5,
 		Entries: []Entry{{Key: Key{Machine: "*", Path: "/d/B.DAT"}, Mapping: Mapping{Mode: ModeLocal, Version: 5}}},
 	}))
-	seed(5, encodeReplAck(replAck{OK: true, Term: 2, Version: 5}))
+	seed(5, encodeReplAck(replAck{OK: true, Term: 2, Leader: "gns0:5000", Version: 5}))
+	seed(6, encodeWrongShard(3, 1))
 	f.Add([]byte{})
 	f.Add([]byte{0})
 
@@ -60,7 +62,7 @@ func FuzzShardLeaseWire(f *testing.F) {
 		if len(data) == 0 {
 			return
 		}
-		sel, payload := data[0]%6, data[1:]
+		sel, payload := data[0]%7, data[1:]
 		switch sel {
 		case 0:
 			sm, err := DecodeShardMap(payload)
@@ -109,6 +111,13 @@ func FuzzShardLeaseWire(f *testing.F) {
 			}
 			again, err := decodeReplAck(encodeReplAck(ack))
 			roundTrip(t, "repl ack", ack, again, err)
+		case 6:
+			epoch, owner, err := decodeWrongShard(payload)
+			if err != nil {
+				return
+			}
+			epoch2, owner2, err := decodeWrongShard(encodeWrongShard(epoch, owner))
+			roundTrip(t, "wrong shard", [2]interface{}{epoch, owner}, [2]interface{}{epoch2, owner2}, err)
 		}
 	})
 }

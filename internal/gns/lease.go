@@ -34,6 +34,7 @@ const (
 	msgReplAppendResp  = 21
 	msgReplSnapshot    = 22
 	msgReplSnapResp    = 23
+	msgWrongShard      = 24
 )
 
 // DefaultLeaseTTL is the server's default grant. Five seconds bounds cache
@@ -115,6 +116,38 @@ func decodeRedirect(payload []byte) (string, uint64, error) {
 	return leader, term, d.Err()
 }
 
+// wrongShardError is the server's answer to a key it does not own: the
+// client's ring disagrees with the server's, almost always because the
+// client's cached shard map went stale across a ring change. The reply
+// carries the server's map epoch and the owning shard so the client can
+// drop its map, refetch from the seeds, and re-route — a misroute is a
+// routing fault to recover from, not a final answer.
+type wrongShardError struct {
+	epoch uint64 // the answering server's shard-map epoch
+	owner uint32 // the shard the server's ring places the key on
+}
+
+func (e *wrongShardError) Error() string {
+	return fmt.Sprintf("gns: wrong shard for key (owner shard %d, map epoch %d)", e.owner, e.epoch)
+}
+
+func encodeWrongShard(epoch uint64, owner uint32) []byte {
+	return wire.NewEncoder().U64(epoch).U32(owner).Bytes()
+}
+
+func decodeWrongShard(payload []byte) (epoch uint64, owner uint32, err error) {
+	d := wire.NewDecoder(payload)
+	epoch = d.U64()
+	owner = d.U32()
+	if err := d.Err(); err != nil {
+		return 0, 0, err
+	}
+	if d.Remaining() != 0 {
+		return 0, 0, fmt.Errorf("gns: %d trailing bytes after wrong-shard reply", d.Remaining())
+	}
+	return epoch, owner, nil
+}
+
 // replRecord is one leader-to-replica append: a heartbeat when HasEntry is
 // false (the version check alone), one replicated write when true.
 type replRecord struct {
@@ -168,15 +201,21 @@ func decodeReplAppend(payload []byte) (replRecord, error) {
 	return r, nil
 }
 
-// replAck is the replica's reply to an append or snapshot.
+// replAck is the replica's reply to an append or snapshot. Leader is the
+// replier's believed leader at Term: a sender whose append was refused
+// learns from it both the newer term and — when the refusal happened at
+// the sender's own term — which equal-term leader outranked it, so
+// same-term leadership collisions resolve deterministically instead of
+// flip-flopping (see shard.go).
 type replAck struct {
 	OK      bool
 	Term    uint64
+	Leader  string
 	Version uint64
 }
 
 func encodeReplAck(a replAck) []byte {
-	return wire.NewEncoder().Bool(a.OK).U64(a.Term).U64(a.Version).Bytes()
+	return wire.NewEncoder().Bool(a.OK).U64(a.Term).String(a.Leader).U64(a.Version).Bytes()
 }
 
 func decodeReplAck(payload []byte) (replAck, error) {
@@ -184,8 +223,15 @@ func decodeReplAck(payload []byte) (replAck, error) {
 	var a replAck
 	a.OK = d.Bool()
 	a.Term = d.U64()
+	a.Leader = d.String()
 	a.Version = d.U64()
-	return a, d.Err()
+	if err := d.Err(); err != nil {
+		return replAck{}, err
+	}
+	if d.Remaining() != 0 {
+		return replAck{}, fmt.Errorf("gns: %d trailing bytes after repl ack", d.Remaining())
+	}
+	return a, nil
 }
 
 // replSnapshot is the full-state catch-up: the GNS is a configuration

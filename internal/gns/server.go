@@ -149,8 +149,8 @@ func (s *Server) dispatch(w io.Writer, typ uint8, payload []byte) error {
 		if err := d.Err(); err != nil {
 			return writeError(w, err)
 		}
-		if err := s.checkOwned(machine, path); err != nil {
-			return writeError(w, err)
+		if owner, ok := s.checkOwned(machine, path); !ok {
+			return s.writeWrongShard(w, owner)
 		}
 		m, err := s.store.Resolve(machine, path)
 		if err != nil {
@@ -166,16 +166,21 @@ func (s *Server) dispatch(w io.Writer, typ uint8, payload []byte) error {
 		if err := d.Err(); err != nil {
 			return writeError(w, err)
 		}
-		if err := s.checkOwned(machine, path); err != nil {
-			return writeError(w, err)
+		if owner, ok := s.checkOwned(machine, path); !ok {
+			return s.writeWrongShard(w, owner)
 		}
-		if ok, leader, term := s.writeState(); !ok {
+		// The term captured by the writeState check stamps the replication
+		// record: a step-down racing the local apply then replicates under
+		// the stale term, which replicas at the newer term refuse, instead
+		// of under a term that would re-assert deposed leadership.
+		ok, leader, term := s.writeState()
+		if !ok {
 			return wire.WriteFrame(w, msgRedirect, encodeRedirect(leader, term))
 		}
 		applied, prev, v := s.store.setDelta(machine, path, m)
 		if s.shard != nil {
 			s.shard.replicate(replRecord{
-				Term: s.shard.currentTerm(), Leader: s.shard.cfg.Self,
+				Term: term, Leader: s.shard.cfg.Self,
 				PrevVersion: prev, Version: v,
 				HasEntry: true, Machine: machine, Path: path, M: applied,
 			})
@@ -188,16 +193,17 @@ func (s *Server) dispatch(w io.Writer, typ uint8, payload []byte) error {
 		if err := d.Err(); err != nil {
 			return writeError(w, err)
 		}
-		if err := s.checkOwned(machine, path); err != nil {
-			return writeError(w, err)
+		if owner, ok := s.checkOwned(machine, path); !ok {
+			return s.writeWrongShard(w, owner)
 		}
-		if ok, leader, term := s.writeState(); !ok {
+		ok, leader, term := s.writeState()
+		if !ok {
 			return wire.WriteFrame(w, msgRedirect, encodeRedirect(leader, term))
 		}
 		cur, won, prev, v := s.store.setIfAbsentDelta(machine, path, m)
 		if won && s.shard != nil {
 			s.shard.replicate(replRecord{
-				Term: s.shard.currentTerm(), Leader: s.shard.cfg.Self,
+				Term: term, Leader: s.shard.cfg.Self,
 				PrevVersion: prev, Version: v,
 				HasEntry: true, Machine: machine, Path: path, M: cur,
 			})
@@ -212,16 +218,17 @@ func (s *Server) dispatch(w io.Writer, typ uint8, payload []byte) error {
 		if err := d.Err(); err != nil {
 			return writeError(w, err)
 		}
-		if err := s.checkOwned(machine, path); err != nil {
-			return writeError(w, err)
+		if owner, ok := s.checkOwned(machine, path); !ok {
+			return s.writeWrongShard(w, owner)
 		}
-		if ok, leader, term := s.writeState(); !ok {
+		ok, leader, term := s.writeState()
+		if !ok {
 			return wire.WriteFrame(w, msgRedirect, encodeRedirect(leader, term))
 		}
 		existed, prev, v := s.store.deleteDelta(machine, path)
 		if existed && s.shard != nil {
 			s.shard.replicate(replRecord{
-				Term: s.shard.currentTerm(), Leader: s.shard.cfg.Self,
+				Term: term, Leader: s.shard.cfg.Self,
 				PrevVersion: prev, Version: v,
 				HasEntry: true, Tombstone: true, Machine: machine, Path: path,
 			})
@@ -233,8 +240,8 @@ func (s *Server) dispatch(w io.Writer, typ uint8, payload []byte) error {
 		if err := d.Err(); err != nil {
 			return writeError(w, err)
 		}
-		if err := s.checkOwned(machine, path); err != nil {
-			return writeError(w, err)
+		if owner, ok := s.checkOwned(machine, path); !ok {
+			return s.writeWrongShard(w, owner)
 		}
 		m, found := s.store.Lookup(machine, path)
 		e := wire.NewEncoder()
@@ -248,8 +255,8 @@ func (s *Server) dispatch(w io.Writer, typ uint8, payload []byte) error {
 		if err := d.Err(); err != nil {
 			return writeError(w, err)
 		}
-		if err := s.checkOwned(machine, path); err != nil {
-			return writeError(w, err)
+		if owner, ok := s.checkOwned(machine, path); !ok {
+			return s.writeWrongShard(w, owner)
 		}
 		m, epoch := s.store.ResolveVersioned(machine, path)
 		l := s.leaseFor(epoch)
@@ -302,8 +309,8 @@ func (s *Server) dispatch(w io.Writer, typ uint8, payload []byte) error {
 		if err := d.Err(); err != nil {
 			return writeError(w, err)
 		}
-		if err := s.checkOwned(machine, path); err != nil {
-			return writeError(w, err)
+		if owner, ok := s.checkOwned(machine, path); !ok {
+			return s.writeWrongShard(w, owner)
 		}
 		m, changed, err := s.store.Watch(machine, path, since, timeoutMS)
 		if err != nil {

@@ -3,6 +3,7 @@ package gns
 import (
 	"bufio"
 	"fmt"
+	"io"
 	"sync"
 	"time"
 
@@ -24,10 +25,26 @@ import (
 //
 // The election timeout floor of one LeaseTTL means every lease the old
 // leader granted has expired (quiesced) by the time a replica can take
-// over; the rank stagger keeps two replicas from promoting in the same
-// window. Term fencing does the rest: a deposed leader steps down the
-// moment it sees a higher term in any reply, and clients discard cached
-// leases granted under a term lower than the highest they have observed.
+// over. A leader fences *itself* on the same clock: it tracks the last
+// successful replication ack per replica, and once it has reached no
+// replica for a full LeaseTTL it stops accepting writes (msgRedirect with
+// no leader named) and stops granting cacheable leases — so an isolated
+// old leader has gone silent by the earliest instant a replica can
+// promote, and a client that can still reach it is pushed toward the new
+// leaseholder instead of writing into a store that will be snapshotted
+// over on heal. Single-member shards skip the check (there is no one to
+// lose). The fence lifts by itself the first time a replica acks again.
+//
+// Elections cannot tie on term: a promoting member takes term + rank + 1,
+// so two members promoting from the same base term always pick distinct
+// terms, and any equal-term leadership collision that still arises (two
+// promotions from *different* base terms) is resolved deterministically —
+// at equal term the lower-rank leader wins; replicas refuse the other
+// one's appends, naming the winner in the ack, and the losing leader
+// steps down on seeing it. Term fencing does the rest: a deposed leader
+// steps down the moment it sees a higher term in any reply, and clients
+// discard cached leases granted under a term lower than the highest they
+// have observed.
 
 // ShardConfig configures one member of one shard's replica group.
 type ShardConfig struct {
@@ -49,16 +66,22 @@ type ShardConfig struct {
 
 // shardRun is the per-member replication state machine.
 type shardRun struct {
-	srv  *Server
-	cfg  ShardConfig
-	ring *Ring
-	rank int // index of Self in the member list; rank 0 is the configured primary
+	srv   *Server
+	cfg   ShardConfig
+	ring  *Ring
+	rank  int            // index of Self in the member list; rank 0 is the configured primary
+	ranks map[string]int // rank of every member address (equal-term tie-break)
 
 	mu       sync.Mutex
 	stopped  bool
 	term     uint64
 	leader   string // "" while unknown (between stepdown and the next heartbeat)
 	lastBeat time.Time
+	// ackAt is the last successful replication reply per replica. A leader
+	// that has reached no replica within LeaseTTL is fenced: it refuses
+	// writes and grants no cacheable leases until a replica acks again.
+	ackAt  map[string]time.Time
+	fenced bool // last fence state the loop observed (edge-triggered metrics)
 
 	// repMu serializes the leader's replication fan-out so appends reach
 	// each replica in version order.
@@ -77,10 +100,11 @@ func (s *Server) EnableShard(cfg ShardConfig) error {
 		return fmt.Errorf("gns: shard %d not in map", cfg.ID)
 	}
 	rank := -1
+	ranks := make(map[string]int, len(info.Addrs))
 	for i, a := range info.Addrs {
+		ranks[a] = i
 		if a == cfg.Self {
 			rank = i
-			break
 		}
 	}
 	if rank < 0 {
@@ -93,14 +117,22 @@ func (s *Server) EnableShard(cfg ShardConfig) error {
 	if cfg.Heartbeat <= 0 {
 		cfg.Heartbeat = DefaultHeartbeat
 	}
+	now := s.clock.Now()
 	r := &shardRun{
 		srv:      s,
 		cfg:      cfg,
 		ring:     NewRing(cfg.Map),
 		rank:     rank,
+		ranks:    ranks,
 		term:     1,
 		leader:   info.Addrs[0],
-		lastBeat: s.clock.Now(),
+		lastBeat: now,
+		ackAt:    make(map[string]time.Time, len(info.Addrs)-1),
+	}
+	for _, a := range info.Addrs {
+		if a != cfg.Self {
+			r.ackAt[a] = now
+		}
 	}
 	s.shard = r
 	s.clock.Go(fmt.Sprintf("gns-shard-%d@%s", cfg.ID, cfg.Self), r.loop)
@@ -122,16 +154,24 @@ func (s *Server) Close() {
 // checkOwned rejects keys the ring places on another shard — a misrouted
 // request means client and server disagree on the map, and answering it
 // (an empty local store resolves to the ModeLocal default) would silently
-// serve wrong data. Unsharded servers own everything.
-func (s *Server) checkOwned(machine, path string) error {
+// serve wrong data. The owner and this server's map epoch go back in a
+// msgWrongShard reply so a client holding a stale map refetches and
+// re-routes instead of failing for good. Unsharded servers own
+// everything.
+func (s *Server) checkOwned(machine, path string) (owner uint32, ok bool) {
 	if s.shard == nil {
-		return nil
+		return 0, true
 	}
 	if sid := s.shard.ring.ShardFor(machine, path); sid != s.shard.cfg.ID {
-		return fmt.Errorf("gns: shard %d does not own (%s, %s) (shard %d does)",
-			s.shard.cfg.ID, machine, path, sid)
+		return sid, false
 	}
-	return nil
+	return s.shard.cfg.ID, true
+}
+
+// writeWrongShard answers one misrouted request (see checkOwned).
+func (s *Server) writeWrongShard(w io.Writer, owner uint32) error {
+	s.obs.Counter("gns.shard.misroute.total").Inc()
+	return wire.WriteFrame(w, msgWrongShard, encodeWrongShard(s.shard.cfg.Map.Epoch, owner))
 }
 
 // Leader reports whether this member currently holds the write lease for
@@ -145,35 +185,80 @@ func (s *Server) Leader() bool {
 	return s.shard.leader == s.shard.cfg.Self
 }
 
-// currentTerm reports the member's term.
-func (r *shardRun) currentTerm() uint64 {
+// rankOf reports addr's promotion rank, past the end of the member list
+// for an address the map does not know (it loses every tie-break).
+func (r *shardRun) rankOf(addr string) int {
+	if rk, ok := r.ranks[addr]; ok {
+		return rk
+	}
+	return len(r.ranks)
+}
+
+// fencedLocked reports whether a leader must refuse writes because it has
+// reached no replica within LeaseTTL (mu held). By that instant every
+// replica's election window has opened, so one of them may already lead a
+// higher term this member cannot observe; acking writes here would hand
+// the client data the snapshot catch-up silently erases on heal.
+// Single-member shards have nobody to lose and are never fenced.
+func (r *shardRun) fencedLocked(now time.Time) bool {
+	if len(r.ackAt) == 0 {
+		return false
+	}
+	for _, at := range r.ackAt {
+		if now.Sub(at) < r.cfg.LeaseTTL {
+			return false
+		}
+	}
+	return true
+}
+
+// noteAck records a successful replication reply from peer; any reply
+// proves reachability, so the fence lifts regardless of the ack verdict.
+func (r *shardRun) noteAck(peer string) {
+	now := r.srv.clock.Now()
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.term
+	r.ackAt[peer] = now
+	r.mu.Unlock()
 }
 
 // leaseFor stamps a grant for a resolve answered at store version epoch.
+// A fenced leader grants a zero TTL — the answer is served (reads from a
+// stale member are the lease contract's bounded-staleness case) but must
+// not be cached, because this member can no longer observe the term that
+// would invalidate it.
 func (s *Server) leaseFor(epoch uint64) Lease {
 	l := Lease{TTL: s.leaseTTL, Epoch: epoch}
 	if s.shard != nil {
-		s.shard.mu.Lock()
-		l.Term = s.shard.term
-		l.Shard = s.shard.cfg.ID
-		s.shard.mu.Unlock()
+		r := s.shard
+		now := s.clock.Now()
+		r.mu.Lock()
+		l.Term = r.term
+		l.Shard = r.cfg.ID
+		if r.leader == r.cfg.Self && r.fencedLocked(now) {
+			l.TTL = 0
+		}
+		r.mu.Unlock()
 	}
 	return l
 }
 
 // writeState reports whether this member currently accepts writes, and if
 // not, the leader to redirect to (possibly "" mid-election) and the term.
+// A fenced leader answers like a mid-election follower: redirect, no
+// leader named — the client walks to the other members, where a promoted
+// replica is (or soon will be) taking writes.
 func (s *Server) writeState() (leader bool, redirect string, term uint64) {
 	if s.shard == nil {
 		return true, "", 0
 	}
 	r := s.shard
+	now := s.clock.Now()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.leader == r.cfg.Self {
+		if r.fencedLocked(now) {
+			return false, "", r.term
+		}
 		return true, "", r.term
 	}
 	return false, r.leader, r.term
@@ -196,12 +281,30 @@ func (r *shardRun) loop() {
 			// wins the election alone.
 			wait := r.cfg.LeaseTTL + time.Duration(r.rank)*r.cfg.Heartbeat
 			if now.Sub(r.lastBeat) >= wait {
-				r.term++
+				// Rank-spread term: promotions from one base term always
+				// land on distinct terms, so two members promoting in the
+				// same window cannot tie (strictly-greater fencing would
+				// never resolve an equal-term pair).
+				r.term += uint64(r.rank) + 1
 				r.leader = r.cfg.Self
 				r.lastBeat = now
 				isLeader = true
+				// A fresh leader starts with a full fence grace window:
+				// the replicas it must reach include the ones whose
+				// silence triggered this promotion.
+				for p := range r.ackAt {
+					r.ackAt[p] = now
+				}
 				r.srv.obs.Counter("gns.shard.promote.total").Inc()
 				r.srv.obs.Emit("gns.shard.failover", r.cfg.Self,
+					obs.KV("shard", r.cfg.ID), obs.KV("term", r.term))
+			}
+		}
+		if f := isLeader && r.fencedLocked(now); f != r.fenced {
+			r.fenced = f
+			if f {
+				r.srv.obs.Counter("gns.shard.fence.total").Inc()
+				r.srv.obs.Emit("gns.shard.fence", r.cfg.Self,
 					obs.KV("shard", r.cfg.ID), obs.KV("term", r.term))
 			}
 		}
@@ -251,15 +354,16 @@ func (r *shardRun) replicate(rec replRecord) {
 }
 
 // appendTo sends one append to one peer, falling back to a snapshot when
-// the peer's prefix check fails, and stepping down on a higher term.
+// the peer's prefix check fails, and stepping down when the ack deposes
+// this member (higher term, or an equal-term lower-rank leader).
 func (r *shardRun) appendTo(peer string, rec replRecord) {
 	ack, err := r.call(peer, msgReplAppend, encodeReplAppend(rec))
 	if err != nil {
 		r.srv.obs.Counter("gns.shard.repl.fail.total").Inc()
 		return
 	}
-	if ack.Term > rec.Term {
-		r.stepDown(ack.Term)
+	r.noteAck(peer)
+	if r.deposedBy(ack, rec.Term) {
 		return
 	}
 	if ack.OK {
@@ -270,22 +374,48 @@ func (r *shardRun) appendTo(peer string, rec replRecord) {
 	entries, version := r.srv.store.Snapshot()
 	snap := replSnapshot{Term: rec.Term, Leader: r.cfg.Self, Version: version, Entries: entries}
 	r.srv.obs.Counter("gns.shard.snapshot.total").Inc()
-	if ack, err := r.call(peer, msgReplSnapshot, encodeReplSnapshot(snap)); err == nil && ack.Term > rec.Term {
-		r.stepDown(ack.Term)
+	if ack, err := r.call(peer, msgReplSnapshot, encodeReplSnapshot(snap)); err == nil {
+		r.noteAck(peer)
+		r.deposedBy(ack, rec.Term)
 	}
 }
 
-// stepDown abandons leadership after observing a higher term. The leader
-// for the new term is learned from its next heartbeat; the election window
-// restarts so this member does not immediately contest it.
-func (r *shardRun) stepDown(term uint64) {
+// deposedBy folds a replication ack into leadership state: a higher term
+// always deposes; an ack at the sent term naming an equal-term leader of
+// lower rank deposes too (the deterministic tie-break — the refusing
+// replica follows that leader and will never accept ours). Reports
+// whether the sender lost leadership.
+func (r *shardRun) deposedBy(ack replAck, sentTerm uint64) bool {
+	if ack.Term > sentTerm {
+		r.stepDownTo(ack.Term, ack.Leader)
+		return true
+	}
+	if ack.Term == sentTerm && ack.Leader != "" && ack.Leader != r.cfg.Self && r.rankOf(ack.Leader) < r.rank {
+		r.stepDownTo(ack.Term, ack.Leader)
+		return true
+	}
+	return false
+}
+
+// stepDownTo abandons leadership for the leader believed at term: always
+// on a higher term, and at this member's own term only when deferring to
+// a lower-rank leader (the tie-break; a higher-rank claimant is the one
+// that must yield). The election window restarts so this member does not
+// immediately contest the winner.
+func (r *shardRun) stepDownTo(term uint64, leader string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if term <= r.term {
+	if term < r.term {
 		return
 	}
+	if term == r.term && (r.leader != r.cfg.Self || leader == "" || r.rankOf(leader) >= r.rank) {
+		return
+	}
+	if _, known := r.ranks[leader]; !known {
+		leader = "" // learned from the winner's next heartbeat
+	}
 	r.term = term
-	r.leader = ""
+	r.leader = leader
 	r.lastBeat = r.srv.clock.Now()
 	r.srv.obs.Counter("gns.shard.stepdown.total").Inc()
 	r.srv.obs.Emit("gns.shard.stepdown", r.cfg.Self, obs.KV("shard", r.cfg.ID), obs.KV("term", term))
@@ -313,25 +443,41 @@ func (r *shardRun) call(peer string, typ uint8, payload []byte) (replAck, error)
 	return decodeReplAck(resp)
 }
 
+// acceptLeaderLocked folds an append/snapshot's (term, leader) claim into
+// this member's state (mu held). A lower term is refused outright. At an
+// equal term a *different* leader is adopted only when it outranks (lower
+// rank than) the one currently followed — the deterministic tie-break —
+// otherwise the claim is refused and the ack names the winner so the
+// losing leader steps down. Reports whether the claim was accepted.
+func (r *shardRun) acceptLeaderLocked(term uint64, leader string) bool {
+	if term < r.term {
+		return false
+	}
+	if term == r.term && r.leader != "" && r.leader != leader && r.rankOf(leader) >= r.rankOf(r.leader) {
+		return false
+	}
+	if term > r.term || r.leader != leader {
+		if r.leader == r.cfg.Self {
+			r.srv.obs.Counter("gns.shard.stepdown.total").Inc()
+		}
+		r.term = term
+		r.leader = leader
+	}
+	r.lastBeat = r.srv.clock.Now()
+	return true
+}
+
 // onAppend handles msgReplAppend on a replica: term fencing, leadership
 // bookkeeping, then the prefix-checked apply (or the bare version check
 // for a heartbeat).
 func (r *shardRun) onAppend(rec replRecord) replAck {
 	r.mu.Lock()
-	if rec.Term < r.term {
-		ack := replAck{Term: r.term, Version: r.srv.store.Version()}
+	if !r.acceptLeaderLocked(rec.Term, rec.Leader) {
+		ack := replAck{Term: r.term, Leader: r.leader, Version: r.srv.store.Version()}
 		r.mu.Unlock()
 		return ack
 	}
-	if rec.Term > r.term || r.leader != rec.Leader {
-		if r.leader == r.cfg.Self {
-			r.srv.obs.Counter("gns.shard.stepdown.total").Inc()
-		}
-		r.term = rec.Term
-		r.leader = rec.Leader
-	}
-	r.lastBeat = r.srv.clock.Now()
-	term := r.term
+	term, leader := r.term, r.leader
 	r.mu.Unlock()
 	var ok bool
 	if rec.HasEntry {
@@ -339,27 +485,19 @@ func (r *shardRun) onAppend(rec replRecord) replAck {
 	} else {
 		ok = r.srv.store.Version() == rec.Version
 	}
-	return replAck{OK: ok, Term: term, Version: r.srv.store.Version()}
+	return replAck{OK: ok, Term: term, Leader: leader, Version: r.srv.store.Version()}
 }
 
 // onSnapshot handles msgReplSnapshot on a replica.
 func (r *shardRun) onSnapshot(snap replSnapshot) replAck {
 	r.mu.Lock()
-	if snap.Term < r.term {
-		ack := replAck{Term: r.term, Version: r.srv.store.Version()}
+	if !r.acceptLeaderLocked(snap.Term, snap.Leader) {
+		ack := replAck{Term: r.term, Leader: r.leader, Version: r.srv.store.Version()}
 		r.mu.Unlock()
 		return ack
 	}
-	if snap.Term > r.term || r.leader != snap.Leader {
-		if r.leader == r.cfg.Self {
-			r.srv.obs.Counter("gns.shard.stepdown.total").Inc()
-		}
-		r.term = snap.Term
-		r.leader = snap.Leader
-	}
-	r.lastBeat = r.srv.clock.Now()
-	term := r.term
+	term, leader := r.term, r.leader
 	r.mu.Unlock()
 	r.srv.store.Restore(snap.Entries, snap.Version)
-	return replAck{OK: true, Term: term, Version: snap.Version}
+	return replAck{OK: true, Term: term, Leader: leader, Version: snap.Version}
 }

@@ -493,3 +493,231 @@ func TestShardOldLeaderStepsDownAfterHeal(t *testing.T) {
 		}
 	})
 }
+
+func TestShardIsolatedLeaderFencesWritesAndLeases(t *testing.T) {
+	// REVIEW fix: a primary partitioned from every replica must fence
+	// itself — refuse writes and stop granting cacheable leases — within
+	// one LeaseTTL, instead of acking writes that snapshot catch-up will
+	// erase on heal while a promoted replica takes the real write load.
+	v := simclock.NewVirtualDefault()
+	n := simnet.New(v)
+	v.Run(func() {
+		o := obs.New(v)
+		cl := startCluster(t, v, n, "0=gns0:5000,gns0r:5000", o)
+		defer cl.close()
+		c := shardedClient(n, v, "gns0:5000", "gns0r:5000")
+		defer c.Close()
+		if _, err := c.Set("jagan", "F.DAT", Mapping{Mode: ModeRemote, RemoteHost: "brecca:6000"}); err != nil {
+			t.Fatal(err)
+		}
+
+		// Cut only the replication link; the app still reaches the old
+		// primary, which is exactly the split-brain shape.
+		v.Sleep(2 * DefaultHeartbeat)
+		n.Partition("gns0", "gns0r")
+		v.Sleep(DefaultLeaseTTL + 4*DefaultHeartbeat)
+		if !cl.members["gns0r:5000"].srv.Leader() {
+			t.Fatal("replica did not promote")
+		}
+
+		// The isolated primary refuses a direct write even though it is
+		// reachable and still believes it leads.
+		direct := NewClient(n.Host("app"), "gns0:5000", v)
+		defer direct.Close()
+		if _, err := direct.Set("jagan", "F.DAT", Mapping{Mode: ModeLocal}); err == nil {
+			t.Error("fenced primary accepted a write")
+		}
+		// Its leases are void at grant time: zero TTL, nothing cacheable.
+		if _, l, err := direct.resolveLeaseRemote("jagan", "F.DAT", 0); err != nil {
+			t.Fatalf("fenced read: %v", err)
+		} else if l.TTL != 0 {
+			t.Errorf("fenced primary granted TTL %v, want 0", l.TTL)
+		}
+
+		// The sharded client's write walks past the fence to the promoted
+		// replica and survives the heal.
+		want := Mapping{Mode: ModeCopy, RemoteHost: "dione:6000"}
+		if _, err := c.Set("jagan", "G.DAT", want); err != nil {
+			t.Fatalf("write during fence: %v", err)
+		}
+		if _, ok := cl.members["gns0r:5000"].store.Lookup("jagan", "G.DAT"); !ok {
+			t.Error("fenced-era write did not land on the promoted replica")
+		}
+		n.Heal("gns0", "gns0r")
+		v.Sleep(4 * DefaultHeartbeat)
+		if cl.members["gns0:5000"].srv.Leader() {
+			t.Error("old primary still leads after heal")
+		}
+		if m, ok := cl.members["gns0:5000"].store.Lookup("jagan", "G.DAT"); !ok || m.RemoteHost != want.RemoteHost {
+			t.Errorf("old primary after heal = %+v (%v), want the fenced-era write preserved", m, ok)
+		}
+		snap := o.Snapshot().Counters
+		if snap["gns.shard.fence.total"] == 0 {
+			t.Error("no gns.shard.fence.total recorded")
+		}
+	})
+}
+
+func TestShardSimultaneousPromotionsConvergeToOneLeader(t *testing.T) {
+	// REVIEW fix: two replicas promoting from the same base term take
+	// rank-spread terms (term += rank+1), so the collision resolves by
+	// plain term fencing the moment they can talk, instead of leaving two
+	// equal-term leaders flip-flopping forever.
+	v := simclock.NewVirtualDefault()
+	n := simnet.New(v)
+	v.Run(func() {
+		cl := startCluster(t, v, n, "0=gns0:5000,gns0r:5000,gns0rr:5000", nil)
+		defer cl.close()
+		c := shardedClient(n, v, "gns0r:5000")
+		defer c.Close()
+
+		// Fully separate all three members: both replicas' election windows
+		// expire without ever seeing each other's first heartbeat.
+		v.Sleep(2 * DefaultHeartbeat)
+		n.Partition("gns0", "gns0r")
+		n.Partition("gns0", "gns0rr")
+		n.Partition("gns0r", "gns0rr")
+		v.Sleep(DefaultLeaseTTL + 5*DefaultHeartbeat)
+		r1, r2 := cl.members["gns0r:5000"].srv, cl.members["gns0rr:5000"].srv
+		if !r1.Leader() || !r2.Leader() {
+			t.Fatalf("expected both replicas promoted mid-partition: r1=%v r2=%v", r1.Leader(), r2.Leader())
+		}
+
+		// Heal the replica pair: the higher rank took the higher term, so
+		// exactly one survives as leader.
+		n.Heal("gns0r", "gns0rr")
+		v.Sleep(4 * DefaultHeartbeat)
+		if lead1, lead2 := r1.Leader(), r2.Leader(); lead1 == lead2 {
+			t.Fatalf("leadership did not converge: r1=%v r2=%v", lead1, lead2)
+		}
+		if _, err := c.Set("jagan", "T.DAT", Mapping{Mode: ModeLocal, LocalPath: "t"}); err != nil {
+			t.Fatalf("write after convergence: %v", err)
+		}
+		s1, s2 := cl.members["gns0r:5000"].store, cl.members["gns0rr:5000"].store
+		v.Sleep(2 * DefaultHeartbeat)
+		if v1, v2 := s1.Version(), s2.Version(); v1 != v2 {
+			t.Errorf("replica stores diverged after convergence: %d vs %d", v1, v2)
+		}
+
+		// Heal the deposed original primary too: it must fold in.
+		n.Heal("gns0", "gns0r")
+		n.Heal("gns0", "gns0rr")
+		v.Sleep(4 * DefaultHeartbeat)
+		if cl.members["gns0:5000"].srv.Leader() {
+			t.Error("original primary re-asserted leadership after heal")
+		}
+	})
+}
+
+func TestShardEqualTermCollisionResolvedByRank(t *testing.T) {
+	// Equal terms can still collide across different base terms; the
+	// tie-break is deterministic: the lower-rank leader wins, replicas
+	// refuse the other one's appends naming the winner, and the loser
+	// steps down on the refusal ack.
+	v := simclock.NewVirtualDefault()
+	sm, err := ParseRing("0=l0:1,l1:1,l2:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranks := map[string]int{"l0:1": 0, "l1:1": 1, "l2:1": 2}
+	mk := func(self string, term uint64, leader string) *shardRun {
+		srv := NewServer(NewStore(v), v)
+		r := &shardRun{
+			srv:   srv,
+			cfg:   ShardConfig{Map: sm, ID: 0, Self: self, LeaseTTL: DefaultLeaseTTL, Heartbeat: DefaultHeartbeat},
+			rank:  ranks[self],
+			ranks: ranks,
+			term:  term, leader: leader,
+			ackAt: map[string]time.Time{},
+		}
+		srv.shard = r
+		return r
+	}
+	v.Run(func() {
+		// A follower of the rank-1 leader refuses the rank-2 claimant and
+		// names its leader in the ack...
+		f := mk("l0:1", 5, "l1:1")
+		if ack := f.onAppend(replRecord{Term: 5, Leader: "l2:1"}); ack.OK || ack.Leader != "l1:1" {
+			t.Errorf("follower answered %+v to the losing claimant, want refusal naming l1:1", ack)
+		}
+		// ...but adopts an equal-term claimant that outranks its leader.
+		f2 := mk("l0:1", 5, "l2:1")
+		if ack := f2.onAppend(replRecord{Term: 5, Leader: "l1:1"}); !ack.OK || ack.Leader != "l1:1" {
+			t.Errorf("follower answered %+v to the winning claimant, want adoption", ack)
+		}
+		// The losing leader steps down on the refusal ack; the winner
+		// ignores the loser's claim.
+		l2 := mk("l2:1", 5, "l2:1")
+		if !l2.deposedBy(replAck{Term: 5, Leader: "l1:1"}, 5) {
+			t.Error("rank-2 leader did not yield to the rank-1 leader at equal term")
+		}
+		if lead, _, _ := l2.srv.writeState(); lead {
+			t.Error("deposed equal-term leader still accepts writes")
+		}
+		l1 := mk("l1:1", 5, "l1:1")
+		if l1.deposedBy(replAck{Term: 5, Leader: "l2:1"}, 5) {
+			t.Error("rank-1 leader yielded to the rank-2 leader at equal term")
+		}
+	})
+}
+
+func TestShardedClientRefreshesStaleMapOnMisroute(t *testing.T) {
+	// REVIEW fix: a client whose cached shard map predates a ring change
+	// gets msgWrongShard, drops the map, refetches from the seeds, and the
+	// retried call routes correctly — a misroute is recovery, not a
+	// permanent failure.
+	v := simclock.NewVirtualDefault()
+	n := simnet.New(v)
+	v.Run(func() {
+		o := obs.New(v)
+		cl := startCluster(t, v, n, "0=gns0:5000;1=gns1:5000", o)
+		defer cl.close()
+		c := shardedClient(n, v, "gns0:5000")
+		defer c.Close()
+		co := obs.New(v)
+		c.SetObserver(co)
+
+		stale, err := ParseRing("0=gns0:5000")
+		if err != nil {
+			t.Fatal(err)
+		}
+		forceStale := func() {
+			c.shardMu.Lock()
+			c.smap = stale
+			c.ring = NewRing(stale)
+			c.lead = map[uint32]string{0: "gns0:5000"}
+			c.shardMu.Unlock()
+		}
+		ring := NewRing(cl.sm)
+		var path string
+		for i := 0; ; i++ {
+			path = fmt.Sprintf("/m/R%03d.DAT", i)
+			if ring.ShardFor("jagan", path) == 1 {
+				break
+			}
+		}
+
+		forceStale()
+		want := Mapping{Mode: ModeRemote, RemoteHost: "brecca:6000", RemotePath: path}
+		if _, err := c.Set("jagan", path, want); err != nil {
+			t.Fatalf("set through a stale map: %v", err)
+		}
+		if _, ok := cl.members["gns1:5000"].store.Lookup("jagan", path); !ok {
+			t.Error("write did not land on the owning shard after the refresh")
+		}
+		forceStale()
+		m, err := c.Resolve("jagan", path)
+		if err != nil {
+			t.Fatalf("resolve through a stale map: %v", err)
+		}
+		if m.RemoteHost != want.RemoteHost {
+			t.Errorf("resolve after refresh = %+v, want %+v", m, want)
+		}
+		if co.Snapshot().Counters["gns.shard.remap.total"] < 2 {
+			t.Error("client did not count its map refreshes")
+		}
+		if o.Snapshot().Counters["gns.shard.misroute.total"] == 0 {
+			t.Error("servers did not count the misroutes")
+		}
+	})
+}

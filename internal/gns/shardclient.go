@@ -34,7 +34,22 @@ func NewShardedClient(dialer Dialer, seeds []string, clock simclock.Clock) *Clie
 // sharded reports whether this client routes by shard.
 func (c *Client) sharded() bool { return len(c.seeds) > 0 }
 
-// ensureRing fetches and caches the shard map on first use.
+// noteMisroute reacts to a msgWrongShard answer: the server's ring
+// disagrees with ours, so our cached map is stale (a ring change bumped
+// the epoch). Drop the map and the leaseholder hints; the next route()
+// refetches from the seeds. The triggering call stays non-permanent, so
+// the parent retry policy re-runs it against the fresh map.
+func (c *Client) noteMisroute(ws *wrongShardError) {
+	c.obs.Counter("gns.shard.remap.total").Inc()
+	c.shardMu.Lock()
+	c.ring = nil
+	c.smap = ShardMap{}
+	c.lead = make(map[uint32]string)
+	c.shardMu.Unlock()
+}
+
+// ensureRing fetches and caches the shard map on first use, and again
+// after noteMisroute drops a stale one.
 func (c *Client) ensureRing() error {
 	c.shardMu.Lock()
 	defer c.shardMu.Unlock()
@@ -153,6 +168,11 @@ func (c *Client) readWalk(machine, path string, do func(mc *Client) error) error
 			if err == nil {
 				return nil
 			}
+			var ws *wrongShardError
+			if errors.As(err, &ws) {
+				c.noteMisroute(ws)
+				return err
+			}
 			var srvErr *serverError
 			if errors.As(err, &srvErr) {
 				return retry.Permanent(err)
@@ -184,6 +204,11 @@ func (c *Client) shardWrite(machine, path string, do func(mc *Client) error) err
 				return nil
 			}
 			lastErr = err
+			var ws *wrongShardError
+			if errors.As(err, &ws) {
+				c.noteMisroute(ws)
+				return err
+			}
 			var rd *redirectError
 			if errors.As(err, &rd) {
 				c.noteTerm(sid, rd.term)
@@ -273,6 +298,11 @@ func (c *Client) shardWatchOnce(machine, path string, since uint64, timeoutMS in
 		m, changed, lastErr = c.watchOnce(addr, machine, path, since, timeoutMS)
 		if lastErr == nil {
 			return m, changed, nil
+		}
+		var ws *wrongShardError
+		if errors.As(lastErr, &ws) {
+			c.noteMisroute(ws)
+			return Mapping{}, false, lastErr
 		}
 		var srvErr *serverError
 		if errors.As(lastErr, &srvErr) {
